@@ -1,0 +1,352 @@
+// Benchmark harness: one bench per Table-1 cell, one per sweep experiment
+// (F1-F3), one per adversary construction (A1-A3), and the design-choice
+// ablations called out in DESIGN.md. Each bench reports the paper-relevant
+// metric (virtual running time in ticks, or rounds) via b.ReportMetric next
+// to the usual wall-clock ns/op.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+package sessionproblem_test
+
+import (
+	"testing"
+
+	"sessionproblem/internal/adversary"
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/semisync"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/alg/synchronous"
+	"sessionproblem/internal/causal"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/explore"
+	"sessionproblem/internal/harness"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/search"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+	"sessionproblem/internal/tree"
+)
+
+var benchCfg = harness.Default()
+
+func benchSM(b *testing.B, alg core.SMAlgorithm, m timing.Model, st timing.Strategy) {
+	b.Helper()
+	spec := core.Spec{S: benchCfg.S, N: benchCfg.N, B: benchCfg.B}
+	var finish sim.Time
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunSM(alg, spec, m, st, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		finish, rounds = rep.Finish, rep.Rounds
+	}
+	b.ReportMetric(float64(finish), "vticks")
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+func benchMP(b *testing.B, alg core.MPAlgorithm, m timing.Model, st timing.Strategy) {
+	b.Helper()
+	spec := core.Spec{S: benchCfg.S, N: benchCfg.N}
+	var finish sim.Time
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunMP(alg, spec, m, st, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		finish = rep.Finish
+	}
+	b.ReportMetric(float64(finish), "vticks")
+}
+
+// --- Table 1, one bench per cell -------------------------------------------
+
+func BenchmarkTable1SyncSM(b *testing.B) {
+	benchSM(b, synchronous.NewSM(), timing.NewSynchronous(benchCfg.C2, 0), timing.Slow)
+}
+
+func BenchmarkTable1SyncMP(b *testing.B) {
+	benchMP(b, synchronous.NewMP(), timing.NewSynchronous(benchCfg.C2, benchCfg.D2), timing.Slow)
+}
+
+func BenchmarkTable1PeriodicSM(b *testing.B) {
+	benchSM(b, periodic.NewSM(), timing.NewPeriodic(benchCfg.Cmin, benchCfg.Cmax, 0), timing.Slow)
+}
+
+func BenchmarkTable1PeriodicMP(b *testing.B) {
+	benchMP(b, periodic.NewMP(), timing.NewPeriodic(benchCfg.Cmin, benchCfg.Cmax, benchCfg.D2), timing.Slow)
+}
+
+func BenchmarkTable1SemiSyncSM(b *testing.B) {
+	benchSM(b, semisync.NewSM(semisync.Auto),
+		timing.NewSemiSynchronous(benchCfg.C1, benchCfg.C2, 0), timing.Slow)
+}
+
+func BenchmarkTable1SemiSyncMP(b *testing.B) {
+	benchMP(b, semisync.NewMP(semisync.Auto),
+		timing.NewSemiSynchronous(benchCfg.C1, benchCfg.C2, benchCfg.D2), timing.Slow)
+}
+
+func BenchmarkTable1SporadicMP(b *testing.B) {
+	benchMP(b, sporadic.NewMP(),
+		timing.NewSporadic(benchCfg.C1, benchCfg.D1, benchCfg.D2, 0), timing.Slow)
+}
+
+func BenchmarkTable1AsyncSM(b *testing.B) {
+	benchSM(b, async.NewSM(), timing.NewAsynchronousSM(0), timing.Random)
+}
+
+func BenchmarkTable1AsyncMP(b *testing.B) {
+	benchMP(b, async.NewMP(), timing.NewAsynchronousMP(benchCfg.C2, benchCfg.D2), timing.Slow)
+}
+
+// --- Sweep experiments (F1-F3) ----------------------------------------------
+
+func BenchmarkSweepSporadicDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SweepSporadicDelay(4, 3, 2, 40, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepPeriodicVsSemiSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SweepPeriodicVsSemiSync(3, 2, 10, 30, 6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepPeriodicVsSporadic(b *testing.B) {
+	cmaxs := []sim.Duration{2, 8, 32}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SweepPeriodicVsSporadic(4, 3, 2, 4, 28, cmaxs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Adversary constructions (A1-A3) ----------------------------------------
+
+func BenchmarkAdversaryContamination(b *testing.B) {
+	spec := core.Spec{S: 3, N: 8, B: 3}
+	m := timing.NewPeriodic(1, 32, 0)
+	for i := 0; i < b.N; i++ {
+		rep, err := adversary.AnalyzeContamination(periodic.NewSM(), spec, m, 0, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.WithinBound {
+			b.Fatal("contamination bound violated")
+		}
+	}
+}
+
+func BenchmarkAdversaryReorder(b *testing.B) {
+	spec := core.Spec{S: 4, N: 9, B: 3}
+	m := timing.NewSemiSynchronous(1, 8, 0)
+	for i := 0; i < b.N; i++ {
+		rep, err := adversary.ReorderSemiSync(adversary.TooFastSM{}, spec, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Violation {
+			b.Fatal("expected violation")
+		}
+	}
+}
+
+func BenchmarkAdversaryRetime(b *testing.B) {
+	spec := core.Spec{S: 4, N: 3}
+	m := timing.NewSporadic(2, 4, 28, 0)
+	for i := 0; i < b.N; i++ {
+		rep, err := adversary.RetimeSporadic(adversary.TooFastMP{}, spec, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Violation {
+			b.Fatal("expected violation")
+		}
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationTreeArity measures shared-memory propagation rounds as
+// the access bound b grows: the paper's floor(log_{2b-1}(2n-1)) cost shape.
+func BenchmarkAblationTreeArity(b *testing.B) {
+	for _, bb := range []int{2, 3, 5, 9} {
+		b.Run("b="+itoa(bb), func(b *testing.B) {
+			spec := core.Spec{S: 2, N: 32, B: bb}
+			m := timing.NewAsynchronousSM(1)
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				rep, err := core.RunSM(async.NewSM(), spec, m, timing.Slow, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = rep.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkAblationSporadicCond2 compares full A(sp) against the
+// condition-1-only variant at u = 0 (constant delay), where condition 2 is
+// the entire advantage.
+func BenchmarkAblationSporadicCond2(b *testing.B) {
+	m := timing.NewSporadic(1, 20, 20, 0)
+	spec := core.Spec{S: 6, N: 3}
+	for _, variant := range []struct {
+		name string
+		alg  core.MPAlgorithm
+	}{
+		{"full", sporadic.NewMP()},
+		{"cond1-only", sporadic.NewMPWithoutCond2()},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var finish sim.Time
+			for i := 0; i < b.N; i++ {
+				rep, err := core.RunMP(variant.alg, spec, m, timing.Fast, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = rep.Finish
+			}
+			b.ReportMetric(float64(finish), "vticks")
+		})
+	}
+}
+
+// BenchmarkAblationSemiSyncChoice compares the semi-synchronous modes
+// against the auto (min-choosing) hybrid.
+func BenchmarkAblationSemiSyncChoice(b *testing.B) {
+	m := timing.NewSemiSynchronous(2, 20, 8)
+	spec := core.Spec{S: 4, N: 4}
+	for _, variant := range []struct {
+		name string
+		mode semisync.Mode
+	}{
+		{"auto", semisync.Auto},
+		{"step-count", semisync.ForceStepCount},
+		{"communicate", semisync.ForceCommunicate},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var finish sim.Time
+			for i := 0; i < b.N; i++ {
+				rep, err := core.RunMP(semisync.NewMP(variant.mode), spec, m, timing.Slow, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = rep.Finish
+			}
+			b.ReportMetric(float64(finish), "vticks")
+		})
+	}
+}
+
+// --- Analysis machinery -------------------------------------------------------
+
+func BenchmarkExhaustiveExplore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := explore.ExhaustiveSM(explore.SMConfig{
+			Alg:        periodic.NewSM(),
+			Spec:       core.Spec{S: 2, N: 2, B: 2},
+			Model:      timing.NewPeriodic(2, 8, 0),
+			GapChoices: []sim.Duration{2, 5, 8},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK() {
+			b.Fatal("violations found")
+		}
+	}
+}
+
+func BenchmarkScheduleSearch(b *testing.B) {
+	spec := core.Spec{S: 3, N: 3}
+	m := timing.NewSporadic(2, 4, 28, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := search.SlowestMP(sporadic.NewMP(), spec, m,
+			[]sim.Duration{2, 8}, []sim.Duration{4, 28},
+			search.Options{Seed: uint64(i) + 1, Restarts: 2, Steps: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCausalAnalysis(b *testing.B) {
+	spec := core.Spec{S: 6, N: 4}
+	m := timing.NewSporadic(2, 4, 28, 8)
+	sys, err := sporadic.NewMP().BuildMP(spec, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := mp.Run(sys, m.NewScheduler(timing.Random, 1), mp.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := make([]any, len(sys.Procs))
+	for i, p := range sys.Procs {
+		procs[i] = p
+	}
+	adv, ok := causal.CollectAdvances(procs)
+	if !ok {
+		b.Fatal("not instrumented")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := causal.MeasureCertification(res.Trace, res.Delays, adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Microbenchmarks of the substrates ---------------------------------------
+
+func BenchmarkTreePropagation(b *testing.B) {
+	nw, err := tree.Build(64, 3, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = nw
+	spec := core.Spec{S: 1, N: 64, B: 3}
+	m := timing.NewAsynchronousSM(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunSM(async.NewSM(), spec, m, timing.Slow, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMExecutorThroughput(b *testing.B) {
+	// Steps per second of the shared-memory executor on a plain workload.
+	m := timing.NewSynchronous(1, 0)
+	for i := 0; i < b.N; i++ {
+		spec := core.Spec{S: 64, N: 16, B: 2}
+		rep, err := core.RunSM(synchronous.NewSM(), spec, m, timing.Slow, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(rep.Trace.Steps)))
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

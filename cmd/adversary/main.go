@@ -1,0 +1,176 @@
+// Command adversary runs the paper's three lower-bound constructions as
+// executable demonstrations:
+//
+//	a1  contamination analysis (Lemma 4.4 / Theorem 4.3, periodic SM):
+//	    slow one process and track how far the disturbance spreads per
+//	    subround, against the bound P_t = ((2b-1)^t - 1)/2; a too-fast
+//	    victim algorithm loses sessions.
+//
+//	a2  reorder/retime (Theorem 5.1, semi-synchronous SM): cut a lockstep
+//	    execution into B-round chunks, reorder around pivot ports, retime
+//	    into [c1, c2]-admissible windows; the victim's computation drops
+//	    below s sessions while the real algorithms survive.
+//
+//	a3  sporadic retiming (Theorem 6.5, sporadic MP): compress a K-spaced
+//	    lockstep execution and shift the pivot processes by up to u/4,
+//	    keeping all delays inside [d1, d2].
+//
+// Usage:
+//
+//	adversary [-exp a1|a2|a3|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sessionproblem/internal/adversary"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/timing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adversary:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: a1, a2, a3 or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("a1") {
+		ran = true
+		if err := runA1(); err != nil {
+			return err
+		}
+	}
+	if want("a2") {
+		ran = true
+		if err := runA2(); err != nil {
+			return err
+		}
+	}
+	if want("a3") {
+		ran = true
+		if err := runA3(); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want a1, a2, a3 or all)", *exp)
+	}
+	return nil
+}
+
+func runA1() error {
+	fmt.Println("# A1: contamination analysis (Lemma 4.4 / Theorem 4.3, periodic SM)")
+	spec := core.Spec{S: 4, N: 8, B: 3}
+	m := timing.NewPeriodic(1, 64, 0)
+
+	fmt.Println("\n## victim: too-fast algorithm (s steps per port), p0 slowed to period 64")
+	rep, err := adversary.AnalyzeContamination(adversary.TooFastSM{}, spec, m, 0, 64)
+	if err != nil {
+		return err
+	}
+	printContamination(rep, spec.S)
+
+	fmt.Println("\n## control: periodic A(p) under the same perturbation")
+	rep, err = adversary.AnalyzeContamination(periodic.NewSM(), spec, m, 0, 64)
+	if err != nil {
+		return err
+	}
+	printContamination(rep, spec.S)
+	return nil
+}
+
+func printContamination(rep *adversary.ContaminationReport, s int) {
+	fmt.Printf("subrounds analyzed: %d, slowed process: p%d (took %d steps)\n",
+		rep.Rounds, rep.Slowed, rep.SlowedSteps)
+	limit := rep.Rounds
+	if limit > 8 {
+		limit = 8
+	}
+	fmt.Println("  t   |P(t)|  bound P_t")
+	for t := 1; t <= limit; t++ {
+		fmt.Printf("  %-3d %-7d %d\n", t, rep.ContaminatedProcs[t], rep.BoundP[t])
+	}
+	fmt.Printf("within Lemma 4.4 bound: %v\n", rep.WithinBound)
+	fmt.Printf("sessions in perturbed computation: %d (s = %d)", rep.SessionsPerturbed, s)
+	if rep.SessionsPerturbed < s {
+		fmt.Print("  -> VIOLATION (victim contradicts Theorem 4.3)")
+	}
+	fmt.Println()
+}
+
+func runA2() error {
+	fmt.Println("\n# A2: reorder/retime (Theorem 5.1, semi-synchronous SM)")
+	spec := core.Spec{S: 4, N: 9, B: 3}
+	m := timing.NewSemiSynchronous(1, 8, 0)
+
+	fmt.Println("\n## victim: too-fast algorithm (s steps per port)")
+	rep, err := adversary.ReorderSemiSync(adversary.TooFastSM{}, spec, m)
+	if err != nil {
+		return err
+	}
+	printReorder(rep, spec.S)
+
+	fmt.Println("\n## control: periodic A(p) (correct under bounded gaps)")
+	rep, err = adversary.ReorderSemiSync(periodic.NewSM(), spec, m)
+	if err != nil {
+		return err
+	}
+	printReorder(rep, spec.S)
+	return nil
+}
+
+func printReorder(rep *adversary.ReorderReport, s int) {
+	fmt.Printf("B=%d rounds/chunk, %d rounds -> %d chunks\n", rep.B, rep.OriginalRounds, rep.Chunks)
+	fmt.Printf("reordered computation: admissible, same projections=%v, sessions=%d (s=%d)",
+		rep.SameProjection, rep.Sessions, s)
+	if rep.Violation {
+		fmt.Print("  -> VIOLATION (victim contradicts Theorem 5.1)")
+	}
+	fmt.Println()
+}
+
+func runA3() error {
+	fmt.Println("\n# A3: sporadic retiming (Theorem 6.5, sporadic MP)")
+	spec := core.Spec{S: 4, N: 3}
+	m := timing.NewSporadic(2, 4, 28, 0)
+
+	fmt.Println("\n## victim: too-fast algorithm (s silent steps per process)")
+	rep, err := adversary.RetimeSporadic(adversary.TooFastMP{}, spec, m)
+	if err != nil {
+		return err
+	}
+	printRetime(rep, spec.S)
+
+	fmt.Println("\n## control: sporadic A(sp)")
+	rep, err = adversary.RetimeSporadic(sporadic.NewMP(), spec, m)
+	if err != nil {
+		return err
+	}
+	printRetime(rep, spec.S)
+	return nil
+}
+
+func printRetime(rep *adversary.RetimeReport, s int) {
+	fmt.Printf("K=%v B=%d rounds/chunk, %d rounds -> %d chunks\n",
+		rep.K, rep.B, rep.OriginalRounds, rep.Chunks)
+	fmt.Printf("retimed computation: admissible, delays [%v,%v], sessions=%d (s=%d)",
+		rep.MinDelay, rep.MaxDelay, rep.Sessions, s)
+	if rep.Violation {
+		fmt.Print("  -> VIOLATION (victim contradicts Theorem 6.5)")
+	}
+	fmt.Println()
+}

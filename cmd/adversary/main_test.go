@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunAll(t *testing.T) {
+	if err := run([]string{"-exp", "all"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	for _, exp := range []string{"a1", "a2", "a3"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Errorf("run %s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"-exp", "zz"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

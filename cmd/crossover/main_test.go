@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunF4(t *testing.T) {
+	if err := run([]string{"-exp", "f4", "-seeds", "1"}); err != nil {
+		t.Fatalf("run f4: %v", err)
+	}
+}
+
+func TestRunF5(t *testing.T) {
+	if err := run([]string{"-exp", "f5", "-seeds", "1"}); err != nil {
+		t.Fatalf("run f5: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunF6(t *testing.T) {
+	if err := run([]string{"-exp", "f6", "-seeds", "1"}); err != nil {
+		t.Fatalf("run f6: %v", err)
+	}
+}
+
+func TestRunF7(t *testing.T) {
+	if err := run([]string{"-exp", "f7"}); err != nil {
+		t.Fatalf("run f7: %v", err)
+	}
+}
+
+func TestRunTight(t *testing.T) {
+	if err := run([]string{"-exp", "tight"}); err != nil {
+		t.Fatalf("run tight: %v", err)
+	}
+}

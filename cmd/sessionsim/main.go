@@ -1,0 +1,159 @@
+// Command sessionsim runs one session-problem algorithm under one timing
+// model and prints the verified execution report, optionally with the full
+// timed computation.
+//
+// Usage:
+//
+//	sessionsim -alg periodic -comm mp [-s N] [-n N] [-b N] [-c1 N] [-c2 N]
+//	           [-d1 N] [-d2 N] [-strategy random] [-seed N] [-trace] [-json]
+//
+// Algorithms: synchronous, periodic, semisync, sporadic (MP only), async.
+// The timing model is implied by the algorithm: each runs under the model
+// it is designed for.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/semisync"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/alg/synchronous"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+	"sessionproblem/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sessionsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sessionsim", flag.ContinueOnError)
+	algName := fs.String("alg", "periodic", "algorithm: synchronous, periodic, semisync, sporadic, async")
+	comm := fs.String("comm", "mp", "communication model: sm or mp")
+	s := fs.Int("s", 4, "number of sessions")
+	n := fs.Int("n", 4, "number of ports")
+	b := fs.Int("b", 3, "shared-variable access bound (SM)")
+	c1 := fs.Int64("c1", 2, "lower bound on step time (ticks)")
+	c2 := fs.Int64("c2", 10, "upper bound on step time (ticks)")
+	d1 := fs.Int64("d1", 4, "lower bound on message delay (sporadic)")
+	d2 := fs.Int64("d2", 28, "upper bound on message delay")
+	strategyName := fs.String("strategy", "random", "schedule strategy: random, slow, fast, skewed, jittered")
+	seed := fs.Uint64("seed", 1, "schedule seed")
+	showTrace := fs.Bool("trace", false, "print the timed computation")
+	showTimeline := fs.Bool("timeline", false, "print an ASCII timeline of the computation")
+	jsonOut := fs.Bool("json", false, "emit the trace as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	st, err := parseStrategy(*strategyName)
+	if err != nil {
+		return err
+	}
+	spec := core.Spec{S: *s, N: *n, B: *b}
+	dc1, dc2 := sim.Duration(*c1), sim.Duration(*c2)
+	dd1, dd2 := sim.Duration(*d1), sim.Duration(*d2)
+
+	var rep *core.Report
+	switch *comm {
+	case "sm":
+		alg, m, err := smAlgorithm(*algName, dc1, dc2)
+		if err != nil {
+			return err
+		}
+		rep, err = core.RunSM(alg, spec, m, st, *seed)
+		if err != nil {
+			return err
+		}
+	case "mp":
+		alg, m, err := mpAlgorithm(*algName, dc1, dc2, dd1, dd2)
+		if err != nil {
+			return err
+		}
+		rep, err = core.RunMP(alg, spec, m, st, *seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown communication model %q (want sm or mp)", *comm)
+	}
+
+	if *jsonOut {
+		return trace.WriteJSON(os.Stdout, rep.Trace)
+	}
+	fmt.Printf("algorithm:  %s\n", rep.Algorithm)
+	fmt.Printf("model:      %v (%s)\n", rep.Model, *comm)
+	fmt.Printf("spec:       s=%d n=%d b=%d\n", spec.S, spec.N, spec.B)
+	fmt.Printf("strategy:   %v seed=%d\n", st, *seed)
+	fmt.Printf("finish:     %v ticks (all ports idle)\n", rep.Finish)
+	fmt.Printf("sessions:   %d (needed %d)\n", rep.Sessions, spec.S)
+	fmt.Printf("rounds:     %d\n", rep.Rounds)
+	fmt.Printf("gamma:      %v (largest step time)\n", rep.Gamma)
+	if rep.Messages > 0 {
+		fmt.Printf("broadcasts: %d\n", rep.Messages)
+	}
+	fmt.Printf("steps:      %d\n", len(rep.Trace.Steps))
+	if *showTimeline {
+		fmt.Println()
+		if err := trace.Timeline(os.Stdout, rep.Trace, 100); err != nil {
+			return err
+		}
+	}
+	if *showTrace {
+		fmt.Println()
+		return trace.Render(os.Stdout, rep.Trace, 200)
+	}
+	return nil
+}
+
+func parseStrategy(name string) (timing.Strategy, error) {
+	for _, st := range timing.AllStrategies() {
+		if st.String() == name {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q", name)
+}
+
+func smAlgorithm(name string, c1, c2 sim.Duration) (core.SMAlgorithm, timing.Model, error) {
+	switch name {
+	case "synchronous":
+		return synchronous.NewSM(), timing.NewSynchronous(c2, 0), nil
+	case "periodic":
+		return periodic.NewSM(), timing.NewPeriodic(c1, c2, 0), nil
+	case "semisync":
+		return semisync.NewSM(semisync.Auto), timing.NewSemiSynchronous(c1, c2, 0), nil
+	case "async":
+		return async.NewSM(), timing.NewAsynchronousSM(0), nil
+	case "sporadic":
+		return nil, timing.Model{}, fmt.Errorf("the sporadic SM model equals the asynchronous SM model; use -alg async")
+	default:
+		return nil, timing.Model{}, fmt.Errorf("unknown SM algorithm %q", name)
+	}
+}
+
+func mpAlgorithm(name string, c1, c2, d1, d2 sim.Duration) (core.MPAlgorithm, timing.Model, error) {
+	switch name {
+	case "synchronous":
+		return synchronous.NewMP(), timing.NewSynchronous(c2, d2), nil
+	case "periodic":
+		return periodic.NewMP(), timing.NewPeriodic(c1, c2, d2), nil
+	case "semisync":
+		return semisync.NewMP(semisync.Auto), timing.NewSemiSynchronous(c1, c2, d2), nil
+	case "sporadic":
+		return sporadic.NewMP(), timing.NewSporadic(c1, d1, d2, 0), nil
+	case "async":
+		return async.NewMP(), timing.NewAsynchronousMP(c2, d2), nil
+	default:
+		return nil, timing.Model{}, fmt.Errorf("unknown MP algorithm %q", name)
+	}
+}

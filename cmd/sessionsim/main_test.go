@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	for _, comm := range []string{"sm", "mp"} {
+		for _, alg := range []string{"synchronous", "periodic", "semisync", "async"} {
+			if err := run([]string{"-alg", alg, "-comm", comm, "-s", "2", "-n", "2"}); err != nil {
+				t.Errorf("%s/%s: %v", alg, comm, err)
+			}
+		}
+	}
+	if err := run([]string{"-alg", "sporadic", "-comm", "mp", "-s", "2", "-n", "2"}); err != nil {
+		t.Errorf("sporadic/mp: %v", err)
+	}
+}
+
+func TestRunTraceAndTimeline(t *testing.T) {
+	if err := run([]string{"-alg", "periodic", "-comm", "mp", "-s", "2", "-n", "2", "-trace", "-timeline"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-alg", "periodic", "-comm", "sm", "-s", "2", "-n", "2", "-json"}); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "nope", "-comm", "sm"},
+		{"-alg", "periodic", "-comm", "nope"},
+		{"-alg", "sporadic", "-comm", "sm"},
+		{"-strategy", "warp"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

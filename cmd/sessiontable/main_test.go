@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunDefaultsSmall(t *testing.T) {
+	if err := run([]string{"-s", "2", "-n", "2", "-seeds", "1"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-s", "2", "-n", "2", "-seeds", "1", "-csv"}); err != nil {
+		t.Fatalf("run -csv: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

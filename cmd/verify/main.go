@@ -1,0 +1,135 @@
+// Command verify runs the composite validation suite (sampled schedules,
+// exhaustive small-schedule model checking, idle-stability probes, and the
+// matching lower-bound adversary) against one of the built-in algorithms —
+// the same pipeline a downstream user would point at their own algorithm
+// via internal/check.
+//
+// Usage:
+//
+//	verify -alg periodic -comm sm [-s N] [-n N] [-b N]
+//	verify -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/semisync"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/alg/synchronous"
+	"sessionproblem/internal/check"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+}
+
+type suite struct {
+	name string
+	run  func(spec core.Spec) *check.Report
+}
+
+func suites(spec core.Spec) []suite {
+	return []suite{
+		{"synchronous/sm", func(sp core.Spec) *check.Report {
+			return check.SM(synchronous.NewSM(), check.SMOptions{
+				Spec: sp, Model: timing.NewSynchronous(4, 0),
+			})
+		}},
+		{"periodic/sm", func(sp core.Spec) *check.Report {
+			return check.SM(periodic.NewSM(), check.SMOptions{
+				Spec: sp, Model: timing.NewPeriodic(2, 8, 0),
+				ExhaustiveGaps: []sim.Duration{2, 8},
+			})
+		}},
+		{"semisync/sm", func(sp core.Spec) *check.Report {
+			return check.SM(semisync.NewSM(semisync.Auto), check.SMOptions{
+				Spec: sp, Model: timing.NewSemiSynchronous(2, 8, 0),
+			})
+		}},
+		{"async/sm", func(sp core.Spec) *check.Report {
+			return check.SM(async.NewSM(), check.SMOptions{
+				Spec: sp, Model: timing.NewAsynchronousSM(4),
+			})
+		}},
+		{"synchronous/mp", func(sp core.Spec) *check.Report {
+			return check.MP(synchronous.NewMP(), check.MPOptions{
+				Spec: sp, Model: timing.NewSynchronous(4, 12),
+			})
+		}},
+		{"periodic/mp", func(sp core.Spec) *check.Report {
+			return check.MP(periodic.NewMP(), check.MPOptions{
+				Spec: sp, Model: timing.NewPeriodic(2, 8, 20),
+			})
+		}},
+		{"semisync/mp", func(sp core.Spec) *check.Report {
+			return check.MP(semisync.NewMP(semisync.Auto), check.MPOptions{
+				Spec: sp, Model: timing.NewSemiSynchronous(2, 8, 20),
+			})
+		}},
+		{"sporadic/mp", func(sp core.Spec) *check.Report {
+			return check.MP(sporadic.NewMP(), check.MPOptions{
+				Spec: sp, Model: timing.NewSporadic(2, 4, 28, 8),
+				ExhaustiveGaps:   []sim.Duration{2, 8},
+				ExhaustiveDelays: []sim.Duration{4, 28},
+			})
+		}},
+		{"async/mp", func(sp core.Spec) *check.Report {
+			return check.MP(async.NewMP(), check.MPOptions{
+				Spec: sp, Model: timing.NewAsynchronousMP(4, 20),
+			})
+		}},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	which := fs.String("alg", "", "suite to run, e.g. periodic/sm (empty with -all)")
+	all := fs.Bool("all", false, "run every suite")
+	s := fs.Int("s", 3, "sessions")
+	n := fs.Int("n", 3, "ports")
+	b := fs.Int("b", 2, "access bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := core.Spec{S: *s, N: *n, B: *b}
+
+	failed := 0
+	matched := false
+	for _, su := range suites(spec) {
+		if !*all && su.name != *which {
+			continue
+		}
+		matched = true
+		rep := su.run(spec)
+		status := "PASS"
+		if !rep.OK() {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-16s %s  (%s)\n", su.name, status, rep.Algorithm)
+		for _, it := range rep.Items {
+			mark := "ok  "
+			if !it.Passed {
+				mark = "FAIL"
+			}
+			fmt.Printf("    [%s] %-22s %s\n", mark, it.Name, it.Detail)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("no suite named %q (use -all to list all)", *which)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d suite(s) failed", failed)
+	}
+	return nil
+}

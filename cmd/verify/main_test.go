@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunAllSuites(t *testing.T) {
+	if err := run([]string{"-all", "-s", "2", "-n", "2"}); err != nil {
+		t.Fatalf("run -all: %v", err)
+	}
+}
+
+func TestRunSingleSuite(t *testing.T) {
+	if err := run([]string{"-alg", "periodic/sm", "-s", "2", "-n", "2"}); err != nil {
+		t.Fatalf("run periodic/sm: %v", err)
+	}
+}
+
+func TestRunUnknownSuite(t *testing.T) {
+	if err := run([]string{"-alg", "nope"}); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}

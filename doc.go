@@ -1,0 +1,12 @@
+// Package sessionproblem is a full reproduction of Rhee & Welch, "The
+// Impact of Time on the Session Problem" (PODC 1992): a deterministic
+// timed-computation simulator for shared-memory and message-passing
+// systems, the five timing models (synchronous, periodic, semi-synchronous,
+// sporadic, asynchronous), every upper-bound algorithm from the paper —
+// including A(p) and A(sp) — and executable versions of the three
+// lower-bound adversary constructions.
+//
+// The library lives under internal/; see the README for the package map,
+// the cmd/ tools for the Table-1 and sweep reproductions, and bench_test.go
+// for the benchmark harness that regenerates every evaluation artifact.
+package sessionproblem

@@ -1,0 +1,46 @@
+// Modelcompare: run the right algorithm for every one of the paper's five
+// timing models on the same (s, n)-session instance and print the resulting
+// hierarchy — the paper's central qualitative claim is that the periodic
+// model sits between synchronous (no communication) and asynchronous (one
+// communication per session), with semi-synchronous and sporadic
+// interpolating according to their constants.
+//
+// Run with:
+//
+//	go run ./examples/modelcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sessionproblem/internal/harness"
+)
+
+func main() {
+	cfg := harness.Default()
+	fmt.Printf("(s=%d, n=%d)-session problem across all five timing models\n", cfg.S, cfg.N)
+	fmt.Printf("constants: c1=%v c2=%v (cmin=%v cmax=%v) d1=%v d2=%v b=%d\n\n",
+		cfg.C1, cfg.C2, cfg.Cmin, cfg.Cmax, cfg.D1, cfg.D2, cfg.B)
+
+	rows, err := harness.Hierarchy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.WriteHierarchy(os.Stdout, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nfull Table 1 at the same constants:")
+	cells, err := harness.Table1(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.WriteTable(os.Stdout, cells); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreading guide: communication needed per session is what separates the rows —")
+	fmt.Println("none (synchronous), one total (periodic), min(wait, one-per-session)")
+	fmt.Println("(semi-synchronous/sporadic), one per session (asynchronous).")
+}

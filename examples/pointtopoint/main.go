@@ -1,0 +1,45 @@
+// Pointtopoint: the paper compares against [4], whose results are stated
+// for point-to-point networks and carry a network-diameter factor; the
+// paper folds that factor into d2 ("we have replaced all occurrences of the
+// diameter factor with 1 ... d2 subsumes the diameter factor"). This
+// example runs the same asynchronous session algorithm over four concrete
+// topologies with identical per-hop delay bounds and shows the measured
+// running time tracking diameter * hop-delay through the abstract Table-1
+// bound.
+//
+// Run with:
+//
+//	go run ./examples/pointtopoint
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sessionproblem/internal/harness"
+)
+
+func main() {
+	const (
+		sessions = 4
+		nodes    = 8
+		c2       = 3  // step-time bound
+		hopDelay = 10 // per-hop delay in [0, 10]
+	)
+	fmt.Printf("(%d,%d)-session problem, asynchronous algorithm, per-hop delay <= %d\n\n",
+		sessions, nodes, hopDelay)
+
+	pts, err := harness.SweepDiameter(sessions, nodes, c2, hopDelay, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("topology   diameter  effective d2  measured worst  abstract bound")
+	for _, p := range pts {
+		fmt.Printf("%-10s %-9d %-13v %-15.0f %.0f\n",
+			p.Topology, p.Diameter, p.EffectiveD2, p.Measured, p.PaperUpper)
+	}
+	fmt.Println("\nThe same algorithm, the same hop delays — only the diameter differs.")
+	fmt.Println("Substituting d2 := diameter * hop-delay makes every run admissible for the")
+	fmt.Println("paper's broadcast model and keeps it inside the (s-1)(d2+c2)+c2 bound:")
+	fmt.Println("the conversion the paper applies to Table 1, demonstrated.")
+}

@@ -1,0 +1,3 @@
+module sessionproblem
+
+go 1.22

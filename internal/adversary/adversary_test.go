@@ -1,0 +1,258 @@
+package adversary
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/timing"
+)
+
+func TestContaminationClosedFormMatchesRecurrence(t *testing.T) {
+	for b := 2; b <= 6; b++ {
+		for tt := 0; tt <= 8; tt++ {
+			p, _ := ContaminationRecurrence(b, tt)
+			if cf := ContaminationBound(b, tt); cf != p {
+				t.Errorf("b=%d t=%d: closed form %d != recurrence %d", b, tt, cf, p)
+			}
+		}
+	}
+}
+
+func TestContaminationBoundValues(t *testing.T) {
+	// b=2: P_t = (3^t - 1)/2 = 0, 1, 4, 13, 40...
+	want := []int{0, 1, 4, 13, 40}
+	for tt, w := range want {
+		if got := ContaminationBound(2, tt); got != w {
+			t.Errorf("P_%d(b=2): got %d, want %d", tt, got, w)
+		}
+	}
+}
+
+// Property: the recurrence is monotone in both b and t.
+func TestContaminationMonotoneProperty(t *testing.T) {
+	f := func(bRaw, tRaw uint8) bool {
+		b := int(bRaw%5) + 2
+		tt := int(tRaw % 10)
+		p1 := ContaminationBound(b, tt)
+		return ContaminationBound(b, tt+1) >= p1 && ContaminationBound(b+1, tt) >= p1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeContaminationLemma44(t *testing.T) {
+	// Lemma 4.4: in a b-bounded system, at most P_t processes are
+	// contaminated after t subrounds — for the real periodic algorithm.
+	spec := core.Spec{S: 3, N: 8, B: 3}
+	m := timing.NewPeriodic(1, 64, 0)
+	rep, err := AnalyzeContamination(periodic.NewSM(), spec, m, 0, 64)
+	if err != nil {
+		t.Fatalf("AnalyzeContamination: %v", err)
+	}
+	if !rep.WithinBound {
+		t.Errorf("contamination exceeded Lemma 4.4 bound: procs=%v bound=%v",
+			rep.ContaminatedProcs, rep.BoundP)
+	}
+	if rep.Rounds < 1 {
+		t.Fatal("no subrounds analyzed")
+	}
+	// Contamination counts are nondecreasing.
+	for i := 2; i <= rep.Rounds; i++ {
+		if rep.ContaminatedProcs[i] < rep.ContaminatedProcs[i-1] {
+			t.Errorf("contaminated set shrank at subround %d", i)
+		}
+	}
+}
+
+func TestContaminationBreaksTooFastAlgorithm(t *testing.T) {
+	// Theorem 4.3's scenario: a victim that terminates in s*cmin time under
+	// lockstep has fewer than s sessions once one process is slowed — and
+	// the perturbed schedule is admissible for a periodic model whose
+	// period range covers the slow process.
+	spec := core.Spec{S: 4, N: 6, B: 2}
+	m := timing.NewPeriodic(1, 32, 0)
+	rep, err := AnalyzeContamination(TooFastSM{}, spec, m, 0, 32)
+	if err != nil {
+		t.Fatalf("AnalyzeContamination: %v", err)
+	}
+	if rep.SessionsPerturbed >= spec.S {
+		t.Errorf("perturbed victim still has %d >= s sessions", rep.SessionsPerturbed)
+	}
+	if !rep.WithinBound {
+		t.Error("Lemma 4.4 bound violated")
+	}
+}
+
+func TestContaminationCorrectAlgorithmSurvives(t *testing.T) {
+	// A(p) must keep s sessions even under the perturbation.
+	spec := core.Spec{S: 4, N: 4, B: 2}
+	m := timing.NewPeriodic(1, 16, 0)
+	rep, err := AnalyzeContamination(periodic.NewSM(), spec, m, 1, 16)
+	if err != nil {
+		t.Fatalf("AnalyzeContamination: %v", err)
+	}
+	if rep.SessionsPerturbed < spec.S {
+		t.Errorf("A(p) lost sessions under perturbation: %d < %d", rep.SessionsPerturbed, spec.S)
+	}
+}
+
+func TestAnalyzeContaminationValidation(t *testing.T) {
+	spec := core.Spec{S: 2, N: 2, B: 2}
+	m := timing.NewPeriodic(2, 8, 0)
+	if _, err := AnalyzeContamination(TooFastSM{}, spec, m, 9, 8); err == nil {
+		t.Error("out-of-range slowed process accepted")
+	}
+	if _, err := AnalyzeContamination(TooFastSM{}, spec, m, 0, 1); err == nil {
+		t.Error("slow period below cmin accepted")
+	}
+}
+
+func TestReorderBreaksTooFastAlgorithm(t *testing.T) {
+	// Theorem 5.1: the victim takes s steps per process — terminating in
+	// s*c2 << B*c2*(s-1) — so the reordering must produce an admissible
+	// semi-synchronous computation with fewer than s sessions.
+	spec := core.Spec{S: 4, N: 9, B: 3}
+	m := timing.NewSemiSynchronous(1, 8, 0) // floor(c2/2c1) = 4, floor(log_3 9) = 2, B = 2
+	rep, err := ReorderSemiSync(TooFastSM{}, spec, m)
+	if err != nil {
+		t.Fatalf("ReorderSemiSync: %v", err)
+	}
+	if !rep.SameProjection {
+		t.Error("projection not preserved")
+	}
+	if !rep.Violation {
+		t.Errorf("no violation found: %d sessions in %d chunks (B=%d, rounds=%d)",
+			rep.Sessions, rep.Chunks, rep.B, rep.OriginalRounds)
+	}
+	if rep.Sessions > rep.Chunks {
+		t.Errorf("sessions %d exceed chunk bound %d", rep.Sessions, rep.Chunks)
+	}
+}
+
+func TestReorderDoesNotBreakCorrectAlgorithm(t *testing.T) {
+	// A(p) is correct under the semi-synchronous model (gaps bounded by
+	// c2); the reordered computation must still contain s sessions.
+	spec := core.Spec{S: 3, N: 9, B: 3}
+	m := timing.NewSemiSynchronous(1, 8, 0)
+	rep, err := ReorderSemiSync(periodic.NewSM(), spec, m)
+	if err != nil {
+		t.Fatalf("ReorderSemiSync: %v", err)
+	}
+	if rep.Violation {
+		t.Errorf("adversary claims violation against a correct algorithm: %d sessions", rep.Sessions)
+	}
+}
+
+func TestReorderInapplicableWhenBoundTrivial(t *testing.T) {
+	// c2 <= 2c1 makes B = 0: the bound is trivial and the construction
+	// refuses.
+	spec := core.Spec{S: 3, N: 4, B: 2}
+	m := timing.NewSemiSynchronous(3, 5, 0)
+	_, err := ReorderSemiSync(TooFastSM{}, spec, m)
+	if !errors.Is(err, ErrInapplicable) {
+		t.Errorf("want ErrInapplicable, got %v", err)
+	}
+}
+
+func TestReorderChunkGeometry(t *testing.T) {
+	spec := core.Spec{S: 5, N: 27, B: 4}
+	m := timing.NewSemiSynchronous(1, 10, 0) // floor(10/2)=5, floor(log_4 27)=2 -> B=2
+	rep, err := ReorderSemiSync(TooFastSM{StepsPerPort: 10}, spec, m)
+	if err != nil {
+		t.Fatalf("ReorderSemiSync: %v", err)
+	}
+	if rep.B != 2 {
+		t.Errorf("B: got %d, want 2", rep.B)
+	}
+	wantChunks := (rep.OriginalRounds + rep.B - 1) / rep.B
+	if rep.Chunks != wantChunks {
+		t.Errorf("chunks: got %d, want %d", rep.Chunks, wantChunks)
+	}
+}
+
+func TestRetimeBreaksTooFastAlgorithm(t *testing.T) {
+	// Theorem 6.5: victim takes s steps; under the K-grid lockstep it
+	// finishes in s*K << B*K*(s-1); the retiming yields an admissible
+	// sporadic computation with fewer than s sessions.
+	spec := core.Spec{S: 4, N: 3}
+	// c1=1, d1=4, d2=20: u=16, B=floor(16/4)=4, d1+d2=24 divisible by 4,
+	// K = 4*20*1/24 — not integral; pick d1=4, d2=28: sum=32, K=3.5*...
+	// 4*28/32 = 3.5 no. c1=2, d1=4, d2=28: K = 4*28*2/32 = 7 ✓, u=24,
+	// B = floor(24/8) = 3 ✓.
+	m := timing.NewSporadic(2, 4, 28, 0)
+	rep, err := RetimeSporadic(TooFastMP{}, spec, m)
+	if err != nil {
+		t.Fatalf("RetimeSporadic: %v", err)
+	}
+	if rep.K != 7 {
+		t.Errorf("K: got %v, want 7", rep.K)
+	}
+	if rep.B != 3 {
+		t.Errorf("B: got %d, want 3", rep.B)
+	}
+	if !rep.Violation {
+		t.Errorf("no violation: %d sessions in %d chunks", rep.Sessions, rep.Chunks)
+	}
+}
+
+func TestRetimeDoesNotBreakCorrectAlgorithm(t *testing.T) {
+	spec := core.Spec{S: 3, N: 3}
+	m := timing.NewSporadic(2, 4, 28, 0)
+	rep, err := RetimeSporadic(sporadic.NewMP(), spec, m)
+	if err != nil {
+		t.Fatalf("RetimeSporadic: %v", err)
+	}
+	if rep.Violation {
+		t.Errorf("adversary claims violation against A(sp): %d sessions", rep.Sessions)
+	}
+	// A(sp) broadcasts constantly, so retimed delays exist and must stay in
+	// [d2-u, d2] ⊆ [d1, d2].
+	if rep.MinDelay < m.D1 || rep.MaxDelay > m.D2 {
+		t.Errorf("delays [%v,%v] escaped [%v,%v]", rep.MinDelay, rep.MaxDelay, m.D1, m.D2)
+	}
+	if rep.MaxDelay == 0 {
+		t.Error("no delays recorded for a broadcasting algorithm")
+	}
+}
+
+func TestRetimeInapplicableCases(t *testing.T) {
+	spec := core.Spec{S: 3, N: 3}
+	cases := []struct {
+		name string
+		m    timing.Model
+	}{
+		{"d1 zero", timing.NewSporadic(2, 0, 28, 0)},
+		{"sum not div 4", timing.NewSporadic(2, 5, 28, 0)},
+		{"B zero", timing.NewSporadic(8, 12, 20, 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := RetimeSporadic(TooFastMP{}, spec, tc.m); !errors.Is(err, ErrInapplicable) {
+				t.Errorf("want ErrInapplicable, got %v", err)
+			}
+		})
+	}
+	one := core.Spec{S: 3, N: 1}
+	if _, err := RetimeSporadic(TooFastMP{}, one, timing.NewSporadic(2, 4, 28, 0)); !errors.Is(err, ErrInapplicable) {
+		t.Error("n=1 should be inapplicable")
+	}
+}
+
+func TestVictimsSolveUnderLockstep(t *testing.T) {
+	// Sanity: the victims are "algorithms" that do produce s sessions under
+	// friendly lockstep schedules — the adversary, not triviality, breaks
+	// them.
+	specSM := core.Spec{S: 3, N: 4, B: 2}
+	if _, err := core.RunSM(TooFastSM{}, specSM, timing.NewSynchronous(2, 0), timing.Slow, 1); err != nil {
+		t.Errorf("SM victim under lockstep: %v", err)
+	}
+	specMP := core.Spec{S: 3, N: 4}
+	if _, err := core.RunMP(TooFastMP{}, specMP, timing.NewSynchronous(2, 5), timing.Slow, 1); err != nil {
+		t.Errorf("MP victim under lockstep: %v", err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package adversary implements the paper's three lower-bound constructions
+// as executable, machine-checked trace transformations:
+//
+//   - Contamination analysis for the periodic shared-memory lower bound
+//     (Lemma 4.4 / Theorem 4.3): slow one port process down and track how
+//     far the disturbance can spread per subround; a b-bounded system can
+//     contaminate at most P_t = ((2b-1)^t - 1)/2 processes in t subrounds,
+//     so an algorithm that stops before floor(log_{2b-1}(2n-1)) * cmin
+//     leaves some port process unaware that p' never moved.
+//
+//   - Dependency-respecting reorder + retime for the semi-synchronous
+//     shared-memory lower bound (Theorem 5.1): chop a lockstep execution
+//     into chunks of B = min(floor(c2/2c1), floor(log_b n)) rounds, split
+//     each chunk around a port whose last access is independent of the
+//     previous pivot's first access, and retime so the whole chunk fits in
+//     a compressed window while every step gap stays inside [c1, c2].
+//
+//   - Sporadic retiming for the message-passing lower bound (Theorem 6.5):
+//     compress a K-spaced lockstep execution to the 2c1 grid (shrinking all
+//     delays to d2 - u/2) and shift the pivot processes' events by up to
+//     u/4 within each chunk, keeping delays inside [d2-u, d2] ⊆ [d1, d2].
+//
+// Each construction returns a report whose fields are verified by the
+// harness and the tests: the produced computation is admissible, reaches
+// the same per-process/per-variable projections as the original, and — when
+// the victim algorithm finishes faster than the paper's lower bound — has
+// fewer than s sessions.
+package adversary
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+)
+
+// ContaminationBound returns P_t = ((2b-1)^t - 1) / 2, the closed-form
+// solution of the recurrence in Lemma 4.4 (capped to avoid overflow).
+func ContaminationBound(b, t int) int {
+	const cap = 1 << 40
+	pow := 1
+	for i := 0; i < t; i++ {
+		pow *= 2*b - 1
+		if pow > cap {
+			return cap
+		}
+	}
+	return (pow - 1) / 2
+}
+
+// ContaminationRecurrence iterates the paper's recurrence
+// V_t = 2*P_{t-1} + 1, P_t = (b-1)*V_t + P_{t-1} and returns (P_t, V_t).
+func ContaminationRecurrence(b, t int) (p, v int) {
+	const cap = 1 << 40
+	for i := 1; i <= t; i++ {
+		v = 2*p + 1
+		p = (b-1)*v + p
+		if p > cap {
+			return cap, v
+		}
+	}
+	return p, v
+}
+
+// fixedGapScheduler drives the shared-memory executor with a constant gap
+// per process (the lockstep and perturbed-lockstep schedules of the proofs).
+type fixedGapScheduler struct {
+	gaps map[int]sim.Duration
+	def  sim.Duration
+}
+
+func (s *fixedGapScheduler) Gap(proc int) sim.Duration {
+	if g, ok := s.gaps[proc]; ok {
+		return g
+	}
+	return s.def
+}
+
+// ContaminationReport is the outcome of AnalyzeContamination.
+type ContaminationReport struct {
+	// Rounds is the number of subrounds analyzed (termination rounds of the
+	// perturbed run).
+	Rounds int
+	// Slowed is p', the port process whose period was stretched.
+	Slowed int
+	// ContaminatedProcs[t] is |P(t)|, the number of contaminated processes
+	// in subround t (index 0 unused, by the paper's convention P(0) = ∅).
+	ContaminatedProcs []int
+	// NewContaminatedVars[t] is |V(t)|.
+	NewContaminatedVars []int
+	// BoundP[t] is the recurrence bound P_t.
+	BoundP []int
+	// WithinBound reports whether |P(t)| <= P_t held for every subround.
+	WithinBound bool
+	// SessionsPerturbed counts sessions in the perturbed computation.
+	SessionsPerturbed int
+	// SlowedSteps counts p's steps in the perturbed run before the fast
+	// processes finished.
+	SlowedSteps int
+}
+
+// AnalyzeContamination runs alg twice under the periodic model — once in
+// lockstep with every period cmin, once with port process slowed to period
+// slowPeriod — and measures the contamination spread of Lemma 4.4.
+//
+// Both runs keep stepping idle processes so the round/subround structure of
+// the proof is present in the traces.
+func AnalyzeContamination(alg core.SMAlgorithm, spec core.Spec, mdl timing.Model, slowed int, slowPeriod sim.Duration) (*ContaminationReport, error) {
+	if slowed < 0 || slowed >= spec.N {
+		return nil, fmt.Errorf("adversary: slowed process %d out of range", slowed)
+	}
+	cmin := mdl.PeriodMin
+	if slowPeriod < cmin {
+		return nil, fmt.Errorf("adversary: slow period %v below cmin %v", slowPeriod, cmin)
+	}
+
+	run := func(gaps map[int]sim.Duration) (*sm.Result, error) {
+		sys, err := alg.BuildSM(spec, mdl)
+		if err != nil {
+			return nil, err
+		}
+		sched := &fixedGapScheduler{gaps: gaps, def: cmin}
+		return sm.Run(sys, sched, sm.Options{StepIdleProcesses: true})
+	}
+
+	base, err := run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: lockstep run: %w", err)
+	}
+	pert, err := run(map[int]sim.Duration{slowed: slowPeriod})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: perturbed run: %w", err)
+	}
+
+	b := spec.B
+	if b == 0 {
+		b = 2
+	}
+	rep := analyzeSpread(base.Trace, pert.Trace, slowed, b)
+	rep.SessionsPerturbed = pert.Trace.CountSessions()
+	return rep, nil
+}
+
+// snapshots indexes, for each process and each of its step ordinals, the
+// global variable state digest right after that step.
+type snapshots struct {
+	// after[proc][ordinal] maps variable to digest.
+	after map[int][]map[model.VarID]string
+}
+
+func takeSnapshots(tr *model.Trace, skip int) *snapshots {
+	s := &snapshots{after: make(map[int][]map[model.VarID]string)}
+	state := make(map[model.VarID]string)
+	for _, st := range tr.Steps {
+		for _, a := range st.Accesses {
+			state[a.Var] = digest(a.New)
+		}
+		if st.Proc == skip {
+			continue
+		}
+		snap := make(map[model.VarID]string, len(state))
+		for k, v := range state {
+			snap[k] = v
+		}
+		s.after[st.Proc] = append(s.after[st.Proc], snap)
+	}
+	return s
+}
+
+func digest(v model.Value) string { return fmt.Sprintf("%#v", v) }
+
+// analyzeSpread computes the contaminated sets per subround.
+func analyzeSpread(base, pert *model.Trace, slowed, b int) *ContaminationReport {
+	baseSnaps := takeSnapshots(base, slowed)
+	pertSnaps := takeSnapshots(pert, slowed)
+
+	// accessAt[proc][ordinal] is the variable proc accessed at that step in
+	// the perturbed run.
+	accessAt := make(map[int][]model.VarID)
+	slowedSteps := 0
+	for _, st := range pert.Steps {
+		if st.Proc == slowed {
+			slowedSteps++
+			continue
+		}
+		accessAt[st.Proc] = append(accessAt[st.Proc], st.Accesses[0].Var)
+	}
+
+	// Number of complete subrounds: the minimum ordinal count over all
+	// non-slowed processes, also capped by the base run's rounds.
+	rounds := -1
+	for p, snaps := range pertSnaps.after {
+		if rounds == -1 || len(snaps) < rounds {
+			rounds = len(snaps)
+		}
+		if bs := baseSnaps.after[p]; len(bs) < rounds {
+			rounds = len(bs)
+		}
+	}
+	if rounds < 0 {
+		rounds = 0
+	}
+
+	contVars := make(map[model.VarID]bool)
+	contProcs := make(map[int]bool)
+	rep := &ContaminationReport{
+		Slowed:              slowed,
+		Rounds:              rounds,
+		ContaminatedProcs:   make([]int, rounds+1),
+		NewContaminatedVars: make([]int, rounds+1),
+		BoundP:              make([]int, rounds+1),
+		WithinBound:         true,
+		SlowedSteps:         slowedSteps,
+	}
+	for t := 1; t <= rounds; t++ {
+		j := t - 1 // 0-based ordinal
+		newVars := 0
+		for p, snaps := range pertSnaps.after {
+			baseSnap := baseSnaps.after[p]
+			if j >= len(snaps) || j >= len(baseSnap) {
+				continue
+			}
+			for v, dg := range snaps[j] {
+				if contVars[v] {
+					continue
+				}
+				if baseSnap[j][v] != dg {
+					contVars[v] = true
+					newVars++
+				}
+			}
+			// A variable present only in one snapshot also differs.
+			for v := range baseSnap[j] {
+				if contVars[v] {
+					continue
+				}
+				if _, ok := snaps[j][v]; !ok {
+					contVars[v] = true
+					newVars++
+				}
+			}
+		}
+		for p, vars := range accessAt {
+			if contProcs[p] || j >= len(vars) {
+				continue
+			}
+			if contVars[vars[j]] {
+				contProcs[p] = true
+			}
+		}
+		rep.NewContaminatedVars[t] = newVars
+		rep.ContaminatedProcs[t] = len(contProcs)
+		rep.BoundP[t] = ContaminationBound(b, t)
+		if rep.ContaminatedProcs[t] > rep.BoundP[t] {
+			rep.WithinBound = false
+		}
+	}
+	return rep
+}

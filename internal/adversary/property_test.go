@@ -1,0 +1,176 @@
+package adversary
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// TestReorderRandomizedConstants runs the Theorem 5.1 construction across
+// random (c1, c2, s, n) draws. For every applicable draw the construction
+// must hold its machine-checked guarantees (admissible + projection-
+// preserving — enforced inside ReorderSemiSync, which errors otherwise),
+// and whenever the victim's lockstep prefix fits in at most s-1 chunks the
+// result must be a violation.
+func TestReorderRandomizedConstants(t *testing.T) {
+	f := func(c1Raw, spanRaw, sRaw, nRaw uint8) bool {
+		c1 := sim.Duration(c1Raw%4) + 1
+		c2 := 2*c1 + sim.Duration(spanRaw%16) + 1 // ensure c2 > 2c1
+		s := int(sRaw%5) + 2
+		n := int(nRaw%12) + 4
+		spec := core.Spec{S: s, N: n, B: 3}
+		m := timing.NewSemiSynchronous(c1, c2, 0)
+
+		rep, err := ReorderSemiSync(TooFastSM{}, spec, m)
+		if errors.Is(err, ErrInapplicable) {
+			return true
+		}
+		if err != nil {
+			t.Logf("c1=%v c2=%v s=%d n=%d: %v", c1, c2, s, n, err)
+			return false
+		}
+		// Session bound: never more sessions than chunks.
+		if rep.Sessions > rep.Chunks {
+			t.Logf("sessions %d > chunks %d", rep.Sessions, rep.Chunks)
+			return false
+		}
+		// The victim takes s lockstep rounds; with B >= 1 that is at most s
+		// chunks; whenever chunks <= s-1 a violation must be found.
+		if rep.Chunks <= s-1 && !rep.Violation {
+			t.Logf("chunks %d <= s-1 =%d but no violation (sessions %d)",
+				rep.Chunks, s-1, rep.Sessions)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReorderNeverBreaksCorrectAlgorithmRandomized: across random
+// constants, the construction must never turn A(p)'s computations (correct
+// under bounded gaps) into a < s-session computation.
+func TestReorderNeverBreaksCorrectAlgorithmRandomized(t *testing.T) {
+	f := func(c1Raw, spanRaw, sRaw uint8) bool {
+		c1 := sim.Duration(c1Raw%3) + 1
+		c2 := 2*c1 + sim.Duration(spanRaw%10) + 1
+		s := int(sRaw%4) + 2
+		spec := core.Spec{S: s, N: 9, B: 3}
+		m := timing.NewSemiSynchronous(c1, c2, 0)
+		rep, err := ReorderSemiSync(periodic.NewSM(), spec, m)
+		if errors.Is(err, ErrInapplicable) {
+			return true
+		}
+		if err != nil {
+			t.Logf("c1=%v c2=%v s=%d: %v", c1, c2, s, err)
+			return false
+		}
+		if rep.Violation {
+			t.Logf("c1=%v c2=%v s=%d: false violation, %d sessions", c1, c2, s, rep.Sessions)
+		}
+		return !rep.Violation
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRetimeRandomizedConstants runs the Theorem 6.5 construction across
+// random parameterizations satisfying the exactness conditions.
+func TestRetimeRandomizedConstants(t *testing.T) {
+	f := func(c1Raw, d1Raw, sRaw, nRaw uint8) bool {
+		c1 := sim.Duration(c1Raw%4) + 1
+		// Build (d1, d2) with d1 >= 1, d1+d2 divisible by 4, K integral.
+		d1 := sim.Duration(d1Raw%6) + 1
+		// Choose d2 = 7*d1 so d1+d2 = 8*d1 (divisible by 4) and
+		// K = 4*d2*c1/(d1+d2) = 4*7*d1*c1/(8*d1) = 3.5*c1 — not integral
+		// for odd c1; use d2 = 3*d1: sum = 4*d1, K = 3*c1 — integral.
+		d2 := 3 * d1
+		s := int(sRaw%4) + 2
+		n := int(nRaw%4) + 2
+		spec := core.Spec{S: s, N: n}
+		m := timing.NewSporadic(c1, d1, d2, 0)
+
+		rep, err := RetimeSporadic(TooFastMP{}, spec, m)
+		if errors.Is(err, ErrInapplicable) {
+			return true
+		}
+		if err != nil {
+			t.Logf("c1=%v d1=%v d2=%v s=%d n=%d: %v", c1, d1, d2, s, n, err)
+			return false
+		}
+		if rep.K != 3*c1 {
+			t.Logf("K: got %v, want %v", rep.K, 3*c1)
+			return false
+		}
+		if rep.Sessions > rep.Chunks {
+			t.Logf("sessions %d > chunks %d", rep.Sessions, rep.Chunks)
+			return false
+		}
+		if rep.Chunks <= s-1 && !rep.Violation {
+			t.Logf("chunks %d <= s-1=%d without violation", rep.Chunks, s-1)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPivotAlwaysExistsWithinLogBound is the [1]-style lemma behind
+// Theorem 5.1's pivot selection, observed empirically: with chunk size
+// B <= floor(log_b n) rounds, information from tau cannot have reached
+// every port's last access, so splitChunk always finds a pivot.
+func TestPivotAlwaysExistsWithinLogBound(t *testing.T) {
+	f := func(seed uint64, nRaw, bRaw uint8) bool {
+		n := int(nRaw%20) + 4
+		b := int(bRaw%3) + 2
+		spec := core.Spec{S: 3, N: n, B: b}
+		m := timing.NewSemiSynchronous(1, 1<<20, 0) // huge ratio: B = log term
+		rep, err := ReorderSemiSync(TooFastSM{StepsPerPort: 6}, spec, m)
+		if errors.Is(err, ErrInapplicable) {
+			return true // floor(log_b n) < 1 cannot happen for n >= 4, b <= 4
+		}
+		if err != nil {
+			t.Logf("n=%d b=%d: %v", n, b, err)
+			return false
+		}
+		_ = seed
+		return rep.SameProjection
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContaminationRandomized checks Lemma 4.4's bound across random
+// (n, b, slowdown) draws against the real periodic algorithm.
+func TestContaminationRandomized(t *testing.T) {
+	f := func(nRaw, bRaw, slowRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		b := int(bRaw%3) + 2
+		slow := sim.Duration(slowRaw%30) + 2
+		spec := core.Spec{S: 2, N: n, B: b}
+		m := timing.NewPeriodic(1, slow, 0)
+		rep, err := AnalyzeContamination(periodic.NewSM(), spec, m, n-1, slow)
+		if err != nil {
+			t.Logf("n=%d b=%d slow=%v: %v", n, b, slow, err)
+			return false
+		}
+		if !rep.WithinBound {
+			t.Logf("n=%d b=%d slow=%v: bound exceeded %v > %v",
+				n, b, slow, rep.ContaminatedProcs, rep.BoundP)
+		}
+		return rep.WithinBound && rep.SessionsPerturbed >= spec.S
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,301 @@
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+)
+
+// ReorderReport is the outcome of the Theorem 5.1 construction.
+type ReorderReport struct {
+	// B is the chunk size in rounds: min(floor(c2/2c1), floor(log_b n)).
+	B int
+	// Chunks is m, the number of chunks the pre-idle prefix was cut into.
+	Chunks int
+	// OriginalRounds is the lockstep prefix length in rounds.
+	OriginalRounds int
+	// Sessions counts disjoint sessions in the reordered computation.
+	Sessions int
+	// SameProjection reports that the reordered computation preserves every
+	// per-process and per-variable access order (Claim 5.2: same global
+	// state).
+	SameProjection bool
+	// Reordered is the constructed admissible timed computation.
+	Reordered *model.Trace
+	// Violation is set when the construction produced an admissible
+	// computation with fewer than s sessions — i.e. the victim algorithm
+	// contradicts Theorem 5.1's bound.
+	Violation bool
+}
+
+// ErrInapplicable is returned when the model parameters make the bound
+// trivial (B < 1) or the construction cannot proceed.
+var ErrInapplicable = errors.New("adversary: construction inapplicable for these parameters")
+
+// ReorderSemiSync executes the Theorem 5.1 adversary against alg: run it in
+// lockstep at c2, cut into B-round chunks, split each chunk around a pivot
+// port via the dependency order, reorder, retime into compressed windows,
+// and machine-check admissibility, state preservation and the session
+// count.
+func ReorderSemiSync(alg core.SMAlgorithm, spec core.Spec, mdl timing.Model) (*ReorderReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c1, c2 := mdl.C1, mdl.C2
+	if c1 <= 0 || c2 < c1 || c2.IsInfinite() {
+		return nil, fmt.Errorf("adversary: need semi-synchronous constants, got [%v,%v]", c1, c2)
+	}
+	b := spec.B
+	if b == 0 {
+		b = 2
+	}
+	bRounds := int(c2 / (2 * c1))
+	if lg := bounds.FloorLog(b, spec.N); lg < bRounds {
+		bRounds = lg
+	}
+	if bRounds < 1 {
+		return nil, fmt.Errorf("%w: B = min(floor(c2/2c1), floor(log_b n)) < 1", ErrInapplicable)
+	}
+
+	// Lockstep run at gap c2 (idle processes keep stepping so every round
+	// is complete).
+	sys, err := alg.BuildSM(spec, mdl)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sm.Run(sys, &fixedGapScheduler{def: c2}, sm.Options{StepIdleProcesses: true})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: lockstep run: %w", err)
+	}
+	steps := res.Trace.Steps
+	numProcs := res.Trace.NumProcs
+
+	// Group into rounds: with gap c2 for everyone, round i is all steps at
+	// time i*c2.
+	rounds := int(int64(res.Trace.FinishTime()) / int64(c2))
+	if rounds*numProcs != len(steps) {
+		return nil, fmt.Errorf("adversary: lockstep trace not round-shaped: %d steps, %d rounds x %d procs",
+			len(steps), rounds, numProcs)
+	}
+
+	m := (rounds + bRounds - 1) / bRounds
+	rep := &ReorderReport{B: bRounds, Chunks: m, OriginalRounds: rounds}
+
+	// Port variable of each port index (for pivot selection).
+	portVar := make(map[int]model.VarID, spec.N)
+	for _, st := range steps {
+		if st.IsPortStep() {
+			portVar[st.Port] = st.Accesses[0].Var
+		}
+	}
+
+	var reordered []model.Step
+	var times []sim.Time
+	window := windowLength(c1, c2, bRounds)
+
+	prevPivot := 0 // y_0: an arbitrary port
+	for k := 1; k <= m; k++ {
+		lo := (k - 1) * bRounds * numProcs
+		hi := k * bRounds * numProcs
+		if hi > len(steps) {
+			hi = len(steps)
+		}
+		chunk := steps[lo:hi]
+		chunkRounds := (hi - lo) / numProcs
+
+		pivot, phi, psi, err := splitChunk(chunk, spec.N, prevPivot)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: chunk %d: %w", k, err)
+		}
+
+		// Window geometry: chunk k occupies ((k-1)*window, k*window]; a
+		// short final chunk keeps the same right edge spacing.
+		wStart := sim.Time(int64(k-1) * int64(window))
+		wEnd := wStart.Add(window - sim.Duration(int64(bRounds-chunkRounds)*int64(c1)))
+
+		ordered, ts := retimeChunk(phi, psi, numProcs, c1, wStart, wEnd)
+		reordered = append(reordered, ordered...)
+		times = append(times, ts...)
+		prevPivot = pivot
+	}
+
+	// Assemble the reordered timed trace.
+	out := &model.Trace{NumProcs: numProcs, NumPorts: spec.N}
+	for i, st := range reordered {
+		st.Index = i
+		st.Time = times[i]
+		out.Steps = append(out.Steps, st)
+	}
+	rep.Reordered = out
+	rep.SameProjection = model.SameProjection(steps, reordered)
+	if !rep.SameProjection {
+		return rep, errors.New("adversary: reorder broke a per-process or per-variable order")
+	}
+	if err := mdl.CheckAdmissible(out, nil); err != nil {
+		return rep, fmt.Errorf("adversary: reordered computation inadmissible: %w", err)
+	}
+	rep.Sessions = out.CountSessions()
+	rep.Violation = rep.Sessions < spec.S
+	return rep, nil
+}
+
+// windowLength returns the chunk window L = floor((c2 + (2B-1)*c1) / 2),
+// chosen so that every cross-boundary step gap lands in [c1, c2] (see the
+// gap analysis in the package tests).
+func windowLength(c1, c2 sim.Duration, bRounds int) sim.Duration {
+	return (c2 + sim.Duration(2*bRounds-1)*c1) / 2
+}
+
+// splitChunk picks the pivot port y_k and partitions the chunk into
+// phi = steps not dependent on tau (the first port step on the previous
+// pivot) and psi = the rest. The partition is downward closed under the
+// dependency order, so phi-then-psi is a valid reordering; phi contains no
+// port step of the previous pivot and psi none of the new pivot.
+func splitChunk(chunk []model.Step, nPorts, prevPivot int) (pivot int, phi, psi []model.Step, err error) {
+	// tau: first port step of prevPivot in the chunk.
+	tau := -1
+	for i, st := range chunk {
+		if st.Port == prevPivot {
+			tau = i
+			break
+		}
+	}
+	if tau == -1 {
+		// The previous pivot has no port step here: the whole chunk can be
+		// psi with itself as pivot... any port without steps works as y_k;
+		// prefer one absent from the chunk entirely.
+		if absent := absentPort(chunk, nPorts); absent != -1 {
+			return absent, nil, chunk, nil
+		}
+		// prevPivot absent but all others present: pick any other port and
+		// fall through with tau treated as "nothing depends on it", i.e.
+		// phi = whole chunk works only if that port's last step is kept in
+		// phi; simplest correct choice: pivot = prevPivot, phi empty.
+		return prevPivot, nil, chunk, nil
+	}
+
+	dependent := markDependents(chunk, tau)
+
+	// Pick y_k: a port (not prevPivot) whose last port step is NOT
+	// dependent on tau.
+	pivot = -1
+	for y := 0; y < nPorts; y++ {
+		if y == prevPivot {
+			continue
+		}
+		last := -1
+		for i, st := range chunk {
+			if st.Port == y {
+				last = i
+			}
+		}
+		if last == -1 {
+			// Port never stepped in this chunk: ideal pivot, phi empty.
+			return y, nil, chunk, nil
+		}
+		if !dependent[last] {
+			pivot = y
+			break
+		}
+	}
+	if pivot == -1 {
+		return 0, nil, nil, fmt.Errorf("%w: no pivot port found (information spread too fast)", ErrInapplicable)
+	}
+	for i, st := range chunk {
+		if dependent[i] {
+			psi = append(psi, st)
+		} else {
+			phi = append(phi, st)
+		}
+	}
+	return pivot, phi, psi, nil
+}
+
+// absentPort returns a port with no port step in the chunk, or -1.
+func absentPort(chunk []model.Step, nPorts int) int {
+	seen := make([]bool, nPorts)
+	for _, st := range chunk {
+		if st.IsPortStep() {
+			seen[st.Port] = true
+		}
+	}
+	for y := 0; y < nPorts; y++ {
+		if !seen[y] {
+			return y
+		}
+	}
+	return -1
+}
+
+// markDependents flags every step reachable from chunk[tau] in the
+// dependency order (same process or same variable, transitively).
+func markDependents(chunk []model.Step, tau int) []bool {
+	dep := make([]bool, len(chunk))
+	dep[tau] = true
+	// Forward scan suffices: dependency only points forward in the
+	// sequence, and transitive reachability through earlier steps is
+	// impossible.
+	for i := tau + 1; i < len(chunk); i++ {
+		for j := tau; j < i; j++ {
+			if dep[j] && model.DependsDirect(chunk[j], chunk[i]) {
+				dep[i] = true
+				break
+			}
+		}
+	}
+	return dep
+}
+
+// retimeChunk assigns times: process p's r-th chunk step goes to
+// wStart + r*c1 if it is in phi, or wEnd - (B_k - r)*c1 if in psi, then
+// returns the steps sorted stably by time. Per-process chunk steps are a
+// phi-prefix followed by a psi-suffix (the partition is downward closed),
+// so each process's times are strictly increasing.
+func retimeChunk(phi, psi []model.Step, numProcs int, c1 sim.Duration, wStart, wEnd sim.Time) ([]model.Step, []sim.Time) {
+	type timed struct {
+		st  model.Step
+		at  sim.Time
+		seq int
+	}
+	var all []timed
+	rIdx := make([]int, numProcs)
+	seq := 0
+	for _, st := range phi {
+		rIdx[st.Proc]++
+		all = append(all, timed{st: st, at: wStart.Add(sim.Duration(rIdx[st.Proc]) * c1), seq: seq})
+		seq++
+	}
+	// psi: anchor each process's remaining steps so its last lands on wEnd.
+	// First count psi steps per process.
+	psiCount := make([]int, numProcs)
+	for _, st := range psi {
+		psiCount[st.Proc]++
+	}
+	psiSeen := make([]int, numProcs)
+	for _, st := range psi {
+		psiSeen[st.Proc]++
+		back := psiCount[st.Proc] - psiSeen[st.Proc]
+		all = append(all, timed{st: st, at: wEnd.Add(-sim.Duration(back) * c1), seq: seq})
+		seq++
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return all[i].seq < all[j].seq
+	})
+	steps := make([]model.Step, len(all))
+	times := make([]sim.Time, len(all))
+	for i, t := range all {
+		steps[i] = t.st
+		times[i] = t.at
+	}
+	return steps, times
+}

@@ -1,0 +1,111 @@
+package adversary
+
+import (
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+)
+
+// TooFastSM is a deliberately broken shared-memory "algorithm" used as the
+// adversary's victim: every port process takes StepsPerPort steps on its own
+// port and idles, with no regard for the timing model. Under lockstep it
+// produces StepsPerPort sessions, but it terminates far faster than the
+// lower bounds allow, so the adversary constructions can reorder or retime
+// its computations down to fewer than s sessions.
+type TooFastSM struct {
+	StepsPerPort int
+}
+
+var _ core.SMAlgorithm = TooFastSM{}
+
+// Name implements core.SMAlgorithm.
+func (v TooFastSM) Name() string { return "too-fast victim (SM)" }
+
+// BuildSM implements core.SMAlgorithm.
+func (v TooFastSM) BuildSM(spec core.Spec, _ timing.Model) (*sm.System, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	b := spec.B
+	if b == 0 {
+		b = 2
+	}
+	sys := &sm.System{B: b}
+	for i := 0; i < spec.N; i++ {
+		pv := model.VarID(i)
+		sys.Procs = append(sys.Procs, &victimStepper{v: pv, left: max(1, vSteps(v.StepsPerPort, spec.S))})
+		sys.Ports = append(sys.Ports, sm.PortBinding{Var: pv, Proc: i})
+	}
+	return sys, nil
+}
+
+// vSteps defaults the victim's step count to s (just enough sessions under
+// lockstep, far too few under adversarial schedules).
+func vSteps(configured, s int) int {
+	if configured > 0 {
+		return configured
+	}
+	return s
+}
+
+type victimStepper struct {
+	v    model.VarID
+	left int
+}
+
+func (st *victimStepper) Target() model.VarID { return st.v }
+
+func (st *victimStepper) Step(old sm.Value) sm.Value {
+	if st.left == 0 {
+		return old
+	}
+	st.left--
+	n, _ := old.(int)
+	return n + 1
+}
+
+func (st *victimStepper) Idle() bool { return st.left == 0 }
+
+// TooFastMP is the message-passing victim: silent processes taking
+// StepsPerPort steps each.
+type TooFastMP struct {
+	StepsPerPort int
+}
+
+var _ core.MPAlgorithm = TooFastMP{}
+
+// Name implements core.MPAlgorithm.
+func (v TooFastMP) Name() string { return "too-fast victim (MP)" }
+
+// BuildMP implements core.MPAlgorithm.
+func (v TooFastMP) BuildMP(spec core.Spec, _ timing.Model) (*mp.System, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sys := &mp.System{}
+	for i := 0; i < spec.N; i++ {
+		sys.Procs = append(sys.Procs, &victimSilent{left: max(1, vSteps(v.StepsPerPort, spec.S))})
+		sys.PortProcs = append(sys.PortProcs, i)
+	}
+	return sys, nil
+}
+
+type victimSilent struct{ left int }
+
+func (s *victimSilent) Step([]mp.Message) any {
+	if s.left > 0 {
+		s.left--
+	}
+	return nil
+}
+
+func (s *victimSilent) Idle() bool { return s.left == 0 }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

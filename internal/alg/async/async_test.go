@@ -1,0 +1,207 @@
+package async
+
+import (
+	"testing"
+
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/timing"
+)
+
+func TestSMCorrectAcrossSchedules(t *testing.T) {
+	m := timing.NewAsynchronousSM(5)
+	for _, spec := range []core.Spec{
+		{S: 1, N: 1, B: 2},
+		{S: 2, N: 2, B: 2},
+		{S: 4, N: 6, B: 3},
+		{S: 6, N: 9, B: 4},
+	} {
+		for _, st := range timing.AllStrategies() {
+			for seed := uint64(1); seed <= 4; seed++ {
+				rep, err := core.RunSM(NewSM(), spec, m, st, seed)
+				if err != nil {
+					t.Fatalf("spec %+v %v seed %d: %v", spec, st, seed, err)
+				}
+				if rep.Sessions < spec.S {
+					t.Errorf("spec %+v %v seed %d: %d sessions", spec, st, seed, rep.Sessions)
+				}
+			}
+		}
+	}
+}
+
+func TestSMRoundBound(t *testing.T) {
+	// [2]: (s-1)*O(log_b n) rounds, concrete constant via bounds.AsyncSMU.
+	m := timing.NewAsynchronousSM(3)
+	for _, spec := range []core.Spec{
+		{S: 3, N: 4, B: 3},
+		{S: 5, N: 8, B: 2},
+		{S: 2, N: 16, B: 4},
+	} {
+		p := bounds.Params{S: spec.S, N: spec.N, B: spec.B}
+		u := bounds.AsyncSMU(p)
+		for _, st := range timing.AllStrategies() {
+			rep, err := core.RunSM(NewSM(), spec, m, st, 7)
+			if err != nil {
+				t.Fatalf("spec %+v %v: %v", spec, st, err)
+			}
+			if float64(rep.Rounds) > u {
+				t.Errorf("spec %+v %v: %d rounds exceeds bound %v", spec, st, rep.Rounds, u)
+			}
+		}
+	}
+}
+
+func TestSMRoundLowerBound(t *testing.T) {
+	// Any correct asynchronous algorithm needs at least
+	// (s-1)*floor(log_b n) rounds on some schedule; the round-robin (Slow,
+	// uniform-gap) schedule should already exhibit at least that many.
+	spec := core.Spec{S: 5, N: 9, B: 3}
+	m := timing.NewAsynchronousSM(1)
+	rep, err := core.RunSM(NewSM(), spec, m, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("RunSM: %v", err)
+	}
+	p := bounds.Params{S: spec.S, N: spec.N, B: spec.B}
+	if float64(rep.Rounds) < bounds.AsyncSML(p) {
+		t.Errorf("rounds %d below the [2] lower bound %v — counting is suspect",
+			rep.Rounds, bounds.AsyncSML(p))
+	}
+}
+
+func TestConfirmerProgressSequence(t *testing.T) {
+	c := NewConfirmer(0, 1, 3, 0)
+	// n=1: every confirmation is immediate (self-knowledge).
+	steps := 0
+	for !c.Idle() {
+		c.Step(nil)
+		steps++
+		if steps > 10 {
+			t.Fatal("confirmer did not converge")
+		}
+	}
+	if c.Progress() != 3 {
+		t.Errorf("final progress: got %d, want 3", c.Progress())
+	}
+	if steps != 3 {
+		t.Errorf("steps: got %d, want 3 (one per session)", steps)
+	}
+}
+
+func TestMPCorrectAcrossSchedules(t *testing.T) {
+	m := timing.NewAsynchronousMP(4, 11)
+	for _, spec := range []core.Spec{
+		{S: 1, N: 1}, {S: 2, N: 3}, {S: 5, N: 5}, {S: 8, N: 2},
+	} {
+		for _, st := range timing.AllStrategies() {
+			for seed := uint64(1); seed <= 4; seed++ {
+				rep, err := core.RunMP(NewMP(), spec, m, st, seed)
+				if err != nil {
+					t.Fatalf("spec %+v %v seed %d: %v", spec, st, seed, err)
+				}
+				if rep.Sessions < spec.S {
+					t.Errorf("spec %+v %v seed %d: %d sessions", spec, st, seed, rep.Sessions)
+				}
+			}
+		}
+	}
+}
+
+func TestMPTimeBound(t *testing.T) {
+	// [4]: (s-1)*(d2+c2) + c2.
+	m := timing.NewAsynchronousMP(3, 12)
+	spec := core.Spec{S: 6, N: 4}
+	p := bounds.Params{S: spec.S, N: spec.N, C2: 3, D2: 12}
+	u := bounds.AsyncMPU(p)
+	for _, st := range timing.AllStrategies() {
+		for seed := uint64(1); seed <= 6; seed++ {
+			rep, err := core.RunMP(NewMP(), spec, m, st, seed)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", st, seed, err)
+			}
+			if float64(rep.Finish) > u {
+				t.Errorf("%v seed %d: Finish %v exceeds (s-1)(d2+c2)+c2 = %v",
+					st, seed, rep.Finish, u)
+			}
+		}
+	}
+}
+
+func TestMPLowerBoundRealized(t *testing.T) {
+	// The Slow strategy (max delays) must realize at least (s-1)*d2.
+	m := timing.NewAsynchronousMP(3, 12)
+	spec := core.Spec{S: 6, N: 4}
+	p := bounds.Params{S: spec.S, N: spec.N, C2: 3, D2: 12}
+	rep, err := core.RunMP(NewMP(), spec, m, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("RunMP: %v", err)
+	}
+	if float64(rep.Finish) < bounds.AsyncMPL(p) {
+		t.Errorf("Finish %v below (s-1)*d2 = %v", rep.Finish, bounds.AsyncMPL(p))
+	}
+}
+
+func TestMPPortUnit(t *testing.T) {
+	p := NewMPPort(0, 2, 4)
+	if p.Session() != 0 {
+		t.Error("initial session must be 0")
+	}
+	// No messages yet: no advance; broadcasts its current session.
+	out := p.Step(nil)
+	if msg, ok := out.(SessionMsg); !ok || msg.V != 0 || msg.I != 0 {
+		t.Errorf("first broadcast: got %#v, want m(0,0)", out)
+	}
+	// Hearing m(0,0) and m(1,0) advances to session 1.
+	p.Step([]mp.Message{
+		{From: 0, Body: SessionMsg{I: 0, V: 0}},
+		{From: 1, Body: SessionMsg{I: 1, V: 0}},
+	})
+	if p.Session() != 1 {
+		t.Errorf("session after full round: got %d, want 1", p.Session())
+	}
+	// A higher value from one sender satisfies lower thresholds too.
+	p.Step([]mp.Message{
+		{From: 0, Body: SessionMsg{I: 0, V: 5}},
+		{From: 1, Body: SessionMsg{I: 1, V: 5}},
+	})
+	if p.Session() != 2 {
+		t.Errorf("session: got %d, want 2", p.Session())
+	}
+	// One more full round reaches s-1 = 3 and idles.
+	p.Step([]mp.Message{
+		{From: 0, Body: SessionMsg{I: 0, V: 5}},
+	})
+	if p.Session() != 3 || !p.Idle() {
+		t.Errorf("final: session %d idle %v, want 3/true", p.Session(), p.Idle())
+	}
+	// Idle process neither advances nor broadcasts.
+	if out := p.Step(nil); out != nil {
+		t.Error("idle process broadcast")
+	}
+}
+
+func TestWorksUnderStrongerModels(t *testing.T) {
+	// Asynchronous algorithms remain correct under every stronger model.
+	spec := core.Spec{S: 3, N: 3, B: 2}
+	if _, err := core.RunSM(NewSM(), spec, timing.NewSemiSynchronous(1, 4, 0), timing.Random, 9); err != nil {
+		t.Errorf("SM under semi-sync: %v", err)
+	}
+	if _, err := core.RunSM(NewSM(), spec, timing.NewPeriodic(2, 7, 0), timing.Skewed, 9); err != nil {
+		t.Errorf("SM under periodic: %v", err)
+	}
+	if _, err := core.RunMP(NewMP(), core.Spec{S: 3, N: 3}, timing.NewSporadic(2, 1, 9, 0), timing.Random, 9); err != nil {
+		t.Errorf("MP under sporadic: %v", err)
+	}
+	if _, err := core.RunMP(NewMP(), core.Spec{S: 3, N: 3}, timing.NewSynchronous(2, 5), timing.Slow, 9); err != nil {
+		t.Errorf("MP under synchronous: %v", err)
+	}
+}
+
+func TestIdleStability(t *testing.T) {
+	spec := core.Spec{S: 3, N: 4, B: 3}
+	m := timing.NewAsynchronousSM(4)
+	if err := core.ProbeIdleStability(NewSM(), spec, m, timing.Random, 3); err != nil {
+		t.Errorf("idle stability: %v", err)
+	}
+}

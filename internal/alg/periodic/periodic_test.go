@@ -1,0 +1,186 @@
+package periodic
+
+import (
+	"testing"
+
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+func TestSMCorrectAcrossSchedules(t *testing.T) {
+	specs := []core.Spec{
+		{S: 1, N: 1, B: 2},
+		{S: 2, N: 3, B: 2},
+		{S: 5, N: 4, B: 3},
+		{S: 8, N: 9, B: 4},
+	}
+	m := timing.NewPeriodic(2, 9, 0)
+	for _, spec := range specs {
+		for _, st := range timing.AllStrategies() {
+			for seed := uint64(1); seed <= 5; seed++ {
+				rep, err := core.RunSM(NewSM(), spec, m, st, seed)
+				if err != nil {
+					t.Fatalf("spec %+v %v seed %d: %v", spec, st, seed, err)
+				}
+				if rep.Sessions < spec.S {
+					t.Errorf("spec %+v %v seed %d: %d sessions", spec, st, seed, rep.Sessions)
+				}
+			}
+		}
+	}
+}
+
+func TestSMUpperBound(t *testing.T) {
+	for _, spec := range []core.Spec{
+		{S: 3, N: 4, B: 3},
+		{S: 6, N: 8, B: 2},
+		{S: 4, N: 16, B: 5},
+	} {
+		m := timing.NewPeriodic(1, 7, 0)
+		p := bounds.Params{
+			S: spec.S, N: spec.N, B: spec.B,
+			Cmin: m.PeriodMin, Cmax: m.PeriodMax,
+		}
+		u := bounds.PeriodicSMU(p)
+		for _, st := range timing.AllStrategies() {
+			rep, err := core.RunSM(NewSM(), spec, m, st, 3)
+			if err != nil {
+				t.Fatalf("spec %+v %v: %v", spec, st, err)
+			}
+			if float64(rep.Finish) > u {
+				t.Errorf("spec %+v %v: Finish %v exceeds Theorem 4.1 bound %v",
+					spec, st, rep.Finish, u)
+			}
+		}
+	}
+}
+
+func TestSMLowerBoundRealized(t *testing.T) {
+	// The Slow strategy (every period = cmax, so s*cmax is forced) must
+	// push the running time to at least the Theorem 4.3 lower bound.
+	spec := core.Spec{S: 5, N: 8, B: 3}
+	m := timing.NewPeriodic(2, 10, 0)
+	p := bounds.Params{S: spec.S, N: spec.N, B: spec.B, Cmin: m.PeriodMin, Cmax: m.PeriodMax}
+	rep, err := core.RunSM(NewSM(), spec, m, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("RunSM: %v", err)
+	}
+	if float64(rep.Finish) < bounds.PeriodicSML(p) {
+		t.Errorf("Finish %v below lower bound %v", rep.Finish, bounds.PeriodicSML(p))
+	}
+}
+
+func TestMPCorrectAcrossSchedules(t *testing.T) {
+	m := timing.NewPeriodic(2, 9, 15)
+	for _, spec := range []core.Spec{
+		{S: 1, N: 1}, {S: 2, N: 2}, {S: 5, N: 6}, {S: 9, N: 3},
+	} {
+		for _, st := range timing.AllStrategies() {
+			for seed := uint64(1); seed <= 5; seed++ {
+				rep, err := core.RunMP(NewMP(), spec, m, st, seed)
+				if err != nil {
+					t.Fatalf("spec %+v %v seed %d: %v", spec, st, seed, err)
+				}
+				if rep.Sessions < spec.S {
+					t.Errorf("spec %+v %v seed %d: %d sessions", spec, st, seed, rep.Sessions)
+				}
+			}
+		}
+	}
+}
+
+func TestMPUpperBound(t *testing.T) {
+	// Theorem 4.1: s*cmax + d2.
+	m := timing.NewPeriodic(1, 6, 20)
+	spec := core.Spec{S: 7, N: 5}
+	p := bounds.Params{S: spec.S, N: spec.N, Cmin: 1, Cmax: 6, D2: 20}
+	u := bounds.PeriodicMPU(p)
+	for _, st := range timing.AllStrategies() {
+		for seed := uint64(1); seed <= 10; seed++ {
+			rep, err := core.RunMP(NewMP(), spec, m, st, seed)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", st, seed, err)
+			}
+			if float64(rep.Finish) > u {
+				t.Errorf("%v seed %d: Finish %v exceeds s*cmax+d2 = %v", st, seed, rep.Finish, u)
+			}
+		}
+	}
+}
+
+func TestMPLowerBoundRealized(t *testing.T) {
+	m := timing.NewPeriodic(2, 10, 25)
+	spec := core.Spec{S: 4, N: 4}
+	p := bounds.Params{S: spec.S, N: spec.N, Cmin: 2, Cmax: 10, D2: 25}
+	rep, err := core.RunMP(NewMP(), spec, m, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("RunMP: %v", err)
+	}
+	if float64(rep.Finish) < bounds.PeriodicMPL(p) {
+		t.Errorf("Finish %v below Theorem 4.2 bound %v", rep.Finish, bounds.PeriodicMPL(p))
+	}
+}
+
+func TestWorksUnderSynchronous(t *testing.T) {
+	// The synchronous model is the periodic model with cmin = cmax, so A(p)
+	// must also solve the problem there.
+	spec := core.Spec{S: 4, N: 3, B: 2}
+	mSM := timing.NewSynchronous(3, 0)
+	if _, err := core.RunSM(NewSM(), spec, mSM, timing.Slow, 1); err != nil {
+		t.Errorf("SM under synchronous: %v", err)
+	}
+	mMP := timing.NewSynchronous(3, 8)
+	if _, err := core.RunMP(NewMP(), core.Spec{S: 4, N: 3}, mMP, timing.Slow, 1); err != nil {
+		t.Errorf("MP under synchronous: %v", err)
+	}
+}
+
+func TestWorksUnderSemiSynchronous(t *testing.T) {
+	// A(p)'s session argument only needs gaps bounded by cmax, so it stays
+	// correct under the semi-synchronous constraint as well.
+	spec := core.Spec{S: 3, N: 4, B: 3}
+	m := timing.NewSemiSynchronous(2, 9, 12)
+	for seed := uint64(1); seed <= 5; seed++ {
+		if _, err := core.RunSM(NewSM(), spec, m, timing.Random, seed); err != nil {
+			t.Errorf("SM seed %d: %v", seed, err)
+		}
+		if _, err := core.RunMP(NewMP(), core.Spec{S: 3, N: 4}, m, timing.Random, seed); err != nil {
+			t.Errorf("MP seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestIdleStability(t *testing.T) {
+	spec := core.Spec{S: 3, N: 4, B: 2}
+	m := timing.NewPeriodic(2, 6, 0)
+	if err := core.ProbeIdleStability(NewSM(), spec, m, timing.Skewed, 2); err != nil {
+		t.Errorf("idle stability: %v", err)
+	}
+}
+
+func TestMPMessageCount(t *testing.T) {
+	// A(p) broadcasts exactly once per process.
+	m := timing.NewPeriodic(2, 5, 9)
+	rep, err := core.RunMP(NewMP(), core.Spec{S: 4, N: 6}, m, timing.Random, 8)
+	if err != nil {
+		t.Fatalf("RunMP: %v", err)
+	}
+	if rep.Messages != 6 {
+		t.Errorf("messages: got %d, want 6 (one per process)", rep.Messages)
+	}
+}
+
+func TestSMFinishScalesWithSlowestProcess(t *testing.T) {
+	// Skewed: process 0 has period cmax; everyone still waits for it.
+	m := timing.NewPeriodic(1, 50, 0)
+	spec := core.Spec{S: 4, N: 3, B: 2}
+	rep, err := core.RunSM(NewSM(), spec, m, timing.Skewed, 1)
+	if err != nil {
+		t.Fatalf("RunSM: %v", err)
+	}
+	if rep.Finish < sim.Time(4*50) {
+		t.Errorf("Finish %v < s*cmax = 200; everyone must wait for the slow process", rep.Finish)
+	}
+}

@@ -1,0 +1,76 @@
+// Package registry maps timing models to the session algorithms designed
+// for them, so callers can ask "give me the right algorithm for this model"
+// instead of wiring the dispatch by hand. This is the paper's Table 1 read
+// as a lookup table: each timing model has a designated algorithm whose
+// running time realizes the table's upper-bound row.
+package registry
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/semisync"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/alg/synchronous"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/timing"
+)
+
+// ForSM returns the shared-memory algorithm for the model. The sporadic
+// shared-memory model has no dedicated algorithm (the paper equates it with
+// the asynchronous model), so it returns the asynchronous one.
+func ForSM(kind timing.Kind) (core.SMAlgorithm, error) {
+	switch kind {
+	case timing.Synchronous:
+		return synchronous.NewSM(), nil
+	case timing.Periodic:
+		return periodic.NewSM(), nil
+	case timing.SemiSynchronous:
+		return semisync.NewSM(semisync.Auto), nil
+	case timing.Sporadic, timing.AsynchronousSM, timing.AsynchronousMP:
+		return async.NewSM(), nil
+	default:
+		return nil, fmt.Errorf("registry: no shared-memory algorithm for %v", kind)
+	}
+}
+
+// ForMP returns the message-passing algorithm for the model.
+func ForMP(kind timing.Kind) (core.MPAlgorithm, error) {
+	switch kind {
+	case timing.Synchronous:
+		return synchronous.NewMP(), nil
+	case timing.Periodic:
+		return periodic.NewMP(), nil
+	case timing.SemiSynchronous:
+		return semisync.NewMP(semisync.Auto), nil
+	case timing.Sporadic:
+		return sporadic.NewMP(), nil
+	case timing.AsynchronousSM, timing.AsynchronousMP:
+		return async.NewMP(), nil
+	default:
+		return nil, fmt.Errorf("registry: no message-passing algorithm for %v", kind)
+	}
+}
+
+// Solve runs the designated algorithm for the given model: shared memory
+// when the model was built for SM (d2 == 0 heuristics are avoided — the
+// caller chooses via comm), message passing otherwise.
+func Solve(spec core.Spec, m timing.Model, comm string, st timing.Strategy, seed uint64) (*core.Report, error) {
+	switch comm {
+	case "sm":
+		alg, err := ForSM(m.Kind)
+		if err != nil {
+			return nil, err
+		}
+		return core.RunSM(alg, spec, m, st, seed)
+	case "mp":
+		alg, err := ForMP(m.Kind)
+		if err != nil {
+			return nil, err
+		}
+		return core.RunMP(alg, spec, m, st, seed)
+	default:
+		return nil, fmt.Errorf("registry: unknown communication model %q (want sm or mp)", comm)
+	}
+}

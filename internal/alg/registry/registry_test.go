@@ -1,0 +1,75 @@
+package registry
+
+import (
+	"testing"
+
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/timing"
+)
+
+func TestForSMCoversEveryKind(t *testing.T) {
+	kinds := []timing.Kind{
+		timing.Synchronous, timing.Periodic, timing.SemiSynchronous,
+		timing.Sporadic, timing.AsynchronousSM, timing.AsynchronousMP,
+	}
+	for _, k := range kinds {
+		if _, err := ForSM(k); err != nil {
+			t.Errorf("ForSM(%v): %v", k, err)
+		}
+		if _, err := ForMP(k); err != nil {
+			t.Errorf("ForMP(%v): %v", k, err)
+		}
+	}
+	if _, err := ForSM(timing.Kind(99)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ForMP(timing.Kind(99)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	spec := core.Spec{S: 3, N: 3, B: 2}
+	cases := []struct {
+		comm string
+		m    timing.Model
+	}{
+		{"sm", timing.NewSynchronous(3, 0)},
+		{"sm", timing.NewPeriodic(2, 8, 0)},
+		{"sm", timing.NewSemiSynchronous(2, 8, 0)},
+		{"sm", timing.NewAsynchronousSM(4)},
+		{"mp", timing.NewSynchronous(3, 9)},
+		{"mp", timing.NewPeriodic(2, 8, 20)},
+		{"mp", timing.NewSemiSynchronous(2, 8, 20)},
+		{"mp", timing.NewSporadic(2, 4, 28, 0)},
+		{"mp", timing.NewAsynchronousMP(4, 20)},
+	}
+	for _, tc := range cases {
+		rep, err := Solve(spec, tc.m, tc.comm, timing.Random, 7)
+		if err != nil {
+			t.Errorf("Solve(%v, %s): %v", tc.m.Kind, tc.comm, err)
+			continue
+		}
+		if rep.Sessions < spec.S {
+			t.Errorf("Solve(%v, %s): %d sessions", tc.m.Kind, tc.comm, rep.Sessions)
+		}
+	}
+}
+
+func TestSolveRejectsUnknownComm(t *testing.T) {
+	if _, err := Solve(core.Spec{S: 1, N: 1}, timing.NewSynchronous(1, 1), "carrier-pigeon",
+		timing.Slow, 1); err == nil {
+		t.Error("unknown comm accepted")
+	}
+}
+
+// TestSporadicSMFallsBackToAsync documents the paper's "See Async. SM" cell.
+func TestSporadicSMFallsBackToAsync(t *testing.T) {
+	alg, err := ForSM(timing.Sporadic)
+	if err != nil {
+		t.Fatalf("ForSM: %v", err)
+	}
+	if alg.Name() != "asynchronous" {
+		t.Errorf("sporadic SM algorithm: got %q, want the asynchronous one", alg.Name())
+	}
+}

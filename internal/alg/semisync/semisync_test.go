@@ -1,0 +1,182 @@
+package semisync
+
+import (
+	"testing"
+
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/timing"
+)
+
+func TestSMCorrectAllModes(t *testing.T) {
+	m := timing.NewSemiSynchronous(2, 7, 0)
+	for _, mode := range []Mode{Auto, ForceStepCount, ForceCommunicate} {
+		for _, spec := range []core.Spec{
+			{S: 1, N: 1, B: 2},
+			{S: 2, N: 3, B: 2},
+			{S: 5, N: 6, B: 3},
+		} {
+			for _, st := range timing.AllStrategies() {
+				for seed := uint64(1); seed <= 4; seed++ {
+					rep, err := core.RunSM(NewSM(mode), spec, m, st, seed)
+					if err != nil {
+						t.Fatalf("mode %v spec %+v %v seed %d: %v", mode, spec, st, seed, err)
+					}
+					if rep.Sessions < spec.S {
+						t.Errorf("mode %v spec %+v: %d sessions", mode, spec, rep.Sessions)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMPCorrectAllModes(t *testing.T) {
+	m := timing.NewSemiSynchronous(2, 7, 15)
+	for _, mode := range []Mode{Auto, ForceStepCount, ForceCommunicate} {
+		for _, spec := range []core.Spec{
+			{S: 1, N: 1}, {S: 3, N: 4}, {S: 6, N: 2},
+		} {
+			for _, st := range timing.AllStrategies() {
+				for seed := uint64(1); seed <= 4; seed++ {
+					rep, err := core.RunMP(NewMP(mode), spec, m, st, seed)
+					if err != nil {
+						t.Fatalf("mode %v spec %+v %v seed %d: %v", mode, spec, st, seed, err)
+					}
+					if rep.Sessions < spec.S {
+						t.Errorf("mode %v spec %+v: %d sessions", mode, spec, rep.Sessions)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSMUpperBound(t *testing.T) {
+	// Theorem-5-style U: min{(floor(c2/c1)+1)*c2, CommSteps*c2}*(s-1) + c2.
+	m := timing.NewSemiSynchronous(2, 6, 0)
+	spec := core.Spec{S: 4, N: 4, B: 3}
+	p := bounds.Params{S: spec.S, N: spec.N, B: spec.B, C1: 2, C2: 6}
+	u := bounds.SemiSyncSMU(p)
+	for _, st := range timing.AllStrategies() {
+		rep, err := core.RunSM(NewSM(Auto), spec, m, st, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if float64(rep.Finish) > u {
+			t.Errorf("%v: Finish %v exceeds bound %v", st, rep.Finish, u)
+		}
+	}
+}
+
+func TestMPUpperBound(t *testing.T) {
+	// [4]: min{(floor(c2/c1)+1)*c2, d2+c2}*(s-1) + c2.
+	m := timing.NewSemiSynchronous(2, 6, 10)
+	spec := core.Spec{S: 5, N: 3}
+	p := bounds.Params{S: spec.S, N: spec.N, C1: 2, C2: 6, D2: 10}
+	u := bounds.SemiSyncMPU(p)
+	for _, st := range timing.AllStrategies() {
+		for seed := uint64(1); seed <= 5; seed++ {
+			rep, err := core.RunMP(NewMP(Auto), spec, m, st, seed)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", st, seed, err)
+			}
+			if float64(rep.Finish) > u {
+				t.Errorf("%v seed %d: Finish %v exceeds bound %v", st, seed, rep.Finish, u)
+			}
+		}
+	}
+}
+
+func TestAutoPicksStepCountWhenRatioSmall(t *testing.T) {
+	// c2/c1 = 2 makes W = 3, far below any communication cost: the auto
+	// mode must not build relays (pure step counting sends no messages and
+	// uses exactly n processes).
+	m := timing.NewSemiSynchronous(3, 6, 50)
+	spec := core.Spec{S: 3, N: 8, B: 2}
+	sys, err := NewSM(Auto).BuildSM(spec, m)
+	if err != nil {
+		t.Fatalf("BuildSM: %v", err)
+	}
+	if len(sys.Procs) != spec.N {
+		t.Errorf("auto mode built %d processes, want %d (step counting, no relays)",
+			len(sys.Procs), spec.N)
+	}
+	rep, err := core.RunMP(NewMP(Auto), core.Spec{S: 3, N: 4}, m, timing.Random, 2)
+	if err != nil {
+		t.Fatalf("RunMP: %v", err)
+	}
+	if rep.Messages != 0 {
+		t.Errorf("auto MP mode sent %d messages, want 0 (step counting)", rep.Messages)
+	}
+}
+
+func TestAutoPicksCommunicateWhenRatioLarge(t *testing.T) {
+	// c2/c1 = 1000 makes W = 1001; communication (d2+c2 per session in MP)
+	// is far cheaper.
+	m := timing.NewSemiSynchronous(1, 1000, 10)
+	spec := core.Spec{S: 3, N: 4}
+	sys, err := NewMP(Auto).BuildMP(spec, m)
+	if err != nil {
+		t.Fatalf("BuildMP: %v", err)
+	}
+	// Communicate mode = async MPPort processes; they broadcast, so running
+	// a quick schedule must show messages.
+	rep, err := core.RunMP(NewMP(Auto), spec, m, timing.Fast, 3)
+	if err != nil {
+		t.Fatalf("RunMP: %v", err)
+	}
+	if rep.Messages == 0 {
+		t.Error("auto MP mode sent no messages despite huge c2/c1")
+	}
+	_ = sys
+}
+
+func TestModeChoiceMatchesMinFormula(t *testing.T) {
+	// The auto mode's running time must not exceed either forced mode's by
+	// more than the bound slack: it should track the min branch.
+	m := timing.NewSemiSynchronous(2, 20, 8)
+	spec := core.Spec{S: 4, N: 4}
+	finish := func(mode Mode) float64 {
+		rep, err := core.RunMP(NewMP(mode), spec, m, timing.Slow, 1)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		return float64(rep.Finish)
+	}
+	auto, step, comm := finish(Auto), finish(ForceStepCount), finish(ForceCommunicate)
+	min := step
+	if comm < min {
+		min = comm
+	}
+	if auto > min {
+		t.Errorf("auto (%v) slower than best forced mode (%v)", auto, min)
+	}
+}
+
+func TestRejectsUnboundedModel(t *testing.T) {
+	m := timing.NewSporadic(2, 0, 9, 0) // c2 = ∞
+	if _, err := NewSM(Auto).BuildSM(core.Spec{S: 2, N: 2, B: 2}, m); err == nil {
+		t.Error("SM accepted model without c2")
+	}
+	if _, err := NewMP(Auto).BuildMP(core.Spec{S: 2, N: 2}, m); err == nil {
+		t.Error("MP accepted model without c2")
+	}
+}
+
+func TestIdleStability(t *testing.T) {
+	m := timing.NewSemiSynchronous(2, 5, 0)
+	spec := core.Spec{S: 3, N: 3, B: 2}
+	for _, mode := range []Mode{ForceStepCount, ForceCommunicate} {
+		if err := core.ProbeIdleStability(NewSM(mode), spec, m, timing.Random, 4); err != nil {
+			t.Errorf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Auto.String() != "auto" || ForceStepCount.String() != "step-count" ||
+		ForceCommunicate.String() != "communicate" || Mode(99).String() != "unknown" {
+		t.Error("mode names wrong")
+	}
+}

@@ -1,0 +1,197 @@
+// Package sporadic implements the paper's algorithm A(sp) for the sporadic
+// message-passing model (Section 6). The model gives a lower bound c1 on
+// step time (no upper bound) and message delays in [d1, d2]; the algorithm
+// exploits the induced inference: any message received more than u = d2-d1
+// after a message m was received must have been sent after m was.
+//
+// Every process broadcasts m(i, session) at every step. session advances
+// when either
+//
+//	condition 1: a message with value >= session has been heard from every
+//	process (communication certifies the session), or
+//
+//	condition 2: the process has taken more than B = floor(u/c1)+1 of its
+//	own steps since the last advance (so more than u time has passed) and
+//	has since heard at least one message from every process — those
+//	messages must have been sent after the previous session completed.
+//
+// A process idles when session reaches s-1; the step at which the
+// triggering messages arrive completes the s-th session (Theorem 6.1).
+//
+// Faithfulness notes. (1) Like internal/alg/async, heard values are stored
+// as per-sender maxima, equivalent to the paper's accumulate-everything
+// msg_buf. (2) The paper's pseudocode clears temp_buf only on a condition-2
+// advance; the correctness proof (Lemma 6.3) requires the messages counted
+// by condition 2 to postdate the last advance, so this implementation
+// clears temp_buf on every advance — the conservative reading that matches
+// the proof.
+package sporadic
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/timing"
+)
+
+// MP is algorithm A(sp).
+type MP struct {
+	disableCond2 bool
+}
+
+var _ core.MPAlgorithm = MP{}
+
+// NewMP returns A(sp).
+func NewMP() MP { return MP{} }
+
+// NewMPWithoutCond2 returns the ablation variant with condition 2 disabled
+// (condition 1 only), which degrades to the asynchronous algorithm's
+// behaviour; the ablation bench uses it to show condition 2 is what buys
+// the floor(u/c1)+3 per-session term.
+func NewMPWithoutCond2() MP { return MP{disableCond2: true} }
+
+// Name implements core.MPAlgorithm.
+func (a MP) Name() string {
+	if a.disableCond2 {
+		return "sporadic A(sp) [cond2 off]"
+	}
+	return "sporadic A(sp)"
+}
+
+// BuildMP constructs the n A(sp) processes from the model constants c1, d1
+// and d2.
+func (a MP) BuildMP(spec core.Spec, m timing.Model) (*mp.System, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if m.C1 <= 0 {
+		return nil, fmt.Errorf("sporadic: model must have c1 > 0, got %v", m.C1)
+	}
+	if m.D2 < m.D1 || m.D2.IsInfinite() {
+		return nil, fmt.Errorf("sporadic: model must have d1 <= d2 < ∞, got [%v,%v]", m.D1, m.D2)
+	}
+	u := m.D2 - m.D1
+	b := int(u/m.C1) + 1
+	sys := &mp.System{}
+	for i := 0; i < spec.N; i++ {
+		sys.Procs = append(sys.Procs, newProc(i, spec.N, spec.S, b, a.disableCond2))
+		sys.PortProcs = append(sys.PortProcs, i)
+	}
+	return sys, nil
+}
+
+// proc is one A(sp) process.
+type proc struct {
+	i, n, s int
+	b       int // B = floor(u/c1) + 1
+	noCond2 bool
+
+	count   int
+	session int
+	msgBuf  []int  // max session value heard per sender; -1 = nothing
+	tempBuf []bool // senders heard while count > B since last advance
+	idle    bool
+
+	steps    int
+	advances []int  // own-step ordinal at which session reached value k+1
+	viaCond2 []bool // whether that advance used condition 2
+}
+
+var _ mp.Process = (*proc)(nil)
+
+func newProc(i, n, s, b int, noCond2 bool) *proc {
+	msgBuf := make([]int, n)
+	for j := range msgBuf {
+		msgBuf[j] = -1
+	}
+	return &proc{
+		i: i, n: n, s: s, b: b, noCond2: noCond2,
+		msgBuf:  msgBuf,
+		tempBuf: make([]bool, n),
+	}
+}
+
+// Step implements one iteration of the A(sp) while-loop.
+func (p *proc) Step(received []mp.Message) any {
+	if p.idle {
+		return nil
+	}
+	p.steps++
+	for _, m := range received {
+		if sm, ok := m.Body.(async.SessionMsg); ok && sm.V > p.msgBuf[sm.I] {
+			p.msgBuf[sm.I] = sm.V
+		}
+	}
+
+	switch {
+	case p.cond1():
+		p.advance(false)
+	case !p.noCond2 && p.count > p.b:
+		for _, m := range received {
+			if sm, ok := m.Body.(async.SessionMsg); ok {
+				p.tempBuf[sm.I] = true
+			}
+		}
+		if p.cond2() {
+			p.advance(true)
+		}
+	}
+
+	if p.session >= p.s-1 {
+		p.idle = true
+	}
+	p.count++
+	return async.SessionMsg{I: p.i, V: p.session}
+}
+
+// cond1 reports whether a message with value >= session has been heard from
+// every process.
+func (p *proc) cond1() bool {
+	for _, v := range p.msgBuf {
+		if v < p.session {
+			return false
+		}
+	}
+	return true
+}
+
+// cond2 reports whether at least one message from every process has arrived
+// while count > B.
+func (p *proc) cond2() bool {
+	for _, h := range p.tempBuf {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *proc) advance(viaCond2 bool) {
+	// Matching the pseudocode: count := 0 here, then the unconditional
+	// count++ at the end of the step leaves count = 1. A later step
+	// evaluating count = k > B is the k-th step after the advance, so at
+	// least k*c1 > u time has elapsed since it.
+	p.count = 0
+	p.session++
+	p.advances = append(p.advances, p.steps)
+	p.viaCond2 = append(p.viaCond2, viaCond2)
+	for j := range p.tempBuf {
+		p.tempBuf[j] = false
+	}
+}
+
+// Advances returns, for each session value v = 1, 2, ..., the 1-based
+// ordinal of the process's own step at which its counter reached v.
+func (p *proc) Advances() []int { return p.advances }
+
+// ViaCond2 reports, per advance, whether condition 2 (timing inference)
+// fired rather than condition 1 (message evidence).
+func (p *proc) ViaCond2() []bool { return p.viaCond2 }
+
+// Idle implements mp.Process.
+func (p *proc) Idle() bool { return p.idle }
+
+// Session exposes the session counter (for tests).
+func (p *proc) Session() int { return p.session }

@@ -1,0 +1,242 @@
+package sporadic
+
+import (
+	"testing"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+	"sessionproblem/internal/trace"
+)
+
+func TestCorrectAcrossSchedules(t *testing.T) {
+	models := []timing.Model{
+		timing.NewSporadic(2, 0, 9, 0),   // wide delay window (u = d2)
+		timing.NewSporadic(2, 9, 9, 0),   // constant delay (u = 0)
+		timing.NewSporadic(1, 4, 20, 0),  // intermediate
+		timing.NewSporadic(3, 5, 12, 40), // large gap cap (very sporadic steps)
+	}
+	for _, m := range models {
+		for _, spec := range []core.Spec{
+			{S: 1, N: 1}, {S: 2, N: 3}, {S: 4, N: 4}, {S: 7, N: 2},
+		} {
+			for _, st := range timing.AllStrategies() {
+				for seed := uint64(1); seed <= 4; seed++ {
+					rep, err := core.RunMP(NewMP(), spec, m, st, seed)
+					if err != nil {
+						t.Fatalf("m=[%v,%v,%v] spec %+v %v seed %d: %v",
+							m.C1, m.D1, m.D2, spec, st, seed, err)
+					}
+					if rep.Sessions < spec.S {
+						t.Errorf("m=[%v,%v,%v] spec %+v: %d sessions",
+							m.C1, m.D1, m.D2, spec, rep.Sessions)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUpperBoundWithMeasuredGamma(t *testing.T) {
+	// Theorem 6.1: min{(floor(u/c1)+3)γ+u, d2+γ}(s-1)+γ, with γ the
+	// largest step time actually taken.
+	m := timing.NewSporadic(2, 3, 15, 0)
+	spec := core.Spec{S: 5, N: 4}
+	for _, st := range timing.AllStrategies() {
+		for seed := uint64(1); seed <= 6; seed++ {
+			rep, err := core.RunMP(NewMP(), spec, m, st, seed)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", st, seed, err)
+			}
+			p := bounds.Params{
+				S: spec.S, N: spec.N,
+				C1: m.C1, D1: m.D1, D2: m.D2,
+				Gamma: rep.Gamma,
+			}
+			u := bounds.SporadicMPU(p)
+			if float64(rep.Finish) > u {
+				t.Errorf("%v seed %d: Finish %v exceeds Theorem 6.1 bound %v (γ=%v)",
+					st, seed, rep.Finish, u, rep.Gamma)
+			}
+		}
+	}
+}
+
+func TestConstantDelayBehavesSynchronously(t *testing.T) {
+	// As d1 -> d2 (u -> 0), condition 2 certifies a session every ~B+1 = 1
+	// own steps: per-session cost collapses to O(γ) rather than d2.
+	// Under worst-case (maximum) delays both models deliver at d2; the
+	// tight model's condition 2 still certifies sessions locally while the
+	// wide model must either wait out u in steps or d2 in transit.
+	mTight := timing.NewSporadic(2, 10, 10, 2) // gap cap c1: fastest stepping
+	mWide := timing.NewSporadic(2, 0, 10, 2)
+	spec := core.Spec{S: 8, N: 3}
+	repTight, err := core.RunMP(NewMP(), spec, mTight, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("tight: %v", err)
+	}
+	repWide, err := core.RunMP(NewMP(), spec, mWide, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("wide: %v", err)
+	}
+	if repTight.Finish >= repWide.Finish {
+		t.Errorf("u=0 run (%v) should beat u=d2 run (%v): condition 2 must pay off",
+			repTight.Finish, repWide.Finish)
+	}
+}
+
+func TestCond2AblationIsSlowerWhenDelayConstant(t *testing.T) {
+	// With u = 0 and max delays, the full algorithm certifies sessions by
+	// stepping (condition 2), while the ablated one must wait d2 per
+	// session like the asynchronous algorithm.
+	m := timing.NewSporadic(1, 20, 20, 0)
+	spec := core.Spec{S: 6, N: 3}
+	full, err := core.RunMP(NewMP(), spec, m, timing.Fast, 2)
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	ablated, err := core.RunMP(NewMPWithoutCond2(), spec, m, timing.Fast, 2)
+	if err != nil {
+		t.Fatalf("ablated: %v", err)
+	}
+	if full.Finish >= ablated.Finish {
+		t.Errorf("full A(sp) (%v) should beat cond2-ablated (%v) at u=0",
+			full.Finish, ablated.Finish)
+	}
+}
+
+func TestAblatedVariantStillCorrect(t *testing.T) {
+	m := timing.NewSporadic(2, 3, 11, 0)
+	spec := core.Spec{S: 4, N: 3}
+	for seed := uint64(1); seed <= 5; seed++ {
+		rep, err := core.RunMP(NewMPWithoutCond2(), spec, m, timing.Random, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Sessions < spec.S {
+			t.Errorf("seed %d: %d sessions", seed, rep.Sessions)
+		}
+	}
+}
+
+func TestProcUnit(t *testing.T) {
+	p := newProc(0, 2, 3, 2, false)
+	if p.Session() != 0 || p.Idle() {
+		t.Fatal("bad initial state")
+	}
+	// Condition 1 advance: hear from both processes at value 0.
+	p.Step([]mp.Message{
+		{From: 0, Body: msg(0, 0)},
+		{From: 1, Body: msg(1, 0)},
+	})
+	if p.Session() != 1 {
+		t.Errorf("session: got %d, want 1", p.Session())
+	}
+	if p.count != 1 {
+		t.Errorf("count after advance step: got %d, want 1", p.count)
+	}
+	// Condition 2: no condition-1 evidence (values stay below session), but
+	// fresh messages from everyone once count > B.
+	for i := 0; i < 2; i++ {
+		p.Step(nil) // count climbs to 3 > B=2
+	}
+	p.Step([]mp.Message{{From: 0, Body: msg(0, 0)}})
+	if p.Session() != 1 {
+		t.Error("cond2 must not fire with only one sender heard")
+	}
+	p.Step([]mp.Message{{From: 1, Body: msg(1, 0)}})
+	if p.Session() != 2 || !p.Idle() {
+		t.Errorf("cond2 advance to s-1: session %d idle %v", p.Session(), p.Idle())
+	}
+}
+
+func msg(i, v int) any {
+	return async.SessionMsg{I: i, V: v}
+}
+
+func TestBuildValidatesModel(t *testing.T) {
+	spec := core.Spec{S: 2, N: 2}
+	bad := timing.Model{Kind: timing.Sporadic, C1: 0, D1: 0, D2: 5}
+	if _, err := NewMP().BuildMP(spec, bad); err == nil {
+		t.Error("c1=0 accepted")
+	}
+	bad2 := timing.Model{Kind: timing.Sporadic, C1: 1, D1: 9, D2: 5}
+	if _, err := NewMP().BuildMP(spec, bad2); err == nil {
+		t.Error("d1>d2 accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewMP().Name() == NewMPWithoutCond2().Name() {
+		t.Error("ablation variant must have a distinct name")
+	}
+}
+
+// TestLemma64PerSessionTimes checks the finer-grained Lemma 6.4 statement:
+// after the first session, consecutive session completions are at most
+// min{(floor(u/c1)+1)γ + (u+2γ), d2+γ} apart.
+func TestLemma64PerSessionTimes(t *testing.T) {
+	m := timing.NewSporadic(2, 3, 15, 0)
+	spec := core.Spec{S: 6, N: 3}
+	for _, st := range timing.AllStrategies() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			rep, err := core.RunMP(NewMP(), spec, m, st, seed)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", st, seed, err)
+			}
+			g := rep.Gamma
+			u := m.D2 - m.D1
+			perSession := sim.Duration(int64(u/m.C1)+1)*g + u + 2*g
+			if alt := m.D2 + g; alt < perSession {
+				perSession = alt
+			}
+			times := trace.PerSessionTimes(rep.Trace)
+			if len(times) < spec.S {
+				t.Fatalf("%v seed %d: only %d sessions decomposed", st, seed, len(times))
+			}
+			// Lemma 6.4 covers sessions 2..s-1 (the first pays the d2+2γ
+			// start-up, the last is the post-(s-1) extra step wave).
+			for i := 1; i < spec.S-1; i++ {
+				if times[i] > perSession {
+					t.Errorf("%v seed %d: session %d took %v > Lemma 6.4 bound %v (γ=%v)",
+						st, seed, i+1, times[i], perSession, g)
+				}
+			}
+		}
+	}
+}
+
+// TestToleratesPartialMessageLoss: unlike one-shot acknowledgement
+// protocols, A(sp) broadcasts its counter at every step, so losing a
+// fraction of deliveries only delays certification — the run still
+// terminates with s sessions. (The paper assumes a reliable network; this
+// documents the redundancy the every-step broadcast buys.)
+func TestToleratesPartialMessageLoss(t *testing.T) {
+	m := timing.NewSporadic(2, 4, 28, 8)
+	spec := core.Spec{S: 4, N: 3}
+	sys, err := NewMP().BuildMP(spec, m)
+	if err != nil {
+		t.Fatalf("BuildMP: %v", err)
+	}
+	res, err := mp.Run(sys, m.NewScheduler(timing.Random, 3), mp.Options{DropEvery: 4})
+	if err != nil {
+		t.Fatalf("Run with 25%% loss: %v", err)
+	}
+	if got := res.Trace.CountSessions(); got < spec.S {
+		t.Errorf("sessions under loss: got %d, want >= %d", got, spec.S)
+	}
+}
+
+func TestGammaReported(t *testing.T) {
+	m := timing.NewSporadic(2, 1, 8, 16)
+	rep, err := core.RunMP(NewMP(), core.Spec{S: 3, N: 3}, m, timing.Random, 4)
+	if err != nil {
+		t.Fatalf("RunMP: %v", err)
+	}
+	if rep.Gamma < 2 || rep.Gamma > sim.Duration(16) {
+		t.Errorf("gamma %v outside scheduler range [2,16]", rep.Gamma)
+	}
+}

@@ -1,0 +1,122 @@
+package synchronous
+
+import (
+	"errors"
+	"testing"
+
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+func TestSMExactRunningTime(t *testing.T) {
+	for _, tt := range []struct {
+		s, n int
+		c2   sim.Duration
+	}{
+		{1, 1, 1}, {2, 2, 3}, {5, 4, 7}, {10, 8, 2}, {16, 3, 5},
+	} {
+		spec := core.Spec{S: tt.s, N: tt.n, B: 2}
+		m := timing.NewSynchronous(tt.c2, 0)
+		rep, err := core.RunSM(NewSM(), spec, m, timing.Slow, 1)
+		if err != nil {
+			t.Fatalf("s=%d n=%d: %v", tt.s, tt.n, err)
+		}
+		want := sim.Time(int64(tt.s) * int64(tt.c2))
+		if rep.Finish != want {
+			t.Errorf("s=%d n=%d c2=%v: Finish %v, want %v (= s*c2)", tt.s, tt.n, tt.c2, rep.Finish, want)
+		}
+		if rep.Sessions != tt.s {
+			t.Errorf("s=%d n=%d: sessions %d, want exactly %d", tt.s, tt.n, rep.Sessions, tt.s)
+		}
+	}
+}
+
+func TestMPExactRunningTime(t *testing.T) {
+	spec := core.Spec{S: 6, N: 5}
+	m := timing.NewSynchronous(4, 9)
+	rep, err := core.RunMP(NewMP(), spec, m, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("RunMP: %v", err)
+	}
+	if rep.Finish != 24 {
+		t.Errorf("Finish: got %v, want 24 (= s*c2)", rep.Finish)
+	}
+	if rep.Messages != 0 {
+		t.Errorf("synchronous algorithm must not communicate, sent %d", rep.Messages)
+	}
+}
+
+// TestBreaksUnderPeriodic shows the synchronous algorithm is NOT a periodic
+// algorithm: a skewed periodic schedule collapses its middle sessions. This
+// is the separation the paper's Table 1 encodes.
+func TestBreaksUnderPeriodic(t *testing.T) {
+	spec := core.Spec{S: 4, N: 3, B: 2}
+	m := timing.NewPeriodic(1, 10, 0)
+	_, err := core.RunSM(NewSM(), spec, m, timing.Skewed, 1)
+	if !errors.Is(err, core.ErrTooFewSessions) {
+		t.Errorf("expected ErrTooFewSessions under skewed periodic schedule, got %v", err)
+	}
+}
+
+func TestBreaksUnderPeriodicMP(t *testing.T) {
+	spec := core.Spec{S: 4, N: 3}
+	m := timing.NewPeriodic(1, 10, 5)
+	_, err := core.RunMP(NewMP(), spec, m, timing.Skewed, 1)
+	if !errors.Is(err, core.ErrTooFewSessions) {
+		t.Errorf("expected ErrTooFewSessions under skewed periodic schedule, got %v", err)
+	}
+}
+
+func TestIdleStability(t *testing.T) {
+	spec := core.Spec{S: 3, N: 2, B: 2}
+	m := timing.NewSynchronous(2, 0)
+	if err := core.ProbeIdleStability(NewSM(), spec, m, timing.Slow, 1); err != nil {
+		t.Errorf("idle stability: %v", err)
+	}
+}
+
+func TestBuildValidatesSpec(t *testing.T) {
+	m := timing.NewSynchronous(2, 0)
+	if _, err := NewSM().BuildSM(core.Spec{S: 0, N: 1}, m); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, err := NewMP().BuildMP(core.Spec{S: 1, N: 0}, m); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestSynchronizedStartSavesOneStep reproduces the paper's conversion note
+// 3: [4] assumes all processes take a synchronized first step at time 0
+// (one session for free), while this paper's convention makes even the
+// first step obey the constraints. Under [4]'s convention the synchronous
+// algorithm finishes one c2 earlier.
+func TestSynchronizedStartSavesOneStep(t *testing.T) {
+	spec := core.Spec{S: 5, N: 3, B: 2}
+	base := timing.NewSynchronous(7, 0)
+
+	rep, err := core.RunSM(NewSM(), spec, base, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("paper convention: %v", err)
+	}
+	if rep.Finish != 5*7 {
+		t.Errorf("paper convention: finish %v, want s*c2 = 35", rep.Finish)
+	}
+
+	repSync, err := core.RunSM(NewSM(), spec, base.WithSynchronizedStart(), timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("[4] convention: %v", err)
+	}
+	if repSync.Finish != 4*7 {
+		t.Errorf("[4] convention: finish %v, want (s-1)*c2 = 28", repSync.Finish)
+	}
+	if repSync.Sessions != spec.S {
+		t.Errorf("[4] convention: %d sessions", repSync.Sessions)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewSM().Name() == "" || NewMP().Name() == "" {
+		t.Error("empty algorithm name")
+	}
+}

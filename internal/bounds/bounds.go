@@ -1,0 +1,264 @@
+// Package bounds encodes every cell of the paper's Table 1 as a closed-form
+// function of the system parameters, with integer-exact floors and
+// logarithms. The harness compares these predictions against measured
+// running times.
+//
+// Table 1 notation: s sessions, n ports, b the shared-variable access bound,
+// [c1, c2] step-time bounds, [cmin, cmax] the periodic model's per-process
+// period range, [d1, d2] message-delay bounds, u = d2 - d1, and γ the
+// largest step time actually taken in a given computation.
+//
+// The two O(log_b n) upper-bound cells (periodic SM and the communication
+// branch of semi-synchronous SM) depend on the concrete communication
+// substrate; CommSteps supplies the step count of this repository's relay
+// tree (internal/tree), making those cells concrete and checkable.
+package bounds
+
+import (
+	"sessionproblem/internal/sim"
+)
+
+// Params bundles every parameter appearing in Table 1.
+type Params struct {
+	S int // number of sessions required
+	N int // number of ports
+	B int // shared-variable access bound
+
+	C1, C2     sim.Duration // semi-synchronous step bounds (c1 > 0)
+	Cmin, Cmax sim.Duration // periodic per-process period range
+	D1, D2     sim.Duration // message delay bounds
+
+	// Gamma is the per-computation largest step time, used by the sporadic
+	// upper bound (the sporadic model has no a-priori c2).
+	Gamma sim.Duration
+}
+
+// U returns the delay uncertainty d2 - d1.
+func (p Params) U() sim.Duration { return p.D2 - p.D1 }
+
+// FloorLog returns floor(log_base(x)): the largest k with base^k <= x.
+// It returns 0 for x < base and panics for base < 2 or x < 1.
+func FloorLog(base, x int) int {
+	if base < 2 {
+		panic("bounds: FloorLog base must be >= 2")
+	}
+	if x < 1 {
+		panic("bounds: FloorLog x must be >= 1")
+	}
+	k := 0
+	pow := 1
+	for pow <= x/base {
+		pow *= base
+		k++
+	}
+	// pow*base may still be <= x when x/base truncates; check directly.
+	for overflowSafeMul(pow, base) <= x {
+		pow *= base
+		k++
+	}
+	return k
+}
+
+func overflowSafeMul(a, b int) int {
+	const maxInt = int(^uint(0) >> 1)
+	if a != 0 && b > maxInt/a {
+		return maxInt
+	}
+	return a * b
+}
+
+// TreeArity returns the branching factor used by internal/tree for access
+// bound b: max(b-1, 2).
+func TreeArity(b int) int {
+	if b-1 < 2 {
+		return 2
+	}
+	return b - 1
+}
+
+// TreeDepth returns the number of relay levels internal/tree builds for n
+// ports at access bound b.
+func TreeDepth(n, b int) int {
+	arity := TreeArity(b)
+	depth := 1
+	level := (n + arity - 1) / arity
+	for level > 1 {
+		level = (level + arity - 1) / arity
+		depth++
+	}
+	return depth
+}
+
+// CommSteps bounds the number of step-times needed for a value announced at
+// one port to reach every port through this repository's relay tree: the
+// announcement must climb Depth levels and descend Depth levels, and at each
+// level waits at most one full relay sweep of (arity+1) variables, plus one
+// port step at each end. This is the concrete constant behind the paper's
+// O(log_b n) communication cost.
+func CommSteps(n, b int) int {
+	return 2*TreeDepth(n, b)*(TreeArity(b)+2) + 2
+}
+
+// --- Shared memory ---------------------------------------------------------
+
+// SyncSM returns the synchronous shared-memory bounds: L = U = s*c2 [2].
+func SyncSM(p Params) (lower, upper float64) {
+	v := float64(p.S) * float64(p.C2)
+	return v, v
+}
+
+// PeriodicSML returns the periodic SM lower bound:
+// max{s*cmax, floor(log_{2b-1}(2n-1)) * cmin} (Theorem 4.3).
+func PeriodicSML(p Params) float64 {
+	a := float64(p.S) * float64(p.Cmax)
+	c := float64(FloorLog(2*p.B-1, 2*p.N-1)) * float64(p.Cmin)
+	if a > c {
+		return a
+	}
+	return c
+}
+
+// PeriodicSMU returns the periodic SM upper bound:
+// s*cmax + O(log_b n)*cmax (Theorem 4.1), with the O(log_b n) factor made
+// concrete by CommSteps.
+func PeriodicSMU(p Params) float64 {
+	return float64(p.S)*float64(p.Cmax) + float64(CommSteps(p.N, p.B))*float64(p.Cmax)
+}
+
+// SemiSyncSML returns the semi-synchronous SM lower bound:
+// min{floor(c2/2c1)*c2, floor(log_b n)*c2} * (s-1) (Theorem 5.1).
+func SemiSyncSML(p Params) float64 {
+	a := float64(p.C2/(2*p.C1)) * float64(p.C2)
+	c := float64(FloorLog(p.B, p.N)) * float64(p.C2)
+	if c < a {
+		a = c
+	}
+	return a * float64(p.S-1)
+}
+
+// SemiSyncSMU returns the semi-synchronous SM upper bound:
+// min{(floor(c2/c1)+1)*c2, O(log_b n)*c2} * (s-1) + c2,
+// with CommSteps as the concrete communication factor.
+func SemiSyncSMU(p Params) float64 {
+	a := float64(p.C2/p.C1+1) * float64(p.C2)
+	c := float64(CommSteps(p.N, p.B)) * float64(p.C2)
+	if c < a {
+		a = c
+	}
+	return a*float64(p.S-1) + float64(p.C2)
+}
+
+// AsyncSML returns the asynchronous SM lower bound in rounds:
+// (s-1) * floor(log_b n) [2].
+func AsyncSML(p Params) float64 {
+	return float64(p.S-1) * float64(FloorLog(p.B, p.N))
+}
+
+// AsyncSMU returns the asynchronous SM upper bound in rounds:
+// (s-1) * O(log_b n) [2], concretely (s-1)*CommRounds + CommRounds where
+// CommRounds is the per-synchronization round cost of the relay tree.
+func AsyncSMU(p Params) float64 {
+	return float64(p.S)*float64(CommSteps(p.N, p.B)) + 2
+}
+
+// SporadicSML returns the sporadic SM lower bound, which the paper equates
+// with the asynchronous SM bound (rounds).
+func SporadicSML(p Params) float64 { return AsyncSML(p) }
+
+// SporadicSMU returns the sporadic SM upper bound, equal to the
+// asynchronous SM bound (rounds).
+func SporadicSMU(p Params) float64 { return AsyncSMU(p) }
+
+// --- Message passing -------------------------------------------------------
+
+// SyncMP returns the synchronous message-passing bounds: L = U = s*c2.
+func SyncMP(p Params) (lower, upper float64) {
+	v := float64(p.S) * float64(p.C2)
+	return v, v
+}
+
+// PeriodicMPL returns the periodic MP lower bound: max{s*cmax, d2}
+// (Theorem 4.2).
+func PeriodicMPL(p Params) float64 {
+	a := float64(p.S) * float64(p.Cmax)
+	if d := float64(p.D2); d > a {
+		return d
+	}
+	return a
+}
+
+// PeriodicMPU returns the periodic MP upper bound: s*cmax + d2
+// (Theorem 4.1).
+func PeriodicMPU(p Params) float64 {
+	return float64(p.S)*float64(p.Cmax) + float64(p.D2)
+}
+
+// SemiSyncMPL returns the semi-synchronous MP lower bound:
+// min{floor(c2/2c1)*c2, d2+c2} * (s-1) [4].
+func SemiSyncMPL(p Params) float64 {
+	a := float64(p.C2/(2*p.C1)) * float64(p.C2)
+	if c := float64(p.D2) + float64(p.C2); c < a {
+		a = c
+	}
+	return a * float64(p.S-1)
+}
+
+// SemiSyncMPU returns the semi-synchronous MP upper bound:
+// min{(floor(c2/c1)+1)*c2, d2+c2} * (s-1) + c2 [4].
+func SemiSyncMPU(p Params) float64 {
+	a := float64(p.C2/p.C1+1) * float64(p.C2)
+	if c := float64(p.D2) + float64(p.C2); c < a {
+		a = c
+	}
+	return a*float64(p.S-1) + float64(p.C2)
+}
+
+// SporadicK returns K = 2*d2*c1 / (d2 - u/2) from Theorem 6.5.
+func SporadicK(p Params) float64 {
+	den := float64(p.D2) - float64(p.U())/2
+	if den <= 0 {
+		return 0
+	}
+	return 2 * float64(p.D2) * float64(p.C1) / den
+}
+
+// SporadicMPL returns the sporadic MP lower bound:
+// max{floor(u/4c1)*K, c1} * (s-1) (Theorem 6.5).
+func SporadicMPL(p Params) float64 {
+	a := float64(p.U()/(4*p.C1)) * SporadicK(p)
+	if c := float64(p.C1); c > a {
+		a = c
+	}
+	return a * float64(p.S-1)
+}
+
+// SporadicMPU returns the sporadic MP upper bound as stated in Theorem 6.1:
+//
+//	min{(floor(u/c1)+1)*γ + (u+2γ), d2+γ} * (s-2) + d2 + 2γ.
+//
+// Table 1 prints the converted form min{(floor(u/c1)+3)γ+u, d2+γ}(s-1)+γ,
+// but the paper notes that conversion is valid only when
+// d1 < (floor(u/c1)+1)γ; this function uses the unconditional statement.
+func SporadicMPU(p Params) float64 {
+	g := float64(p.Gamma)
+	perSession := float64(p.U()/p.C1+1)*g + float64(p.U()) + 2*g
+	if c := float64(p.D2) + g; c < perSession {
+		perSession = c
+	}
+	tail := float64(p.S - 2)
+	if tail < 0 {
+		tail = 0
+	}
+	return perSession*tail + float64(p.D2) + 2*g
+}
+
+// AsyncMPL returns the asynchronous MP lower bound: (s-1)*d2 [4].
+func AsyncMPL(p Params) float64 {
+	return float64(p.S-1) * float64(p.D2)
+}
+
+// AsyncMPU returns the asynchronous MP upper bound:
+// (s-1)*(d2+c2) + c2 [4].
+func AsyncMPU(p Params) float64 {
+	return float64(p.S-1)*(float64(p.D2)+float64(p.C2)) + float64(p.C2)
+}

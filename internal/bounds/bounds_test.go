@@ -1,0 +1,265 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sessionproblem/internal/sim"
+)
+
+func TestFloorLog(t *testing.T) {
+	tests := []struct {
+		base, x, want int
+	}{
+		{2, 1, 0},
+		{2, 2, 1},
+		{2, 3, 1},
+		{2, 4, 2},
+		{2, 1024, 10},
+		{2, 1023, 9},
+		{3, 27, 3},
+		{3, 26, 2},
+		{10, 999, 2},
+		{10, 1000, 3},
+		{7, 6, 0},
+	}
+	for _, tt := range tests {
+		if got := FloorLog(tt.base, tt.x); got != tt.want {
+			t.Errorf("FloorLog(%d,%d): got %d, want %d", tt.base, tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestFloorLogPanics(t *testing.T) {
+	for _, bad := range []struct{ base, x int }{{1, 5}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FloorLog(%d,%d) should panic", bad.base, bad.x)
+				}
+			}()
+			FloorLog(bad.base, bad.x)
+		}()
+	}
+}
+
+// Property: FloorLog agrees with math.Log within floating-point slop.
+func TestFloorLogMatchesFloat(t *testing.T) {
+	f := func(baseRaw, xRaw uint16) bool {
+		base := int(baseRaw%8) + 2
+		x := int(xRaw%10000) + 1
+		got := FloorLog(base, x)
+		// Verify the defining property directly: base^got <= x < base^(got+1).
+		lo := math.Pow(float64(base), float64(got))
+		hi := math.Pow(float64(base), float64(got+1))
+		return lo <= float64(x)+0.5 && float64(x) < hi+0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func baseParams() Params {
+	return Params{
+		S: 5, N: 16, B: 3,
+		C1: 2, C2: 10,
+		Cmin: 2, Cmax: 10,
+		D1: 3, D2: 30,
+		Gamma: 10,
+	}
+}
+
+func TestSyncBounds(t *testing.T) {
+	p := baseParams()
+	l, u := SyncSM(p)
+	if l != 50 || u != 50 {
+		t.Errorf("SyncSM: got (%v,%v), want (50,50)", l, u)
+	}
+	l, u = SyncMP(p)
+	if l != 50 || u != 50 {
+		t.Errorf("SyncMP: got (%v,%v), want (50,50)", l, u)
+	}
+}
+
+func TestPeriodicBounds(t *testing.T) {
+	p := baseParams()
+	// L_SM = max(5*10, floor(log_5(31))*2) = max(50, 2*2) = 50.
+	if got := PeriodicSML(p); got != 50 {
+		t.Errorf("PeriodicSML: got %v, want 50", got)
+	}
+	// Communication-dominated case: s small, cmin large.
+	p2 := p
+	p2.S = 1
+	p2.Cmax = 1
+	p2.Cmin = 1
+	p2.N = 1000
+	p2.B = 2
+	// floor(log_3(1999)) = 6 (3^6=729 <= 1999 < 3^7=2187); max(1, 6*1) = 6.
+	if got := PeriodicSML(p2); got != 6 {
+		t.Errorf("PeriodicSML comm-dominated: got %v, want 6", got)
+	}
+	// U_MP = 5*10 + 30 = 80; L_MP = max(50, 30) = 50.
+	if got := PeriodicMPU(p); got != 80 {
+		t.Errorf("PeriodicMPU: got %v, want 80", got)
+	}
+	if got := PeriodicMPL(p); got != 50 {
+		t.Errorf("PeriodicMPL: got %v, want 50", got)
+	}
+	p3 := p
+	p3.D2 = 500
+	if got := PeriodicMPL(p3); got != 500 {
+		t.Errorf("PeriodicMPL delay-dominated: got %v, want 500", got)
+	}
+	if u := PeriodicSMU(p); u < PeriodicSML(p) {
+		t.Errorf("PeriodicSMU %v below PeriodicSML %v", u, PeriodicSML(p))
+	}
+}
+
+func TestSemiSyncBounds(t *testing.T) {
+	p := baseParams()
+	// L_MP = min(floor(10/4)*10, 30+10)*(5-1) = min(20, 40)*4 = 80.
+	if got := SemiSyncMPL(p); got != 80 {
+		t.Errorf("SemiSyncMPL: got %v, want 80", got)
+	}
+	// U_MP = min((floor(10/2)+1)*10, 30+10)*4 + 10 = min(60,40)*4+10 = 170.
+	if got := SemiSyncMPU(p); got != 170 {
+		t.Errorf("SemiSyncMPU: got %v, want 170", got)
+	}
+	// L_SM = min(floor(10/4)*10, floor(log_3 16)*10)*4 = min(20, 20)*4 = 80.
+	if got := SemiSyncSML(p); got != 80 {
+		t.Errorf("SemiSyncSML: got %v, want 80", got)
+	}
+	if u := SemiSyncSMU(p); u < SemiSyncSML(p) {
+		t.Errorf("SemiSyncSMU %v below L %v", u, SemiSyncSML(p))
+	}
+}
+
+func TestSporadicBounds(t *testing.T) {
+	p := baseParams()
+	// u = 27, K = 2*30*2/(30-13.5) = 120/16.5 ≈ 7.27.
+	k := SporadicK(p)
+	if math.Abs(k-120/16.5) > 1e-9 {
+		t.Errorf("SporadicK: got %v, want %v", k, 120/16.5)
+	}
+	// L = max(floor(27/8)*K, 2) * 4 = max(3*7.27.., 2)*4.
+	want := 3 * k * 4
+	if got := SporadicMPL(p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SporadicMPL: got %v, want %v", got, want)
+	}
+	// U (Theorem 6.1 form): min((floor(27/2)+1)*10+27+20, 30+10)*(5-2)+30+20
+	//   = min(187, 40)*3 + 50 = 170.
+	if got := SporadicMPU(p); got != 170 {
+		t.Errorf("SporadicMPU: got %v, want 170", got)
+	}
+	// s=1: no per-session term, just the first-session cost d2+2γ.
+	p1 := p
+	p1.S = 1
+	if got := SporadicMPU(p1); got != 50 {
+		t.Errorf("SporadicMPU s=1: got %v, want 50", got)
+	}
+}
+
+func TestSporadicLimitBehaviour(t *testing.T) {
+	// d1 -> d2 (u -> 0): per-session L -> c1, U -> O(γ); the model behaves
+	// synchronously.
+	p := baseParams()
+	p.D1 = p.D2 // u = 0
+	if got := SporadicMPL(p); got != float64(p.C1)*float64(p.S-1) {
+		t.Errorf("u=0 lower: got %v, want %v", got, float64(p.C1)*float64(p.S-1))
+	}
+	// u=0: per-session cost is min(γ+0+2γ, d2+γ) = 3γ = 30 — O(γ), like the
+	// synchronous model. Total: 30*(5-2) + 30 + 20 = 140.
+	uAt0 := SporadicMPU(p)
+	if uAt0 != 140 {
+		t.Errorf("u=0 upper: got %v, want 140", uAt0)
+	}
+
+	// d1 -> 0 (u -> d2): per-session cost becomes d2+γ = 40 — like the
+	// asynchronous model. Total: 40*(5-2) + 30 + 20 = 170.
+	p.D1 = 0
+	if got := SporadicMPU(p); got != 170 {
+		t.Errorf("u=d2 upper: got %v, want 170", got)
+	}
+	if uAt0 >= SporadicMPU(p) {
+		t.Error("tight delays must give a smaller bound than loose delays")
+	}
+}
+
+func TestAsyncBounds(t *testing.T) {
+	p := baseParams()
+	// L_MP = 4*30 = 120; U_MP = 4*40+10 = 170.
+	if got := AsyncMPL(p); got != 120 {
+		t.Errorf("AsyncMPL: got %v, want 120", got)
+	}
+	if got := AsyncMPU(p); got != 170 {
+		t.Errorf("AsyncMPU: got %v, want 170", got)
+	}
+	// L_SM = 4*floor(log_3 16) = 4*2 = 8 rounds.
+	if got := AsyncSML(p); got != 8 {
+		t.Errorf("AsyncSML: got %v, want 8", got)
+	}
+	if AsyncSMU(p) < AsyncSML(p) {
+		t.Error("AsyncSMU below AsyncSML")
+	}
+	if SporadicSML(p) != AsyncSML(p) || SporadicSMU(p) != AsyncSMU(p) {
+		t.Error("sporadic SM bounds must equal async SM bounds")
+	}
+}
+
+func TestTreeGeometry(t *testing.T) {
+	if TreeArity(2) != 2 || TreeArity(3) != 2 || TreeArity(5) != 4 {
+		t.Error("TreeArity wrong")
+	}
+	tests := []struct{ n, b, want int }{
+		{1, 2, 1}, {2, 3, 1}, {4, 3, 2}, {8, 3, 3}, {9, 4, 2}, {64, 3, 6},
+	}
+	for _, tt := range tests {
+		if got := TreeDepth(tt.n, tt.b); got != tt.want {
+			t.Errorf("TreeDepth(%d,%d): got %d, want %d", tt.n, tt.b, got, tt.want)
+		}
+	}
+	if CommSteps(8, 3) <= 0 {
+		t.Error("CommSteps must be positive")
+	}
+}
+
+// Property: every upper bound dominates its lower bound across random
+// parameter draws.
+func TestUpperDominatesLowerProperty(t *testing.T) {
+	f := func(sRaw, nRaw, bRaw, c1Raw, c2Raw, d1Raw, d2Raw uint8) bool {
+		p := Params{
+			S:  int(sRaw%10) + 2,
+			N:  int(nRaw%50) + 1,
+			B:  int(bRaw%4) + 2,
+			C1: sim.Duration(c1Raw%8) + 1,
+			D1: sim.Duration(d1Raw % 20),
+		}
+		p.C2 = p.C1 + sim.Duration(c2Raw%20)
+		p.Cmin, p.Cmax = p.C1, p.C2
+		p.D2 = p.D1 + sim.Duration(d2Raw%40)
+		p.Gamma = p.C2
+		if l, u := SyncSM(p); u < l {
+			return false
+		}
+		if PeriodicSMU(p) < PeriodicSML(p) && float64(p.S)*float64(p.Cmax) >= PeriodicSML(p) {
+			return false
+		}
+		if PeriodicMPU(p) < PeriodicMPL(p) {
+			return false
+		}
+		if SemiSyncMPU(p) < SemiSyncMPL(p) {
+			return false
+		}
+		if AsyncMPU(p) < AsyncMPL(p) {
+			return false
+		}
+		if SporadicMPU(p) < 0 || SporadicMPL(p) < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,287 @@
+// Package causal builds the happens-before relation over message-passing
+// traces and measures how much of an algorithm's synchronization is carried
+// by causality (message chains) versus by clocks (timing inference).
+//
+// This quantifies the paper's central theme. In the asynchronous model a
+// process can only learn that a session completed through message chains:
+// every certification is causally justified. The sporadic model's
+// condition 2 instead infers completion from elapsed time (steps at least
+// c1 apart versus delays at most d2): a process may correctly certify a
+// session that is NOT in its causal past. The causal-coverage metric makes
+// that difference measurable — it is 1.0 for the asynchronous algorithm and
+// drops toward 1/s for A(sp) as u shrinks.
+package causal
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// History is the happens-before structure of one message-passing trace:
+// per-step vector clocks over regular processes.
+type History struct {
+	trace *model.Trace
+	// clock[i] is the vector clock of step i: clock[i][p] = number of p's
+	// steps in the causal past of step i (inclusive for the step's own
+	// process).
+	clock [][]int
+	// stepOrdinal[i] is, for process steps, the 1-based ordinal among the
+	// process's own steps.
+	stepOrdinal []int
+}
+
+// Build constructs the happens-before relation. Message edges are derived
+// from the delay records: a delivery step at time t to destination d
+// carries the causal past of the send step recorded for it. Deliveries and
+// receives follow the paper's semantics: a process step inherits from every
+// delivery into its buffer since its previous step.
+func Build(tr *model.Trace, delays []timing.MessageDelay) (*History, error) {
+	n := tr.NumProcs
+	h := &History{
+		trace:       tr,
+		clock:       make([][]int, len(tr.Steps)),
+		stepOrdinal: make([]int, len(tr.Steps)),
+	}
+
+	// Index sends: (src, time) -> step index. Each process takes at most
+	// one step at a given time, so the key is unique.
+	sendIdx := make(map[[2]int64]int)
+	for i, st := range tr.Steps {
+		if st.Proc != model.NetworkProc {
+			sendIdx[[2]int64{int64(st.Proc), int64(st.Time)}] = i
+		}
+	}
+	// Map each delivery step to its originating send step. Deliveries are
+	// identified by (dst, deliver-time); several may share a tick, so keep
+	// FIFO queues of matching delay records.
+	type queue []int // send step indices
+	delivQ := make(map[[2]int64]queue)
+	for _, d := range delays {
+		sKey := [2]int64{int64(d.Src), int64(d.Sent)}
+		si, ok := sendIdx[sKey]
+		if !ok {
+			return nil, fmt.Errorf("causal: send step for delay %+v not found", d)
+		}
+		dKey := [2]int64{int64(d.Dst), int64(d.Delivered)}
+		delivQ[dKey] = append(delivQ[dKey], si)
+	}
+
+	// pending[p] accumulates clocks delivered to p since its last step.
+	pending := make([][]int, n)
+	last := make([][]int, n) // last step clock per process
+	ordinals := make([]int, n)
+
+	merge := func(dst, src []int) {
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+
+	for i, st := range tr.Steps {
+		if st.Proc == model.NetworkProc {
+			dst := int(st.Accesses[0].Var) - 1
+			dKey := [2]int64{int64(dst), int64(st.Time)}
+			q := delivQ[dKey]
+			if len(q) == 0 {
+				// A delivery without a recorded delay (should not happen).
+				return nil, fmt.Errorf("causal: delivery at %v to p%d has no delay record", st.Time, dst)
+			}
+			si := q[0]
+			delivQ[dKey] = q[1:]
+			if h.clock[si] == nil {
+				return nil, fmt.Errorf("causal: delivery before its send at step %d", i)
+			}
+			if pending[dst] == nil {
+				pending[dst] = make([]int, n)
+			}
+			merge(pending[dst], h.clock[si])
+			h.clock[i] = append([]int(nil), h.clock[si]...)
+			continue
+		}
+
+		p := st.Proc
+		c := make([]int, n)
+		if last[p] != nil {
+			copy(c, last[p])
+		}
+		if pending[p] != nil {
+			merge(c, pending[p])
+			pending[p] = nil
+		}
+		ordinals[p]++
+		c[p] = ordinals[p]
+		h.clock[i] = c
+		h.stepOrdinal[i] = ordinals[p]
+		last[p] = c
+	}
+	return h, nil
+}
+
+// Clock returns the vector clock of step i (nil for steps before any
+// process step, which cannot happen in valid traces).
+func (h *History) Clock(i int) []int { return h.clock[i] }
+
+// Leq reports whether step i happens-before-or-equals step j.
+func (h *History) Leq(i, j int) bool {
+	ci, cj := h.clock[i], h.clock[j]
+	for p := range ci {
+		if ci[p] > cj[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Advancer is implemented by instrumented session processes that record
+// their counter advances (internal/alg/async.MPPort and the A(sp) process).
+type Advancer interface {
+	// Advances returns, per session value v = 1, 2, ..., the 1-based
+	// ordinal of the process's own step at which its counter reached v.
+	Advances() []int
+}
+
+// Coverage is the causal-certification measurement of a computation.
+type Coverage struct {
+	// Advances is the number of counter advances examined (value >= 2; the
+	// first advance has no predecessor to justify).
+	Advances int
+	// Certified counts advances to value v that causally dominate every
+	// process's advance to v-1 — knowable through message chains alone.
+	// The rest were justified by clocks (timing inference).
+	Certified int
+}
+
+// Ratio returns Certified / Advances (1 when nothing was checked).
+func (c Coverage) Ratio() float64 {
+	if c.Advances == 0 {
+		return 1
+	}
+	return float64(c.Certified) / float64(c.Advances)
+}
+
+// MeasureCertification checks, for every process's advance to session value
+// v >= 2, whether that step causally depends on every process's advance to
+// v-1. Condition-1 (message-evidence) advances pass; condition-2 (elapsed-
+// time) advances generally fail — quantifying how much synchronization the
+// algorithm bought with clocks instead of communication.
+func MeasureCertification(tr *model.Trace, delays []timing.MessageDelay,
+	advancesByProc [][]int) (Coverage, error) {
+	h, err := Build(tr, delays)
+	if err != nil {
+		return Coverage{}, err
+	}
+	// stepAt[p][o-1] is the trace index of p's o-th step.
+	stepAt := make([][]int, tr.NumProcs)
+	for p := range stepAt {
+		stepAt[p] = tr.StepsOf(p)
+	}
+	idxOf := func(p, ordinal int) (int, error) {
+		if ordinal < 1 || ordinal > len(stepAt[p]) {
+			return 0, fmt.Errorf("causal: p%d has no step %d", p, ordinal)
+		}
+		return stepAt[p][ordinal-1], nil
+	}
+
+	// Number of advance levels shared by all processes.
+	levels := -1
+	for _, adv := range advancesByProc {
+		if levels == -1 || len(adv) < levels {
+			levels = len(adv)
+		}
+	}
+	if levels <= 0 {
+		return Coverage{}, nil
+	}
+
+	var cov Coverage
+	for v := 2; v <= levels; v++ {
+		for p, adv := range advancesByProc {
+			j, err := idxOf(p, adv[v-1])
+			if err != nil {
+				return Coverage{}, err
+			}
+			cov.Advances++
+			certified := true
+			for q, qadv := range advancesByProc {
+				i, err := idxOf(q, qadv[v-2])
+				if err != nil {
+					return Coverage{}, err
+				}
+				if !h.Leq(i, j) {
+					certified = false
+					break
+				}
+			}
+			if certified {
+				cov.Certified++
+			}
+		}
+	}
+	return cov, nil
+}
+
+// CollectAdvances extracts advance records from instrumented processes,
+// reporting false if any process is not an Advancer.
+func CollectAdvances(procs []any) ([][]int, bool) {
+	out := make([][]int, 0, len(procs))
+	for _, p := range procs {
+		a, ok := p.(Advancer)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a.Advances())
+	}
+	return out, true
+}
+
+// LatencyStats measures information propagation: for each ordered pair
+// (p, q), the virtual time from p's first step until q first takes a step
+// with p in its causal past. Returns the maximum over pairs, the paper's
+// "one communication" cost observed causally.
+func LatencyStats(tr *model.Trace, delays []timing.MessageDelay) (max sim.Duration, err error) {
+	h, err := Build(tr, delays)
+	if err != nil {
+		return 0, err
+	}
+	n := tr.NumProcs
+	firstStepAt := make([]sim.Time, n)
+	seen := make([]bool, n)
+	heardAt := make([][]sim.Time, n) // heardAt[q][p]
+	heard := make([][]bool, n)
+	for q := 0; q < n; q++ {
+		heardAt[q] = make([]sim.Time, n)
+		heard[q] = make([]bool, n)
+	}
+	for i, st := range tr.Steps {
+		if st.Proc == model.NetworkProc {
+			continue
+		}
+		q := st.Proc
+		if !seen[q] {
+			seen[q] = true
+			firstStepAt[q] = st.Time
+		}
+		for p := 0; p < n; p++ {
+			if !heard[q][p] && h.clock[i][p] > 0 {
+				heard[q][p] = true
+				heardAt[q][p] = st.Time
+			}
+		}
+	}
+	for q := 0; q < n; q++ {
+		for p := 0; p < n; p++ {
+			if p == q || !heard[q][p] || !seen[p] {
+				continue
+			}
+			if d := heardAt[q][p].Sub(firstStepAt[p]); d > max {
+				max = d
+			}
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,174 @@
+package causal
+
+import (
+	"testing"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/timing"
+)
+
+func runMP(t *testing.T, alg core.MPAlgorithm, spec core.Spec, m timing.Model,
+	st timing.Strategy, seed uint64) (*mp.Result, *mp.System) {
+	t.Helper()
+	sys, err := alg.BuildMP(spec, m)
+	if err != nil {
+		t.Fatalf("BuildMP: %v", err)
+	}
+	res, err := mp.Run(sys, m.NewScheduler(st, seed), mp.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, sys
+}
+
+func advancesOf(t *testing.T, sys *mp.System) [][]int {
+	t.Helper()
+	procs := make([]any, len(sys.Procs))
+	for i, p := range sys.Procs {
+		procs[i] = p
+	}
+	adv, ok := CollectAdvances(procs)
+	if !ok {
+		t.Fatal("processes are not instrumented Advancers")
+	}
+	return adv
+}
+
+func TestBuildVectorClocks(t *testing.T) {
+	spec := core.Spec{S: 2, N: 2}
+	m := timing.NewSynchronous(2, 5)
+	res, _ := runMP(t, async.NewMP(), spec, m, timing.Slow, 1)
+	h, err := Build(res.Trace, res.Delays)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Every process step has a clock; own component counts own steps.
+	for i, st := range res.Trace.Steps {
+		if st.Proc == -1 {
+			continue
+		}
+		c := h.Clock(i)
+		if c == nil {
+			t.Fatalf("step %d has no clock", i)
+		}
+		if c[st.Proc] != h.stepOrdinal[i] {
+			t.Errorf("step %d: own component %d != ordinal %d", i, c[st.Proc], h.stepOrdinal[i])
+		}
+	}
+}
+
+func TestLeqReflexiveAndMonotone(t *testing.T) {
+	spec := core.Spec{S: 3, N: 3}
+	m := timing.NewSporadic(2, 4, 28, 0)
+	res, _ := runMP(t, sporadic.NewMP(), spec, m, timing.Random, 7)
+	h, err := Build(res.Trace, res.Delays)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Per-process steps are totally ordered by happens-before.
+	for p := 0; p < spec.N; p++ {
+		idx := res.Trace.StepsOf(p)
+		for i := 1; i < len(idx); i++ {
+			if !h.Leq(idx[i-1], idx[i]) {
+				t.Errorf("p%d: step %d not <= step %d", p, idx[i-1], idx[i])
+			}
+			if h.Leq(idx[i], idx[i-1]) {
+				t.Errorf("p%d: later step <= earlier step", p)
+			}
+		}
+	}
+	// Reflexive.
+	for _, i := range res.Trace.StepsOf(0) {
+		if !h.Leq(i, i) {
+			t.Error("Leq not reflexive")
+		}
+	}
+}
+
+// TestAsyncFullyCausal: the asynchronous algorithm advances only on
+// received messages, so every session after the first is causally
+// certified.
+func TestAsyncFullyCausal(t *testing.T) {
+	spec := core.Spec{S: 5, N: 3}
+	m := timing.NewAsynchronousMP(3, 12)
+	for seed := uint64(1); seed <= 3; seed++ {
+		res, sys := runMP(t, async.NewMP(), spec, m, timing.Random, seed)
+		cov, err := MeasureCertification(res.Trace, res.Delays, advancesOf(t, sys))
+		if err != nil {
+			t.Fatalf("MeasureCertification: %v", err)
+		}
+		if cov.Advances == 0 {
+			t.Fatalf("seed %d: nothing measured", seed)
+		}
+		if cov.Ratio() != 1 {
+			t.Errorf("seed %d: async coverage %.2f (%d/%d), want 1.0",
+				seed, cov.Ratio(), cov.Certified, cov.Advances)
+		}
+	}
+}
+
+// TestSporadicUsesClocksNotMessages: at u = 0 with maximum delays, A(sp)
+// certifies sessions via condition 2 (elapsed time), so most sessions are
+// NOT causally certified — the paper's "timing information replaces
+// communication" made measurable.
+func TestSporadicUsesClocksNotMessages(t *testing.T) {
+	spec := core.Spec{S: 8, N: 3}
+	m := timing.NewSporadic(2, 20, 20, 2) // u=0, delays 20, fast steps
+	res, sys := runMP(t, sporadic.NewMP(), spec, m, timing.Fast, 1)
+	cov, err := MeasureCertification(res.Trace, res.Delays, advancesOf(t, sys))
+	if err != nil {
+		t.Fatalf("MeasureCertification: %v", err)
+	}
+	if cov.Advances == 0 {
+		t.Fatal("nothing measured")
+	}
+	if cov.Ratio() > 0.5 {
+		t.Errorf("A(sp) at u=0 should certify most sessions by clocks, got causal ratio %.2f (%d/%d)",
+			cov.Ratio(), cov.Certified, cov.Advances)
+	}
+}
+
+// TestSporadicBecomesCausalAsUGrows: with u = d2 (d1 = 0), condition 2 is
+// useless (B large) and A(sp) degenerates to condition 1: causal coverage
+// returns to 1.
+func TestSporadicBecomesCausalAsUGrows(t *testing.T) {
+	spec := core.Spec{S: 5, N: 3}
+	m := timing.NewSporadic(2, 0, 20, 2)
+	res, sys := runMP(t, sporadic.NewMP(), spec, m, timing.Fast, 1)
+	cov, err := MeasureCertification(res.Trace, res.Delays, advancesOf(t, sys))
+	if err != nil {
+		t.Fatalf("MeasureCertification: %v", err)
+	}
+	if cov.Ratio() < 1 {
+		t.Errorf("A(sp) at u=d2 should be fully causal, got %.2f (%d/%d)",
+			cov.Ratio(), cov.Certified, cov.Advances)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	spec := core.Spec{S: 3, N: 3}
+	m := timing.NewSynchronous(2, 6)
+	res, _ := runMP(t, async.NewMP(), spec, m, timing.Slow, 1)
+	max, err := LatencyStats(res.Trace, res.Delays)
+	if err != nil {
+		t.Fatalf("LatencyStats: %v", err)
+	}
+	// Information needs at least one delay (6) to cross processes, and at
+	// most d2 + c2 to be picked up.
+	if max < 6 || max > 8 {
+		t.Errorf("propagation latency %v outside [d2, d2+c2] = [6, 8]", max)
+	}
+}
+
+func TestBuildRejectsOrphanDeliveries(t *testing.T) {
+	spec := core.Spec{S: 2, N: 2}
+	m := timing.NewSynchronous(2, 5)
+	res, _ := runMP(t, async.NewMP(), spec, m, timing.Slow, 1)
+	// Drop the delay records: deliveries become unattributable.
+	if _, err := Build(res.Trace, nil); err == nil {
+		t.Error("orphan deliveries accepted")
+	}
+}

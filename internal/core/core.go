@@ -1,0 +1,179 @@
+// Package core defines the (s, n)-session problem (Section 2.3) and the
+// machinery that runs an algorithm under a timing model and verifies the
+// problem's three conditions on the resulting timed computation:
+//
+//  1. idle states are stable (checked by the executors; additionally
+//     probeable for shared memory),
+//  2. there is a distinguished set of n ports with unique port processes
+//     (encoded in the built systems), and
+//  3. every admissible timed computation contains at least s disjoint
+//     sessions and all port processes eventually idle.
+//
+// Algorithms plug in as factories building shared-memory or message-passing
+// systems for a given spec and timing model.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+)
+
+// Spec is one instance of the (s, n)-session problem.
+type Spec struct {
+	// S is the number of disjoint sessions required.
+	S int
+	// N is the number of ports.
+	N int
+	// B is the shared-variable access bound (shared-memory systems only).
+	B int
+}
+
+// Validate checks the spec.
+func (sp Spec) Validate() error {
+	if sp.S < 1 {
+		return fmt.Errorf("core: s must be >= 1, got %d", sp.S)
+	}
+	if sp.N < 1 {
+		return fmt.Errorf("core: n must be >= 1, got %d", sp.N)
+	}
+	if sp.B != 0 && sp.B < 2 {
+		return fmt.Errorf("core: b must be >= 2, got %d", sp.B)
+	}
+	return nil
+}
+
+// SMAlgorithm builds a shared-memory system solving the session problem.
+type SMAlgorithm interface {
+	Name() string
+	BuildSM(spec Spec, m timing.Model) (*sm.System, error)
+}
+
+// MPAlgorithm builds a message-passing system solving the session problem.
+type MPAlgorithm interface {
+	Name() string
+	BuildMP(spec Spec, m timing.Model) (*mp.System, error)
+}
+
+// Report summarizes one verified execution.
+type Report struct {
+	// Algorithm and Model identify what ran.
+	Algorithm string
+	Model     timing.Kind
+	// Spec is the problem instance.
+	Spec Spec
+
+	// Trace is the recorded timed computation.
+	Trace *model.Trace
+	// Finish is the running time: the time by which every port process is
+	// idle.
+	Finish sim.Time
+	// Sessions is the number of disjoint sessions in the computation.
+	Sessions int
+	// Rounds is the number of disjoint rounds in the computation (the
+	// running-time measure for the asynchronous shared-memory model).
+	Rounds int
+	// Gamma is the largest step time taken by any process (per-computation
+	// parameter of the sporadic analysis).
+	Gamma sim.Duration
+	// Messages counts broadcasts (message-passing runs only).
+	Messages int
+}
+
+// ErrTooFewSessions is wrapped by verification failures where the
+// computation contained fewer than s disjoint sessions.
+var ErrTooFewSessions = errors.New("core: fewer than s disjoint sessions")
+
+// RunSM executes alg under model m with the given strategy and seed, then
+// verifies admissibility and the session condition.
+func RunSM(alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := alg.BuildSM(spec, m)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
+	}
+	res, err := sm.Run(sys, m.NewScheduler(st, seed), sm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
+	}
+	rep := &Report{
+		Algorithm: alg.Name(),
+		Model:     m.Kind,
+		Spec:      spec,
+		Trace:     res.Trace,
+		Finish:    res.Finish,
+		Sessions:  res.Trace.CountSessions(),
+		Rounds:    res.Trace.CountRounds(),
+		Gamma:     res.Trace.Gamma(),
+	}
+	if err := m.CheckAdmissible(res.Trace, nil); err != nil {
+		return rep, fmt.Errorf("core: inadmissible computation: %w", err)
+	}
+	if rep.Sessions < spec.S {
+		return rep, fmt.Errorf("%w: got %d, need %d (alg %s, model %v, strategy %v, seed %d)",
+			ErrTooFewSessions, rep.Sessions, spec.S, alg.Name(), m.Kind, st, seed)
+	}
+	return rep, nil
+}
+
+// RunMP executes alg under model m with the given strategy and seed, then
+// verifies admissibility (including message delays) and the session
+// condition.
+func RunMP(alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := alg.BuildMP(spec, m)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
+	}
+	res, err := mp.Run(sys, m.NewScheduler(st, seed), mp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
+	}
+	rep := &Report{
+		Algorithm: alg.Name(),
+		Model:     m.Kind,
+		Spec:      spec,
+		Trace:     res.Trace,
+		Finish:    res.Finish,
+		Sessions:  res.Trace.CountSessions(),
+		Rounds:    res.Trace.CountRounds(),
+		Gamma:     res.Trace.Gamma(),
+		Messages:  res.MessagesSent,
+	}
+	if err := m.CheckAdmissible(res.Trace, res.Delays); err != nil {
+		return rep, fmt.Errorf("core: inadmissible computation: %w", err)
+	}
+	if rep.Sessions < spec.S {
+		return rep, fmt.Errorf("%w: got %d, need %d (alg %s, model %v, strategy %v, seed %d)",
+			ErrTooFewSessions, rep.Sessions, spec.S, alg.Name(), m.Kind, st, seed)
+	}
+	return rep, nil
+}
+
+// ProbeIdleStability reruns a shared-memory algorithm with extra post-idle
+// steps, verifying condition (1) of the problem: once idle, a process stays
+// idle and stops modifying shared state. The executor fails the run if the
+// property is violated.
+func ProbeIdleStability(alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64) error {
+	sys, err := alg.BuildSM(spec, m)
+	if err != nil {
+		return fmt.Errorf("build %s: %w", alg.Name(), err)
+	}
+	_, err = sm.Run(sys, m.NewScheduler(st, seed), sm.Options{ProbeSteps: 3})
+	return err
+}

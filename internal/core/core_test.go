@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"ok", Spec{S: 2, N: 3, B: 2}, true},
+		{"ok no b", Spec{S: 1, N: 1}, true},
+		{"zero s", Spec{S: 0, N: 1}, false},
+		{"zero n", Spec{S: 1, N: 0}, false},
+		{"b one", Spec{S: 1, N: 1, B: 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if tt.ok && err != nil {
+				t.Errorf("unexpected: %v", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("invalid spec accepted")
+			}
+		})
+	}
+}
+
+// fixedSM is a trivial SM algorithm taking k steps per port.
+type fixedSM struct{ k int }
+
+func (f fixedSM) Name() string { return "fixed" }
+
+func (f fixedSM) BuildSM(spec Spec, _ timing.Model) (*sm.System, error) {
+	b := spec.B
+	if b == 0 {
+		b = 2
+	}
+	sys := &sm.System{B: b}
+	for i := 0; i < spec.N; i++ {
+		v := model.VarID(i)
+		sys.Procs = append(sys.Procs, &smStepper{v: v, left: f.k})
+		sys.Ports = append(sys.Ports, sm.PortBinding{Var: v, Proc: i})
+	}
+	return sys, nil
+}
+
+type smStepper struct {
+	v    model.VarID
+	left int
+}
+
+func (s *smStepper) Target() model.VarID { return s.v }
+func (s *smStepper) Step(old sm.Value) sm.Value {
+	if s.left == 0 {
+		return old
+	}
+	s.left--
+	return s.left
+}
+func (s *smStepper) Idle() bool { return s.left == 0 }
+
+// fixedMP takes k silent steps per process.
+type fixedMP struct{ k int }
+
+func (f fixedMP) Name() string { return "fixed" }
+
+func (f fixedMP) BuildMP(spec Spec, _ timing.Model) (*mp.System, error) {
+	sys := &mp.System{}
+	for i := 0; i < spec.N; i++ {
+		sys.Procs = append(sys.Procs, &mpStepper{left: f.k})
+		sys.PortProcs = append(sys.PortProcs, i)
+	}
+	return sys, nil
+}
+
+type mpStepper struct{ left int }
+
+func (s *mpStepper) Step([]mp.Message) any {
+	if s.left > 0 {
+		s.left--
+	}
+	return nil
+}
+func (s *mpStepper) Idle() bool { return s.left == 0 }
+
+func TestRunSMVerifiesSessions(t *testing.T) {
+	m := timing.NewSynchronous(2, 0)
+	// k = s steps in lockstep: exactly s sessions.
+	rep, err := RunSM(fixedSM{k: 3}, Spec{S: 3, N: 2, B: 2}, m, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("RunSM: %v", err)
+	}
+	if rep.Sessions != 3 || rep.Finish != 6 {
+		t.Errorf("got sessions=%d finish=%v", rep.Sessions, rep.Finish)
+	}
+	// k = s-1 steps: too few sessions.
+	_, err = RunSM(fixedSM{k: 2}, Spec{S: 3, N: 2, B: 2}, m, timing.Slow, 1)
+	if !errors.Is(err, ErrTooFewSessions) {
+		t.Errorf("want ErrTooFewSessions, got %v", err)
+	}
+}
+
+func TestRunMPVerifiesSessions(t *testing.T) {
+	m := timing.NewSynchronous(2, 5)
+	rep, err := RunMP(fixedMP{k: 4}, Spec{S: 4, N: 3}, m, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("RunMP: %v", err)
+	}
+	if rep.Sessions != 4 {
+		t.Errorf("sessions: got %d", rep.Sessions)
+	}
+	_, err = RunMP(fixedMP{k: 1}, Spec{S: 4, N: 3}, m, timing.Slow, 1)
+	if !errors.Is(err, ErrTooFewSessions) {
+		t.Errorf("want ErrTooFewSessions, got %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	m := timing.NewSynchronous(2, 0)
+	if _, err := RunSM(fixedSM{k: 1}, Spec{S: 0, N: 1}, m, timing.Slow, 1); err == nil {
+		t.Error("bad spec accepted")
+	}
+	bad := timing.Model{Kind: timing.Synchronous, C2: 0}
+	if _, err := RunSM(fixedSM{k: 1}, Spec{S: 1, N: 1}, bad, timing.Slow, 1); err == nil {
+		t.Error("bad model accepted")
+	}
+	if _, err := RunMP(fixedMP{k: 1}, Spec{S: 0, N: 1}, m, timing.Slow, 1); err == nil {
+		t.Error("bad spec accepted (MP)")
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	m := timing.NewSynchronous(3, 0)
+	rep, err := RunSM(fixedSM{k: 2}, Spec{S: 2, N: 2, B: 2}, m, timing.Slow, 9)
+	if err != nil {
+		t.Fatalf("RunSM: %v", err)
+	}
+	if rep.Algorithm != "fixed" {
+		t.Errorf("Algorithm: %q", rep.Algorithm)
+	}
+	if rep.Model != timing.Synchronous {
+		t.Errorf("Model: %v", rep.Model)
+	}
+	if rep.Gamma != 3 {
+		t.Errorf("Gamma: got %v, want 3", rep.Gamma)
+	}
+	if rep.Rounds != 2 {
+		t.Errorf("Rounds: got %d, want 2", rep.Rounds)
+	}
+	if rep.Trace == nil || len(rep.Trace.Steps) != 4 {
+		t.Error("trace missing or wrong length")
+	}
+}
+
+func TestErrorMentionsContext(t *testing.T) {
+	m := timing.NewSynchronous(2, 0)
+	_, err := RunSM(fixedSM{k: 1}, Spec{S: 5, N: 2, B: 2}, m, timing.Slow, 42)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	for _, want := range []string{"fixed", "synchronous", "seed 42"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestProbeIdleStability(t *testing.T) {
+	m := timing.NewSynchronous(2, 0)
+	if err := ProbeIdleStability(fixedSM{k: 2}, Spec{S: 2, N: 2, B: 2}, m, timing.Slow, 1); err != nil {
+		t.Errorf("stable algorithm failed probe: %v", err)
+	}
+}
+
+// erringSM always fails to build.
+type erringSM struct{}
+
+func (erringSM) Name() string { return "erring" }
+func (erringSM) BuildSM(Spec, timing.Model) (*sm.System, error) {
+	return nil, errors.New("boom")
+}
+
+// erringMP always fails to build.
+type erringMP struct{}
+
+func (erringMP) Name() string { return "erring" }
+func (erringMP) BuildMP(Spec, timing.Model) (*mp.System, error) {
+	return nil, errors.New("boom")
+}
+
+func TestRunPropagatesBuildErrors(t *testing.T) {
+	m := timing.NewSynchronous(2, 2)
+	if _, err := RunSM(erringSM{}, Spec{S: 1, N: 1}, m, timing.Slow, 1); err == nil ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Errorf("SM build error lost: %v", err)
+	}
+	if _, err := RunMP(erringMP{}, Spec{S: 1, N: 1}, m, timing.Slow, 1); err == nil ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Errorf("MP build error lost: %v", err)
+	}
+	if err := ProbeIdleStability(erringSM{}, Spec{S: 1, N: 1}, m, timing.Slow, 1); err == nil {
+		t.Error("probe build error lost")
+	}
+}
+
+// hangingMP never idles, exercising the executor-failure path through RunMP.
+type hangingMP struct{}
+
+func (hangingMP) Name() string { return "hanging" }
+func (hangingMP) BuildMP(spec Spec, _ timing.Model) (*mp.System, error) {
+	sys := &mp.System{}
+	for i := 0; i < spec.N; i++ {
+		sys.Procs = append(sys.Procs, restlessProc{})
+		sys.PortProcs = append(sys.PortProcs, i)
+	}
+	return sys, nil
+}
+
+type restlessProc struct{}
+
+func (restlessProc) Step([]mp.Message) any { return nil }
+func (restlessProc) Idle() bool            { return false }
+
+func TestRunReportsNonTermination(t *testing.T) {
+	m := timing.NewSynchronous(2, 2)
+	_, err := RunMP(hangingMP{}, Spec{S: 1, N: 1}, m, timing.Slow, 1)
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("non-termination not reported: %v", err)
+	}
+}

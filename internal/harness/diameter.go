@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+	"sessionproblem/internal/topo"
+)
+
+// DiameterPoint is one topology's entry in the F5 experiment.
+type DiameterPoint struct {
+	Topology    string
+	Diameter    int
+	EffectiveD2 sim.Duration
+	Measured    float64 // worst finish over seeds
+	PaperUpper  float64 // (s-1)(d2_eff + c2) + c2
+}
+
+// SweepDiameter is experiment F5: the paper converts [4]'s point-to-point
+// results to the broadcast model by letting d2 subsume the network
+// diameter. Here the asynchronous algorithm runs over concrete topologies
+// with per-hop delays in [0, hopDelay]; the measured worst case must track
+// diameter*hopDelay through the abstract bound.
+func SweepDiameter(s, n int, c2, hopDelay sim.Duration, seeds int) ([]DiameterPoint, error) {
+	topos := []struct {
+		name string
+		g    *topo.Graph
+	}{
+		{"complete", topo.Complete(n)},
+		{"star", topo.Star(n)},
+		{"ring", topo.Ring(n)},
+		{"line", topo.Line(n)},
+	}
+	spec := core.Spec{S: s, N: n}
+	var out []DiameterPoint
+	for _, tt := range topos {
+		var worst float64
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			sys, err := async.NewMP().BuildMP(spec, timing.NewAsynchronousMP(c2, 0))
+			if err != nil {
+				return nil, err
+			}
+			inner := timing.NewAsynchronousMP(c2, 0).NewScheduler(timing.Slow, seed)
+			hs, err := topo.NewHopScheduler(tt.g, inner, 0, hopDelay, seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := mp.Run(sys, hs, mp.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("F5 %s seed %d: %w", tt.name, seed, err)
+			}
+			if got := res.Trace.CountSessions(); got < s {
+				return nil, fmt.Errorf("F5 %s seed %d: only %d sessions", tt.name, seed, got)
+			}
+			if f := float64(res.Finish); f > worst {
+				worst = f
+			}
+		}
+		diam := tt.g.Diameter()
+		if diam == 0 {
+			diam = 1
+		}
+		d2eff := sim.Duration(diam) * hopDelay
+		p := bounds.Params{S: s, N: n, C2: c2, D2: d2eff}
+		out = append(out, DiameterPoint{
+			Topology:    tt.name,
+			Diameter:    diam,
+			EffectiveD2: d2eff,
+			Measured:    worst,
+			PaperUpper:  bounds.AsyncMPU(p),
+		})
+	}
+	return out, nil
+}

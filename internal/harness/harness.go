@@ -1,0 +1,288 @@
+// Package harness regenerates the paper's evaluation artifacts: Table 1
+// (upper/lower bounds for the session problem across five timing models and
+// two communication models) and the intro's comparison claims as parameter
+// sweeps (F1-F4), plus the lower-bound adversary demonstrations (A1-A3).
+//
+// For every cell the harness runs the matching algorithm under every
+// scheduling strategy and several seeds, measures the running time (real
+// time, or rounds for the asynchronous shared-memory model), and reports it
+// against the closed-form bound formulas from internal/bounds. Absolute
+// numbers are in simulator ticks; the reproduction target is the shape:
+// measured max within [L, U] for every row.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/semisync"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/alg/synchronous"
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/stats"
+	"sessionproblem/internal/timing"
+)
+
+// Config parameterizes a Table-1 regeneration.
+type Config struct {
+	S int // sessions
+	N int // ports
+	B int // shared-variable access bound
+
+	C1, C2     sim.Duration // semi-synchronous step bounds; C2 doubles as the synchronous step time
+	Cmin, Cmax sim.Duration // periodic period range
+	D1, D2     sim.Duration // message delay bounds (D1 used by sporadic only)
+
+	Seeds int // seeds per strategy (default 3)
+}
+
+// Default returns the configuration used by cmd/sessiontable and the
+// benches: a mid-sized instance where every min-expression in Table 1 is
+// exercised.
+func Default() Config {
+	return Config{
+		S: 6, N: 8, B: 3,
+		C1: 2, C2: 10,
+		Cmin: 2, Cmax: 10,
+		D1: 4, D2: 28,
+		Seeds: 3,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds == 0 {
+		c.Seeds = 3
+	}
+	return c
+}
+
+// Cell is one Table-1 row instantiation: a (timing model, communication
+// model) pair with its bound formulas and measurements.
+type Cell struct {
+	// Row and Comm identify the cell ("periodic", "SM").
+	Row  string
+	Comm string
+	// Unit is "time" (ticks) or "rounds".
+	Unit string
+	// Lower and Upper are the paper's bound formulas evaluated at the
+	// configuration (Upper uses the worst measured γ for the sporadic row).
+	Lower, Upper float64
+	// Measured summarizes the running time across strategies and seeds.
+	Measured stats.Summary
+	// RealizesLower reports that some schedule pushed the measured value to
+	// at least the lower bound.
+	RealizesLower bool
+	// RespectsUpper reports that every run stayed within the upper bound.
+	RespectsUpper bool
+	// Algorithm names the implementation measured.
+	Algorithm string
+}
+
+// Verdict summarizes the bound check.
+func (c Cell) Verdict() string {
+	switch {
+	case c.RealizesLower && c.RespectsUpper:
+		return "ok"
+	case c.RespectsUpper:
+		return "upper-only"
+	default:
+		return "VIOLATION"
+	}
+}
+
+// Table1 regenerates every cell of Table 1 at the given configuration.
+func Table1(cfg Config) ([]Cell, error) {
+	cfg = cfg.withDefaults()
+	var cells []Cell
+	p := bounds.Params{
+		S: cfg.S, N: cfg.N, B: cfg.B,
+		C1: cfg.C1, C2: cfg.C2,
+		Cmin: cfg.Cmin, Cmax: cfg.Cmax,
+		D1: cfg.D1, D2: cfg.D2,
+	}
+
+	// --- Synchronous ---
+	syncL, syncU := bounds.SyncSM(p)
+	cell, err := measureSM(cfg, "synchronous", synchronous.NewSM(),
+		timing.NewSynchronous(cfg.C2, 0), syncL, syncU)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, cell)
+	syncLmp, syncUmp := bounds.SyncMP(p)
+	cell, err = measureMP(cfg, "synchronous", synchronous.NewMP(),
+		timing.NewSynchronous(cfg.C2, cfg.D2), syncLmp, syncUmp, false)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, cell)
+
+	// --- Periodic ---
+	cell, err = measureSM(cfg, "periodic", periodic.NewSM(),
+		timing.NewPeriodic(cfg.Cmin, cfg.Cmax, 0),
+		bounds.PeriodicSML(p), bounds.PeriodicSMU(p))
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, cell)
+	cell, err = measureMP(cfg, "periodic", periodic.NewMP(),
+		timing.NewPeriodic(cfg.Cmin, cfg.Cmax, cfg.D2),
+		bounds.PeriodicMPL(p), bounds.PeriodicMPU(p), false)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, cell)
+
+	// --- Semi-synchronous ---
+	cell, err = measureSM(cfg, "semi-synchronous", semisync.NewSM(semisync.Auto),
+		timing.NewSemiSynchronous(cfg.C1, cfg.C2, 0),
+		bounds.SemiSyncSML(p), bounds.SemiSyncSMU(p))
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, cell)
+	cell, err = measureMP(cfg, "semi-synchronous", semisync.NewMP(semisync.Auto),
+		timing.NewSemiSynchronous(cfg.C1, cfg.C2, cfg.D2),
+		bounds.SemiSyncMPL(p), bounds.SemiSyncMPU(p), false)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, cell)
+
+	// --- Sporadic (MP; SM equals asynchronous SM) ---
+	cell, err = measureMP(cfg, "sporadic", sporadic.NewMP(),
+		timing.NewSporadic(cfg.C1, cfg.D1, cfg.D2, 0),
+		bounds.SporadicMPL(p), 0, true)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, cell)
+
+	// --- Asynchronous ---
+	cell, err = measureAsyncSMRounds(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, cell)
+	cell, err = measureMP(cfg, "asynchronous", async.NewMP(),
+		timing.NewAsynchronousMP(cfg.C2, cfg.D2),
+		bounds.AsyncMPL(p), bounds.AsyncMPU(p), false)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, cell)
+
+	return cells, nil
+}
+
+func measureSM(cfg Config, row string, alg core.SMAlgorithm, m timing.Model, lower, upper float64) (Cell, error) {
+	spec := core.Spec{S: cfg.S, N: cfg.N, B: cfg.B}
+	var finishes []float64
+	for _, st := range timing.AllStrategies() {
+		for seed := uint64(1); seed <= uint64(cfg.Seeds); seed++ {
+			rep, err := core.RunSM(alg, spec, m, st, seed)
+			if err != nil {
+				return Cell{}, fmt.Errorf("%s/SM %v seed %d: %w", row, st, seed, err)
+			}
+			finishes = append(finishes, float64(rep.Finish))
+		}
+	}
+	sum := stats.Summarize(finishes)
+	return Cell{
+		Row: row, Comm: "SM", Unit: "time",
+		Lower: lower, Upper: upper,
+		Measured:      sum,
+		RealizesLower: sum.Max >= lower,
+		RespectsUpper: sum.Max <= upper,
+		Algorithm:     alg.Name(),
+	}, nil
+}
+
+// measureMP measures a message-passing row. When gammaUpper is set, the
+// upper bound is the sporadic per-computation formula evaluated at each
+// run's measured γ.
+func measureMP(cfg Config, row string, alg core.MPAlgorithm, m timing.Model, lower, upper float64, gammaUpper bool) (Cell, error) {
+	spec := core.Spec{S: cfg.S, N: cfg.N}
+	var finishes []float64
+	respects := true
+	worstUpper := upper
+	for _, st := range timing.AllStrategies() {
+		for seed := uint64(1); seed <= uint64(cfg.Seeds); seed++ {
+			rep, err := core.RunMP(alg, spec, m, st, seed)
+			if err != nil {
+				return Cell{}, fmt.Errorf("%s/MP %v seed %d: %w", row, st, seed, err)
+			}
+			finishes = append(finishes, float64(rep.Finish))
+			if gammaUpper {
+				p := bounds.Params{
+					S: cfg.S, N: cfg.N,
+					C1: m.C1, D1: m.D1, D2: m.D2,
+					Gamma: rep.Gamma,
+				}
+				u := bounds.SporadicMPU(p)
+				if float64(rep.Finish) > u {
+					respects = false
+				}
+				if u > worstUpper {
+					worstUpper = u
+				}
+			}
+		}
+	}
+	sum := stats.Summarize(finishes)
+	cell := Cell{
+		Row: row, Comm: "MP", Unit: "time",
+		Lower: lower, Upper: worstUpper,
+		Measured:      sum,
+		RealizesLower: sum.Max >= lower,
+		Algorithm:     alg.Name(),
+	}
+	if gammaUpper {
+		cell.RespectsUpper = respects
+	} else {
+		cell.RespectsUpper = sum.Max <= upper
+	}
+	return cell, nil
+}
+
+func measureAsyncSMRounds(cfg Config, p bounds.Params) (Cell, error) {
+	spec := core.Spec{S: cfg.S, N: cfg.N, B: cfg.B}
+	m := timing.NewAsynchronousSM(0)
+	var roundsSeen []float64
+	for _, st := range timing.AllStrategies() {
+		for seed := uint64(1); seed <= uint64(cfg.Seeds); seed++ {
+			rep, err := core.RunSM(async.NewSM(), spec, m, st, seed)
+			if err != nil {
+				return Cell{}, fmt.Errorf("asynchronous/SM %v seed %d: %w", st, seed, err)
+			}
+			roundsSeen = append(roundsSeen, float64(rep.Rounds))
+		}
+	}
+	sum := stats.Summarize(roundsSeen)
+	lower, upper := bounds.AsyncSML(p), bounds.AsyncSMU(p)
+	return Cell{
+		Row: "asynchronous", Comm: "SM", Unit: "rounds",
+		Lower: lower, Upper: upper,
+		Measured:      sum,
+		RealizesLower: sum.Max >= lower,
+		RespectsUpper: sum.Max <= upper,
+		Algorithm:     async.NewSM().Name(),
+	}, nil
+}
+
+// WriteTable renders cells as an aligned text table.
+func WriteTable(w io.Writer, cells []Cell) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "MODEL\tCOMM\tUNIT\tPAPER L\tPAPER U\tMEASURED MAX\tMEAN\tVERDICT\tALGORITHM")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t%.0f\t%.1f\t%s\t%s\n",
+			c.Row, c.Comm, c.Unit, c.Lower, c.Upper,
+			c.Measured.Max, c.Measured.Mean, c.Verdict(), c.Algorithm)
+	}
+	return tw.Flush()
+}

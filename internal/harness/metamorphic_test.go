@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/semisync"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/alg/synchronous"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// TestScaleInvariance is a metamorphic property of the whole stack:
+// multiplying every timing constant by k must multiply the running time by
+// exactly k under the deterministic strategies (integer virtual time makes
+// this exact). A violation would indicate hidden absolute-time assumptions
+// anywhere in the executors, schedulers, or algorithms.
+func TestScaleInvariance(t *testing.T) {
+	f := func(kRaw uint8, stRaw uint8) bool {
+		k := sim.Duration(kRaw%7) + 2
+		// Slow and Fast pick deterministic gaps AND delays; Skewed draws
+		// random delays, which do not scale exactly.
+		strategies := []timing.Strategy{timing.Slow, timing.Fast}
+		st := strategies[int(stRaw)%len(strategies)]
+
+		type trial struct {
+			name string
+			run  func(scale sim.Duration) (sim.Time, error)
+		}
+		spec := core.Spec{S: 3, N: 3, B: 2}
+		trials := []trial{
+			{"sync/sm", func(c sim.Duration) (sim.Time, error) {
+				r, err := core.RunSM(synchronous.NewSM(), spec, timing.NewSynchronous(3*c, 0), st, 1)
+				if err != nil {
+					return 0, err
+				}
+				return r.Finish, nil
+			}},
+			{"periodic/mp", func(c sim.Duration) (sim.Time, error) {
+				r, err := core.RunMP(periodic.NewMP(), spec, timing.NewPeriodic(2*c, 8*c, 20*c), st, 1)
+				if err != nil {
+					return 0, err
+				}
+				return r.Finish, nil
+			}},
+			{"semisync/mp", func(c sim.Duration) (sim.Time, error) {
+				r, err := core.RunMP(semisync.NewMP(semisync.Auto), spec,
+					timing.NewSemiSynchronous(2*c, 8*c, 20*c), st, 1)
+				if err != nil {
+					return 0, err
+				}
+				return r.Finish, nil
+			}},
+			{"sporadic/mp", func(c sim.Duration) (sim.Time, error) {
+				r, err := core.RunMP(sporadic.NewMP(), spec,
+					timing.NewSporadic(2*c, 4*c, 28*c, 8*c), st, 1)
+				if err != nil {
+					return 0, err
+				}
+				return r.Finish, nil
+			}},
+		}
+		for _, tr := range trials {
+			base, err := tr.run(1)
+			if err != nil {
+				t.Logf("%s base: %v", tr.name, err)
+				return false
+			}
+			scaled, err := tr.run(k)
+			if err != nil {
+				t.Logf("%s scaled: %v", tr.name, err)
+				return false
+			}
+			if scaled != base.Add(sim.Duration(int64(base)*(int64(k)-1))) {
+				t.Logf("%s: base %v, x%d gave %v (want %d)", tr.name, base, k, scaled, int64(base)*int64(k))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSessionCountMonotoneInS: asking for more sessions never finishes
+// earlier under a fixed deterministic schedule.
+func TestSessionCountMonotoneInS(t *testing.T) {
+	type runner func(s int) (sim.Time, error)
+	runners := map[string]runner{
+		"sync/sm": func(s int) (sim.Time, error) {
+			r, err := core.RunSM(synchronous.NewSM(), core.Spec{S: s, N: 3, B: 2},
+				timing.NewSynchronous(4, 0), timing.Slow, 1)
+			if err != nil {
+				return 0, err
+			}
+			return r.Finish, nil
+		},
+		"periodic/sm": func(s int) (sim.Time, error) {
+			r, err := core.RunSM(periodic.NewSM(), core.Spec{S: s, N: 3, B: 2},
+				timing.NewPeriodic(2, 8, 0), timing.Skewed, 1)
+			if err != nil {
+				return 0, err
+			}
+			return r.Finish, nil
+		},
+		"async/mp": func(s int) (sim.Time, error) {
+			r, err := core.RunMP(async.NewMP(), core.Spec{S: s, N: 3},
+				timing.NewAsynchronousMP(4, 12), timing.Slow, 1)
+			if err != nil {
+				return 0, err
+			}
+			return r.Finish, nil
+		},
+		"sporadic/mp": func(s int) (sim.Time, error) {
+			r, err := core.RunMP(sporadic.NewMP(), core.Spec{S: s, N: 3},
+				timing.NewSporadic(2, 4, 28, 0), timing.Slow, 1)
+			if err != nil {
+				return 0, err
+			}
+			return r.Finish, nil
+		},
+	}
+	for name, run := range runners {
+		prev := sim.Time(0)
+		for s := 1; s <= 8; s++ {
+			finish, err := run(s)
+			if err != nil {
+				t.Fatalf("%s s=%d: %v", name, s, err)
+			}
+			if finish < prev {
+				t.Errorf("%s: finish(s=%d)=%v < finish(s=%d)=%v", name, s, finish, s-1, prev)
+			}
+			prev = finish
+		}
+	}
+}
+
+// TestSeedIndependenceOfDeterministicStrategies: Slow/Fast/Skewed draw no
+// randomness, so the seed must not affect the outcome.
+func TestSeedIndependenceOfDeterministicStrategies(t *testing.T) {
+	spec := core.Spec{S: 3, N: 3}
+	m := timing.NewSporadic(2, 4, 28, 0)
+	for _, st := range []timing.Strategy{timing.Slow, timing.Fast, timing.Skewed} {
+		var first sim.Time
+		for seed := uint64(1); seed <= 5; seed++ {
+			r, err := core.RunMP(sporadic.NewMP(), spec, m, st, seed)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", st, seed, err)
+			}
+			if seed == 1 {
+				first = r.Finish
+			} else if r.Finish != first {
+				t.Errorf("%v: seed %d gave %v, seed 1 gave %v", st, seed, r.Finish, first)
+			}
+		}
+	}
+}
+
+// TestMoreUncertaintyNeverHelps: widening the sporadic delay window (same
+// d2, smaller d1) can only slow the worst case down, since every schedule
+// admissible under the narrow window is admissible under the wide one and
+// the algorithm has strictly less information.
+func TestMoreUncertaintyNeverHelps(t *testing.T) {
+	spec := core.Spec{S: 4, N: 3}
+	worst := func(d1 sim.Duration) float64 {
+		m := timing.NewSporadic(2, d1, 28, 4)
+		f, _, err := maxFinishMP(sporadic.NewMP(), spec, m, 2)
+		if err != nil {
+			t.Fatalf("d1=%v: %v", d1, err)
+		}
+		return f
+	}
+	narrow := worst(28)
+	wide := worst(0)
+	if wide < narrow {
+		t.Errorf("wide window worst (%v) beat narrow window worst (%v)", wide, narrow)
+	}
+}

@@ -1,0 +1,311 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sessionproblem/internal/sim"
+)
+
+// portTrace builds a trace from a sequence of port indices (NoPort entries
+// allowed), one step per entry, process = port index (or 0 for non-port).
+func portTrace(nPorts int, ports ...int) *Trace {
+	tr := &Trace{NumProcs: nPorts, NumPorts: nPorts}
+	for i, p := range ports {
+		proc := p
+		if p == NoPort {
+			proc = 0
+		}
+		tr.Steps = append(tr.Steps, Step{Index: i, Proc: proc, Time: sim.Time(i), Port: p})
+	}
+	return tr
+}
+
+func TestCountSessionsBasic(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		ports []int
+		want  int
+	}{
+		{name: "empty", n: 2, ports: nil, want: 0},
+		{name: "one incomplete", n: 2, ports: []int{0}, want: 0},
+		{name: "one session", n: 2, ports: []int{0, 1}, want: 1},
+		{name: "two sessions", n: 2, ports: []int{0, 1, 1, 0}, want: 2},
+		{name: "repeats do not help", n: 2, ports: []int{0, 0, 0, 1}, want: 1},
+		{name: "interleaved three ports", n: 3, ports: []int{0, 1, 2, 2, 1, 0}, want: 2},
+		{name: "non-port steps ignored", n: 2, ports: []int{0, NoPort, 1, NoPort, 0, 1}, want: 2},
+		{name: "single port single step", n: 1, ports: []int{0}, want: 1},
+		{name: "single port many steps", n: 1, ports: []int{0, 0, 0}, want: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := portTrace(tt.n, tt.ports...)
+			if got := tr.CountSessions(); got != tt.want {
+				t.Errorf("CountSessions: got %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+// bruteSessions finds the maximum number of disjoint contiguous fragments
+// each containing all ports, by exhaustive search over cut points.
+func bruteSessions(steps []Step, n int) int {
+	best := 0
+	var rec func(start, count int)
+	rec = func(start, count int) {
+		if count > best {
+			best = count
+		}
+		seen := make(map[int]bool)
+		for i := start; i < len(steps); i++ {
+			if steps[i].IsPortStep() {
+				seen[steps[i].Port] = true
+			}
+			if len(seen) == n {
+				rec(i+1, count+1)
+				return // extending the first complete fragment never helps
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Property: greedy session counting equals brute-force maximum.
+func TestCountSessionsMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, n8, len8 uint8) bool {
+		r := sim.NewRNG(seed)
+		n := int(n8%3) + 1
+		length := int(len8 % 24)
+		ports := make([]int, length)
+		for i := range ports {
+			// Mix in non-port steps.
+			if r.Intn(4) == 0 {
+				ports[i] = NoPort
+			} else {
+				ports[i] = r.Intn(n)
+			}
+		}
+		tr := portTrace(n, ports...)
+		return tr.CountSessions() == bruteSessions(tr.Steps, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountRounds(t *testing.T) {
+	tr := &Trace{NumProcs: 3, NumPorts: 0}
+	procs := []int{0, 1, 2, 0, 0, 1, 2, NetworkProc, 1}
+	for i, p := range procs {
+		tr.Steps = append(tr.Steps, Step{Index: i, Proc: p, Time: sim.Time(i), Port: NoPort})
+	}
+	if got := tr.CountRounds(); got != 2 {
+		t.Errorf("CountRounds: got %d, want 2", got)
+	}
+}
+
+func TestRoundsBefore(t *testing.T) {
+	tr := &Trace{NumProcs: 2, NumPorts: 0}
+	// Rounds complete at times 1 and 3.
+	times := []struct {
+		proc int
+		at   sim.Time
+	}{{0, 0}, {1, 1}, {0, 2}, {1, 3}, {0, 4}}
+	for i, s := range times {
+		tr.Steps = append(tr.Steps, Step{Index: i, Proc: s.proc, Time: s.at, Port: NoPort})
+	}
+	if got := tr.RoundsBefore(2); got != 1 {
+		t.Errorf("RoundsBefore(2): got %d, want 1", got)
+	}
+	if got := tr.RoundsBefore(100); got != 2 {
+		t.Errorf("RoundsBefore(100): got %d, want 2", got)
+	}
+	if got := tr.RoundsBefore(0); got != 0 {
+		t.Errorf("RoundsBefore(0): got %d, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := portTrace(2, 0, 1, 0, 1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+
+	badIndex := portTrace(2, 0, 1)
+	badIndex.Steps[1].Index = 5
+	if err := badIndex.Validate(); err == nil {
+		t.Error("bad index accepted")
+	}
+
+	badTime := portTrace(2, 0, 1)
+	badTime.Steps[1].Time = -1
+	if err := badTime.Validate(); err == nil {
+		t.Error("decreasing time accepted")
+	}
+
+	badProc := portTrace(2, 0, 1)
+	badProc.Steps[0].Proc = 7
+	if err := badProc.Validate(); err == nil {
+		t.Error("out-of-range proc accepted")
+	}
+
+	badPort := portTrace(2, 0, 1)
+	badPort.Steps[0].Port = 9
+	if err := badPort.Validate(); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+}
+
+func TestMaxStepGapAndGamma(t *testing.T) {
+	tr := &Trace{NumProcs: 2, NumPorts: 0}
+	// Proc 0 steps at 3, 5, 12 (gaps 3, 2, 7); proc 1 steps at 1, 2 (gaps 1, 1).
+	entries := []struct {
+		proc int
+		at   sim.Time
+	}{{1, 1}, {1, 2}, {0, 3}, {0, 5}, {0, 12}}
+	for i, e := range entries {
+		tr.Steps = append(tr.Steps, Step{Index: i, Proc: e.proc, Time: e.at, Port: NoPort})
+	}
+	if got := tr.MaxStepGap(0); got != 7 {
+		t.Errorf("MaxStepGap(0): got %v, want 7", got)
+	}
+	if got := tr.MaxStepGap(1); got != 1 {
+		t.Errorf("MaxStepGap(1): got %v, want 1", got)
+	}
+	if got := tr.Gamma(); got != 7 {
+		t.Errorf("Gamma: got %v, want 7", got)
+	}
+	if got := tr.MaxStepGap(5); got != 0 {
+		t.Errorf("MaxStepGap(absent proc): got %v, want 0", got)
+	}
+}
+
+func TestMaxStepGapCountsInitialGap(t *testing.T) {
+	tr := &Trace{NumProcs: 1, NumPorts: 0}
+	tr.Steps = append(tr.Steps, Step{Index: 0, Proc: 0, Time: 50, Port: NoPort})
+	if got := tr.MaxStepGap(0); got != 50 {
+		t.Errorf("initial gap: got %v, want 50", got)
+	}
+}
+
+func TestDependsDirect(t *testing.T) {
+	a := Step{Proc: 0, Accesses: []VarAccess{{Var: 1}}}
+	b := Step{Proc: 0, Accesses: []VarAccess{{Var: 2}}}
+	c := Step{Proc: 1, Accesses: []VarAccess{{Var: 1}}}
+	d := Step{Proc: 2, Accesses: []VarAccess{{Var: 3}}}
+	if !DependsDirect(a, b) {
+		t.Error("same process should depend")
+	}
+	if !DependsDirect(a, c) {
+		t.Error("same variable should depend")
+	}
+	if DependsDirect(a, d) {
+		t.Error("unrelated steps should not depend")
+	}
+}
+
+func TestSameProjection(t *testing.T) {
+	s := func(proc int, v VarID, old, new Value) Step {
+		return Step{Proc: proc, Port: NoPort, Accesses: []VarAccess{{Var: v, Old: old, New: new}}}
+	}
+	// p0 writes x then y; p1 writes z. Swapping p1's step with p0's second
+	// step preserves per-process and per-variable order.
+	orig := []Step{s(0, 1, 0, 1), s(0, 2, 0, 1), s(1, 3, 0, 1)}
+	reord := []Step{s(0, 1, 0, 1), s(1, 3, 0, 1), s(0, 2, 0, 1)}
+	if !SameProjection(orig, reord) {
+		t.Error("valid commutation rejected")
+	}
+	// Swapping two steps on the same variable is not projection-preserving.
+	conflict := []Step{s(0, 1, 0, 1), s(1, 1, 1, 2)}
+	swapped := []Step{s(1, 1, 1, 2), s(0, 1, 0, 1)}
+	if SameProjection(conflict, swapped) {
+		t.Error("variable-order violation accepted")
+	}
+	// Different lengths.
+	if SameProjection(orig, orig[:2]) {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFinalValues(t *testing.T) {
+	tr := &Trace{NumProcs: 1, NumPorts: 0}
+	tr.Steps = []Step{
+		{Index: 0, Proc: 0, Port: NoPort, Accesses: []VarAccess{{Var: 1, Old: 0, New: 5}}},
+		{Index: 1, Proc: 0, Time: 1, Port: NoPort, Accesses: []VarAccess{{Var: 1, Old: 5, New: 9}, {Var: 2, Old: 0, New: 3}}},
+	}
+	fv := tr.FinalValues()
+	if fv[1] != 9 || fv[2] != 3 {
+		t.Errorf("FinalValues: got %v", fv)
+	}
+	if len(fv) != 2 {
+		t.Errorf("FinalValues size: got %d, want 2", len(fv))
+	}
+}
+
+func TestStepsOf(t *testing.T) {
+	tr := portTrace(2, 0, 1, 0)
+	if got := tr.StepsOf(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("StepsOf(0): got %v", got)
+	}
+}
+
+func TestStepString(t *testing.T) {
+	s := Step{Index: 3, Proc: 1, Time: 7, Port: 2}
+	if got := s.String(); got != "step{#3 p1 t=7 port=2}" {
+		t.Errorf("String: got %q", got)
+	}
+	s.Port = NoPort
+	if got := s.String(); got != "step{#3 p1 t=7}" {
+		t.Errorf("String: got %q", got)
+	}
+}
+
+func TestTouches(t *testing.T) {
+	s := Step{Accesses: []VarAccess{{Var: 4}, {Var: 7}}}
+	if !s.Touches(4) || !s.Touches(7) || s.Touches(5) {
+		t.Error("Touches wrong")
+	}
+}
+
+// Property: CountSessions is monotone under appending steps.
+func TestSessionsMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, len8 uint8) bool {
+		r := sim.NewRNG(seed)
+		n := 3
+		length := int(len8%30) + 1
+		ports := make([]int, length)
+		for i := range ports {
+			ports[i] = r.Intn(n)
+		}
+		tr := portTrace(n, ports...)
+		full := tr.CountSessions()
+		prefix := portTrace(n, ports[:length-1]...)
+		return prefix.CountSessions() <= full
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a trace where every process takes k steps in round-robin order
+// has exactly k rounds and (if all are port processes) k sessions.
+func TestRoundRobinProperty(t *testing.T) {
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%5) + 1
+		k := int(k8 % 8)
+		tr := &Trace{NumProcs: n, NumPorts: n}
+		idx := 0
+		for round := 0; round < k; round++ {
+			for p := 0; p < n; p++ {
+				tr.Steps = append(tr.Steps, Step{Index: idx, Proc: p, Time: sim.Time(idx), Port: p})
+				idx++
+			}
+		}
+		return tr.CountRounds() == k && tr.CountSessions() == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

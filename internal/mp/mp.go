@@ -1,0 +1,244 @@
+// Package mp implements the message-passing system of Section 2.1.2: a step
+// of a regular process receives the whole contents of its buffer buf_p,
+// updates local state, and broadcasts at most one message to all regular
+// processes; a step of the network N delivers one in-transit message to its
+// destination's buffer. Message delay is the time from the send step to the
+// delivery step; buffer residence is free, exactly as in the paper.
+//
+// The executor turns an algorithm (a set of Process implementations) plus a
+// scheduler into a timed computation recorded as a model.Trace, together
+// with the per-message delay records needed for admissibility checking.
+package mp
+
+import (
+	"errors"
+	"fmt"
+
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// Message is a delivered message: the sender's index and an opaque body.
+type Message struct {
+	From int
+	Body any
+}
+
+// Process is one regular message-passing process. At each step the executor
+// passes every message currently in the process's buffer (possibly none) and
+// the process returns a message body to broadcast, or nil for no broadcast.
+// Implementations must keep Idle stable and must not broadcast while idle.
+type Process interface {
+	Step(received []Message) (broadcast any)
+	Idle() bool
+}
+
+// System is a complete message-passing system. PortProcs lists the port
+// processes; port i corresponds to buf of process PortProcs[i]. Every step
+// of a port process involves its buffer and is therefore a port step.
+type System struct {
+	Procs     []Process
+	PortProcs []int
+}
+
+// Options tune an execution.
+type Options struct {
+	// MaxSteps caps process steps before declaring non-termination.
+	// Zero means the default of 1_000_000.
+	MaxSteps int
+	// StepIdleProcesses keeps scheduling processes after they go idle,
+	// until every process is idle. The formal model gives idle processes
+	// infinitely many steps; the lower-bound adversary constructions need
+	// those steps in the trace to define rounds. Idle processes must not
+	// broadcast.
+	StepIdleProcesses bool
+	// DropEvery, when positive, silently discards every DropEvery-th
+	// message delivery. The paper's network is reliable ("the message is
+	// guaranteed to be delivered"); this fault injection exists to
+	// demonstrate that the reliability assumption is load-bearing — the
+	// session algorithms hang without it.
+	DropEvery int
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Trace is the recorded timed computation, including network delivery
+	// steps (Proc = model.NetworkProc).
+	Trace *model.Trace
+	// Delays records every message's transit interval.
+	Delays []timing.MessageDelay
+	// IdleAt[p] is the time process p became idle.
+	IdleAt []sim.Time
+	// Finish is the earliest time by which every port process is idle.
+	Finish sim.Time
+	// MessagesSent counts broadcasts (each reaching len(Procs) destinations).
+	MessagesSent int
+}
+
+// ErrNoTermination is returned when the step cap is reached before all
+// processes go idle.
+var ErrNoTermination = errors.New("mp: step cap reached before all processes idle")
+
+const defaultMaxSteps = 1_000_000
+
+// Scheduler is what the executor needs from a timing scheduler; adversary
+// packages substitute hand-crafted schedules.
+type Scheduler interface {
+	Gap(proc int) sim.Duration
+	Delay(src, dst int) sim.Duration
+}
+
+// bufVar returns the VarID used to record accesses to buf_p in the trace.
+// ID 0 is reserved for net (not recorded; see package comment).
+func bufVar(proc int) model.VarID { return model.VarID(proc + 1) }
+
+type delivery struct {
+	msg Message
+}
+
+// Run executes the system until every regular process is idle.
+func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
+	n := len(sys.Procs)
+	if n == 0 {
+		return nil, errors.New("mp: no processes")
+	}
+	for _, pp := range sys.PortProcs {
+		if pp < 0 || pp >= n {
+			return nil, fmt.Errorf("mp: port process %d out of range", pp)
+		}
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	portOf := make(map[int]int, len(sys.PortProcs))
+	for i, pp := range sys.PortProcs {
+		portOf[pp] = i
+	}
+
+	res := &Result{
+		Trace:  &model.Trace{NumProcs: n, NumPorts: len(sys.PortProcs)},
+		IdleAt: make([]sim.Time, n),
+	}
+	for i := range res.IdleAt {
+		res.IdleAt[i] = -1
+	}
+
+	buffers := make([][]Message, n)
+	var q sim.Queue
+	for p := 0; p < n; p++ {
+		q.Push(sim.Event{At: sim.Time(0).Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+	}
+
+	idleMark := make([]bool, n)
+	idleCount := 0
+	steps := 0
+	sendCounter := 0
+	drainUntil := sim.Time(-1)
+	for q.Len() > 0 {
+		if idleCount == n {
+			// With StepIdleProcesses the current tick is finished so the
+			// final round of lockstep traces is complete; otherwise stop.
+			if !opts.StepIdleProcesses || q.Peek().At > drainUntil {
+				break
+			}
+		}
+		ev := q.Pop()
+		switch ev.Kind {
+		case sim.KindDelivery:
+			d := ev.Payload.(delivery)
+			dst := ev.Proc
+			buffers[dst] = append(buffers[dst], d.msg)
+			res.Trace.Steps = append(res.Trace.Steps, model.Step{
+				Index:    len(res.Trace.Steps),
+				Proc:     model.NetworkProc,
+				Time:     ev.At,
+				Accesses: []model.VarAccess{{Var: bufVar(dst)}},
+				Port:     model.NoPort,
+			})
+
+		case sim.KindStep:
+			if steps >= maxSteps {
+				return nil, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
+			}
+			steps++
+			p := ev.Proc
+			proc := sys.Procs[p]
+			wasIdle := idleMark[p]
+			received := buffers[p]
+			buffers[p] = nil
+			body := proc.Step(received)
+			if wasIdle {
+				if !proc.Idle() {
+					return nil, fmt.Errorf("mp: process %d left idle state at %v", p, ev.At)
+				}
+				if body != nil {
+					return nil, fmt.Errorf("mp: idle process %d broadcast at %v", p, ev.At)
+				}
+			}
+
+			port := model.NoPort
+			if idx, ok := portOf[p]; ok && !wasIdle {
+				// Steps taken from an idle state are not port steps (see
+				// the matching comment in internal/sm).
+				port = idx
+			}
+			res.Trace.Steps = append(res.Trace.Steps, model.Step{
+				Index:    len(res.Trace.Steps),
+				Proc:     p,
+				Time:     ev.At,
+				Accesses: []model.VarAccess{{Var: bufVar(p)}},
+				Port:     port,
+			})
+
+			if body != nil {
+				res.MessagesSent++
+				for dst := 0; dst < n; dst++ {
+					sendCounter++
+					if opts.DropEvery > 0 && sendCounter%opts.DropEvery == 0 {
+						continue // fault injection: message lost in transit
+					}
+					delay := sched.Delay(p, dst)
+					at := ev.At.Add(delay)
+					q.Push(sim.Event{
+						At:      at,
+						Kind:    sim.KindDelivery,
+						Proc:    dst,
+						Payload: delivery{msg: Message{From: p, Body: body}},
+					})
+					res.Delays = append(res.Delays, timing.MessageDelay{
+						Src: p, Dst: dst, Sent: ev.At, Delivered: at,
+					})
+				}
+			}
+
+			if proc.Idle() {
+				if !wasIdle {
+					// A process may broadcast at the step on which it enters
+					// an idle state (A(sp) does), but never afterwards.
+					res.IdleAt[p] = ev.At
+					idleMark[p] = true
+					idleCount++
+					if idleCount == n {
+						drainUntil = ev.At
+					}
+				}
+				if opts.StepIdleProcesses && idleCount < n {
+					q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+				}
+				continue
+			}
+			q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+		}
+	}
+
+	if idleCount != n {
+		return nil, fmt.Errorf("mp: executor drained queue with %d/%d processes idle", idleCount, n)
+	}
+	for _, pp := range sys.PortProcs {
+		res.Finish = sim.MaxTime(res.Finish, res.IdleAt[pp])
+	}
+	return res, nil
+}

@@ -1,0 +1,282 @@
+package mp
+
+import (
+	"errors"
+	"testing"
+
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// greeter broadcasts "hi" at its first step, then idles once it has heard
+// "hi" from all n processes (including itself).
+type greeter struct {
+	n     int
+	sent  bool
+	heard map[int]bool
+	idle  bool
+}
+
+func newGreeter(n int) *greeter {
+	return &greeter{n: n, heard: make(map[int]bool)}
+}
+
+func (g *greeter) Step(received []Message) any {
+	for _, m := range received {
+		g.heard[m.From] = true
+	}
+	if len(g.heard) == g.n {
+		g.idle = true
+	}
+	if !g.sent {
+		g.sent = true
+		return "hi"
+	}
+	return nil
+}
+
+func (g *greeter) Idle() bool { return g.idle }
+
+// silent takes k steps without communicating, then idles.
+type silent struct{ left int }
+
+func (s *silent) Step([]Message) any {
+	if s.left > 0 {
+		s.left--
+	}
+	return nil
+}
+func (s *silent) Idle() bool { return s.left == 0 }
+
+// restless never idles.
+type restless struct{}
+
+func (restless) Step([]Message) any { return nil }
+func (restless) Idle() bool         { return false }
+
+func greeterSystem(n int) *System {
+	sys := &System{}
+	for i := 0; i < n; i++ {
+		sys.Procs = append(sys.Procs, newGreeter(n))
+		sys.PortProcs = append(sys.PortProcs, i)
+	}
+	return sys
+}
+
+func TestRunGreeters(t *testing.T) {
+	m := timing.NewSynchronous(2, 5)
+	sys := greeterSystem(3)
+	res, err := Run(sys, m.NewScheduler(timing.Slow, 1), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// First steps at t=2 broadcast; deliveries at t=7; next step at t=8
+	// hears everyone and idles.
+	if res.Finish != 8 {
+		t.Errorf("Finish: got %v, want 8", res.Finish)
+	}
+	if res.MessagesSent != 3 {
+		t.Errorf("MessagesSent: got %d, want 3", res.MessagesSent)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+	if err := m.CheckAdmissible(res.Trace, res.Delays); err != nil {
+		t.Errorf("inadmissible: %v", err)
+	}
+}
+
+func TestRunPortAnnotations(t *testing.T) {
+	m := timing.NewSynchronous(2, 5)
+	sys := greeterSystem(2)
+	res, err := Run(sys, m.NewScheduler(timing.Slow, 1), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	procSteps, netSteps := 0, 0
+	for _, s := range res.Trace.Steps {
+		if s.Proc == model.NetworkProc {
+			netSteps++
+			if s.IsPortStep() {
+				t.Error("network step marked as port step")
+			}
+			continue
+		}
+		procSteps++
+		if !s.IsPortStep() {
+			t.Errorf("regular step %v not a port step", s)
+		}
+		if s.Port != s.Proc {
+			t.Errorf("port %d != proc %d", s.Port, s.Proc)
+		}
+	}
+	if netSteps == 0 {
+		t.Error("no network delivery steps recorded")
+	}
+	if procSteps == 0 {
+		t.Error("no process steps recorded")
+	}
+}
+
+func TestRunSessionCounting(t *testing.T) {
+	m := timing.NewSynchronous(2, 5)
+	res, err := Run(greeterSystem(3), m.NewScheduler(timing.Slow, 1), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Synchronous lockstep: every process steps 4 times (t=2,4,6,8), so 4
+	// sessions.
+	if got := res.Trace.CountSessions(); got != 4 {
+		t.Errorf("sessions: got %d, want 4", got)
+	}
+}
+
+func TestRunNonPortProcesses(t *testing.T) {
+	// Two greeters are ports; one silent process is not. The greeters wait
+	// only for each other (n=2).
+	sys := &System{
+		Procs:     []Process{newGreeter(2), newGreeter(2), &silent{left: 1}},
+		PortProcs: []int{0, 1},
+	}
+	m := timing.NewSynchronous(2, 5)
+	res, err := Run(sys, m.NewScheduler(timing.Slow, 1), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Trace.NumPorts != 2 {
+		t.Errorf("NumPorts: got %d, want 2", res.Trace.NumPorts)
+	}
+	for _, s := range res.Trace.Steps {
+		if s.Proc == 2 && s.IsPortStep() {
+			t.Error("non-port process has port steps")
+		}
+	}
+}
+
+func TestRunNoTermination(t *testing.T) {
+	sys := &System{Procs: []Process{restless{}}}
+	m := timing.NewSynchronous(1, 1)
+	_, err := Run(sys, m.NewScheduler(timing.Slow, 1), Options{MaxSteps: 50})
+	if !errors.Is(err, ErrNoTermination) {
+		t.Errorf("got %v, want ErrNoTermination", err)
+	}
+}
+
+func TestRunValidatesSystem(t *testing.T) {
+	m := timing.NewSynchronous(1, 1)
+	if _, err := Run(&System{}, m.NewScheduler(timing.Slow, 1), Options{}); err == nil {
+		t.Error("empty system accepted")
+	}
+	bad := &System{Procs: []Process{&silent{}}, PortProcs: []int{5}}
+	if _, err := Run(bad, m.NewScheduler(timing.Slow, 1), Options{}); err == nil {
+		t.Error("out-of-range port proc accepted")
+	}
+}
+
+func TestRunDelaysRecorded(t *testing.T) {
+	m := timing.NewSporadic(2, 3, 9, 0)
+	res, err := Run(greeterSystem(2), m.NewScheduler(timing.Random, 77), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Delays) == 0 {
+		t.Fatal("no delays recorded")
+	}
+	for _, d := range res.Delays {
+		if dd := d.Delay(); dd < 3 || dd > 9 {
+			t.Errorf("delay %v outside [3,9]", dd)
+		}
+	}
+	if err := m.CheckAdmissible(res.Trace, res.Delays); err != nil {
+		t.Errorf("inadmissible: %v", err)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	m := timing.NewSemiSynchronous(1, 4, 9)
+	run := func() *Result {
+		res, err := Run(greeterSystem(4), m.NewScheduler(timing.Random, 5), Options{})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Finish != b.Finish || len(a.Trace.Steps) != len(b.Trace.Steps) {
+		t.Fatal("nondeterministic execution")
+	}
+}
+
+func TestRunAllStrategiesAdmissible(t *testing.T) {
+	models := []timing.Model{
+		timing.NewSynchronous(2, 6),
+		timing.NewSemiSynchronous(1, 4, 9),
+		timing.NewSporadic(2, 1, 8, 0),
+		timing.NewAsynchronousMP(3, 9),
+	}
+	for _, m := range models {
+		for _, st := range timing.AllStrategies() {
+			res, err := Run(greeterSystem(3), m.NewScheduler(st, 11), Options{})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", m.Kind, st, err)
+			}
+			if err := m.CheckAdmissible(res.Trace, res.Delays); err != nil {
+				t.Errorf("%v/%v inadmissible: %v", m.Kind, st, err)
+			}
+		}
+	}
+}
+
+func TestSameTickDeliveryBeforeStep(t *testing.T) {
+	// With gap 2 and delay 2: p sends at t=2, delivery lands at t=4 exactly
+	// when the next steps fire; KindDelivery sorts first, so the message is
+	// received at t=4.
+	m := timing.NewSynchronous(2, 2)
+	res, err := Run(greeterSystem(2), m.NewScheduler(timing.Slow, 1), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Finish != 4 {
+		t.Errorf("Finish: got %v, want 4 (same-tick delivery must precede step)", res.Finish)
+	}
+}
+
+// TestReliabilityAssumptionIsLoadBearing: the paper's model guarantees
+// delivery; with message loss injected, the acknowledgement-based greeters
+// never hear from everyone and the run fails to terminate — the reliability
+// assumption is necessary, not decorative.
+func TestReliabilityAssumptionIsLoadBearing(t *testing.T) {
+	m := timing.NewSynchronous(2, 5)
+	sys := greeterSystem(3)
+	_, err := Run(sys, m.NewScheduler(timing.Slow, 1), Options{
+		MaxSteps:  5_000,
+		DropEvery: 3, // lose a third of all deliveries
+	})
+	if !errors.Is(err, ErrNoTermination) {
+		t.Errorf("lossy network should prevent termination, got %v", err)
+	}
+}
+
+func TestDropEveryZeroMeansReliable(t *testing.T) {
+	m := timing.NewSynchronous(2, 5)
+	if _, err := Run(greeterSystem(3), m.NewScheduler(timing.Slow, 1), Options{DropEvery: 0}); err != nil {
+		t.Errorf("reliable run failed: %v", err)
+	}
+}
+
+func TestIdleTimesRecorded(t *testing.T) {
+	m := timing.NewSynchronous(3, 1)
+	sys := &System{Procs: []Process{&silent{left: 2}, &silent{left: 5}}, PortProcs: []int{0, 1}}
+	res, err := Run(sys, m.NewScheduler(timing.Slow, 1), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.IdleAt[0] != 6 || res.IdleAt[1] != 15 {
+		t.Errorf("IdleAt: got %v, want [6 15]", res.IdleAt)
+	}
+	if res.Finish != 15 {
+		t.Errorf("Finish: got %v, want 15", res.Finish)
+	}
+	var _ sim.Time = res.Finish
+}

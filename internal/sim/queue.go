@@ -1,0 +1,86 @@
+package sim
+
+import "container/heap"
+
+// EventKind orders events that fall on the same tick. Lower kinds run first:
+// network deliveries are processed before process steps at the same time, so
+// a message delivered "at" time t is visible to a step taken at time t. This
+// matches the paper's convention that message delay counts only transit time
+// and buffer residence is free.
+type EventKind int
+
+// Event kinds, in same-tick execution order.
+const (
+	KindDelivery EventKind = iota + 1
+	KindStep
+)
+
+// Event is a scheduled occurrence in virtual time. Proc identifies the
+// process taking a step (KindStep) or the destination process (KindDelivery).
+// Payload carries event-specific data owned by the executor.
+type Event struct {
+	At      Time
+	Kind    EventKind
+	Proc    int
+	Seq     uint64 // assigned by the queue; breaks remaining ties FIFO
+	Payload any
+}
+
+// Queue is a deterministic priority queue of events ordered by
+// (At, Kind, Proc, Seq). The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Push schedules ev. The queue assigns ev.Seq.
+func (q *Queue) Push(ev Event) {
+	q.seq++
+	ev.Seq = q.seq
+	heap.Push(&q.h, ev)
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue;
+// use Len to guard.
+func (q *Queue) Pop() Event {
+	return heap.Pop(&q.h).(Event)
+}
+
+// Peek returns the earliest event without removing it. It panics on an empty
+// queue.
+func (q *Queue) Peek() Event {
+	return q.h[0]
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	return a.Seq < b.Seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeAddSub(t *testing.T) {
+	tests := []struct {
+		name string
+		t0   Time
+		d    Duration
+		want Time
+	}{
+		{name: "zero plus zero", t0: 0, d: 0, want: 0},
+		{name: "positive shift", t0: 10, d: 5, want: 15},
+		{name: "large shift", t0: 1 << 40, d: 1 << 20, want: 1<<40 + 1<<20},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.t0.Add(tt.d); got != tt.want {
+				t.Errorf("Add: got %v, want %v", got, tt.want)
+			}
+			if got := tt.want.Sub(tt.t0); got != tt.d {
+				t.Errorf("Sub: got %v, want %v", got, tt.d)
+			}
+		})
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	if got := Duration(42).String(); got != "42" {
+		t.Errorf("String: got %q, want %q", got, "42")
+	}
+	if got := Infinity.String(); got != "∞" {
+		t.Errorf("Infinity.String: got %q, want ∞", got)
+	}
+	if !Infinity.IsInfinite() {
+		t.Error("Infinity.IsInfinite() = false")
+	}
+	if Duration(1).IsInfinite() {
+		t.Error("Duration(1).IsInfinite() = true")
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if MinDuration(3, 5) != 3 || MinDuration(5, 3) != 3 {
+		t.Error("MinDuration wrong")
+	}
+	if MaxDuration(3, 5) != 5 || MaxDuration(5, 3) != 5 {
+		t.Error("MaxDuration wrong")
+	}
+	if MinTime(3, 5) != 3 || MaxTime(3, 5) != 5 {
+		t.Error("MinTime/MaxTime wrong")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(12345)
+	b := NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeeds(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 produced %d identical values out of 100", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnCoversAllValues(t *testing.T) {
+	r := NewRNG(99)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(5)] = true
+	}
+	for v := 0; v < 5; v++ {
+		if !seen[v] {
+			t.Errorf("Intn(5) never produced %d in 1000 draws", v)
+		}
+	}
+}
+
+func TestRNGDurationBetween(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		d := r.DurationBetween(10, 20)
+		if d < 10 || d > 20 {
+			t.Fatalf("DurationBetween(10,20) = %v out of range", d)
+		}
+	}
+	if d := r.DurationBetween(7, 7); d != 7 {
+		t.Errorf("degenerate range: got %v, want 7", d)
+	}
+}
+
+func TestRNGDurationBetweenPanics(t *testing.T) {
+	r := NewRNG(1)
+	mustPanic(t, "lo>hi", func() { r.DurationBetween(5, 4) })
+	mustPanic(t, "infinite hi", func() { r.DurationBetween(0, Infinity) })
+	mustPanic(t, "Intn(0)", func() { r.Intn(0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm(10) not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	a := NewRNG(5)
+	c := a.Fork()
+	// Fork must be independent of subsequent parent draws.
+	want := make([]uint64, 10)
+	for i := range want {
+		want[i] = c.Uint64()
+	}
+	b := NewRNG(5)
+	d := b.Fork()
+	b.Uint64() // perturb parent
+	for i := range want {
+		if got := d.Uint64(); got != want[i] {
+			t.Fatalf("forked stream differs at %d", i)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(21)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	q.Push(Event{At: 5, Kind: KindStep, Proc: 1})
+	q.Push(Event{At: 3, Kind: KindStep, Proc: 2})
+	q.Push(Event{At: 5, Kind: KindDelivery, Proc: 9})
+	q.Push(Event{At: 3, Kind: KindDelivery, Proc: 0})
+	q.Push(Event{At: 5, Kind: KindStep, Proc: 0})
+
+	wantOrder := []struct {
+		at   Time
+		kind EventKind
+		proc int
+	}{
+		{3, KindDelivery, 0},
+		{3, KindStep, 2},
+		{5, KindDelivery, 9},
+		{5, KindStep, 0},
+		{5, KindStep, 1},
+	}
+	for i, w := range wantOrder {
+		ev := q.Pop()
+		if ev.At != w.at || ev.Kind != w.kind || ev.Proc != w.proc {
+			t.Fatalf("pop %d: got (%v,%v,%v), want (%v,%v,%v)",
+				i, ev.At, ev.Kind, ev.Proc, w.at, w.kind, w.proc)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not drained: len=%d", q.Len())
+	}
+}
+
+func TestQueueFIFOWithinTies(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(Event{At: 1, Kind: KindStep, Proc: 0, Payload: i})
+	}
+	for i := 0; i < 10; i++ {
+		ev := q.Pop()
+		if ev.Payload.(int) != i {
+			t.Fatalf("tie order broken: got %v at pop %d", ev.Payload, i)
+		}
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	var q Queue
+	q.Push(Event{At: 9, Kind: KindStep, Proc: 0})
+	q.Push(Event{At: 2, Kind: KindStep, Proc: 1})
+	if ev := q.Peek(); ev.At != 2 {
+		t.Errorf("Peek: got At=%v, want 2", ev.At)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Peek consumed an event: len=%d", q.Len())
+	}
+}
+
+// Property: popping everything from a queue yields nondecreasing times.
+func TestQueueSortedProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		var q Queue
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			q.Push(Event{
+				At:   Time(r.Intn(50)),
+				Kind: EventKind(r.Intn(2) + 1),
+				Proc: r.Intn(8),
+			})
+		}
+		prev := Event{At: -1}
+		for q.Len() > 0 {
+			ev := q.Pop()
+			if ev.At < prev.At {
+				return false
+			}
+			if ev.At == prev.At && ev.Kind < prev.Kind {
+				return false
+			}
+			prev = ev
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DurationBetween never leaves the requested range.
+func TestDurationBetweenProperty(t *testing.T) {
+	f := func(seed uint64, lo16, span16 uint16) bool {
+		r := NewRNG(seed)
+		lo := Duration(lo16)
+		hi := lo + Duration(span16)
+		d := r.DurationBetween(lo, hi)
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package sm implements the shared-memory system of Section 2.1.1: processes
+// communicate only through shared variables, each step atomically
+// read-modify-writes exactly one variable, and no variable is accessed by
+// more than b distinct processes over the whole computation (the b-bound).
+//
+// The executor turns an algorithm (a set of Process implementations) plus a
+// timing.Scheduler into a timed computation recorded as a model.Trace.
+package sm
+
+import (
+	"errors"
+	"fmt"
+
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+)
+
+// Value is the contents of a shared variable.
+type Value = model.Value
+
+// Process is one shared-memory process. The executor drives it:
+// at each of its steps it asks Target() for the variable to access, performs
+// the atomic read-modify-write by calling Step with the current value, then
+// writes back the returned value. Implementations must treat values as
+// immutable (return fresh values rather than mutating the old one) and must
+// keep Idle stable: once true, Step must return its argument unchanged and
+// Idle must stay true.
+type Process interface {
+	// Target returns the variable this process will access at its next step.
+	Target() model.VarID
+	// Step performs the read-modify-write: it observes old and returns the
+	// new value for the target variable (possibly old itself, unchanged).
+	Step(old Value) Value
+	// Idle reports whether the process has entered an idle state.
+	Idle() bool
+}
+
+// PortBinding associates a port variable with its unique port process.
+type PortBinding struct {
+	Var  model.VarID
+	Proc int
+}
+
+// System is a complete shared-memory system: processes, initial variable
+// values, the access bound b, and the distinguished ports.
+type System struct {
+	Procs   []Process
+	Initial map[model.VarID]Value
+	B       int
+	Ports   []PortBinding
+}
+
+// Options tune an execution.
+type Options struct {
+	// MaxSteps caps the number of process steps before the run is declared
+	// non-terminating. Zero means the default of 1_000_000.
+	MaxSteps int
+	// ProbeSteps schedules this many extra steps for each process after it
+	// goes idle, verifying idle stability (Idle stays true, shared state
+	// unchanged). Probe steps are appended to the trace after IdleTime.
+	ProbeSteps int
+	// StepIdleProcesses keeps scheduling processes after they go idle, until
+	// every process is idle. The formal model's computations give idle
+	// processes infinitely many (no-op) steps; the lower-bound adversary
+	// constructions need those steps in the trace to define rounds.
+	StepIdleProcesses bool
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Trace is the recorded timed computation.
+	Trace *model.Trace
+	// IdleAt[p] is the time of the step at which process p became idle.
+	IdleAt []sim.Time
+	// Finish is the earliest time by which every port process is idle: the
+	// paper's running-time measure.
+	Finish sim.Time
+	// FinishAll is the earliest time by which every process (ports and
+	// relays) is idle.
+	FinishAll sim.Time
+}
+
+// ErrNoTermination is returned when the step cap is reached before all
+// processes go idle.
+var ErrNoTermination = errors.New("sm: step cap reached before all processes idle")
+
+const defaultMaxSteps = 1_000_000
+
+// Scheduler is the subset of timing.Scheduler the executor needs, allowing
+// adversary packages to substitute hand-crafted schedules.
+type Scheduler interface {
+	// Gap returns the time to the process's next step (also used for the
+	// initial gap from time 0 to the first step).
+	Gap(proc int) sim.Duration
+}
+
+// Run executes the system until every process is idle, producing the timed
+// computation. It enforces single-variable atomic steps and the b-bound.
+func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
+	if len(sys.Procs) == 0 {
+		return nil, errors.New("sm: no processes")
+	}
+	if sys.B < 2 {
+		return nil, fmt.Errorf("sm: b must be at least 2, got %d", sys.B)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	vars := make(map[model.VarID]Value, len(sys.Initial))
+	for k, v := range sys.Initial {
+		vars[k] = v
+	}
+	accessors := make(map[model.VarID]map[int]bool)
+	portOf := make(map[portKey]int, len(sys.Ports))
+	for i, pb := range sys.Ports {
+		portOf[portKey{pb.Var, pb.Proc}] = i
+	}
+
+	res := &Result{
+		Trace:  &model.Trace{NumProcs: len(sys.Procs), NumPorts: len(sys.Ports)},
+		IdleAt: make([]sim.Time, len(sys.Procs)),
+	}
+	for i := range res.IdleAt {
+		res.IdleAt[i] = -1
+	}
+
+	var q sim.Queue
+	for p := range sys.Procs {
+		q.Push(sim.Event{At: sim.Time(0).Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+	}
+
+	idleCount := 0
+	steps := 0
+	probes := make([]int, len(sys.Procs))
+	drainUntil := sim.Time(-1)
+	for q.Len() > 0 {
+		if drainUntil >= 0 && q.Peek().At > drainUntil {
+			break
+		}
+		ev := q.Pop()
+		p := ev.Proc
+		proc := sys.Procs[p]
+
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
+		}
+		steps++
+
+		wasIdle := proc.Idle()
+		target := proc.Target()
+		old := vars[target]
+		newVal := proc.Step(old)
+		vars[target] = newVal
+
+		acc := accessors[target]
+		if acc == nil {
+			acc = make(map[int]bool)
+			accessors[target] = acc
+		}
+		acc[p] = true
+		if len(acc) > sys.B {
+			return nil, fmt.Errorf("sm: variable %d accessed by %d > b=%d processes",
+				target, len(acc), sys.B)
+		}
+
+		port := model.NoPort
+		if idx, ok := portOf[portKey{target, p}]; ok && !wasIdle {
+			// Steps taken from an idle state are not port steps: the
+			// session condition quantifies over the computation up to
+			// idleness (otherwise idle processes parked on their ports
+			// would accumulate sessions forever and trivialize the
+			// problem, contradicting the paper's lower-bound arguments).
+			port = idx
+		}
+		res.Trace.Steps = append(res.Trace.Steps, model.Step{
+			Index:    len(res.Trace.Steps),
+			Proc:     p,
+			Time:     ev.At,
+			Accesses: []model.VarAccess{{Var: target, Old: old, New: newVal}},
+			Port:     port,
+		})
+
+		if wasIdle {
+			// Idle-stability probe: state must be unchanged and the process
+			// must remain idle.
+			if !proc.Idle() {
+				return nil, fmt.Errorf("sm: process %d left idle state at %v", p, ev.At)
+			}
+			if !valuesEqual(old, newVal) {
+				return nil, fmt.Errorf("sm: idle process %d modified variable %d at %v",
+					p, target, ev.At)
+			}
+			switch {
+			case opts.StepIdleProcesses && idleCount < len(sys.Procs):
+				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+			case probes[p] < opts.ProbeSteps:
+				probes[p]++
+				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+			}
+			continue
+		}
+		if proc.Idle() {
+			res.IdleAt[p] = ev.At
+			idleCount++
+			if idleCount == len(sys.Procs) {
+				res.FinishAll = ev.At
+				if opts.ProbeSteps == 0 {
+					if !opts.StepIdleProcesses {
+						break
+					}
+					// Finish the current tick so the final round of the
+					// lockstep traces used by the adversary is complete.
+					drainUntil = ev.At
+				}
+			}
+			switch {
+			case opts.StepIdleProcesses && idleCount < len(sys.Procs):
+				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+			case probes[p] < opts.ProbeSteps:
+				probes[p]++
+				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+			}
+			continue
+		}
+		q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+	}
+
+	if idleCount != len(sys.Procs) {
+		return nil, fmt.Errorf("sm: executor drained queue with %d/%d processes idle",
+			idleCount, len(sys.Procs))
+	}
+
+	isPortProc := make(map[int]bool, len(sys.Ports))
+	for _, pb := range sys.Ports {
+		isPortProc[pb.Proc] = true
+	}
+	for p, at := range res.IdleAt {
+		if isPortProc[p] {
+			res.Finish = sim.MaxTime(res.Finish, at)
+		}
+		res.FinishAll = sim.MaxTime(res.FinishAll, at)
+	}
+	return res, nil
+}
+
+type portKey struct {
+	v model.VarID
+	p int
+}
+
+func valuesEqual(a, b Value) bool {
+	return fmt.Sprintf("%#v", a) == fmt.Sprintf("%#v", b)
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Count != 3 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("count/min/max wrong: %+v", s)
+	}
+	if s.Mean != 2 {
+		t.Errorf("mean: got %v, want 2", s.Mean)
+	}
+	if s.P50 != 2 {
+		t.Errorf("p50: got %v, want 2", s.P50)
+	}
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("stddev: got %v, want %v", s.Stddev, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Error("empty summary should have count 0")
+	}
+	if s.String() != "n=0" {
+		t.Errorf("String: %q", s.String())
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Summarize(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {-5, 10}, {200, 40},
+		{50, 25}, {25, 17.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v): got %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio wrong")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("Ratio by zero should be NaN")
+	}
+}
+
+// Property: min <= p50 <= p95 <= max and min <= mean <= max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		sort.Float64s(xs)
+		lo, hi := float64(p1%101), float64(p2%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Percentile(xs, lo) <= Percentile(xs, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package timing defines the five timing models of Section 2.2 as
+// admissibility constraint sets, plus schedulers that generate admissible
+// schedules (step gaps and message delays) under several strategies, and an
+// independent checker that re-verifies admissibility of produced traces.
+//
+// The paper's models constrain (a) the time between consecutive steps of
+// each process — including the gap from time 0 to the first step — and
+// (b) message delays in the message-passing model:
+//
+//	Synchronous   gap = c2 exactly            delay = d2 exactly
+//	Periodic      gap = c_i constant, unknown  delay ∈ [0, d2]
+//	SemiSync      gap ∈ [c1, c2]               delay ∈ [0, d2]
+//	Sporadic      gap ≥ c1 (no upper bound)    delay ∈ [d1, d2]
+//	Asynchronous  gap unbounded                delay finite (SM: rounds;
+//	              MP per [4]: gap ∈ [0, c2], delay ∈ [0, d2])
+package timing
+
+import (
+	"errors"
+	"fmt"
+
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+)
+
+// Kind enumerates the timing models.
+type Kind int
+
+// The five timing models of the paper. AsynchronousMP follows [4]'s
+// formulation (c1 = d1 = 0, finite c2 and d2), which is the one Table 1's
+// message-passing asynchronous row uses; AsynchronousSM follows [2]
+// (unbounded gaps, running time in rounds).
+const (
+	Synchronous Kind = iota + 1
+	Periodic
+	SemiSynchronous
+	Sporadic
+	AsynchronousSM
+	AsynchronousMP
+)
+
+// String names the model kind.
+func (k Kind) String() string {
+	switch k {
+	case Synchronous:
+		return "synchronous"
+	case Periodic:
+		return "periodic"
+	case SemiSynchronous:
+		return "semi-synchronous"
+	case Sporadic:
+		return "sporadic"
+	case AsynchronousSM:
+		return "asynchronous(SM)"
+	case AsynchronousMP:
+		return "asynchronous(MP)"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Model is one timing model instance with concrete constants.
+type Model struct {
+	Kind Kind
+
+	// C1 and C2 bound the time between consecutive steps of a process.
+	// C2 may be Infinity (sporadic, asynchronous SM).
+	C1, C2 sim.Duration
+
+	// D1 and D2 bound message delay in the message-passing model. They are
+	// ignored for shared-memory executions.
+	D1, D2 sim.Duration
+
+	// PeriodMin and PeriodMax bound the per-process constants c_i of the
+	// periodic model (cmin and cmax in Table 1). Only used by Periodic.
+	PeriodMin, PeriodMax sim.Duration
+
+	// GapCap caps the gaps drawn by schedulers for models with no upper
+	// bound on step time (Sporadic, AsynchronousSM). It is a property of
+	// the scheduler, not of admissibility: admissible computations may have
+	// arbitrarily large finite gaps.
+	GapCap sim.Duration
+
+	// StartSync adopts [4]'s convention (paper conversion note 3): every
+	// process takes a synchronized first step at time 0, yielding one free
+	// session at time 0. The paper's own convention — all steps including
+	// the first obey the timing constraints from time 0 — is the default.
+	StartSync bool
+}
+
+// WithSynchronizedStart returns a copy of the model using [4]'s
+// synchronized-first-step convention.
+func (m Model) WithSynchronizedStart() Model {
+	m.StartSync = true
+	return m
+}
+
+// NewSynchronous returns the synchronous model: every gap is exactly c2 and
+// every delay exactly d2.
+func NewSynchronous(c2, d2 sim.Duration) Model {
+	return Model{Kind: Synchronous, C1: c2, C2: c2, D1: d2, D2: d2}
+}
+
+// NewPeriodic returns the periodic model: each process p_i steps at an
+// unknown constant period c_i ∈ [periodMin, periodMax]; delays are in
+// [0, d2]. Pass d2 = 0 for shared-memory use.
+func NewPeriodic(periodMin, periodMax, d2 sim.Duration) Model {
+	return Model{
+		Kind:      Periodic,
+		C1:        periodMin,
+		C2:        periodMax,
+		D1:        0,
+		D2:        d2,
+		PeriodMin: periodMin,
+		PeriodMax: periodMax,
+	}
+}
+
+// NewSemiSynchronous returns the semi-synchronous model: gaps in [c1, c2]
+// (c1 > 0, both known), delays in [0, d2].
+func NewSemiSynchronous(c1, c2, d2 sim.Duration) Model {
+	return Model{Kind: SemiSynchronous, C1: c1, C2: c2, D1: 0, D2: d2}
+}
+
+// NewSporadic returns the sporadic model: gaps at least c1 with no upper
+// bound, delays in [d1, d2]. gapCap bounds the gaps the schedulers draw;
+// pass 0 for a default of max(4·c1, d2).
+func NewSporadic(c1, d1, d2, gapCap sim.Duration) Model {
+	if gapCap <= 0 {
+		gapCap = sim.MaxDuration(4*c1, d2)
+	}
+	return Model{Kind: Sporadic, C1: c1, C2: sim.Infinity, D1: d1, D2: d2, GapCap: gapCap}
+}
+
+// NewAsynchronousSM returns the asynchronous shared-memory model of [2]:
+// no bounds on gaps; running time is measured in rounds. gapCap bounds the
+// gaps schedulers draw; pass 0 for a default of 8.
+func NewAsynchronousSM(gapCap sim.Duration) Model {
+	if gapCap <= 0 {
+		gapCap = 8
+	}
+	return Model{Kind: AsynchronousSM, C1: 1, C2: sim.Infinity, GapCap: gapCap}
+}
+
+// NewAsynchronousMP returns the asynchronous message-passing model of [4]:
+// c1 = d1 = 0 with finite known c2 and d2. (Integer time means schedulers
+// draw gaps in [1, c2]; a 1-tick gap approximates c1 = 0.)
+func NewAsynchronousMP(c2, d2 sim.Duration) Model {
+	return Model{Kind: AsynchronousMP, C1: 0, C2: c2, D1: 0, D2: d2}
+}
+
+// Validate checks that the constants are coherent.
+func (m Model) Validate() error {
+	switch m.Kind {
+	case Synchronous:
+		if m.C2 <= 0 {
+			return errors.New("timing: synchronous requires c2 > 0")
+		}
+	case Periodic:
+		if m.PeriodMin <= 0 || m.PeriodMax < m.PeriodMin {
+			return fmt.Errorf("timing: periodic requires 0 < cmin <= cmax, got [%v,%v]",
+				m.PeriodMin, m.PeriodMax)
+		}
+	case SemiSynchronous:
+		if m.C1 <= 0 || m.C2 < m.C1 || m.C2.IsInfinite() {
+			return fmt.Errorf("timing: semi-synchronous requires 0 < c1 <= c2 < ∞, got [%v,%v]",
+				m.C1, m.C2)
+		}
+	case Sporadic:
+		if m.C1 <= 0 {
+			return errors.New("timing: sporadic requires c1 > 0")
+		}
+		if m.D1 < 0 || m.D2 < m.D1 || m.D2.IsInfinite() {
+			return fmt.Errorf("timing: sporadic requires 0 <= d1 <= d2 < ∞, got [%v,%v]",
+				m.D1, m.D2)
+		}
+		if m.GapCap < m.C1 {
+			return errors.New("timing: sporadic gap cap below c1")
+		}
+	case AsynchronousSM:
+		if m.GapCap < 1 {
+			return errors.New("timing: asynchronous SM gap cap must be >= 1")
+		}
+	case AsynchronousMP:
+		if m.C2 <= 0 || m.D2 < 0 {
+			return errors.New("timing: asynchronous MP requires c2 > 0 and d2 >= 0")
+		}
+	default:
+		return fmt.Errorf("timing: unknown kind %v", m.Kind)
+	}
+	if m.D1 < 0 || (m.D2 < m.D1 && !m.D2.IsInfinite()) {
+		return fmt.Errorf("timing: delay bounds [%v,%v] invalid", m.D1, m.D2)
+	}
+	return nil
+}
+
+// RoundBased reports whether running time under this model is measured in
+// rounds rather than real time (asynchronous SM per [2]).
+func (m Model) RoundBased() bool { return m.Kind == AsynchronousSM }
+
+// U returns d2 - d1, the delay uncertainty of the sporadic model.
+func (m Model) U() sim.Duration { return m.D2 - m.D1 }
+
+// MessageDelay records one message's transit interval for admissibility
+// checking: from the send step to the network delivery step.
+type MessageDelay struct {
+	Src, Dst  int
+	Sent      sim.Time
+	Delivered sim.Time
+}
+
+// Delay returns the transit duration.
+func (d MessageDelay) Delay() sim.Duration { return d.Delivered.Sub(d.Sent) }
+
+// CheckAdmissible verifies that the trace's step times and the recorded
+// message delays satisfy this model's constraints, independently of how the
+// schedule was produced. Gap constraints apply to every regular process that
+// appears, counting the gap from time 0 to the first step (the paper
+// assumes all steps, including the first, obey the constraints from time 0).
+func (m Model) CheckAdmissible(tr *model.Trace, delays []MessageDelay) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace invalid: %w", err)
+	}
+	for p := 0; p < tr.NumProcs; p++ {
+		if err := m.checkGaps(tr, p); err != nil {
+			return err
+		}
+	}
+	for _, d := range delays {
+		if err := m.checkDelay(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m Model) checkGaps(tr *model.Trace, proc int) error {
+	last := sim.Time(0)
+	var period sim.Duration
+	first := true
+	for _, s := range tr.Steps {
+		if s.Proc != proc {
+			continue
+		}
+		gap := s.Time.Sub(last)
+		last = s.Time
+		if first && m.StartSync {
+			// [4]'s convention: the synchronized first step occurs at time
+			// 0; subsequent gaps obey the model constraints.
+			if gap != 0 {
+				return fmt.Errorf("p%d: first step at %v, want 0 under synchronized start",
+					proc, s.Time)
+			}
+			first = false
+			continue
+		}
+		switch m.Kind {
+		case Synchronous:
+			if gap != m.C2 {
+				return fmt.Errorf("p%d step %d: gap %v != c2 %v", proc, s.Index, gap, m.C2)
+			}
+		case Periodic:
+			if period == 0 {
+				// First constrained gap fixes the process's period
+				// (PeriodMin > 0, so 0 is a safe "unset" sentinel).
+				period = gap
+				if period < m.PeriodMin || period > m.PeriodMax {
+					return fmt.Errorf("p%d: period %v outside [%v,%v]",
+						proc, period, m.PeriodMin, m.PeriodMax)
+				}
+			} else if gap != period {
+				return fmt.Errorf("p%d step %d: gap %v != period %v", proc, s.Index, gap, period)
+			}
+		case SemiSynchronous:
+			if gap < m.C1 || gap > m.C2 {
+				return fmt.Errorf("p%d step %d: gap %v outside [%v,%v]",
+					proc, s.Index, gap, m.C1, m.C2)
+			}
+		case Sporadic:
+			if gap < m.C1 {
+				return fmt.Errorf("p%d step %d: gap %v below c1 %v", proc, s.Index, gap, m.C1)
+			}
+		case AsynchronousSM:
+			if gap < 0 {
+				return fmt.Errorf("p%d step %d: negative gap", proc, s.Index)
+			}
+		case AsynchronousMP:
+			if gap < 0 || gap > m.C2 {
+				return fmt.Errorf("p%d step %d: gap %v outside [0,%v]", proc, s.Index, gap, m.C2)
+			}
+		}
+		first = false
+	}
+	return nil
+}
+
+func (m Model) checkDelay(d MessageDelay) error {
+	delay := d.Delay()
+	lo, hi := m.D1, m.D2
+	if m.Kind == Synchronous {
+		if delay != m.D2 {
+			return fmt.Errorf("message %d->%d sent %v: delay %v != d2 %v",
+				d.Src, d.Dst, d.Sent, delay, m.D2)
+		}
+		return nil
+	}
+	if delay < lo || delay > hi {
+		return fmt.Errorf("message %d->%d sent %v: delay %v outside [%v,%v]",
+			d.Src, d.Dst, d.Sent, delay, lo, hi)
+	}
+	return nil
+}

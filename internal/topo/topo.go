@@ -1,0 +1,217 @@
+// Package topo models point-to-point network topologies. The paper's
+// message-passing model is a fully-connected broadcast abstraction whose
+// delay bound d2 "subsumes the diameter factor" of the point-to-point
+// networks in [4]; this package supplies the concrete side of that
+// conversion: strongly connected graphs, shortest-path distances and
+// diameters, and a scheduler adaptor that realizes a broadcast as
+// per-destination delays summed over shortest-path hops. Running any
+// message-passing algorithm through a HopScheduler over a graph G with
+// per-hop delays in [h1, h2] is admissible for the abstract model with
+// d1 = h1 and d2 = Diameter(G)*h2, which is exactly the conversion the
+// paper applies to Table 1.
+package topo
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/sim"
+)
+
+// Graph is an undirected connected graph over vertices 0..N-1.
+type Graph struct {
+	N   int
+	adj [][]int
+	// dist[i][j] is the shortest-path hop count.
+	dist [][]int
+}
+
+// New builds a graph from an edge list. It fails unless the graph is
+// connected and every endpoint is in range.
+func New(n int, edges [][2]int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: need at least one vertex, got %d", n)
+	}
+	g := &Graph{N: n, adj: make([][]int, n)}
+	seen := make(map[[2]int]bool)
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("topo: edge (%d,%d) out of range", a, b)
+		}
+		if a == b {
+			return nil, fmt.Errorf("topo: self-loop at %d", a)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+	}
+	if err := g.computeDistances(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *Graph) computeDistances() error {
+	g.dist = make([][]int, g.N)
+	for src := 0; src < g.N; src++ {
+		d := make([]int, g.N)
+		for i := range d {
+			d[i] = -1
+		}
+		d[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if d[w] == -1 {
+					d[w] = d[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for i, dv := range d {
+			if dv == -1 && g.N > 1 {
+				return fmt.Errorf("topo: graph not connected (vertex %d unreachable from %d)", i, src)
+			}
+		}
+		g.dist[src] = d
+	}
+	return nil
+}
+
+// Dist returns the hop distance between two vertices (0 for a == b).
+func (g *Graph) Dist(a, b int) int { return g.dist[a][b] }
+
+// Diameter returns the largest hop distance between any two vertices.
+func (g *Graph) Diameter() int {
+	max := 0
+	for _, row := range g.dist {
+		for _, d := range row {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Complete returns the complete graph K_n (diameter 1).
+func Complete(n int) *Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err) // construction is total for n >= 1
+	}
+	return g
+}
+
+// Ring returns the cycle C_n (diameter floor(n/2)); for n <= 2 it
+// degenerates to a line.
+func Ring(n int) *Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if i != j {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Line returns the path P_n (diameter n-1).
+func Line(n int) *Graph {
+	var edges [][2]int
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Star returns the star S_n with center 0 (diameter 2 for n >= 3).
+func Star(n int) *Graph {
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// GapScheduler is the step-gap side a HopScheduler delegates to.
+type GapScheduler interface {
+	Gap(proc int) sim.Duration
+}
+
+// HopScheduler adapts a point-to-point topology to the message-passing
+// executor: a broadcast's delay to each destination is the sum of
+// independent per-hop delays in [H1, H2] along a shortest path (a message
+// to oneself takes one hop, modeling the loopback the abstract model's
+// buf_p write implies).
+type HopScheduler struct {
+	Graph  *Graph
+	Gaps   GapScheduler
+	H1, H2 sim.Duration
+	rng    *sim.RNG
+}
+
+// NewHopScheduler builds a deterministic hop scheduler.
+func NewHopScheduler(g *Graph, gaps GapScheduler, h1, h2 sim.Duration, seed uint64) (*HopScheduler, error) {
+	if h1 < 0 || h2 < h1 {
+		return nil, fmt.Errorf("topo: invalid hop delay range [%v,%v]", h1, h2)
+	}
+	return &HopScheduler{Graph: g, Gaps: gaps, H1: h1, H2: h2, rng: sim.NewRNG(seed)}, nil
+}
+
+// Gap implements mp.Scheduler.
+func (h *HopScheduler) Gap(proc int) sim.Duration { return h.Gaps.Gap(proc) }
+
+// Delay implements mp.Scheduler: sum of per-hop draws over the shortest
+// path.
+func (h *HopScheduler) Delay(src, dst int) sim.Duration {
+	hops := h.Graph.Dist(src, dst)
+	if hops == 0 {
+		hops = 1 // self-delivery still transits the local buffer once
+	}
+	var total sim.Duration
+	for i := 0; i < hops; i++ {
+		total += h.rng.DurationBetween(h.H1, h.H2)
+	}
+	return total
+}
+
+// EffectiveDelayBounds returns the abstract-model delay interval [d1, d2]
+// that admits every delay this scheduler can produce: d1 = H1 (one hop
+// minimum) and d2 = Diameter * H2 (paper Section 1, conversion note 1).
+func (h *HopScheduler) EffectiveDelayBounds() (d1, d2 sim.Duration) {
+	diam := h.Graph.Diameter()
+	if diam == 0 {
+		diam = 1
+	}
+	return h.H1, sim.Duration(diam) * h.H2
+}

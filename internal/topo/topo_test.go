@@ -1,0 +1,220 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(3, [][2]int{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := New(3, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := New(3, [][2]int{{0, 1}}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, err := New(1, nil); err != nil {
+		t.Error("singleton graph rejected")
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	g, err := New(2, [][2]int{{0, 1}, {1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Errorf("duplicate edges counted: deg=%d,%d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestStandardTopologies(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		diam int
+	}{
+		{"K5", Complete(5), 1},
+		{"C6", Ring(6), 3},
+		{"C7", Ring(7), 3},
+		{"P5", Line(5), 4},
+		{"S6", Star(6), 2},
+		{"K1", Complete(1), 0},
+		{"P2", Line(2), 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Diameter(); got != tt.diam {
+				t.Errorf("diameter: got %d, want %d", got, tt.diam)
+			}
+		})
+	}
+}
+
+func TestDistances(t *testing.T) {
+	g := Line(4) // 0-1-2-3
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {2, 1, 1}, {3, 0, 3},
+	}
+	for _, tt := range tests {
+		if got := g.Dist(tt.a, tt.b); got != tt.want {
+			t.Errorf("Dist(%d,%d): got %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Property: distances are symmetric and satisfy the triangle inequality on
+// rings.
+func TestDistanceMetricProperty(t *testing.T) {
+	f := func(n8, a8, b8, c8 uint8) bool {
+		n := int(n8%10) + 3
+		g := Ring(n)
+		a, b, c := int(a8)%n, int(b8)%n, int(c8)%n
+		if g.Dist(a, b) != g.Dist(b, a) {
+			return false
+		}
+		return g.Dist(a, c) <= g.Dist(a, b)+g.Dist(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopSchedulerDelayRange(t *testing.T) {
+	g := Ring(6)
+	base := timing.NewSporadic(2, 0, 0, 4).NewScheduler(timing.Fast, 1)
+	hs, err := NewHopScheduler(g, base, 3, 7, 9)
+	if err != nil {
+		t.Fatalf("NewHopScheduler: %v", err)
+	}
+	for src := 0; src < 6; src++ {
+		for dst := 0; dst < 6; dst++ {
+			d := hs.Delay(src, dst)
+			hops := g.Dist(src, dst)
+			if hops == 0 {
+				hops = 1
+			}
+			lo := sim.Duration(hops) * 3
+			hi := sim.Duration(hops) * 7
+			if d < lo || d > hi {
+				t.Errorf("delay %d->%d = %v outside [%v,%v]", src, dst, d, lo, hi)
+			}
+		}
+	}
+	d1, d2 := hs.EffectiveDelayBounds()
+	if d1 != 3 || d2 != 21 {
+		t.Errorf("effective bounds: got [%v,%v], want [3,21]", d1, d2)
+	}
+}
+
+func TestHopSchedulerValidation(t *testing.T) {
+	g := Complete(3)
+	if _, err := NewHopScheduler(g, nil, 5, 4, 1); err == nil {
+		t.Error("inverted hop range accepted")
+	}
+	if _, err := NewHopScheduler(g, nil, -1, 4, 1); err == nil {
+		t.Error("negative hop delay accepted")
+	}
+}
+
+// TestDiameterConversion is the paper's conversion note made executable:
+// the asynchronous algorithm run over a point-to-point topology with
+// per-hop delays in [0, h2] is admissible for — and respects the upper
+// bound of — the abstract model with d2 = diameter * h2.
+func TestDiameterConversion(t *testing.T) {
+	const (
+		s, n = 3, 6
+		c2   = 3
+		h2   = 8
+	)
+	for _, tt := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"complete", Complete(n)},
+		{"ring", Ring(n)},
+		{"star", Star(n)},
+		{"line", Line(n)},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := core.Spec{S: s, N: n}
+			sys, err := async.NewMP().BuildMP(spec, timing.NewAsynchronousMP(c2, 0))
+			if err != nil {
+				t.Fatalf("BuildMP: %v", err)
+			}
+			inner := timing.NewAsynchronousMP(c2, 0).NewScheduler(timing.Random, 5)
+			hs, err := NewHopScheduler(tt.g, inner, 0, h2, 7)
+			if err != nil {
+				t.Fatalf("NewHopScheduler: %v", err)
+			}
+			res, err := mp.Run(sys, hs, mp.Options{})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := res.Trace.CountSessions(); got < s {
+				t.Errorf("sessions: got %d, want >= %d", got, s)
+			}
+			// Admissible for the effective abstract model.
+			_, d2 := hs.EffectiveDelayBounds()
+			eff := timing.NewAsynchronousMP(c2, d2)
+			if err := eff.CheckAdmissible(res.Trace, res.Delays); err != nil {
+				t.Errorf("not admissible for effective model: %v", err)
+			}
+			// Respects the abstract upper bound with the effective d2.
+			p := bounds.Params{S: s, N: n, C2: c2, D2: d2}
+			if float64(res.Finish) > bounds.AsyncMPU(p) {
+				t.Errorf("finish %v exceeds effective bound %v", res.Finish, bounds.AsyncMPU(p))
+			}
+		})
+	}
+}
+
+// TestDiameterScalesRunningTime shows the diameter factor is real: the same
+// algorithm at the same per-hop delay is slower on a line than on a
+// complete graph.
+func TestDiameterScalesRunningTime(t *testing.T) {
+	const (
+		s, n = 4, 8
+		c2   = 2
+		h2   = 10
+	)
+	finish := func(g *Graph) sim.Time {
+		spec := core.Spec{S: s, N: n}
+		sys, err := periodic.NewMP().BuildMP(spec, timing.NewPeriodic(1, c2, 0))
+		if err != nil {
+			t.Fatalf("BuildMP: %v", err)
+		}
+		inner := timing.NewPeriodic(1, c2, 0).NewScheduler(timing.Slow, 1)
+		hs, err := NewHopScheduler(g, inner, h2, h2, 3)
+		if err != nil {
+			t.Fatalf("NewHopScheduler: %v", err)
+		}
+		res, err := mp.Run(sys, hs, mp.Options{})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if got := res.Trace.CountSessions(); got < s {
+			t.Fatalf("sessions: %d", got)
+		}
+		return res.Finish
+	}
+	complete := finish(Complete(n))
+	line := finish(Line(n))
+	if line <= complete {
+		t.Errorf("line (%v) should be slower than complete (%v): diameter factor missing",
+			line, complete)
+	}
+}

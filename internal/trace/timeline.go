@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sessionproblem/internal/model"
+)
+
+// Timeline renders an ASCII chart of the computation: one row per regular
+// process, virtual time flowing left to right across width columns. Port
+// steps print as 'O', other steps as '.', network deliveries as 'v' on a
+// separate net row, and session completions as '|' markers on a footer
+// ruler. Multiple events in the same column collapse to the most
+// significant glyph (O > . ; deliveries count per column).
+func Timeline(w io.Writer, tr *model.Trace, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if len(tr.Steps) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	span := int64(tr.FinishTime()) + 1
+	col := func(t int64) int {
+		c := int(t * int64(width) / span)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	rows := make([][]byte, tr.NumProcs)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(" ", width))
+	}
+	netRow := make([]int, width)
+	hasNet := false
+
+	for _, st := range tr.Steps {
+		c := col(int64(st.Time))
+		if st.Proc == model.NetworkProc {
+			netRow[c]++
+			hasNet = true
+			continue
+		}
+		glyph := byte('.')
+		if st.IsPortStep() {
+			glyph = 'O'
+		}
+		if rows[st.Proc][c] != 'O' {
+			rows[st.Proc][c] = glyph
+		}
+	}
+
+	ruler := []byte(strings.Repeat("-", width))
+	for _, sp := range Sessions(tr) {
+		ruler[col(int64(sp.End))] = '|'
+	}
+
+	for p, row := range rows {
+		if _, err := fmt.Fprintf(w, "p%-3d %s\n", p, string(row)); err != nil {
+			return err
+		}
+	}
+	if hasNet {
+		net := make([]byte, width)
+		for i, c := range netRow {
+			switch {
+			case c == 0:
+				net[i] = ' '
+			case c < 10:
+				net[i] = byte('0' + c)
+			default:
+				net[i] = '+'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "net  %s\n", string(net)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "sess %s\n", string(ruler)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "     t=0%st=%v ('O' port step, '.' step, '|' session boundary)\n",
+		strings.Repeat(" ", max(1, width-8-len(tr.FinishTime().String()))), tr.FinishTime())
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

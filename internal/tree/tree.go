@@ -1,0 +1,259 @@
+// Package tree implements the Section-3 communication substrate for the
+// shared-memory model: a b-bounded relay tree that propagates information
+// from any port process to all others in O(log_b n) steps.
+//
+// Layout. The n port variables are the leaves. Relay processes form a tree
+// with branching factor max(b-1, 2). A leaf relay polls the port variables
+// of its child ports; an interior relay polls one "edge" variable per child
+// relay. Every variable on the tree is therefore accessed by exactly two
+// processes (parent and child, or port process and leaf relay), which
+// satisfies the b-bound for every b >= 2. A relay's sweep costs
+// (children + 1) steps and the tree has O(log_b n) levels, so one-way
+// propagation costs O(log_b n) steps for constant b, matching Section 3.
+//
+// Payload. Every variable on the tree carries a Cell holding a Knowledge
+// map: for each port, the largest progress value it has announced. Relays
+// cycle through their variables merging knowledge both ways (read-merge-
+// write), so any announcement climbs to the root and spreads back down to
+// every leaf within O(depth) relay sweeps. Progress values are monotone by
+// construction, which makes merging order-insensitive.
+package tree
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sm"
+)
+
+// Knowledge maps port index to the largest progress value announced by that
+// port. Merging takes the pointwise maximum.
+type Knowledge map[int]int
+
+// Clone returns a copy of k (nil-safe).
+func (k Knowledge) Clone() Knowledge {
+	out := make(Knowledge, len(k))
+	for p, v := range k {
+		out[p] = v
+	}
+	return out
+}
+
+// MergeFrom raises k's entries to at least those of other, reporting whether
+// anything changed.
+func (k Knowledge) MergeFrom(other Knowledge) bool {
+	changed := false
+	for p, v := range other {
+		if v > k[p] {
+			k[p] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AllAtLeast reports whether every port in [0, n) has progress >= v.
+func (k Knowledge) AllAtLeast(n, v int) bool {
+	for p := 0; p < n; p++ {
+		if k[p] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest progress over ports [0, n) (0 for absent ports).
+func (k Knowledge) Min(n int) int {
+	if n == 0 {
+		return 0
+	}
+	min := k[0]
+	for p := 1; p < n; p++ {
+		if k[p] < min {
+			min = k[p]
+		}
+	}
+	return min
+}
+
+// Cell is the value stored in every tree variable (port variables included).
+type Cell struct {
+	Know Knowledge
+}
+
+// cellKnow extracts the knowledge from a variable value (nil-safe: variables
+// start at the zero value).
+func cellKnow(v sm.Value) Knowledge {
+	if v == nil {
+		return nil
+	}
+	c, ok := v.(Cell)
+	if !ok {
+		return nil
+	}
+	return c.Know
+}
+
+// MergeCell merges the knowledge in variable value v into know, reporting
+// whether know changed.
+func MergeCell(know Knowledge, v sm.Value) bool {
+	return know.MergeFrom(cellKnow(v))
+}
+
+// Relay is one relay process. It cycles through its variable list (children
+// edge/port variables first, then the parent edge variable), merging its
+// local knowledge with each variable's cell in a single read-modify-write
+// step. It idles once every port has announced progress >= doneAt and it has
+// completed one more full sweep to push that fact everywhere.
+type Relay struct {
+	vars    []model.VarID
+	i       int
+	know    Knowledge
+	nPorts  int
+	doneAt  int
+	sweepsL int // full sweeps left once knowledge is complete; -1 = not yet
+	idle    bool
+}
+
+var _ sm.Process = (*Relay)(nil)
+
+// NewRelay builds a relay over the given variables. doneAt is the progress
+// value meaning "this port has finished"; once all ports reach it the relay
+// performs one more full sweep and idles.
+func NewRelay(vars []model.VarID, nPorts, doneAt int) *Relay {
+	return &Relay{
+		vars:    vars,
+		know:    make(Knowledge),
+		nPorts:  nPorts,
+		doneAt:  doneAt,
+		sweepsL: -1,
+	}
+}
+
+// Target returns the variable for the relay's next step.
+func (r *Relay) Target() model.VarID { return r.vars[r.i] }
+
+// Step merges the relay's knowledge with the target variable's cell.
+func (r *Relay) Step(old sm.Value) sm.Value {
+	if r.idle {
+		return old
+	}
+	r.know.MergeFrom(cellKnow(old))
+	out := Cell{Know: r.know.Clone()}
+	r.i++
+	if r.i == len(r.vars) {
+		r.i = 0
+		switch {
+		case r.sweepsL > 0:
+			r.sweepsL--
+			if r.sweepsL == 0 {
+				r.idle = true
+			}
+		case r.sweepsL < 0 && r.know.AllAtLeast(r.nPorts, r.doneAt):
+			// Knowledge is complete; one more sweep spreads it to every
+			// variable this relay serves, then the relay can idle.
+			r.sweepsL = 1
+		}
+	}
+	return out
+}
+
+// Idle reports whether the relay has shut down.
+func (r *Relay) Idle() bool { return r.idle }
+
+// Know exposes the relay's current knowledge (for tests).
+func (r *Relay) Know() Knowledge { return r.know }
+
+// Vars exposes the relay's variable cycle (for tests and step accounting).
+func (r *Relay) Vars() []model.VarID { return r.vars }
+
+// Network is the assembled relay tree for n ports with access bound b.
+type Network struct {
+	// PortVars[i] is the variable serving as port i (accessed by port
+	// process i and one leaf relay).
+	PortVars []model.VarID
+	// Relays are the relay processes, leaf level first.
+	Relays []*Relay
+	// Depth is the number of relay levels.
+	Depth int
+	// NextVar is the first variable ID not used by the tree.
+	NextVar model.VarID
+}
+
+// Build constructs the relay tree for n ports under access bound b >= 2,
+// allocating variable IDs from firstVar upward. doneAt configures when
+// relays may shut down (see NewRelay).
+func Build(n, b int, firstVar model.VarID, doneAt int) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tree: need at least one port, got %d", n)
+	}
+	if b < 2 {
+		return nil, fmt.Errorf("tree: b must be at least 2, got %d", b)
+	}
+	arity := b - 1
+	if arity < 2 {
+		arity = 2
+	}
+
+	nw := &Network{NextVar: firstVar}
+	alloc := func() model.VarID {
+		v := nw.NextVar
+		nw.NextVar++
+		return v
+	}
+	for i := 0; i < n; i++ {
+		nw.PortVars = append(nw.PortVars, alloc())
+	}
+
+	// Level 0: leaf relays polling up to arity port variables each.
+	level := make([]*Relay, 0, (n+arity-1)/arity)
+	for lo := 0; lo < n; lo += arity {
+		hi := min(lo+arity, n)
+		vars := make([]model.VarID, 0, hi-lo+1)
+		vars = append(vars, nw.PortVars[lo:hi]...)
+		level = append(level, NewRelay(vars, n, doneAt))
+	}
+	nw.Relays = append(nw.Relays, level...)
+	nw.Depth = 1
+
+	// Interior levels: each group of up to arity relays hangs off one
+	// parent relay via per-child edge variables (two users each), until a
+	// single root remains.
+	for len(level) > 1 {
+		next := make([]*Relay, 0, (len(level)+arity-1)/arity)
+		for lo := 0; lo < len(level); lo += arity {
+			hi := min(lo+arity, len(level))
+			edges := make([]model.VarID, 0, hi-lo)
+			for _, child := range level[lo:hi] {
+				edge := alloc()
+				child.vars = append(child.vars, edge)
+				edges = append(edges, edge)
+			}
+			next = append(next, NewRelay(edges, n, doneAt))
+		}
+		nw.Relays = append(nw.Relays, next...)
+		level = next
+		nw.Depth++
+	}
+	return nw, nil
+}
+
+// NumRelays returns the number of relay processes.
+func (nw *Network) NumRelays() int { return len(nw.Relays) }
+
+// Processes returns the relays as sm.Process values, for appending to a
+// System's process list.
+func (nw *Network) Processes() []sm.Process {
+	out := make([]sm.Process, len(nw.Relays))
+	for i, r := range nw.Relays {
+		out[i] = r
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

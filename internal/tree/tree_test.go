@@ -1,0 +1,323 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+)
+
+func TestKnowledgeMerge(t *testing.T) {
+	k := Knowledge{0: 1, 1: 5}
+	changed := k.MergeFrom(Knowledge{0: 3, 2: 2})
+	if !changed {
+		t.Error("merge should report change")
+	}
+	if k[0] != 3 || k[1] != 5 || k[2] != 2 {
+		t.Errorf("merge result wrong: %v", k)
+	}
+	if k.MergeFrom(Knowledge{0: 1}) {
+		t.Error("no-op merge reported change")
+	}
+}
+
+func TestKnowledgeAllAtLeastAndMin(t *testing.T) {
+	k := Knowledge{0: 2, 1: 3}
+	if !k.AllAtLeast(2, 2) {
+		t.Error("AllAtLeast(2,2) should hold")
+	}
+	if k.AllAtLeast(2, 3) {
+		t.Error("AllAtLeast(2,3) should fail")
+	}
+	if k.AllAtLeast(3, 1) {
+		t.Error("missing port should count as 0")
+	}
+	if got := k.Min(2); got != 2 {
+		t.Errorf("Min(2): got %d, want 2", got)
+	}
+	if got := k.Min(3); got != 0 {
+		t.Errorf("Min(3): got %d, want 0", got)
+	}
+	if got := Knowledge(nil).Min(0); got != 0 {
+		t.Errorf("Min(0): got %d, want 0", got)
+	}
+}
+
+func TestKnowledgeClone(t *testing.T) {
+	k := Knowledge{0: 1}
+	c := k.Clone()
+	c[0] = 9
+	if k[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestMergeCellNilSafety(t *testing.T) {
+	k := make(Knowledge)
+	if MergeCell(k, nil) {
+		t.Error("merging nil value reported change")
+	}
+	if MergeCell(k, "garbage") {
+		t.Error("merging foreign value reported change")
+	}
+	if !MergeCell(k, Cell{Know: Knowledge{1: 4}}) {
+		t.Error("real merge not reported")
+	}
+	if k[1] != 4 {
+		t.Errorf("merge result wrong: %v", k)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(0, 3, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Build(4, 1, 1, 1); err == nil {
+		t.Error("b=1 accepted")
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	tests := []struct {
+		n, b       int
+		wantRelays int
+		wantDepth  int
+	}{
+		{n: 1, b: 2, wantRelays: 1, wantDepth: 1},
+		{n: 2, b: 3, wantRelays: 1, wantDepth: 1},
+		{n: 4, b: 3, wantRelays: 2 + 1, wantDepth: 2},
+		{n: 8, b: 3, wantRelays: 4 + 2 + 1, wantDepth: 3},
+		{n: 9, b: 4, wantRelays: 3 + 1, wantDepth: 2},
+	}
+	for _, tt := range tests {
+		nw, err := Build(tt.n, tt.b, 10, 1)
+		if err != nil {
+			t.Fatalf("Build(%d,%d): %v", tt.n, tt.b, err)
+		}
+		if got := nw.NumRelays(); got != tt.wantRelays {
+			t.Errorf("Build(%d,%d) relays: got %d, want %d", tt.n, tt.b, got, tt.wantRelays)
+		}
+		if nw.Depth != tt.wantDepth {
+			t.Errorf("Build(%d,%d) depth: got %d, want %d", tt.n, tt.b, nw.Depth, tt.wantDepth)
+		}
+		if len(nw.PortVars) != tt.n {
+			t.Errorf("Build(%d,%d) port vars: got %d", tt.n, tt.b, len(nw.PortVars))
+		}
+		if nw.PortVars[0] != 10 {
+			t.Errorf("first var: got %v, want 10", nw.PortVars[0])
+		}
+	}
+}
+
+// TestBuildRespectsBBound verifies statically that no variable is wired to
+// more than b processes (port processes count for their port variable).
+func TestBuildRespectsBBound(t *testing.T) {
+	for _, tt := range []struct{ n, b int }{{1, 2}, {5, 2}, {16, 3}, {33, 5}, {64, 4}} {
+		nw, err := Build(tt.n, tt.b, 0, 1)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		users := make(map[model.VarID]int)
+		for _, v := range nw.PortVars {
+			users[v]++ // the port process itself
+		}
+		for _, r := range nw.Relays {
+			for _, v := range r.Vars() {
+				users[v]++
+			}
+		}
+		for v, c := range users {
+			if c > tt.b {
+				t.Errorf("n=%d b=%d: var %v used by %d > b processes", tt.n, tt.b, v, c)
+			}
+		}
+	}
+}
+
+// announcer is a port process that writes progress 1 to its port at its
+// first step, then keeps reading until it sees everyone at >= 1, then idles.
+type announcer struct {
+	port    int
+	n       int
+	v       model.VarID
+	know    Knowledge
+	stepped bool
+	idle    bool
+}
+
+func newAnnouncer(port, n int, v model.VarID) *announcer {
+	return &announcer{port: port, n: n, v: v, know: make(Knowledge)}
+}
+
+func (a *announcer) Target() model.VarID { return a.v }
+
+func (a *announcer) Step(old sm.Value) sm.Value {
+	if a.idle {
+		return old
+	}
+	a.know.MergeFrom(cellKnow(old))
+	if !a.stepped {
+		a.stepped = true
+		a.know[a.port] = 1
+	}
+	if a.know.AllAtLeast(a.n, 1) {
+		a.idle = true
+	}
+	return Cell{Know: a.know.Clone()}
+}
+
+func (a *announcer) Idle() bool { return a.idle }
+
+func buildAnnouncerSystem(t *testing.T, n, b int) (*sm.System, *Network) {
+	t.Helper()
+	nw, err := Build(n, b, 0, 1)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sys := &sm.System{B: b}
+	for i := 0; i < n; i++ {
+		sys.Procs = append(sys.Procs, newAnnouncer(i, n, nw.PortVars[i]))
+		sys.Ports = append(sys.Ports, sm.PortBinding{Var: nw.PortVars[i], Proc: i})
+	}
+	sys.Procs = append(sys.Procs, nw.Processes()...)
+	return sys, nw
+}
+
+// TestPropagationEndToEnd runs announcers over the tree and checks that the
+// executor terminates with everyone informed, under several n and b.
+func TestPropagationEndToEnd(t *testing.T) {
+	for _, tt := range []struct{ n, b int }{{1, 2}, {2, 2}, {3, 2}, {8, 3}, {16, 2}, {27, 4}} {
+		sys, _ := buildAnnouncerSystem(t, tt.n, tt.b)
+		m := timing.NewAsynchronousSM(4)
+		res, err := sm.Run(sys, m.NewScheduler(timing.Random, 17), sm.Options{})
+		if err != nil {
+			t.Fatalf("n=%d b=%d: %v", tt.n, tt.b, err)
+		}
+		if got := res.Trace.CountSessions(); got < 1 {
+			t.Errorf("n=%d b=%d: sessions %d < 1", tt.n, tt.b, got)
+		}
+	}
+}
+
+// TestPropagationRoundCount checks the O(log_b n) shape: rounds to complete
+// grow logarithmically, not linearly, in n.
+func TestPropagationRoundCount(t *testing.T) {
+	rounds := func(n int) int {
+		sys, _ := buildAnnouncerSystem(t, n, 3)
+		m := timing.NewAsynchronousSM(1) // lockstep round-robin
+		res, err := sm.Run(sys, m.NewScheduler(timing.Slow, 1), sm.Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		return res.Trace.CountRounds()
+	}
+	r8, r64 := rounds(8), rounds(64)
+	if r64 > 4*r8 {
+		// Depth grows from 3 to 6 when n goes 8 -> 64 at arity 2; rounds
+		// must scale with depth (x2), not with n (x8).
+		t.Errorf("rounds grew too fast: rounds(8)=%d rounds(64)=%d", r8, r64)
+	}
+}
+
+// TestRelayIdlesAfterCompletion ensures relays shut down and the final
+// knowledge is complete at every port variable.
+func TestRelayIdlesAfterCompletion(t *testing.T) {
+	sys, nw := buildAnnouncerSystem(t, 6, 3)
+	m := timing.NewAsynchronousSM(3)
+	res, err := sm.Run(sys, m.NewScheduler(timing.Random, 5), sm.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, r := range nw.Relays {
+		if !r.Idle() {
+			t.Error("relay did not idle")
+		}
+		if !r.Know().AllAtLeast(6, 1) {
+			t.Errorf("relay idled with incomplete knowledge: %v", r.Know())
+		}
+	}
+	_ = res
+}
+
+func TestRelayStaysIdle(t *testing.T) {
+	r := NewRelay([]model.VarID{1}, 1, 1)
+	r.Step(Cell{Know: Knowledge{0: 1}}) // learns port 0 done; schedules final sweep
+	r.Step(nil)                         // final sweep
+	if !r.Idle() {
+		t.Fatal("relay should be idle after final sweep")
+	}
+	out := r.Step(Cell{Know: Knowledge{0: 5}})
+	if c, ok := out.(Cell); !ok || c.Know[0] != 5 {
+		t.Error("idle relay must return its input unchanged")
+	}
+	if !r.Idle() {
+		t.Error("relay left idle state")
+	}
+}
+
+// TestCommStepsIsATrueBound checks that bounds.CommSteps dominates the
+// measured one-way propagation cost of the real tree: an announcement made
+// at one port reaches every port within CommSteps lockstep rounds, across a
+// range of n and b.
+func TestCommStepsIsATrueBound(t *testing.T) {
+	for _, tt := range []struct{ n, b int }{
+		{2, 2}, {4, 2}, {16, 2}, {9, 3}, {27, 4}, {64, 3}, {40, 5},
+	} {
+		sys, _ := buildAnnouncerSystem(t, tt.n, tt.b)
+		m := timing.NewAsynchronousSM(1) // lockstep: one round per tick
+		res, err := sm.Run(sys, m.NewScheduler(timing.Slow, 1), sm.Options{})
+		if err != nil {
+			t.Fatalf("n=%d b=%d: %v", tt.n, tt.b, err)
+		}
+		rounds := res.Trace.CountRounds()
+		limit := bounds.CommSteps(tt.n, tt.b)
+		if rounds > limit {
+			t.Errorf("n=%d b=%d: %d propagation rounds exceed CommSteps=%d",
+				tt.n, tt.b, rounds, limit)
+		}
+	}
+}
+
+// Property: merging is idempotent, commutative and monotone.
+func TestMergeProperties(t *testing.T) {
+	gen := func(seed uint64) Knowledge {
+		k := make(Knowledge)
+		s := seed
+		for i := 0; i < 4; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			k[int(s%5)] = int(s % 7)
+		}
+		return k
+	}
+	f := func(s1, s2 uint64) bool {
+		a, b := gen(s1), gen(s2)
+		ab := a.Clone()
+		ab.MergeFrom(b)
+		ba := b.Clone()
+		ba.MergeFrom(a)
+		// Commutative.
+		for p := 0; p < 5; p++ {
+			if ab[p] != ba[p] {
+				return false
+			}
+		}
+		// Idempotent.
+		again := ab.Clone()
+		if again.MergeFrom(b) {
+			return false
+		}
+		// Monotone.
+		for p, v := range a {
+			if ab[p] < v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
