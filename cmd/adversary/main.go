@@ -15,20 +15,28 @@
 //	    lockstep execution and shift the pivot processes by up to u/4,
 //	    keeping all delays inside [d1, d2].
 //
+// The selected experiments run on the shared worker-pool engine, each
+// writing into its own buffer; buffers are flushed in experiment order, so
+// the output is identical at any -parallelism setting.
+//
 // Usage:
 //
-//	adversary [-exp a1|a2|a3|all]
+//	adversary [-exp a1|a2|a3|all] [-parallelism N] [-timeout D]
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sessionproblem/internal/adversary"
 	"sessionproblem/internal/alg/periodic"
 	"sessionproblem/internal/alg/sporadic"
 	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
 	"sessionproblem/internal/timing"
 )
 
@@ -39,138 +47,162 @@ func main() {
 	}
 }
 
+type experiment struct {
+	name string
+	run  func(w io.Writer) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"a1", runA1},
+		{"a2", runA2},
+		{"a3", runA3},
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment: a1, a2, a3 or all")
+	parallelism := fs.Int("parallelism", 0, "worker-pool width (0 = GOMAXPROCS); output is identical at any setting")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound for all experiments (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
 
-	if want("a1") {
-		ran = true
-		if err := runA1(); err != nil {
-			return err
+	var selected []experiment
+	for _, e := range experiments() {
+		if *exp == "all" || *exp == e.name {
+			selected = append(selected, e)
 		}
 	}
-	if want("a2") {
-		ran = true
-		if err := runA2(); err != nil {
-			return err
-		}
-	}
-	if want("a3") {
-		ran = true
-		if err := runA3(); err != nil {
-			return err
-		}
-	}
-	if !ran {
+	if len(selected) == 0 {
 		return fmt.Errorf("unknown experiment %q (want a1, a2, a3 or all)", *exp)
 	}
-	return nil
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	eng := engine.New(engine.WithParallelism(*parallelism))
+	bufs, err := engine.Map(ctx, eng, len(selected),
+		func(i int) string { return selected[i].name },
+		func(ctx context.Context, i int) (*bytes.Buffer, error) {
+			var buf bytes.Buffer
+			if err := selected[i].run(&buf); err != nil {
+				return nil, fmt.Errorf("%s: %w", selected[i].name, err)
+			}
+			return &buf, nil
+		})
+	for _, buf := range bufs {
+		if buf != nil {
+			io.Copy(os.Stdout, buf)
+		}
+	}
+	return err
 }
 
-func runA1() error {
-	fmt.Println("# A1: contamination analysis (Lemma 4.4 / Theorem 4.3, periodic SM)")
+func runA1(w io.Writer) error {
+	fmt.Fprintln(w, "# A1: contamination analysis (Lemma 4.4 / Theorem 4.3, periodic SM)")
 	spec := core.Spec{S: 4, N: 8, B: 3}
 	m := timing.NewPeriodic(1, 64, 0)
 
-	fmt.Println("\n## victim: too-fast algorithm (s steps per port), p0 slowed to period 64")
+	fmt.Fprintln(w, "\n## victim: too-fast algorithm (s steps per port), p0 slowed to period 64")
 	rep, err := adversary.AnalyzeContamination(adversary.TooFastSM{}, spec, m, 0, 64)
 	if err != nil {
 		return err
 	}
-	printContamination(rep, spec.S)
+	printContamination(w, rep, spec.S)
 
-	fmt.Println("\n## control: periodic A(p) under the same perturbation")
+	fmt.Fprintln(w, "\n## control: periodic A(p) under the same perturbation")
 	rep, err = adversary.AnalyzeContamination(periodic.NewSM(), spec, m, 0, 64)
 	if err != nil {
 		return err
 	}
-	printContamination(rep, spec.S)
+	printContamination(w, rep, spec.S)
 	return nil
 }
 
-func printContamination(rep *adversary.ContaminationReport, s int) {
-	fmt.Printf("subrounds analyzed: %d, slowed process: p%d (took %d steps)\n",
+func printContamination(w io.Writer, rep *adversary.ContaminationReport, s int) {
+	fmt.Fprintf(w, "subrounds analyzed: %d, slowed process: p%d (took %d steps)\n",
 		rep.Rounds, rep.Slowed, rep.SlowedSteps)
 	limit := rep.Rounds
 	if limit > 8 {
 		limit = 8
 	}
-	fmt.Println("  t   |P(t)|  bound P_t")
+	fmt.Fprintln(w, "  t   |P(t)|  bound P_t")
 	for t := 1; t <= limit; t++ {
-		fmt.Printf("  %-3d %-7d %d\n", t, rep.ContaminatedProcs[t], rep.BoundP[t])
+		fmt.Fprintf(w, "  %-3d %-7d %d\n", t, rep.ContaminatedProcs[t], rep.BoundP[t])
 	}
-	fmt.Printf("within Lemma 4.4 bound: %v\n", rep.WithinBound)
-	fmt.Printf("sessions in perturbed computation: %d (s = %d)", rep.SessionsPerturbed, s)
+	fmt.Fprintf(w, "within Lemma 4.4 bound: %v\n", rep.WithinBound)
+	fmt.Fprintf(w, "sessions in perturbed computation: %d (s = %d)", rep.SessionsPerturbed, s)
 	if rep.SessionsPerturbed < s {
-		fmt.Print("  -> VIOLATION (victim contradicts Theorem 4.3)")
+		fmt.Fprint(w, "  -> VIOLATION (victim contradicts Theorem 4.3)")
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func runA2() error {
-	fmt.Println("\n# A2: reorder/retime (Theorem 5.1, semi-synchronous SM)")
+func runA2(w io.Writer) error {
+	fmt.Fprintln(w, "\n# A2: reorder/retime (Theorem 5.1, semi-synchronous SM)")
 	spec := core.Spec{S: 4, N: 9, B: 3}
 	m := timing.NewSemiSynchronous(1, 8, 0)
 
-	fmt.Println("\n## victim: too-fast algorithm (s steps per port)")
+	fmt.Fprintln(w, "\n## victim: too-fast algorithm (s steps per port)")
 	rep, err := adversary.ReorderSemiSync(adversary.TooFastSM{}, spec, m)
 	if err != nil {
 		return err
 	}
-	printReorder(rep, spec.S)
+	printReorder(w, rep, spec.S)
 
-	fmt.Println("\n## control: periodic A(p) (correct under bounded gaps)")
+	fmt.Fprintln(w, "\n## control: periodic A(p) (correct under bounded gaps)")
 	rep, err = adversary.ReorderSemiSync(periodic.NewSM(), spec, m)
 	if err != nil {
 		return err
 	}
-	printReorder(rep, spec.S)
+	printReorder(w, rep, spec.S)
 	return nil
 }
 
-func printReorder(rep *adversary.ReorderReport, s int) {
-	fmt.Printf("B=%d rounds/chunk, %d rounds -> %d chunks\n", rep.B, rep.OriginalRounds, rep.Chunks)
-	fmt.Printf("reordered computation: admissible, same projections=%v, sessions=%d (s=%d)",
+func printReorder(w io.Writer, rep *adversary.ReorderReport, s int) {
+	fmt.Fprintf(w, "B=%d rounds/chunk, %d rounds -> %d chunks\n", rep.B, rep.OriginalRounds, rep.Chunks)
+	fmt.Fprintf(w, "reordered computation: admissible, same projections=%v, sessions=%d (s=%d)",
 		rep.SameProjection, rep.Sessions, s)
 	if rep.Violation {
-		fmt.Print("  -> VIOLATION (victim contradicts Theorem 5.1)")
+		fmt.Fprint(w, "  -> VIOLATION (victim contradicts Theorem 5.1)")
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func runA3() error {
-	fmt.Println("\n# A3: sporadic retiming (Theorem 6.5, sporadic MP)")
+func runA3(w io.Writer) error {
+	fmt.Fprintln(w, "\n# A3: sporadic retiming (Theorem 6.5, sporadic MP)")
 	spec := core.Spec{S: 4, N: 3}
 	m := timing.NewSporadic(2, 4, 28, 0)
 
-	fmt.Println("\n## victim: too-fast algorithm (s silent steps per process)")
+	fmt.Fprintln(w, "\n## victim: too-fast algorithm (s silent steps per process)")
 	rep, err := adversary.RetimeSporadic(adversary.TooFastMP{}, spec, m)
 	if err != nil {
 		return err
 	}
-	printRetime(rep, spec.S)
+	printRetime(w, rep, spec.S)
 
-	fmt.Println("\n## control: sporadic A(sp)")
+	fmt.Fprintln(w, "\n## control: sporadic A(sp)")
 	rep, err = adversary.RetimeSporadic(sporadic.NewMP(), spec, m)
 	if err != nil {
 		return err
 	}
-	printRetime(rep, spec.S)
+	printRetime(w, rep, spec.S)
 	return nil
 }
 
-func printRetime(rep *adversary.RetimeReport, s int) {
-	fmt.Printf("K=%v B=%d rounds/chunk, %d rounds -> %d chunks\n",
+func printRetime(w io.Writer, rep *adversary.RetimeReport, s int) {
+	fmt.Fprintf(w, "K=%v B=%d rounds/chunk, %d rounds -> %d chunks\n",
 		rep.K, rep.B, rep.OriginalRounds, rep.Chunks)
-	fmt.Printf("retimed computation: admissible, delays [%v,%v], sessions=%d (s=%d)",
+	fmt.Fprintf(w, "retimed computation: admissible, delays [%v,%v], sessions=%d (s=%d)",
 		rep.MinDelay, rep.MaxDelay, rep.Sessions, s)
 	if rep.Violation {
-		fmt.Print("  -> VIOLATION (victim contradicts Theorem 6.5)")
+		fmt.Fprint(w, "  -> VIOLATION (victim contradicts Theorem 6.5)")
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }

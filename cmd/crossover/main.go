@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,16 +36,28 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("crossover", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment: f1, f2, f3, f4, f5 or all")
 	seeds := fs.Int("seeds", 2, "seeds per scheduling strategy")
+	parallelism := fs.Int("parallelism", 0, "worker-pool width for the sweep run matrices (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole invocation (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
 
 	if want("f1") {
 		ran = true
-		pts, err := harness.SweepSporadicDelay(6, 4, 2, 40, 9, *seeds)
+		pts, err := harness.Sweep(ctx, harness.SweepSpec{
+			Kind: harness.SweepKindSporadicDelay,
+			S:    6, N: 4, C1: 2, D2: 40,
+			Steps: 9, Seeds: *seeds, Parallelism: *parallelism,
+		})
 		if err != nil {
 			return err
 		}
@@ -58,7 +71,11 @@ func run(args []string) error {
 	}
 	if want("f2") {
 		ran = true
-		pts, err := harness.SweepPeriodicVsSemiSync(4, 2, 10, 30, 10, *seeds)
+		pts, err := harness.Sweep(ctx, harness.SweepSpec{
+			Kind: harness.SweepKindPeriodicVsSemiSync,
+			N:    4, C1: 2, C2: 10, D2: 30,
+			MaxS: 10, Seeds: *seeds, Parallelism: *parallelism,
+		})
 		if err != nil {
 			return err
 		}
@@ -73,7 +90,11 @@ func run(args []string) error {
 	if want("f3") {
 		ran = true
 		cmaxs := []sim.Duration{2, 4, 8, 16, 32, 64}
-		pts, err := harness.SweepPeriodicVsSporadic(5, 3, 2, 4, 28, cmaxs, *seeds)
+		pts, err := harness.Sweep(ctx, harness.SweepSpec{
+			Kind: harness.SweepKindPeriodicVsSporadic,
+			S:    5, N: 3, C1: 2, D1: 4, D2: 28,
+			Cmaxs: cmaxs, Seeds: *seeds, Parallelism: *parallelism,
+		})
 		if err != nil {
 			return err
 		}
@@ -87,7 +108,9 @@ func run(args []string) error {
 	}
 	if want("f4") {
 		ran = true
-		rows, err := harness.Hierarchy(harness.Default())
+		cfg := harness.Default()
+		cfg.Parallelism = *parallelism
+		rows, err := harness.HierarchyCtx(ctx, cfg)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,7 @@ func run(args []string) error {
 	d2 := fs.Int64("d2", 28, "upper bound on message delay")
 	strategyName := fs.String("strategy", "random", "schedule strategy: random, slow, fast, skewed, jittered")
 	seed := fs.Uint64("seed", 1, "schedule seed")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound on the run (0 = none)")
 	showTrace := fs.Bool("trace", false, "print the timed computation")
 	showTimeline := fs.Bool("timeline", false, "print an ASCII timeline of the computation")
 	jsonOut := fs.Bool("json", false, "emit the trace as JSON")
@@ -58,6 +60,12 @@ func run(args []string) error {
 	st, err := parseStrategy(*strategyName)
 	if err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	spec := core.Spec{S: *s, N: *n, B: *b}
 	dc1, dc2 := sim.Duration(*c1), sim.Duration(*c2)
@@ -70,7 +78,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		rep, err = core.RunSM(alg, spec, m, st, *seed)
+		rep, err = core.RunSMContext(ctx, alg, spec, m, st, *seed)
 		if err != nil {
 			return err
 		}
@@ -79,7 +87,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		rep, err = core.RunMP(alg, spec, m, st, *seed)
+		rep, err = core.RunMPContext(ctx, alg, spec, m, st, *seed)
 		if err != nil {
 			return err
 		}

@@ -5,12 +5,19 @@
 // and seeds, and reports the measured worst case against the paper's bound
 // formulas.
 //
+// The full run matrix (cell × strategy × seed) fans across a worker pool;
+// -parallelism picks the width (default GOMAXPROCS) and the output is
+// byte-identical at any setting. -timeout bounds the whole regeneration,
+// cancelling in-flight simulations.
+//
 // Usage:
 //
 //	sessiontable [-s N] [-n N] [-b N] [-c1 N] [-c2 N] [-d1 N] [-d2 N] [-seeds N]
+//	             [-parallelism N] [-timeout D]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,21 +44,30 @@ func run(args []string) error {
 	d1 := fs.Int64("d1", int64(def.D1), "lower bound on message delay, sporadic model (ticks)")
 	d2 := fs.Int64("d2", int64(def.D2), "upper bound on message delay (ticks)")
 	seeds := fs.Int("seeds", def.Seeds, "seeds per scheduling strategy")
+	parallelism := fs.Int("parallelism", 0, "worker-pool width (0 = GOMAXPROCS); output is identical at any setting")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole regeneration (0 = none)")
 	grid := fs.Bool("grid", false, "regenerate the table at several (s,n) scales")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of the aligned table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	cfg := harness.Config{
 		S: *s, N: *n, B: *b,
 		C1: sim.Duration(*c1), C2: sim.Duration(*c2),
 		Cmin: sim.Duration(*c1), Cmax: sim.Duration(*c2),
 		D1: sim.Duration(*d1), D2: sim.Duration(*d2),
-		Seeds: *seeds,
+		Seeds:       *seeds,
+		Parallelism: *parallelism,
 	}
 	if *grid {
-		points, err := harness.Grid(cfg, harness.DefaultGridScales())
+		points, err := harness.GridCtx(ctx, cfg, harness.DefaultGridScales())
 		if err != nil {
 			return err
 		}
@@ -66,7 +82,7 @@ func run(args []string) error {
 		}
 		return harness.WriteGrid(os.Stdout, points)
 	}
-	cells, err := harness.Table1(cfg)
+	cells, err := harness.Table1Ctx(ctx, cfg)
 	if err != nil {
 		return err
 	}

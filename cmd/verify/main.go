@@ -4,13 +4,17 @@
 // the same pipeline a downstream user would point at their own algorithm
 // via internal/check.
 //
+// With -all the independent suites fan across the worker-pool engine;
+// results are printed in suite order regardless of completion order.
+//
 // Usage:
 //
-//	verify -alg periodic -comm sm [-s N] [-n N] [-b N]
+//	verify -alg periodic -comm sm [-s N] [-n N] [-b N] [-parallelism N]
 //	verify -all
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,7 @@ import (
 	"sessionproblem/internal/alg/synchronous"
 	"sessionproblem/internal/check"
 	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
 )
@@ -98,25 +103,40 @@ func run(args []string) error {
 	s := fs.Int("s", 3, "sessions")
 	n := fs.Int("n", 3, "ports")
 	b := fs.Int("b", 2, "access bound")
+	parallelism := fs.Int("parallelism", 0, "worker-pool width (0 = GOMAXPROCS); output is identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	spec := core.Spec{S: *s, N: *n, B: *b}
 
-	failed := 0
-	matched := false
+	var selected []suite
 	for _, su := range suites(spec) {
-		if !*all && su.name != *which {
-			continue
+		if *all || su.name == *which {
+			selected = append(selected, su)
 		}
-		matched = true
-		rep := su.run(spec)
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no suite named %q (use -all to list all)", *which)
+	}
+
+	eng := engine.New(engine.WithParallelism(*parallelism))
+	reports, err := engine.Map(context.Background(), eng, len(selected),
+		func(i int) string { return selected[i].name },
+		func(ctx context.Context, i int) (*check.Report, error) {
+			return selected[i].run(spec), nil
+		})
+	if err != nil {
+		return err
+	}
+
+	failed := 0
+	for i, rep := range reports {
 		status := "PASS"
 		if !rep.OK() {
 			status = "FAIL"
 			failed++
 		}
-		fmt.Printf("%-16s %s  (%s)\n", su.name, status, rep.Algorithm)
+		fmt.Printf("%-16s %s  (%s)\n", selected[i].name, status, rep.Algorithm)
 		for _, it := range rep.Items {
 			mark := "ok  "
 			if !it.Passed {
@@ -124,9 +144,6 @@ func run(args []string) error {
 			}
 			fmt.Printf("    [%s] %-22s %s\n", mark, it.Name, it.Detail)
 		}
-	}
-	if !matched {
-		return fmt.Errorf("no suite named %q (use -all to list all)", *which)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d suite(s) failed", failed)

@@ -6,7 +6,21 @@
 // including A(p) and A(sp) — and executable versions of the three
 // lower-bound adversary constructions.
 //
-// The library lives under internal/; see the README for the package map,
-// the cmd/ tools for the Table-1 and sweep reproductions, and bench_test.go
-// for the benchmark harness that regenerates every evaluation artifact.
+// The root package is the public API: Table1, Hierarchy, Sweep and Solve
+// regenerate the paper's evaluation artifacts on a parallel execution
+// engine, configured with functional options (WithSpec, WithSeeds,
+// WithParallelism, WithTimeout, WithObserver, ...). The run matrix fans
+// across GOMAXPROCS workers with index-addressed results, so output is
+// byte-identical at any parallelism level, and context cancellation reaches
+// into every in-flight simulation.
+//
+//	res, err := sessionproblem.Table1(ctx,
+//	    sessionproblem.WithSpec(6, 8),
+//	    sessionproblem.WithParallelism(8),
+//	    sessionproblem.WithTimeout(30*time.Second))
+//
+// The implementation lives under internal/; see the README for the package
+// map, the cmd/ tools for the Table-1 and sweep reproductions, and
+// bench_test.go for the benchmark harness that regenerates every evaluation
+// artifact.
 package sessionproblem

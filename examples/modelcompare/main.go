@@ -1,9 +1,13 @@
 // Modelcompare: run the right algorithm for every one of the paper's five
-// timing models on the same (s, n)-session instance and print the resulting
-// hierarchy — the paper's central qualitative claim is that the periodic
-// model sits between synchronous (no communication) and asynchronous (one
-// communication per session), with semi-synchronous and sporadic
-// interpolating according to their constants.
+// timing models on the same (s, n)-session instance — through the public
+// sessionproblem API — and print the resulting hierarchy. The paper's
+// central qualitative claim is that the periodic model sits between
+// synchronous (no communication) and asynchronous (one communication per
+// session), with semi-synchronous and sporadic interpolating according to
+// their constants.
+//
+// The full run matrix executes on the parallel engine (WithParallelism);
+// the engine stats printed at the end show the fan-out accounting.
 //
 // Run with:
 //
@@ -11,35 +15,44 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
-	"sessionproblem/internal/harness"
+	"sessionproblem"
 )
 
 func main() {
-	cfg := harness.Default()
-	fmt.Printf("(s=%d, n=%d)-session problem across all five timing models\n", cfg.S, cfg.N)
-	fmt.Printf("constants: c1=%v c2=%v (cmin=%v cmax=%v) d1=%v d2=%v b=%d\n\n",
-		cfg.C1, cfg.C2, cfg.Cmin, cfg.Cmax, cfg.D1, cfg.D2, cfg.B)
+	ctx := context.Background()
 
-	rows, err := harness.Hierarchy(cfg)
+	fmt.Println("(s=6, n=8)-session problem across all five timing models")
+	fmt.Println("constants: c1=2 c2=10 (cmin=2 cmax=10) d1=4 d2=28 b=3 (library defaults)")
+	fmt.Println()
+
+	hier, err := sessionproblem.Hierarchy(ctx,
+		sessionproblem.WithParallelism(runtime.NumCPU()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := harness.WriteHierarchy(os.Stdout, rows); err != nil {
+	if err := sessionproblem.WriteHierarchy(os.Stdout, hier.Rows); err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("\nfull Table 1 at the same constants:")
-	cells, err := harness.Table1(cfg)
+	table, err := sessionproblem.Table1(ctx,
+		sessionproblem.WithParallelism(runtime.NumCPU()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := harness.WriteTable(os.Stdout, cells); err != nil {
+	if err := sessionproblem.WriteTable(os.Stdout, table.Cells); err != nil {
 		log.Fatal(err)
 	}
+
+	fmt.Printf("\nengine: %d runs on %d workers, %d process steps, %d sessions, %d broadcasts\n",
+		table.Stats.Runs, table.Stats.Parallelism,
+		table.Stats.Steps, table.Stats.Sessions, table.Stats.Messages)
 	fmt.Println("\nreading guide: communication needed per session is what separates the rows —")
 	fmt.Println("none (synchronous), one total (periodic), min(wait, one-per-session)")
 	fmt.Println("(semi-synchronous/sporadic), one per session (asynchronous).")

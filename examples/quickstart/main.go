@@ -1,6 +1,11 @@
 // Quickstart: solve a (4, 3)-session problem with the periodic-model
-// algorithm A(p) over the message-passing simulator, verify the result, and
-// print the paper's Theorem 4.1 bound next to the measured running time.
+// algorithm A(p) over the message-passing simulator through the public
+// sessionproblem API, verify the result, and print the paper's Theorem 4.1
+// bound next to the measured running time.
+//
+// The public facade replaces direct internal/ imports: external users
+// configure runs with functional options and never touch the simulator
+// wiring.
 //
 // Run with:
 //
@@ -8,35 +13,41 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"sessionproblem/internal/alg/periodic"
-	"sessionproblem/internal/bounds"
-	"sessionproblem/internal/core"
-	"sessionproblem/internal/timing"
+	"sessionproblem"
 )
 
 func main() {
-	// Problem: s = 4 disjoint sessions over n = 3 ports.
-	spec := core.Spec{S: 4, N: 3}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
-	// Timing model: periodic — every process steps at a constant but
-	// unknown period in [2, 10] ticks; message delays are in [0, 25].
-	model := timing.NewPeriodic(2, 10, 25)
-
-	// Run A(p) under an adversarial schedule (slowest periods, maximum
-	// delays). RunMP re-checks admissibility and counts disjoint sessions.
-	report, err := core.RunMP(periodic.NewMP(), spec, model, timing.Slow, 1)
+	// Problem: s = 4 disjoint sessions over n = 3 ports, under the periodic
+	// model — every process steps at a constant but unknown period in
+	// [2, 10] ticks; message delays are in [0, 25]. The "slow" schedule is
+	// the adversarial one: slowest periods, maximum delays. Solve verifies
+	// admissibility and counts disjoint sessions.
+	report, err := sessionproblem.Solve(ctx,
+		sessionproblem.Periodic, sessionproblem.MessagePassing,
+		sessionproblem.WithSpec(4, 3),
+		sessionproblem.WithPeriodRange(2, 10),
+		sessionproblem.WithDelayBounds(0, 25),
+		sessionproblem.WithSchedule("slow", 1))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	p := bounds.Params{S: spec.S, N: spec.N, Cmin: 2, Cmax: 10, D2: 25}
+	// The paper's envelope for this cell: L = max{s*cmax, d2} (Theorem
+	// 4.2), U = s*cmax + d2 (Theorem 4.1), at s=4, cmax=10, d2=25.
+	lower, upper := 4*10, 4*10+25
 	fmt.Println("quickstart: (4,3)-session problem, periodic model, algorithm A(p)")
-	fmt.Printf("  sessions achieved: %d (required %d)\n", report.Sessions, spec.S)
-	fmt.Printf("  running time:      %v ticks\n", report.Finish)
-	fmt.Printf("  paper lower bound: %.0f ticks (Theorem 4.2: max{s*cmax, d2})\n", bounds.PeriodicMPL(p))
-	fmt.Printf("  paper upper bound: %.0f ticks (Theorem 4.1: s*cmax + d2)\n", bounds.PeriodicMPU(p))
+	fmt.Printf("  algorithm:         %s\n", report.Algorithm)
+	fmt.Printf("  sessions achieved: %d (required 4)\n", report.Sessions)
+	fmt.Printf("  running time:      %d ticks\n", report.Finish)
+	fmt.Printf("  paper lower bound: %d ticks (Theorem 4.2: max{s*cmax, d2})\n", lower)
+	fmt.Printf("  paper upper bound: %d ticks (Theorem 4.1: s*cmax + d2)\n", upper)
 	fmt.Printf("  broadcasts used:   %d (one per process)\n", report.Messages)
 }

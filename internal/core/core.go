@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -89,9 +90,23 @@ type Report struct {
 // computation contained fewer than s disjoint sessions.
 var ErrTooFewSessions = errors.New("core: fewer than s disjoint sessions")
 
+// Steps is the number of process steps in the recorded computation.
+func (r *Report) Steps() int {
+	if r == nil || r.Trace == nil {
+		return 0
+	}
+	return len(r.Trace.Steps)
+}
+
 // RunSM executes alg under model m with the given strategy and seed, then
 // verifies admissibility and the session condition.
 func RunSM(alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64) (*Report, error) {
+	return RunSMContext(context.Background(), alg, spec, m, st, seed)
+}
+
+// RunSMContext is RunSM with cooperative cancellation threaded through the
+// shared-memory executor.
+func RunSMContext(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -102,7 +117,7 @@ func RunSM(alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed 
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	res, err := sm.Run(sys, m.NewScheduler(st, seed), sm.Options{})
+	res, err := sm.RunContext(ctx, sys, m.NewScheduler(st, seed), sm.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
 	}
@@ -130,6 +145,12 @@ func RunSM(alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed 
 // verifies admissibility (including message delays) and the session
 // condition.
 func RunMP(alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64) (*Report, error) {
+	return RunMPContext(context.Background(), alg, spec, m, st, seed)
+}
+
+// RunMPContext is RunMP with cooperative cancellation threaded through the
+// message-passing executor.
+func RunMPContext(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -140,7 +161,7 @@ func RunMP(alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed 
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	res, err := mp.Run(sys, m.NewScheduler(st, seed), mp.Options{})
+	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), mp.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
 	}

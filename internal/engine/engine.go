@@ -1,0 +1,321 @@
+// Package engine is the parallel execution engine behind the harness: it
+// fans an arbitrary list of independent tasks (the run matrix of cells,
+// strategies, seeds and sweep points) across a pool of workers while keeping
+// every result in the slot of the task that produced it, so aggregation is
+// byte-for-byte identical at any parallelism level.
+//
+// The engine owns the concerns the serial harness never had: context
+// cancellation and timeouts (threaded through core.RunSM/RunMP into the
+// executors), fail-fast versus collect-all error policies, and per-run
+// observability (wall time, worker id, and the simulator's own step, session
+// and message counts) aggregated into an engine-level Stats snapshot.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one unit of work: an independent run of the simulator (or any
+// other pure function of its inputs). Tasks must not depend on execution
+// order — the engine guarantees only that the result of tasks[i] lands in
+// results[i].
+type Task struct {
+	// Label identifies the run in observations ("periodic/MP slow seed 2").
+	Label string
+	// Run does the work. It must honor ctx cancellation promptly.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Counts is the simulator-level accounting a task's value may expose via
+// the Accountable interface.
+type Counts struct {
+	// Steps is the number of process steps the run executed.
+	Steps int
+	// Sessions is the number of disjoint sessions the run achieved.
+	Sessions int
+	// Messages is the number of broadcasts (message-passing runs).
+	Messages int
+}
+
+// Accountable lets task return values feed simulator counts into the
+// engine's Stats without the engine depending on the simulator packages.
+type Accountable interface {
+	Account() Counts
+}
+
+// Result is one filled result slot.
+type Result struct {
+	// Index is the task's position in the submitted slice; results are
+	// addressed by it, never by completion order.
+	Index int
+	// Label echoes the task's label.
+	Label string
+	// Value is what Run returned (nil when Err != nil or the task was
+	// skipped by fail-fast cancellation).
+	Value any
+	// Err is the task's error, ctx.Err() for tasks cancelled mid-flight, or
+	// ErrSkipped for tasks never started after a fail-fast abort.
+	Err error
+	// Worker is the id (0..parallelism-1) of the worker that ran the task.
+	Worker int
+	// Wall is the task's wall-clock duration.
+	Wall time.Duration
+	// Counts carries the run's simulator accounting when the value is
+	// Accountable.
+	Counts Counts
+}
+
+// ErrSkipped marks result slots of tasks that were never started because an
+// earlier failure aborted a fail-fast execution.
+var ErrSkipped = errors.New("engine: task skipped after fail-fast abort")
+
+// ErrorPolicy selects how Execute reacts to task errors.
+type ErrorPolicy int
+
+const (
+	// FailFast cancels the remaining tasks on the first error and returns
+	// it. The default.
+	FailFast ErrorPolicy = iota
+	// CollectAll runs every task regardless of failures; Execute returns
+	// the lowest-index error (deterministic) and the caller inspects the
+	// per-slot errors.
+	CollectAll
+)
+
+// Observer receives every completed run, in completion order (which is
+// nondeterministic under parallelism — aggregate by Result.Index for
+// deterministic views).
+type Observer func(Result)
+
+// Stats is a snapshot of the engine's accounting across every Execute call.
+type Stats struct {
+	// Tasks, Succeeded, Failed and Skipped count result slots.
+	Tasks     int
+	Succeeded int
+	Failed    int
+	Skipped   int
+	// Wall is the summed wall-clock time of Execute calls; Busy is the
+	// summed per-task wall time across workers. Busy/Wall measures the
+	// achieved parallelism.
+	Wall time.Duration
+	Busy time.Duration
+	// PerWorker counts tasks executed by each worker id.
+	PerWorker []int
+	// Counts aggregates the simulator accounting of Accountable results.
+	Counts Counts
+	// Parallelism is the worker-pool width.
+	Parallelism int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithParallelism sets the worker-pool width. Values < 1 mean GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithErrorPolicy selects fail-fast (default) or collect-all.
+func WithErrorPolicy(p ErrorPolicy) Option {
+	return func(e *Engine) { e.policy = p }
+}
+
+// WithTimeout bounds every Execute call; zero means no timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.timeout = d }
+}
+
+// WithObserver registers a per-run observer.
+func WithObserver(obs Observer) Option {
+	return func(e *Engine) { e.observer = obs }
+}
+
+// Engine is a reusable worker-pool executor. The zero value is not ready;
+// use New. An Engine is safe for concurrent use; Stats accumulate across
+// Execute calls.
+type Engine struct {
+	parallelism int
+	policy      ErrorPolicy
+	timeout     time.Duration
+	observer    Observer
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New builds an engine. Without options it runs GOMAXPROCS workers with
+// fail-fast error handling and no timeout.
+func New(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.parallelism < 1 {
+		e.parallelism = runtime.GOMAXPROCS(0)
+	}
+	e.stats.Parallelism = e.parallelism
+	e.stats.PerWorker = make([]int, e.parallelism)
+	return e
+}
+
+// Parallelism reports the worker-pool width.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// Stats returns a snapshot of the accumulated accounting.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.PerWorker = append([]int(nil), e.stats.PerWorker...)
+	return s
+}
+
+// Execute runs every task and returns the index-addressed results. Under
+// FailFast the first error cancels the rest and is returned; under
+// CollectAll every task runs and the lowest-index error is returned. The
+// results slice always has len(tasks) entries.
+func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
+	start := time.Now()
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
+	}
+	// A fail-fast abort must not cancel the caller's ctx, so wrap it.
+	runCtx, abort := context.WithCancel(ctx)
+	defer abort()
+
+	results := make([]Result, len(tasks))
+	for i := range results {
+		results[i] = Result{Index: i, Label: tasks[i].Label, Err: ErrSkipped}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := e.parallelism
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				if runCtx.Err() != nil {
+					// Leave the slot marked skipped; the abort cause is
+					// reported by Execute's return value.
+					continue
+				}
+				t0 := time.Now()
+				v, err := tasks[i].Run(runCtx)
+				r := Result{
+					Index:  i,
+					Label:  tasks[i].Label,
+					Value:  v,
+					Err:    err,
+					Worker: worker,
+					Wall:   time.Since(t0),
+				}
+				if acc, ok := v.(Accountable); ok && acc != nil {
+					r.Counts = acc.Account()
+				}
+				results[i] = r
+				e.record(r)
+				if e.observer != nil {
+					e.observer(r)
+				}
+				if err != nil && e.policy == FailFast {
+					abort()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	e.stats.Wall += time.Since(start)
+	for _, r := range results {
+		if errors.Is(r.Err, ErrSkipped) {
+			e.stats.Tasks++
+			e.stats.Skipped++
+		}
+	}
+	e.mu.Unlock()
+
+	// Deterministic error selection: the lowest-index failure, preferring
+	// real task errors over cancellation noise.
+	var firstErr error
+	for _, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, ErrSkipped) && !errors.Is(r.Err, context.Canceled) {
+			firstErr = r.Err
+			break
+		}
+	}
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				return results, r.Err
+			}
+		}
+	}
+	return results, firstErr
+}
+
+func (e *Engine) record(r Result) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Tasks++
+	if r.Err != nil {
+		e.stats.Failed++
+	} else {
+		e.stats.Succeeded++
+	}
+	e.stats.Busy += r.Wall
+	if r.Worker >= 0 && r.Worker < len(e.stats.PerWorker) {
+		e.stats.PerWorker[r.Worker]++
+	}
+	e.stats.Counts.Steps += r.Counts.Steps
+	e.stats.Counts.Sessions += r.Counts.Sessions
+	e.stats.Counts.Messages += r.Counts.Messages
+}
+
+// Map runs f over indices 0..n-1 on the engine and returns the typed,
+// index-addressed results: out[i] is f(ctx, i). It is the harness's
+// workhorse — a deterministic parallel for-loop.
+func Map[T any](ctx context.Context, e *Engine, n int, label func(i int) string, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		var lbl string
+		if label != nil {
+			lbl = label(i)
+		}
+		tasks[i] = Task{
+			Label: lbl,
+			Run:   func(ctx context.Context) (any, error) { return f(ctx, i) },
+		}
+	}
+	results, err := e.Execute(ctx, tasks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, n)
+	for i, r := range results {
+		if r.Value != nil {
+			out[i] = r.Value.(T)
+		}
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -46,11 +47,16 @@ type GridPoint struct {
 // constants of the base configuration. It reports per-point bound
 // violations (expected: zero everywhere).
 func Grid(base Config, scales []struct{ S, N int }) ([]GridPoint, error) {
+	return GridCtx(context.Background(), base, scales)
+}
+
+// GridCtx is Grid with cancellation threaded into every cell's run matrix.
+func GridCtx(ctx context.Context, base Config, scales []struct{ S, N int }) ([]GridPoint, error) {
 	var out []GridPoint
 	for _, sc := range scales {
 		cfg := base
 		cfg.S, cfg.N = sc.S, sc.N
-		cells, err := Table1(cfg)
+		cells, err := Table1Ctx(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("grid s=%d n=%d: %w", sc.S, sc.N, err)
 		}

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"sessionproblem/internal/alg/semisync"
 	"sessionproblem/internal/alg/sporadic"
 	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
 )
@@ -32,25 +34,29 @@ func SweepSporadicVsSemiSync(s, n int, c1, c2, d2 sim.Duration, steps, seeds int
 		steps = 2
 	}
 	spec := core.Spec{S: s, N: n}
-	var out []FutureWorkPoint
+	// Groups 2i / 2i+1 hold point i's semi-sync and sporadic matrices.
+	var runs []mpRun
+	d1s := make([]sim.Duration, steps)
 	for i := 0; i < steps; i++ {
-		d1 := d2 - d2*sim.Duration(i)/sim.Duration(steps-1) // d2 -> 0
-		ss, _, err := maxFinishMP(semisync.NewMP(semisync.Auto), spec,
+		d1s[i] = d2 - d2*sim.Duration(i)/sim.Duration(steps-1) // d2 -> 0
+		runs = expandMP(runs, 2*i, "F6 semisync", semisync.NewMP(semisync.Auto), spec,
 			timing.NewSemiSynchronous(c1, c2, d2), seeds)
-		if err != nil {
-			return nil, fmt.Errorf("F6 semisync: %w", err)
-		}
-		sp, _, err := maxFinishMP(sporadic.NewMP(), spec,
-			timing.NewSporadic(c1, d1, d2, c2), seeds)
-		if err != nil {
-			return nil, fmt.Errorf("F6 sporadic d1=%v: %w", d1, err)
-		}
-		out = append(out, FutureWorkPoint{
+		runs = expandMP(runs, 2*i+1, fmt.Sprintf("F6 sporadic d1=%v", d1s[i]), sporadic.NewMP(), spec,
+			timing.NewSporadic(c1, d1s[i], d2, c2), seeds)
+	}
+	max, err := maxFinishByGroup(context.Background(), engine.New(), runs, 2*steps)
+	if err != nil {
+		return nil, fmt.Errorf("F6: %w", err)
+	}
+	out := make([]FutureWorkPoint, steps)
+	for i, d1 := range d1s {
+		ss, sp := max[2*i], max[2*i+1]
+		out[i] = FutureWorkPoint{
 			U:            d2 - d1,
 			SemiSync:     ss,
 			Sporadic:     sp,
 			SporadicWins: sp < ss,
-		})
+		}
 	}
 	return out, nil
 }

@@ -9,9 +9,15 @@
 // against the closed-form bound formulas from internal/bounds. Absolute
 // numbers are in simulator ticks; the reproduction target is the shape:
 // measured max within [L, U] for every row.
+//
+// All measurement entry points fan their run matrix across an
+// internal/engine worker pool: results are index-addressed, so the output
+// is byte-identical at any parallelism level, and context cancellation
+// reaches into every in-flight simulation.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -23,6 +29,7 @@ import (
 	"sessionproblem/internal/alg/synchronous"
 	"sessionproblem/internal/bounds"
 	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/stats"
 	"sessionproblem/internal/timing"
@@ -39,6 +46,15 @@ type Config struct {
 	D1, D2     sim.Duration // message delay bounds (D1 used by sporadic only)
 
 	Seeds int // seeds per strategy (default 3)
+
+	// Parallelism is the worker-pool width for the run matrix; <= 0 means
+	// GOMAXPROCS. Results are deterministic at any setting.
+	Parallelism int
+
+	// Engine optionally supplies a shared execution engine (carrying its
+	// own parallelism, timeout and observer); when set it overrides
+	// Parallelism. Nil means a fresh engine per call.
+	Engine *engine.Engine
 }
 
 // Default returns the configuration used by cmd/sessiontable and the
@@ -54,11 +70,43 @@ func Default() Config {
 	}
 }
 
+// withDefaults fills every zero-valued knob from Default. Timing parameters
+// are included: a zero C2 or Cmax would otherwise build degenerate models
+// (zero-length steps and periods) that the simulators reject or, worse,
+// run meaninglessly fast.
 func (c Config) withDefaults() Config {
+	def := Default()
 	if c.Seeds == 0 {
-		c.Seeds = 3
+		c.Seeds = def.Seeds
+	}
+	if c.C1 == 0 {
+		c.C1 = def.C1
+	}
+	if c.C2 == 0 {
+		c.C2 = def.C2
+	}
+	if c.Cmin == 0 {
+		c.Cmin = def.Cmin
+	}
+	if c.Cmax == 0 {
+		c.Cmax = def.Cmax
+	}
+	if c.D1 == 0 {
+		c.D1 = def.D1
+	}
+	if c.D2 == 0 {
+		c.D2 = def.D2
 	}
 	return c
+}
+
+// engineOrNew returns the configured shared engine or builds one at the
+// configured parallelism.
+func (c Config) engineOrNew() *engine.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return engine.New(engine.WithParallelism(c.Parallelism))
 }
 
 // Cell is one Table-1 row instantiation: a (timing model, communication
@@ -95,184 +143,184 @@ func (c Cell) Verdict() string {
 	}
 }
 
-// Table1 regenerates every cell of Table 1 at the given configuration.
-func Table1(cfg Config) ([]Cell, error) {
-	cfg = cfg.withDefaults()
-	var cells []Cell
+// runOutcome is what one engine task returns: the measurements cell
+// aggregation needs plus the report for engine-level accounting.
+type runOutcome struct {
+	finish float64
+	rounds int
+	gamma  sim.Duration
+	rep    *core.Report
+}
+
+// Account feeds the run's simulator counts into engine.Stats.
+func (r runOutcome) Account() engine.Counts {
+	return engine.Counts{Steps: r.rep.Steps(), Sessions: r.rep.Sessions, Messages: r.rep.Messages}
+}
+
+// cellDef declares one Table-1 cell's run matrix: which algorithm under
+// which model, measured in which unit, against which bounds. Exactly one of
+// smAlg/mpAlg is set.
+type cellDef struct {
+	row, comm, unit string
+	smAlg           core.SMAlgorithm
+	mpAlg           core.MPAlgorithm
+	spec            core.Spec
+	model           timing.Model
+	lower, upper    float64
+	// gammaUpper: the upper bound is the sporadic per-computation formula
+	// evaluated at each run's measured γ (Theorem 6.1).
+	gammaUpper bool
+	// rounds: measure rounds instead of time (asynchronous SM).
+	rounds bool
+}
+
+func (d cellDef) name() string {
+	if d.smAlg != nil {
+		return d.smAlg.Name()
+	}
+	return d.mpAlg.Name()
+}
+
+// runOnce executes one (strategy, seed) entry of the cell's matrix.
+func (d cellDef) runOnce(ctx context.Context, st timing.Strategy, seed uint64) (runOutcome, error) {
+	var rep *core.Report
+	var err error
+	if d.smAlg != nil {
+		rep, err = core.RunSMContext(ctx, d.smAlg, d.spec, d.model, st, seed)
+	} else {
+		rep, err = core.RunMPContext(ctx, d.mpAlg, d.spec, d.model, st, seed)
+	}
+	if err != nil {
+		return runOutcome{}, fmt.Errorf("%s/%s %v seed %d: %w", d.row, d.comm, st, seed, err)
+	}
+	return runOutcome{
+		finish: float64(rep.Finish),
+		rounds: rep.Rounds,
+		gamma:  rep.Gamma,
+		rep:    rep,
+	}, nil
+}
+
+// aggregate folds the cell's index-ordered run outcomes into a Cell. The
+// fold visits outcomes in matrix order (strategies outer, seeds inner), so
+// the result is independent of the parallelism that produced them.
+func (d cellDef) aggregate(cfg Config, outs []runOutcome) Cell {
+	vals := make([]float64, 0, len(outs))
+	respects := true
+	worstUpper := d.upper
+	for _, o := range outs {
+		if d.rounds {
+			vals = append(vals, float64(o.rounds))
+			continue
+		}
+		vals = append(vals, o.finish)
+		if d.gammaUpper {
+			gp := bounds.Params{
+				S: cfg.S, N: cfg.N,
+				C1: d.model.C1, D1: d.model.D1, D2: d.model.D2,
+				Gamma: o.gamma,
+			}
+			u := bounds.SporadicMPU(gp)
+			if o.finish > u {
+				respects = false
+			}
+			if u > worstUpper {
+				worstUpper = u
+			}
+		}
+	}
+	sum := stats.Summarize(vals)
+	cell := Cell{
+		Row: d.row, Comm: d.comm, Unit: d.unit,
+		Lower: d.lower, Upper: worstUpper,
+		Measured:      sum,
+		RealizesLower: sum.Max >= d.lower,
+		Algorithm:     d.name(),
+	}
+	if d.gammaUpper {
+		cell.RespectsUpper = respects
+	} else {
+		cell.RespectsUpper = sum.Max <= worstUpper
+	}
+	return cell
+}
+
+// table1Defs lays out the nine Table-1 cells at the configuration.
+func table1Defs(cfg Config) []cellDef {
 	p := bounds.Params{
 		S: cfg.S, N: cfg.N, B: cfg.B,
 		C1: cfg.C1, C2: cfg.C2,
 		Cmin: cfg.Cmin, Cmax: cfg.Cmax,
 		D1: cfg.D1, D2: cfg.D2,
 	}
+	smSpec := core.Spec{S: cfg.S, N: cfg.N, B: cfg.B}
+	mpSpec := core.Spec{S: cfg.S, N: cfg.N}
 
-	// --- Synchronous ---
 	syncL, syncU := bounds.SyncSM(p)
-	cell, err := measureSM(cfg, "synchronous", synchronous.NewSM(),
-		timing.NewSynchronous(cfg.C2, 0), syncL, syncU)
-	if err != nil {
-		return nil, err
-	}
-	cells = append(cells, cell)
 	syncLmp, syncUmp := bounds.SyncMP(p)
-	cell, err = measureMP(cfg, "synchronous", synchronous.NewMP(),
-		timing.NewSynchronous(cfg.C2, cfg.D2), syncLmp, syncUmp, false)
-	if err != nil {
-		return nil, err
+	return []cellDef{
+		{row: "synchronous", comm: "SM", unit: "time", smAlg: synchronous.NewSM(), spec: smSpec,
+			model: timing.NewSynchronous(cfg.C2, 0), lower: syncL, upper: syncU},
+		{row: "synchronous", comm: "MP", unit: "time", mpAlg: synchronous.NewMP(), spec: mpSpec,
+			model: timing.NewSynchronous(cfg.C2, cfg.D2), lower: syncLmp, upper: syncUmp},
+		{row: "periodic", comm: "SM", unit: "time", smAlg: periodic.NewSM(), spec: smSpec,
+			model: timing.NewPeriodic(cfg.Cmin, cfg.Cmax, 0),
+			lower: bounds.PeriodicSML(p), upper: bounds.PeriodicSMU(p)},
+		{row: "periodic", comm: "MP", unit: "time", mpAlg: periodic.NewMP(), spec: mpSpec,
+			model: timing.NewPeriodic(cfg.Cmin, cfg.Cmax, cfg.D2),
+			lower: bounds.PeriodicMPL(p), upper: bounds.PeriodicMPU(p)},
+		{row: "semi-synchronous", comm: "SM", unit: "time", smAlg: semisync.NewSM(semisync.Auto), spec: smSpec,
+			model: timing.NewSemiSynchronous(cfg.C1, cfg.C2, 0),
+			lower: bounds.SemiSyncSML(p), upper: bounds.SemiSyncSMU(p)},
+		{row: "semi-synchronous", comm: "MP", unit: "time", mpAlg: semisync.NewMP(semisync.Auto), spec: mpSpec,
+			model: timing.NewSemiSynchronous(cfg.C1, cfg.C2, cfg.D2),
+			lower: bounds.SemiSyncMPL(p), upper: bounds.SemiSyncMPU(p)},
+		{row: "sporadic", comm: "MP", unit: "time", mpAlg: sporadic.NewMP(), spec: mpSpec,
+			model: timing.NewSporadic(cfg.C1, cfg.D1, cfg.D2, 0),
+			lower: bounds.SporadicMPL(p), gammaUpper: true},
+		{row: "asynchronous", comm: "SM", unit: "rounds", smAlg: async.NewSM(), spec: smSpec,
+			model: timing.NewAsynchronousSM(0),
+			lower: bounds.AsyncSML(p), upper: bounds.AsyncSMU(p), rounds: true},
+		{row: "asynchronous", comm: "MP", unit: "time", mpAlg: async.NewMP(), spec: mpSpec,
+			model: timing.NewAsynchronousMP(cfg.C2, cfg.D2),
+			lower: bounds.AsyncMPL(p), upper: bounds.AsyncMPU(p)},
 	}
-	cells = append(cells, cell)
+}
 
-	// --- Periodic ---
-	cell, err = measureSM(cfg, "periodic", periodic.NewSM(),
-		timing.NewPeriodic(cfg.Cmin, cfg.Cmax, 0),
-		bounds.PeriodicSML(p), bounds.PeriodicSMU(p))
-	if err != nil {
-		return nil, err
-	}
-	cells = append(cells, cell)
-	cell, err = measureMP(cfg, "periodic", periodic.NewMP(),
-		timing.NewPeriodic(cfg.Cmin, cfg.Cmax, cfg.D2),
-		bounds.PeriodicMPL(p), bounds.PeriodicMPU(p), false)
-	if err != nil {
-		return nil, err
-	}
-	cells = append(cells, cell)
+// Table1 regenerates every cell of Table 1 at the given configuration.
+func Table1(cfg Config) ([]Cell, error) {
+	return Table1Ctx(context.Background(), cfg)
+}
 
-	// --- Semi-synchronous ---
-	cell, err = measureSM(cfg, "semi-synchronous", semisync.NewSM(semisync.Auto),
-		timing.NewSemiSynchronous(cfg.C1, cfg.C2, 0),
-		bounds.SemiSyncSML(p), bounds.SemiSyncSMU(p))
-	if err != nil {
-		return nil, err
-	}
-	cells = append(cells, cell)
-	cell, err = measureMP(cfg, "semi-synchronous", semisync.NewMP(semisync.Auto),
-		timing.NewSemiSynchronous(cfg.C1, cfg.C2, cfg.D2),
-		bounds.SemiSyncMPL(p), bounds.SemiSyncMPU(p), false)
-	if err != nil {
-		return nil, err
-	}
-	cells = append(cells, cell)
+// Table1Ctx is Table1 with cancellation: the full run matrix (cell ×
+// strategy × seed) fans across the configured engine, and ctx aborts
+// in-flight simulations mid-computation.
+func Table1Ctx(ctx context.Context, cfg Config) ([]Cell, error) {
+	cfg = cfg.withDefaults()
+	defs := table1Defs(cfg)
+	sts := timing.AllStrategies()
+	per := len(sts) * cfg.Seeds
 
-	// --- Sporadic (MP; SM equals asynchronous SM) ---
-	cell, err = measureMP(cfg, "sporadic", sporadic.NewMP(),
-		timing.NewSporadic(cfg.C1, cfg.D1, cfg.D2, 0),
-		bounds.SporadicMPL(p), 0, true)
+	outs, err := engine.Map(ctx, cfg.engineOrNew(), len(defs)*per,
+		func(i int) string {
+			d := defs[i/per]
+			return fmt.Sprintf("%s/%s %v seed %d",
+				d.row, d.comm, sts[(i%per)/cfg.Seeds], i%cfg.Seeds+1)
+		},
+		func(ctx context.Context, i int) (runOutcome, error) {
+			d := defs[i/per]
+			j := i % per
+			return d.runOnce(ctx, sts[j/cfg.Seeds], uint64(j%cfg.Seeds)+1)
+		})
 	if err != nil {
 		return nil, err
 	}
-	cells = append(cells, cell)
 
-	// --- Asynchronous ---
-	cell, err = measureAsyncSMRounds(cfg, p)
-	if err != nil {
-		return nil, err
+	cells := make([]Cell, len(defs))
+	for ci, d := range defs {
+		cells[ci] = d.aggregate(cfg, outs[ci*per:(ci+1)*per])
 	}
-	cells = append(cells, cell)
-	cell, err = measureMP(cfg, "asynchronous", async.NewMP(),
-		timing.NewAsynchronousMP(cfg.C2, cfg.D2),
-		bounds.AsyncMPL(p), bounds.AsyncMPU(p), false)
-	if err != nil {
-		return nil, err
-	}
-	cells = append(cells, cell)
-
 	return cells, nil
-}
-
-func measureSM(cfg Config, row string, alg core.SMAlgorithm, m timing.Model, lower, upper float64) (Cell, error) {
-	spec := core.Spec{S: cfg.S, N: cfg.N, B: cfg.B}
-	var finishes []float64
-	for _, st := range timing.AllStrategies() {
-		for seed := uint64(1); seed <= uint64(cfg.Seeds); seed++ {
-			rep, err := core.RunSM(alg, spec, m, st, seed)
-			if err != nil {
-				return Cell{}, fmt.Errorf("%s/SM %v seed %d: %w", row, st, seed, err)
-			}
-			finishes = append(finishes, float64(rep.Finish))
-		}
-	}
-	sum := stats.Summarize(finishes)
-	return Cell{
-		Row: row, Comm: "SM", Unit: "time",
-		Lower: lower, Upper: upper,
-		Measured:      sum,
-		RealizesLower: sum.Max >= lower,
-		RespectsUpper: sum.Max <= upper,
-		Algorithm:     alg.Name(),
-	}, nil
-}
-
-// measureMP measures a message-passing row. When gammaUpper is set, the
-// upper bound is the sporadic per-computation formula evaluated at each
-// run's measured γ.
-func measureMP(cfg Config, row string, alg core.MPAlgorithm, m timing.Model, lower, upper float64, gammaUpper bool) (Cell, error) {
-	spec := core.Spec{S: cfg.S, N: cfg.N}
-	var finishes []float64
-	respects := true
-	worstUpper := upper
-	for _, st := range timing.AllStrategies() {
-		for seed := uint64(1); seed <= uint64(cfg.Seeds); seed++ {
-			rep, err := core.RunMP(alg, spec, m, st, seed)
-			if err != nil {
-				return Cell{}, fmt.Errorf("%s/MP %v seed %d: %w", row, st, seed, err)
-			}
-			finishes = append(finishes, float64(rep.Finish))
-			if gammaUpper {
-				p := bounds.Params{
-					S: cfg.S, N: cfg.N,
-					C1: m.C1, D1: m.D1, D2: m.D2,
-					Gamma: rep.Gamma,
-				}
-				u := bounds.SporadicMPU(p)
-				if float64(rep.Finish) > u {
-					respects = false
-				}
-				if u > worstUpper {
-					worstUpper = u
-				}
-			}
-		}
-	}
-	sum := stats.Summarize(finishes)
-	cell := Cell{
-		Row: row, Comm: "MP", Unit: "time",
-		Lower: lower, Upper: worstUpper,
-		Measured:      sum,
-		RealizesLower: sum.Max >= lower,
-		Algorithm:     alg.Name(),
-	}
-	if gammaUpper {
-		cell.RespectsUpper = respects
-	} else {
-		cell.RespectsUpper = sum.Max <= upper
-	}
-	return cell, nil
-}
-
-func measureAsyncSMRounds(cfg Config, p bounds.Params) (Cell, error) {
-	spec := core.Spec{S: cfg.S, N: cfg.N, B: cfg.B}
-	m := timing.NewAsynchronousSM(0)
-	var roundsSeen []float64
-	for _, st := range timing.AllStrategies() {
-		for seed := uint64(1); seed <= uint64(cfg.Seeds); seed++ {
-			rep, err := core.RunSM(async.NewSM(), spec, m, st, seed)
-			if err != nil {
-				return Cell{}, fmt.Errorf("asynchronous/SM %v seed %d: %w", st, seed, err)
-			}
-			roundsSeen = append(roundsSeen, float64(rep.Rounds))
-		}
-	}
-	sum := stats.Summarize(roundsSeen)
-	lower, upper := bounds.AsyncSML(p), bounds.AsyncSMU(p)
-	return Cell{
-		Row: "asynchronous", Comm: "SM", Unit: "rounds",
-		Lower: lower, Upper: upper,
-		Measured:      sum,
-		RealizesLower: sum.Max >= lower,
-		RespectsUpper: sum.Max <= upper,
-		Algorithm:     async.NewSM().Name(),
-	}, nil
 }
 
 // WriteTable renders cells as an aligned text table.

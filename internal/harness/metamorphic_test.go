@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -10,6 +11,7 @@ import (
 	"sessionproblem/internal/alg/sporadic"
 	"sessionproblem/internal/alg/synchronous"
 	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
 )
@@ -169,7 +171,7 @@ func TestMoreUncertaintyNeverHelps(t *testing.T) {
 	spec := core.Spec{S: 4, N: 3}
 	worst := func(d1 sim.Duration) float64 {
 		m := timing.NewSporadic(2, d1, 28, 4)
-		f, _, err := maxFinishMP(sporadic.NewMP(), spec, m, 2)
+		f, _, err := maxFinishMP(context.Background(), engine.New(), sporadic.NewMP(), spec, m, 2)
 		if err != nil {
 			t.Fatalf("d1=%v: %v", d1, err)
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -12,6 +13,7 @@ import (
 	"sessionproblem/internal/alg/synchronous"
 	"sessionproblem/internal/bounds"
 	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
 )
@@ -26,53 +28,195 @@ type SweepPoint struct {
 	PaperUpper float64
 }
 
-// maxFinishMP runs an MP algorithm across strategies/seeds and returns the
-// worst running time and worst per-session time.
-func maxFinishMP(alg core.MPAlgorithm, spec core.Spec, m timing.Model, seeds int) (finish, perSession float64, err error) {
+// mpRun is one (algorithm, model, strategy, seed) execution in a sweep's
+// run matrix, tagged with the aggregation group it belongs to (a sweep
+// point, a comparison contender, a hierarchy row).
+type mpRun struct {
+	group int
+	label string
+	alg   core.MPAlgorithm
+	spec  core.Spec
+	model timing.Model
+	st    timing.Strategy
+	seed  uint64
+}
+
+// expandMP appends the full strategies × seeds matrix for one group.
+func expandMP(runs []mpRun, group int, label string, alg core.MPAlgorithm, spec core.Spec, m timing.Model, seeds int) []mpRun {
 	for _, st := range timing.AllStrategies() {
 		for seed := uint64(1); seed <= uint64(seeds); seed++ {
-			rep, e := core.RunMP(alg, spec, m, st, seed)
-			if e != nil {
-				return 0, 0, e
-			}
-			f := float64(rep.Finish)
-			if f > finish {
-				finish = f
-			}
+			runs = append(runs, mpRun{
+				group: group, label: label,
+				alg: alg, spec: spec, model: m, st: st, seed: seed,
+			})
 		}
 	}
+	return runs
+}
+
+// maxFinishByGroup fans runs across the engine and returns, per group, the
+// worst (maximum) finish time. Group aggregation visits results in run
+// order, so the output is independent of parallelism.
+func maxFinishByGroup(ctx context.Context, eng *engine.Engine, runs []mpRun, groups int) ([]float64, error) {
+	outs, err := engine.Map(ctx, eng, len(runs),
+		func(i int) string {
+			r := runs[i]
+			return fmt.Sprintf("%s %v seed %d", r.label, r.st, r.seed)
+		},
+		func(ctx context.Context, i int) (runOutcome, error) {
+			r := runs[i]
+			rep, err := core.RunMPContext(ctx, r.alg, r.spec, r.model, r.st, r.seed)
+			if err != nil {
+				return runOutcome{}, fmt.Errorf("%s: %w", r.label, err)
+			}
+			return runOutcome{finish: float64(rep.Finish), gamma: rep.Gamma, rep: rep}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	max := make([]float64, groups)
+	for i, o := range outs {
+		g := runs[i].group
+		if o.finish > max[g] {
+			max[g] = o.finish
+		}
+	}
+	return max, nil
+}
+
+// maxFinishMP runs an MP algorithm across strategies/seeds and returns the
+// worst running time and worst per-session time.
+func maxFinishMP(ctx context.Context, eng *engine.Engine, alg core.MPAlgorithm, spec core.Spec, m timing.Model, seeds int) (finish, perSession float64, err error) {
+	runs := expandMP(nil, 0, alg.Name(), alg, spec, m, seeds)
+	max, err := maxFinishByGroup(ctx, eng, runs, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	finish = max[0]
 	if spec.S > 0 {
 		perSession = finish / float64(spec.S)
 	}
 	return finish, perSession, nil
 }
 
+// SweepKind selects which experiment a SweepSpec runs.
+type SweepKind int
+
+const (
+	// SweepKindSporadicDelay is experiment F1: per-session time of A(sp)
+	// as d1 sweeps from 0 to d2.
+	SweepKindSporadicDelay SweepKind = iota + 1
+	// SweepKindPeriodicVsSemiSync is experiment F2: A(p) under the periodic
+	// model versus the semi-synchronous algorithm as s grows.
+	SweepKindPeriodicVsSemiSync
+	// SweepKindPeriodicVsSporadic is experiment F3: A(p) versus A(sp) as
+	// cmax grows.
+	SweepKindPeriodicVsSporadic
+)
+
+// SweepSpec declares a sweep experiment as data: the kind, the problem
+// size, the timing constants, the swept range, and the execution knobs.
+// It replaces the positional-argument Sweep* signatures, which remain as
+// thin wrappers.
+type SweepSpec struct {
+	Kind SweepKind
+
+	S int // sessions (F1, F3)
+	N int // ports
+
+	C1 sim.Duration // step-time lower bound
+	C2 sim.Duration // step-time upper bound / period max (F2)
+	D1 sim.Duration // message-delay lower bound (F3 sporadic baseline)
+	D2 sim.Duration // message-delay upper bound
+
+	Steps int            // number of sweep points (F1)
+	MaxS  int            // largest session count (F2; sweeps s = 2..MaxS)
+	Cmaxs []sim.Duration // swept period maxima (F3)
+
+	Seeds int // seeds per strategy (default 3)
+
+	// Parallelism is the worker-pool width; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Engine optionally supplies a shared execution engine, overriding
+	// Parallelism.
+	Engine *engine.Engine
+}
+
+func (sp SweepSpec) withDefaults() SweepSpec {
+	if sp.Seeds == 0 {
+		sp.Seeds = 3
+	}
+	return sp
+}
+
+func (sp SweepSpec) engineOrNew() *engine.Engine {
+	if sp.Engine != nil {
+		return sp.Engine
+	}
+	return engine.New(engine.WithParallelism(sp.Parallelism))
+}
+
+// Sweep runs the experiment a SweepSpec declares, fanning the full
+// (point × strategy × seed) run matrix across the spec's engine.
+func Sweep(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
+	sp = sp.withDefaults()
+	switch sp.Kind {
+	case SweepKindSporadicDelay:
+		return sweepSporadicDelay(ctx, sp)
+	case SweepKindPeriodicVsSemiSync:
+		return sweepPeriodicVsSemiSync(ctx, sp)
+	case SweepKindPeriodicVsSporadic:
+		return sweepPeriodicVsSporadic(ctx, sp)
+	default:
+		return nil, fmt.Errorf("harness: unknown sweep kind %d", sp.Kind)
+	}
+}
+
 // SweepSporadicDelay is experiment F1: per-session time of A(sp) as d1
 // sweeps from 0 to d2 (u from d2 down to 0). The paper's claim: as d1 -> d2
 // the model behaves synchronously (per-session ~ c1..O(γ)); as d1 -> 0 it
 // behaves asynchronously (per-session ~ d2).
+//
+// It is a compatibility wrapper over Sweep with SweepKindSporadicDelay.
 func SweepSporadicDelay(s, n int, c1, d2 sim.Duration, steps, seeds int) ([]SweepPoint, error) {
+	return Sweep(context.Background(), SweepSpec{
+		Kind: SweepKindSporadicDelay,
+		S:    s, N: n, C1: c1, D2: d2,
+		Steps: steps, Seeds: seeds,
+	})
+}
+
+func sweepSporadicDelay(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
+	steps := sp.Steps
 	if steps < 2 {
 		steps = 2
 	}
-	var out []SweepPoint
-	spec := core.Spec{S: s, N: n}
+	spec := core.Spec{S: sp.S, N: sp.N}
+	var runs []mpRun
+	d1s := make([]sim.Duration, steps)
 	for i := 0; i < steps; i++ {
-		d1 := d2 * sim.Duration(i) / sim.Duration(steps-1)
-		m := timing.NewSporadic(c1, d1, d2, 2*c1)
-		finish, per, err := maxFinishMP(sporadic.NewMP(), spec, m, seeds)
-		if err != nil {
-			return nil, fmt.Errorf("F1 d1=%v: %w", d1, err)
+		d1s[i] = sp.D2 * sim.Duration(i) / sim.Duration(steps-1)
+		m := timing.NewSporadic(sp.C1, d1s[i], sp.D2, 2*sp.C1)
+		runs = expandMP(runs, i, fmt.Sprintf("F1 d1=%v", d1s[i]), sporadic.NewMP(), spec, m, sp.Seeds)
+	}
+	max, err := maxFinishByGroup(ctx, sp.engineOrNew(), runs, steps)
+	if err != nil {
+		return nil, fmt.Errorf("F1: %w", err)
+	}
+	out := make([]SweepPoint, steps)
+	for i, d1 := range d1s {
+		p := bounds.Params{S: sp.S, N: sp.N, C1: sp.C1, D1: d1, D2: sp.D2, Gamma: 2 * sp.C1}
+		per := 0.0
+		if sp.S > 0 {
+			per = max[i] / float64(sp.S)
 		}
-		p := bounds.Params{S: s, N: n, C1: c1, D1: d1, D2: d2, Gamma: 2 * c1}
-		out = append(out, SweepPoint{
-			X:          float64(d1) / float64(d2),
+		out[i] = SweepPoint{
+			X:          float64(d1) / float64(sp.D2),
 			Label:      fmt.Sprintf("d1=%v", d1),
 			Measured:   per,
-			PaperLower: bounds.SporadicMPL(p) / float64(s),
-			PaperUpper: bounds.SporadicMPU(p) / float64(s),
-		})
-		_ = finish
+			PaperLower: bounds.SporadicMPL(p) / float64(sp.S),
+			PaperUpper: bounds.SporadicMPU(p) / float64(sp.S),
+		}
 	}
 	return out, nil
 }
@@ -82,31 +226,49 @@ func SweepSporadicDelay(s, n int, c1, d2 sim.Duration, steps, seeds int) ([]Swee
 // semi-synchronous model, as s grows, with cmax = c2 and 2c1 < c2. The
 // paper: the periodic model is more efficient when n is constant relative
 // to s.
+//
+// It is a compatibility wrapper over Sweep with SweepKindPeriodicVsSemiSync.
 func SweepPeriodicVsSemiSync(n int, c1, c2, d2 sim.Duration, maxS, seeds int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for s := 2; s <= maxS; s++ {
-		spec := core.Spec{S: s, N: n}
-		perFinish, _, err := maxFinishMP(periodic.NewMP(), spec,
-			timing.NewPeriodic(c1, c2, d2), seeds)
-		if err != nil {
-			return nil, fmt.Errorf("F2 periodic s=%d: %w", s, err)
-		}
-		ssFinish, _, err := maxFinishMP(semisync.NewMP(semisync.Auto), spec,
-			timing.NewSemiSynchronous(c1, c2, d2), seeds)
-		if err != nil {
-			return nil, fmt.Errorf("F2 semisync s=%d: %w", s, err)
-		}
+	return Sweep(context.Background(), SweepSpec{
+		Kind: SweepKindPeriodicVsSemiSync,
+		N:    n, C1: c1, C2: c2, D2: d2,
+		MaxS: maxS, Seeds: seeds,
+	})
+}
+
+func sweepPeriodicVsSemiSync(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
+	var runs []mpRun
+	numS := sp.MaxS - 1 // s = 2..MaxS
+	if numS < 1 {
+		return nil, fmt.Errorf("F2: MaxS must be >= 2, got %d", sp.MaxS)
+	}
+	for i := 0; i < numS; i++ {
+		s := i + 2
+		spec := core.Spec{S: s, N: sp.N}
+		runs = expandMP(runs, 2*i, fmt.Sprintf("F2 periodic s=%d", s),
+			periodic.NewMP(), spec, timing.NewPeriodic(sp.C1, sp.C2, sp.D2), sp.Seeds)
+		runs = expandMP(runs, 2*i+1, fmt.Sprintf("F2 semisync s=%d", s),
+			semisync.NewMP(semisync.Auto), spec, timing.NewSemiSynchronous(sp.C1, sp.C2, sp.D2), sp.Seeds)
+	}
+	max, err := maxFinishByGroup(ctx, sp.engineOrNew(), runs, 2*numS)
+	if err != nil {
+		return nil, fmt.Errorf("F2: %w", err)
+	}
+	out := make([]SweepPoint, numS)
+	for i := 0; i < numS; i++ {
+		s := i + 2
+		perFinish, ssFinish := max[2*i], max[2*i+1]
 		// For comparison sweeps the "envelope" fields carry the two
 		// contenders: PaperLower holds the periodic measurement (same as
 		// Measured) and PaperUpper the semi-synchronous comparator, so
 		// WriteSweep's columns line up as periodic vs semi-sync.
-		out = append(out, SweepPoint{
+		out[i] = SweepPoint{
 			X:          float64(s),
 			Label:      fmt.Sprintf("s=%d", s),
 			Measured:   perFinish,
 			PaperLower: perFinish,
 			PaperUpper: ssFinish,
-		})
+		}
 	}
 	return out, nil
 }
@@ -114,26 +276,38 @@ func SweepPeriodicVsSemiSync(n int, c1, c2, d2 sim.Duration, maxS, seeds int) ([
 // SweepPeriodicVsSporadic is experiment F3: A(p) under the periodic model
 // versus A(sp) under the sporadic model as cmax grows. The paper: periodic
 // wins while cmax < floor(u/4c1)*K.
+//
+// It is a compatibility wrapper over Sweep with SweepKindPeriodicVsSporadic.
 func SweepPeriodicVsSporadic(s, n int, c1, d1, d2 sim.Duration, cmaxs []sim.Duration, seeds int) ([]SweepPoint, error) {
-	spec := core.Spec{S: s, N: n}
-	spFinish, _, err := maxFinishMP(sporadic.NewMP(), spec,
-		timing.NewSporadic(c1, d1, d2, 0), seeds)
-	if err != nil {
-		return nil, fmt.Errorf("F3 sporadic: %w", err)
+	return Sweep(context.Background(), SweepSpec{
+		Kind: SweepKindPeriodicVsSporadic,
+		S:    s, N: n, C1: c1, D1: d1, D2: d2,
+		Cmaxs: cmaxs, Seeds: seeds,
+	})
+}
+
+func sweepPeriodicVsSporadic(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
+	spec := core.Spec{S: sp.S, N: sp.N}
+	// Group 0 is the sporadic baseline; groups 1.. are the periodic points.
+	runs := expandMP(nil, 0, "F3 sporadic", sporadic.NewMP(), spec,
+		timing.NewSporadic(sp.C1, sp.D1, sp.D2, 0), sp.Seeds)
+	for i, cmax := range sp.Cmaxs {
+		runs = expandMP(runs, i+1, fmt.Sprintf("F3 periodic cmax=%v", cmax),
+			periodic.NewMP(), spec, timing.NewPeriodic(sp.C1, cmax, sp.D2), sp.Seeds)
 	}
-	var out []SweepPoint
-	for _, cmax := range cmaxs {
-		perFinish, _, err := maxFinishMP(periodic.NewMP(), spec,
-			timing.NewPeriodic(c1, cmax, d2), seeds)
-		if err != nil {
-			return nil, fmt.Errorf("F3 periodic cmax=%v: %w", cmax, err)
-		}
-		out = append(out, SweepPoint{
+	max, err := maxFinishByGroup(ctx, sp.engineOrNew(), runs, len(sp.Cmaxs)+1)
+	if err != nil {
+		return nil, fmt.Errorf("F3: %w", err)
+	}
+	spFinish := max[0]
+	out := make([]SweepPoint, len(sp.Cmaxs))
+	for i, cmax := range sp.Cmaxs {
+		out[i] = SweepPoint{
 			X:          float64(cmax),
 			Label:      fmt.Sprintf("cmax=%v", cmax),
-			Measured:   perFinish,
+			Measured:   max[i+1],
 			PaperUpper: spFinish,
-		})
+		}
 	}
 	return out, nil
 }
@@ -152,36 +326,41 @@ type HierarchyRow struct {
 // synchronous <= periodic <= semi-synchronous/sporadic <= asynchronous the
 // paper's Table 1 implies for message passing.
 func Hierarchy(cfg Config) ([]HierarchyRow, error) {
+	return HierarchyCtx(context.Background(), cfg)
+}
+
+// HierarchyCtx is Hierarchy with cancellation; the five models' run
+// matrices fan across the configured engine together.
+func HierarchyCtx(ctx context.Context, cfg Config) ([]HierarchyRow, error) {
 	cfg = cfg.withDefaults()
 	spec := core.Spec{S: cfg.S, N: cfg.N}
-	var rows []HierarchyRow
 
-	add := func(name string, alg core.MPAlgorithm, m timing.Model) error {
-		finish, _, err := maxFinishMP(alg, spec, m, cfg.Seeds)
-		if err != nil {
-			return fmt.Errorf("F4 %s: %w", name, err)
+	type rowDef struct {
+		name  string
+		alg   core.MPAlgorithm
+		model timing.Model
+	}
+	defs := []rowDef{
+		{"synchronous", synchronous.NewMP(), timing.NewSynchronous(cfg.C2, cfg.D2)},
+		{"periodic", periodic.NewMP(), timing.NewPeriodic(cfg.Cmin, cfg.Cmax, cfg.D2)},
+		{"semi-synchronous", semisync.NewMP(semisync.Auto), timing.NewSemiSynchronous(cfg.C1, cfg.C2, cfg.D2)},
+		{"sporadic", sporadic.NewMP(), timing.NewSporadic(cfg.C1, cfg.D1, cfg.D2, 0)},
+		{"asynchronous", async.NewMP(), timing.NewAsynchronousMP(cfg.C2, cfg.D2)},
+	}
+	var runs []mpRun
+	for i, d := range defs {
+		runs = expandMP(runs, i, "F4 "+d.name, d.alg, spec, d.model, cfg.Seeds)
+	}
+	max, err := maxFinishByGroup(ctx, cfg.engineOrNew(), runs, len(defs))
+	if err != nil {
+		return nil, fmt.Errorf("F4: %w", err)
+	}
+	rows := make([]HierarchyRow, len(defs))
+	for i, d := range defs {
+		rows[i] = HierarchyRow{
+			Model: d.name, Comm: "MP", Unit: "time",
+			Measured: max[i], Algorithm: d.alg.Name(),
 		}
-		rows = append(rows, HierarchyRow{
-			Model: name, Comm: "MP", Unit: "time",
-			Measured: finish, Algorithm: alg.Name(),
-		})
-		return nil
-	}
-	if err := add("synchronous", synchronous.NewMP(), timing.NewSynchronous(cfg.C2, cfg.D2)); err != nil {
-		return nil, err
-	}
-	if err := add("periodic", periodic.NewMP(), timing.NewPeriodic(cfg.Cmin, cfg.Cmax, cfg.D2)); err != nil {
-		return nil, err
-	}
-	if err := add("semi-synchronous", semisync.NewMP(semisync.Auto),
-		timing.NewSemiSynchronous(cfg.C1, cfg.C2, cfg.D2)); err != nil {
-		return nil, err
-	}
-	if err := add("sporadic", sporadic.NewMP(), timing.NewSporadic(cfg.C1, cfg.D1, cfg.D2, 0)); err != nil {
-		return nil, err
-	}
-	if err := add("asynchronous", async.NewMP(), timing.NewAsynchronousMP(cfg.C2, cfg.D2)); err != nil {
-		return nil, err
 	}
 	return rows, nil
 }

@@ -11,6 +11,7 @@
 package mp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -99,6 +100,21 @@ type delivery struct {
 
 // Run executes the system until every regular process is idle.
 func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
+	return RunContext(context.Background(), sys, sched, opts)
+}
+
+// ctxCheckInterval matches internal/sm: context is polled every this many
+// process steps, trading one atomic load per interval for sub-millisecond
+// cancellation latency.
+const ctxCheckInterval = 1024
+
+// RunContext is Run with cooperative cancellation: it polls ctx every few
+// hundred steps and returns ctx.Err() mid-computation when the caller
+// cancels or times out.
+func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := len(sys.Procs)
 	if n == 0 {
 		return nil, errors.New("mp: no processes")
@@ -164,6 +180,11 @@ func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
 			}
 			steps++
+			if steps%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			p := ev.Proc
 			proc := sys.Procs[p]
 			wasIdle := idleMark[p]

@@ -8,6 +8,7 @@
 package sm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -97,6 +98,21 @@ type Scheduler interface {
 // Run executes the system until every process is idle, producing the timed
 // computation. It enforces single-variable atomic steps and the b-bound.
 func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
+	return RunContext(context.Background(), sys, sched, opts)
+}
+
+// ctxCheckInterval is how many steps pass between context polls; a single
+// step is microseconds, so this keeps cancellation latency well under a
+// millisecond without an atomic load on the hot path of every step.
+const ctxCheckInterval = 1024
+
+// RunContext is Run with cooperative cancellation: it polls ctx every few
+// hundred steps and returns ctx.Err() mid-computation when the caller
+// cancels or times out.
+func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(sys.Procs) == 0 {
 		return nil, errors.New("sm: no processes")
 	}
@@ -147,6 +163,11 @@ func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
 		}
 		steps++
+		if steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 
 		wasIdle := proc.Idle()
 		target := proc.Target()

@@ -1,0 +1,230 @@
+package sessionproblem
+
+import (
+	"fmt"
+	"time"
+
+	"sessionproblem/internal/engine"
+	"sessionproblem/internal/harness"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// Ticks is a duration or instant in simulator virtual time.
+type Ticks = int64
+
+// Observation is one completed simulator run, delivered to the observer in
+// completion order (nondeterministic under parallelism; aggregate results
+// come back in deterministic matrix order regardless).
+type Observation struct {
+	// Label identifies the run, e.g. "periodic/MP slow seed 2".
+	Label string
+	// Worker is the worker-pool slot (0..Parallelism-1) that ran it.
+	Worker int
+	// Wall is the run's wall-clock duration.
+	Wall time.Duration
+	// Steps, Sessions and Messages are the run's simulator counts.
+	Steps    int
+	Sessions int
+	Messages int
+	// Err is non-nil when the run failed.
+	Err error
+}
+
+// Stats is the execution engine's aggregate accounting for one API call.
+type Stats struct {
+	// Runs counts result slots; Succeeded/Failed/Skipped partition them
+	// (Skipped counts tasks never started after a fail-fast abort).
+	Runs      int
+	Succeeded int
+	Failed    int
+	Skipped   int
+	// Wall is the call's wall-clock time; Busy is the summed per-run wall
+	// time across workers, so Busy/Wall measures achieved parallelism.
+	Wall time.Duration
+	Busy time.Duration
+	// Parallelism is the worker-pool width; PerWorker counts runs per slot.
+	Parallelism int
+	PerWorker   []int
+	// Steps, Sessions and Messages aggregate the simulator counts.
+	Steps    int
+	Sessions int
+	Messages int
+}
+
+// settings is the resolved configuration an API call runs with.
+type settings struct {
+	s, n, b                    int
+	c1, c2, cmin, cmax, d1, d2 sim.Duration
+	seeds                      int
+	parallelism                int
+	timeout                    time.Duration
+	observer                   func(Observation)
+
+	strategy string
+	seed     uint64
+
+	sweepSteps   int
+	maxSessions  int
+	periodMaxima []sim.Duration
+}
+
+func newSettings(opts []Option) settings {
+	def := harness.Default()
+	s := settings{
+		s: def.S, n: def.N, b: def.B,
+		c1: def.C1, c2: def.C2, cmin: def.Cmin, cmax: def.Cmax,
+		d1: def.D1, d2: def.D2,
+		seeds:       def.Seeds,
+		strategy:    "random",
+		seed:        1,
+		sweepSteps:  9,
+		maxSessions: 10,
+	}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// harnessConfig maps the settings onto the internal harness configuration,
+// wiring in eng as the shared execution engine.
+func (s settings) harnessConfig(eng *engine.Engine) harness.Config {
+	return harness.Config{
+		S: s.s, N: s.n, B: s.b,
+		C1: s.c1, C2: s.c2, Cmin: s.cmin, Cmax: s.cmax,
+		D1: s.d1, D2: s.d2,
+		Seeds:  s.seeds,
+		Engine: eng,
+	}
+}
+
+// engine builds the worker pool an API call fans out on, translating the
+// observer to the public Observation type.
+func (s settings) engine() *engine.Engine {
+	opts := []engine.Option{engine.WithParallelism(s.parallelism)}
+	if s.observer != nil {
+		obs := s.observer
+		opts = append(opts, engine.WithObserver(func(r engine.Result) {
+			obs(Observation{
+				Label:    r.Label,
+				Worker:   r.Worker,
+				Wall:     r.Wall,
+				Steps:    r.Counts.Steps,
+				Sessions: r.Counts.Sessions,
+				Messages: r.Counts.Messages,
+				Err:      r.Err,
+			})
+		}))
+	}
+	return engine.New(opts...)
+}
+
+func statsOf(eng *engine.Engine) Stats {
+	es := eng.Stats()
+	return Stats{
+		Runs: es.Tasks, Succeeded: es.Succeeded, Failed: es.Failed, Skipped: es.Skipped,
+		Wall: es.Wall, Busy: es.Busy,
+		Parallelism: es.Parallelism, PerWorker: es.PerWorker,
+		Steps: es.Counts.Steps, Sessions: es.Counts.Sessions, Messages: es.Counts.Messages,
+	}
+}
+
+func (s settings) parseStrategy() (timing.Strategy, error) {
+	for _, st := range timing.AllStrategies() {
+		if st.String() == s.strategy {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("sessionproblem: unknown strategy %q (want random, slow, fast, skewed or jittered)", s.strategy)
+}
+
+// Option configures an API call. The zero configuration is the library
+// default: the mid-sized instance used by cmd/sessiontable (s=6, n=8, b=3,
+// c1=2, c2=10, d1=4, d2=28), 3 seeds per strategy, GOMAXPROCS workers, no
+// timeout.
+type Option func(*settings)
+
+// WithSpec sets the problem instance: s required sessions over n ports.
+func WithSpec(s, n int) Option {
+	return func(cfg *settings) { cfg.s, cfg.n = s, n }
+}
+
+// WithAccessBound sets the shared-variable access bound b (shared-memory
+// systems only).
+func WithAccessBound(b int) Option {
+	return func(cfg *settings) { cfg.b = b }
+}
+
+// WithStepBounds sets the per-step timing constants: c1 <= step time <= c2
+// (semi-synchronous; c2 doubles as the synchronous step and the periodic
+// range is set to [c1, c2] unless WithPeriodRange overrides it).
+func WithStepBounds(c1, c2 Ticks) Option {
+	return func(cfg *settings) {
+		cfg.c1, cfg.c2 = sim.Duration(c1), sim.Duration(c2)
+		cfg.cmin, cfg.cmax = sim.Duration(c1), sim.Duration(c2)
+	}
+}
+
+// WithPeriodRange sets the periodic model's period range [cmin, cmax]
+// independently of the semi-synchronous step bounds.
+func WithPeriodRange(cmin, cmax Ticks) Option {
+	return func(cfg *settings) { cfg.cmin, cfg.cmax = sim.Duration(cmin), sim.Duration(cmax) }
+}
+
+// WithDelayBounds sets the message delay window [d1, d2] (d1 is used by the
+// sporadic model only).
+func WithDelayBounds(d1, d2 Ticks) Option {
+	return func(cfg *settings) { cfg.d1, cfg.d2 = sim.Duration(d1), sim.Duration(d2) }
+}
+
+// WithSeeds sets how many seeds each scheduling strategy runs.
+func WithSeeds(n int) Option {
+	return func(cfg *settings) { cfg.seeds = n }
+}
+
+// WithParallelism sets the worker-pool width the run matrix fans across.
+// Values < 1 mean GOMAXPROCS. Results are identical at any setting.
+func WithParallelism(n int) Option {
+	return func(cfg *settings) { cfg.parallelism = n }
+}
+
+// WithTimeout bounds the whole call in wall-clock time; in-flight
+// simulations are cancelled mid-computation when it expires.
+func WithTimeout(d time.Duration) Option {
+	return func(cfg *settings) { cfg.timeout = d }
+}
+
+// WithObserver registers a callback invoked after every simulator run.
+func WithObserver(fn func(Observation)) Option {
+	return func(cfg *settings) { cfg.observer = fn }
+}
+
+// WithSchedule selects the scheduling strategy ("random", "slow", "fast",
+// "skewed", "jittered") and seed for single-run calls (Solve).
+func WithSchedule(strategy string, seed uint64) Option {
+	return func(cfg *settings) { cfg.strategy, cfg.seed = strategy, seed }
+}
+
+// WithSweepSteps sets how many points a parameter sweep samples
+// (SweepSporadicDelay).
+func WithSweepSteps(n int) Option {
+	return func(cfg *settings) { cfg.sweepSteps = n }
+}
+
+// WithMaxSessions sets the largest session count a growth sweep reaches
+// (SweepPeriodicVsSemiSync sweeps s = 2..max).
+func WithMaxSessions(max int) Option {
+	return func(cfg *settings) { cfg.maxSessions = max }
+}
+
+// WithPeriodMaxima sets the cmax values a period sweep visits
+// (SweepPeriodicVsSporadic).
+func WithPeriodMaxima(cmaxs ...Ticks) Option {
+	return func(cfg *settings) {
+		cfg.periodMaxima = make([]sim.Duration, len(cmaxs))
+		for i, c := range cmaxs {
+			cfg.periodMaxima[i] = sim.Duration(c)
+		}
+	}
+}

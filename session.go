@@ -1,0 +1,344 @@
+package sessionproblem
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"sessionproblem/internal/alg/registry"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/harness"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// TableCell is one Table-1 cell: a (timing model, communication model)
+// pair with the paper's bound formulas and the measured running times.
+type TableCell struct {
+	// Model and Comm identify the cell ("periodic", "SM").
+	Model string
+	Comm  string
+	// Unit is "time" (ticks) or "rounds".
+	Unit string
+	// PaperLower and PaperUpper are the paper's bound formulas evaluated at
+	// the configuration.
+	PaperLower float64
+	PaperUpper float64
+	// Measured summary across every (strategy, seed) run.
+	MeasuredMin  float64
+	MeasuredMax  float64
+	MeasuredMean float64
+	MeasuredP95  float64
+	Runs         int
+	// RealizesLower: some schedule pushed the measurement to the lower
+	// bound. RespectsUpper: every run stayed within the upper bound.
+	RealizesLower bool
+	RespectsUpper bool
+	// Verdict is "ok", "upper-only" or "VIOLATION".
+	Verdict string
+	// Algorithm names the implementation measured.
+	Algorithm string
+}
+
+// TableResult is a regenerated Table 1 plus the engine's accounting.
+type TableResult struct {
+	Cells []TableCell
+	Stats Stats
+}
+
+func cellOf(c harness.Cell) TableCell {
+	return TableCell{
+		Model: c.Row, Comm: c.Comm, Unit: c.Unit,
+		PaperLower: c.Lower, PaperUpper: c.Upper,
+		MeasuredMin: c.Measured.Min, MeasuredMax: c.Measured.Max,
+		MeasuredMean: c.Measured.Mean, MeasuredP95: c.Measured.P95,
+		Runs:          c.Measured.Count,
+		RealizesLower: c.RealizesLower, RespectsUpper: c.RespectsUpper,
+		Verdict:   c.Verdict(),
+		Algorithm: c.Algorithm,
+	}
+}
+
+// withTimeout applies the configured wall-clock bound to ctx.
+func (s settings) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(ctx, s.timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Table1 regenerates the paper's Table 1 — upper and lower bounds for the
+// (s, n)-session problem across five timing models and two communication
+// models — running the full (cell × strategy × seed) matrix on a worker
+// pool. Results are deterministic at any parallelism.
+func Table1(ctx context.Context, opts ...Option) (*TableResult, error) {
+	cfg := newSettings(opts)
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	eng := cfg.engine()
+	cells, err := harness.Table1Ctx(ctx, cfg.harnessConfig(eng))
+	if err != nil {
+		return nil, err
+	}
+	res := &TableResult{Stats: statsOf(eng)}
+	for _, c := range cells {
+		res.Cells = append(res.Cells, cellOf(c))
+	}
+	return res, nil
+}
+
+// WriteTable renders cells in cmd/sessiontable's aligned text format.
+func WriteTable(w io.Writer, cells []TableCell) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "MODEL\tCOMM\tUNIT\tPAPER L\tPAPER U\tMEASURED MAX\tMEAN\tVERDICT\tALGORITHM")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t%.0f\t%.1f\t%s\t%s\n",
+			c.Model, c.Comm, c.Unit, c.PaperLower, c.PaperUpper,
+			c.MeasuredMax, c.MeasuredMean, c.Verdict, c.Algorithm)
+	}
+	return tw.Flush()
+}
+
+// HierarchyRow is one timing model's entry in the model-hierarchy summary.
+type HierarchyRow struct {
+	Model     string
+	Comm      string
+	Unit      string
+	WorstTime float64
+	Algorithm string
+}
+
+// HierarchyResult is the measured model hierarchy plus engine accounting.
+type HierarchyResult struct {
+	Rows  []HierarchyRow
+	Stats Stats
+}
+
+// Hierarchy measures the worst-case running time of every model's
+// algorithm at one parameter point (the paper's qualitative ordering:
+// synchronous <= periodic <= semi-synchronous/sporadic <= asynchronous).
+func Hierarchy(ctx context.Context, opts ...Option) (*HierarchyResult, error) {
+	cfg := newSettings(opts)
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	eng := cfg.engine()
+	rows, err := harness.HierarchyCtx(ctx, cfg.harnessConfig(eng))
+	if err != nil {
+		return nil, err
+	}
+	res := &HierarchyResult{Stats: statsOf(eng)}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, HierarchyRow{
+			Model: r.Model, Comm: r.Comm, Unit: r.Unit,
+			WorstTime: r.Measured, Algorithm: r.Algorithm,
+		})
+	}
+	return res, nil
+}
+
+// WriteHierarchy renders hierarchy rows as an aligned table.
+func WriteHierarchy(w io.Writer, rows []HierarchyRow) error {
+	hrows := make([]harness.HierarchyRow, len(rows))
+	for i, r := range rows {
+		hrows[i] = harness.HierarchyRow{
+			Model: r.Model, Comm: r.Comm, Unit: r.Unit,
+			Measured: r.WorstTime, Algorithm: r.Algorithm,
+		}
+	}
+	return harness.WriteHierarchy(w, hrows)
+}
+
+// SweepKind selects a parameter-sweep experiment.
+type SweepKind int
+
+const (
+	// SweepSporadicDelay (F1): per-session time of the sporadic algorithm
+	// as the delay lower bound d1 sweeps from 0 to d2 — the paper's
+	// synchronous/asynchronous crossover.
+	SweepSporadicDelay SweepKind = iota + 1
+	// SweepPeriodicVsSemiSync (F2): periodic versus semi-synchronous
+	// running time as the required session count grows.
+	SweepPeriodicVsSemiSync
+	// SweepPeriodicVsSporadic (F3): periodic versus sporadic running time
+	// as the period maximum cmax grows.
+	SweepPeriodicVsSporadic
+)
+
+// SweepPoint is one x/y observation of a sweep, with the paper-predicted
+// envelope at that x (for comparison sweeps the envelope fields carry the
+// two contenders).
+type SweepPoint struct {
+	X          float64
+	Label      string
+	Measured   float64
+	PaperLower float64
+	PaperUpper float64
+}
+
+// SweepResult is a completed sweep plus engine accounting.
+type SweepResult struct {
+	Points []SweepPoint
+	Stats  Stats
+}
+
+// Sweep runs one of the paper's comparison experiments, fanning every
+// (point × strategy × seed) run across the worker pool. The swept range
+// comes from WithSweepSteps, WithMaxSessions or WithPeriodMaxima according
+// to the kind.
+func Sweep(ctx context.Context, kind SweepKind, opts ...Option) (*SweepResult, error) {
+	cfg := newSettings(opts)
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	eng := cfg.engine()
+
+	spec := harness.SweepSpec{
+		S: cfg.s, N: cfg.n,
+		C1: cfg.c1, C2: cfg.c2, D1: cfg.d1, D2: cfg.d2,
+		Steps: cfg.sweepSteps, MaxS: cfg.maxSessions, Cmaxs: cfg.periodMaxima,
+		Seeds:  cfg.seeds,
+		Engine: eng,
+	}
+	switch kind {
+	case SweepSporadicDelay:
+		spec.Kind = harness.SweepKindSporadicDelay
+	case SweepPeriodicVsSemiSync:
+		spec.Kind = harness.SweepKindPeriodicVsSemiSync
+	case SweepPeriodicVsSporadic:
+		spec.Kind = harness.SweepKindPeriodicVsSporadic
+		if len(spec.Cmaxs) == 0 {
+			return nil, fmt.Errorf("sessionproblem: SweepPeriodicVsSporadic needs WithPeriodMaxima")
+		}
+	default:
+		return nil, fmt.Errorf("sessionproblem: unknown sweep kind %d", kind)
+	}
+	pts, err := harness.Sweep(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Stats: statsOf(eng)}
+	for _, p := range pts {
+		res.Points = append(res.Points, SweepPoint(p))
+	}
+	return res, nil
+}
+
+// Report is the verified outcome of a single run.
+type Report struct {
+	// Algorithm and Model identify what ran.
+	Algorithm string
+	Model     string
+	// Finish is the running time in ticks: the time by which every port
+	// process is idle.
+	Finish Ticks
+	// Sessions is the number of disjoint sessions achieved; Rounds the
+	// number of disjoint rounds (the asynchronous shared-memory measure).
+	Sessions int
+	Rounds   int
+	// Steps is the number of process steps in the computation; Messages
+	// counts broadcasts (message passing only).
+	Steps    int
+	Messages int
+}
+
+// Model names a timing model for Solve.
+type Model string
+
+// The five timing models of the paper.
+const (
+	Synchronous     Model = "synchronous"
+	Periodic        Model = "periodic"
+	SemiSynchronous Model = "semisync"
+	Sporadic        Model = "sporadic"
+	Asynchronous    Model = "async"
+)
+
+// Comm names a communication model for Solve.
+type Comm string
+
+// The two communication models of the paper.
+const (
+	SharedMemory   Comm = "sm"
+	MessagePassing Comm = "mp"
+)
+
+func (s settings) timingModel(m Model, comm Comm) (timing.Model, error) {
+	mp := comm == MessagePassing
+	d2 := sim.Duration(0)
+	if mp {
+		d2 = s.d2
+	}
+	switch m {
+	case Synchronous:
+		return timing.NewSynchronous(s.c2, d2), nil
+	case Periodic:
+		return timing.NewPeriodic(s.cmin, s.cmax, d2), nil
+	case SemiSynchronous:
+		return timing.NewSemiSynchronous(s.c1, s.c2, d2), nil
+	case Sporadic:
+		if !mp {
+			return timing.Model{}, fmt.Errorf("sessionproblem: the sporadic SM model equals the asynchronous SM model; use Asynchronous")
+		}
+		return timing.NewSporadic(s.c1, s.d1, s.d2, 0), nil
+	case Asynchronous:
+		if mp {
+			return timing.NewAsynchronousMP(s.c2, s.d2), nil
+		}
+		return timing.NewAsynchronousSM(0), nil
+	default:
+		return timing.Model{}, fmt.Errorf("sessionproblem: unknown model %q", m)
+	}
+}
+
+// Solve runs the designated algorithm for the given timing and
+// communication model on one schedule (WithSchedule selects strategy and
+// seed), verifies admissibility and the session condition, and reports the
+// result.
+func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, error) {
+	cfg := newSettings(opts)
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	st, err := cfg.parseStrategy()
+	if err != nil {
+		return nil, err
+	}
+	tm, err := cfg.timingModel(m, comm)
+	if err != nil {
+		return nil, err
+	}
+
+	var rep *core.Report
+	switch comm {
+	case SharedMemory:
+		alg, err := registry.ForSM(tm.Kind)
+		if err != nil {
+			return nil, err
+		}
+		spec := core.Spec{S: cfg.s, N: cfg.n, B: cfg.b}
+		rep, err = core.RunSMContext(ctx, alg, spec, tm, st, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+	case MessagePassing:
+		alg, err := registry.ForMP(tm.Kind)
+		if err != nil {
+			return nil, err
+		}
+		spec := core.Spec{S: cfg.s, N: cfg.n}
+		rep, err = core.RunMPContext(ctx, alg, spec, tm, st, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sessionproblem: unknown communication model %q (want sm or mp)", comm)
+	}
+	return &Report{
+		Algorithm: rep.Algorithm,
+		Model:     rep.Model.String(),
+		Finish:    Ticks(rep.Finish),
+		Sessions:  rep.Sessions,
+		Rounds:    rep.Rounds,
+		Steps:     rep.Steps(),
+		Messages:  rep.Messages,
+	}, nil
+}
