@@ -1,0 +1,227 @@
+// Sessionlint machine-enforces this repository's determinism and
+// admissibility conventions: no wall-clock or global randomness in the
+// simulator packages (nodeterm), no map-iteration order escaping into
+// results (maprange), context polling in every potentially unbounded loop
+// of a context-aware function (ctxpoll), facade-only imports in examples
+// (facadeonly), and "pkg: message" panic strings in internal packages
+// (panicmsg). See internal/lint for the analyzers.
+//
+// It runs in two modes:
+//
+//	sessionlint ./...                      # standalone, loads packages itself
+//	go vet -vettool=$(which sessionlint) ./...  # as a vet backend
+//
+// The vettool mode implements go vet's compilation-unit protocol (-V=full,
+// -flags, unit.cfg), so the go command handles loading, caching and
+// per-package fan-out. Diagnostics go to stderr as file:line:col: message;
+// the exit status is nonzero when any diagnostic fired. Violations are
+// waived line by line with //lint:allow <analyzer> <reason>.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"sessionproblem/internal/lint"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version information (go vet protocol)")
+	flagsFlag := flag.Bool("flags", false, "describe flags in JSON (go vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sessionlint [packages]  |  go vet -vettool=$(which sessionlint) [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+	case *flagsFlag:
+		// No analyzer flags are exposed; the empty list tells go vet so.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runVetUnit(args[0]))
+	default:
+		if len(args) == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(runStandalone(args))
+	}
+}
+
+// printVersion emits the build-cache identity line go vet's -V=full probe
+// expects: "name version <id>". Hashing the executable makes the id change
+// with the tool, invalidating stale vet caches after a rebuild.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))[:16]
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("sessionlint version sha256-%s\n", id)
+}
+
+// runStandalone loads the pattern-matched packages with the go command and
+// analyzes them all in-process.
+func runStandalone(patterns []string) int {
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Check(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, lint.Analyzers())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "sessionlint: %d violation(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON compilation-unit description go vet hands a
+// vettool (the unitchecker protocol).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes the single compilation unit described by cfgFile and
+// returns the process exit code.
+func runVetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sessionlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sessionlint: cannot decode vet config %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command requires the facts output file to exist afterwards,
+	// even though sessionlint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "sessionlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := checkVetUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "sessionlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkVetUnit parses and type-checks the unit against the export data the
+// go command supplies, then runs the analyzer suite over it.
+func checkVetUnit(cfg *vetConfig) ([]lint.Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, goarch()),
+	}
+	info := lint.NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	return lint.Check(fset, files, tpkg, info, lint.Analyzers())
+}
+
+func goarch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the sessionlint binary once per test run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "sessionlint")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return exe
+}
+
+func TestVetToolProtocolHandshake(t *testing.T) {
+	exe := buildTool(t)
+
+	out, err := exec.Command(exe, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	// go vet requires "<name> version <non-devel id>".
+	if !regexp.MustCompile(`^sessionlint version \S+\n$`).Match(out) {
+		t.Fatalf("-V=full output %q does not match the vet protocol", out)
+	}
+	if strings.Contains(string(out), "devel") {
+		t.Fatalf("-V=full id %q must not be devel (go vet rejects it)", out)
+	}
+
+	out, err = exec.Command(exe, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []any
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output %q is not a JSON array: %v", out, err)
+	}
+}
+
+func TestVetToolRunsCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets packages")
+	}
+	exe := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+exe, "./internal/topo/", "./internal/trace/")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over clean packages failed: %v\n%s", err, out)
+	}
+}
+
+func TestVetToolFlagsInjectedViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets packages")
+	}
+	exe := buildTool(t)
+
+	// A throwaway module would need its own copy of the repo; instead drop a
+	// violation into a temp file claiming a deterministic import path and
+	// feed checkVetUnit a hand-built unit config, the same shape go vet
+	// passes the tool.
+	dir := t.TempDir()
+	src := filepath.Join(dir, "poison.go")
+	code := "package sim\n\nimport \"time\"\n\nfunc Poison() int64 { return time.Now().UnixNano() }\n"
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := vetConfigForTest(t, "sessionproblem/internal/sim", []string{src}, []string{"time"})
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(exe, cfgPath).CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected nonzero exit for injected time.Now violation, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now in deterministic package") {
+		t.Fatalf("diagnostic missing from output:\n%s", out)
+	}
+	// The facts file must exist even on failure: go vet demands it.
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Fatalf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestVetxOnlySucceedsWithoutAnalysis(t *testing.T) {
+	exe := buildTool(t)
+	dir := t.TempDir()
+	cfg := &vetConfig{
+		ID:         "x",
+		ImportPath: "sessionproblem/internal/sim",
+		VetxOnly:   true,
+		VetxOutput: filepath.Join(dir, "facts.vetx"),
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(exe, cfgPath).CombinedOutput(); err != nil {
+		t.Fatalf("VetxOnly run failed: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Fatalf("VetxOutput not written: %v", err)
+	}
+}
+
+// vetConfigForTest builds the unit config go vet would pass for a package
+// with the given import path and sources, resolving the deps' export data
+// through the go command.
+func vetConfigForTest(t *testing.T, importPath string, goFiles, deps []string) *vetConfig {
+	t.Helper()
+	cfg := &vetConfig{
+		ID:          importPath,
+		Compiler:    "gc",
+		ImportPath:  importPath,
+		GoFiles:     goFiles,
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+		VetxOutput:  filepath.Join(t.TempDir(), "facts.vetx"),
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, deps...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = "../.."
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ImportMap[p.ImportPath] = p.ImportPath
+		if p.Export != "" {
+			cfg.PackageFile[p.ImportPath] = p.Export
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,228 @@
+package sessionproblem
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/bounds"
+	"sessionproblem/internal/check"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+)
+
+// This file is the library-extension surface of the facade: everything a
+// user needs to design their own session algorithm, run it under any of the
+// paper's timing models, and validate it with the same pipeline the
+// built-in algorithms pass — without importing internal packages.
+
+// Spec is one instance of the (s, n)-session problem: s required sessions
+// over n ports, with b the shared-variable access bound (shared memory
+// only; 0 means unbounded).
+type Spec = core.Spec
+
+// TimingModel is a fully-parameterized timing model; build one with the
+// New*Model constructors.
+type TimingModel = timing.Model
+
+// SMAlgorithm builds a shared-memory system solving the session problem.
+// Implement it to plug a custom algorithm into Solve and ValidateSM.
+type SMAlgorithm = core.SMAlgorithm
+
+// MPAlgorithm builds a message-passing system solving the session problem.
+type MPAlgorithm = core.MPAlgorithm
+
+// SMValue is the value stored in a shared variable.
+type SMValue = sm.Value
+
+// SMProcess is one shared-memory process: Target names the variable its
+// next step accesses, Step transforms that variable's value, and Idle
+// reports whether the process has finished (idle states must be stable).
+type SMProcess = sm.Process
+
+// SMPortBinding designates a shared variable as a port and names the
+// unique process owning it.
+type SMPortBinding = sm.PortBinding
+
+// SMSystem is a complete shared-memory system: processes, port bindings
+// and the access bound B. SMAlgorithm.BuildSM returns one.
+type SMSystem = sm.System
+
+// VarID identifies a shared variable.
+type VarID = model.VarID
+
+// NewSynchronousModel returns the synchronous model: every step gap is
+// exactly c2 and every message delay exactly d2.
+func NewSynchronousModel(c2, d2 Ticks) TimingModel {
+	return timing.NewSynchronous(sim.Duration(c2), sim.Duration(d2))
+}
+
+// NewPeriodicModel returns the periodic model: each process steps at an
+// unknown constant period in [cmin, cmax]; delays are in [0, d2]. Pass
+// d2 = 0 for shared-memory use.
+func NewPeriodicModel(cmin, cmax, d2 Ticks) TimingModel {
+	return timing.NewPeriodic(sim.Duration(cmin), sim.Duration(cmax), sim.Duration(d2))
+}
+
+// NewSemiSynchronousModel returns the semi-synchronous model: step gaps in
+// [c1, c2] with both bounds known, delays in [0, d2].
+func NewSemiSynchronousModel(c1, c2, d2 Ticks) TimingModel {
+	return timing.NewSemiSynchronous(sim.Duration(c1), sim.Duration(c2), sim.Duration(d2))
+}
+
+// NewSporadicModel returns the sporadic model: step gaps at least c1 with
+// no upper bound, delays in [d1, d2]. gapCap bounds the gaps schedulers
+// actually draw; pass 0 for the default max(4·c1, d2).
+func NewSporadicModel(c1, d1, d2, gapCap Ticks) TimingModel {
+	return timing.NewSporadic(sim.Duration(c1), sim.Duration(d1), sim.Duration(d2), sim.Duration(gapCap))
+}
+
+// NewAsynchronousSMModel returns the asynchronous shared-memory model:
+// no gap bounds, running time measured in rounds. gapCap bounds the gaps
+// schedulers draw; pass 0 for the default of 8.
+func NewAsynchronousSMModel(gapCap Ticks) TimingModel {
+	return timing.NewAsynchronousSM(sim.Duration(gapCap))
+}
+
+// NewAsynchronousMPModel returns the asynchronous message-passing model:
+// c1 = d1 = 0 with finite known c2 and d2.
+func NewAsynchronousMPModel(c2, d2 Ticks) TimingModel {
+	return timing.NewAsynchronousMP(sim.Duration(c2), sim.Duration(d2))
+}
+
+// Strategies lists the scheduling strategy names accepted by WithSchedule,
+// in the order the harness sweeps them.
+func Strategies() []string {
+	var out []string
+	for _, st := range timing.AllStrategies() {
+		out = append(out, st.String())
+	}
+	return out
+}
+
+// ValidationItem is one verification step's outcome.
+type ValidationItem struct {
+	Name   string
+	Passed bool
+	Detail string
+}
+
+// Validation is the outcome of a ValidateSM or ValidateMP run.
+type Validation struct {
+	Algorithm string
+	Items     []ValidationItem
+}
+
+// OK reports whether every item passed.
+func (v *Validation) OK() bool {
+	for _, it := range v.Items {
+		if !it.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+func validationOf(rep *check.Report) *Validation {
+	v := &Validation{Algorithm: rep.Algorithm}
+	for _, it := range rep.Items {
+		v.Items = append(v.Items, ValidationItem{Name: it.Name, Passed: it.Passed, Detail: it.Detail})
+	}
+	return v
+}
+
+// ValidateSM vets a shared-memory algorithm the way the built-in ones are
+// vetted: sampled schedules across every strategy (WithSeeds seeds each),
+// optional exhaustive small-schedule model checking (WithExhaustiveGaps —
+// keep the instance tiny), idle-stability probing, and the matching
+// lower-bound adversary for the model.
+func ValidateSM(alg SMAlgorithm, spec Spec, m TimingModel, opts ...Option) *Validation {
+	cfg := newSettings(opts)
+	return validationOf(check.SM(alg, check.SMOptions{
+		Spec:           spec,
+		Model:          m,
+		Seeds:          cfg.seeds,
+		ExhaustiveGaps: cfg.exhaustiveGaps,
+	}))
+}
+
+// ValidateMP vets a message-passing algorithm: sampled schedules, optional
+// exhaustive checking (WithExhaustiveGaps and WithExhaustiveDelays, equal
+// cardinality), and the sporadic retiming adversary where applicable.
+func ValidateMP(alg MPAlgorithm, spec Spec, m TimingModel, opts ...Option) *Validation {
+	cfg := newSettings(opts)
+	return validationOf(check.MP(alg, check.MPOptions{
+		Spec:             spec,
+		Model:            m,
+		Seeds:            cfg.seeds,
+		ExhaustiveGaps:   cfg.exhaustiveGaps,
+		ExhaustiveDelays: cfg.exhaustiveDelays,
+	}))
+}
+
+// Envelope is a paper-predicted running-time envelope for one Table-1 cell.
+type Envelope struct {
+	// Lower and Upper are the bound formulas evaluated at the configured
+	// parameters.
+	Lower, Upper float64
+	// Unit is "time" (ticks) or "rounds" (asynchronous shared memory).
+	Unit string
+}
+
+// PaperEnvelope evaluates the paper's Table-1 bound formulas for one
+// (timing model, communication model) cell at the configured parameters
+// (WithSpec, WithAccessBound, WithStepBounds, WithPeriodRange,
+// WithDelayBounds). The sporadic message-passing upper bound depends on γ,
+// the largest step time of a concrete computation — supply it with
+// WithGamma (Solve reports it as Report.Gamma).
+func PaperEnvelope(m Model, comm Comm, opts ...Option) (Envelope, error) {
+	cfg := newSettings(opts)
+	p := bounds.Params{
+		S: cfg.s, N: cfg.n, B: cfg.b,
+		C1: cfg.c1, C2: cfg.c2,
+		Cmin: cfg.cmin, Cmax: cfg.cmax,
+		D1: cfg.d1, D2: cfg.d2,
+		Gamma: cfg.gamma,
+	}
+	mp := comm == MessagePassing
+	if !mp && comm != SharedMemory {
+		return Envelope{}, fmt.Errorf("sessionproblem: unknown communication model %q (want sm or mp)", comm)
+	}
+	e := Envelope{Unit: "time"}
+	switch m {
+	case Synchronous:
+		if mp {
+			e.Lower, e.Upper = bounds.SyncMP(p)
+		} else {
+			e.Lower, e.Upper = bounds.SyncSM(p)
+		}
+	case Periodic:
+		if mp {
+			e.Lower, e.Upper = bounds.PeriodicMPL(p), bounds.PeriodicMPU(p)
+		} else {
+			e.Lower, e.Upper = bounds.PeriodicSML(p), bounds.PeriodicSMU(p)
+		}
+	case SemiSynchronous:
+		if mp {
+			e.Lower, e.Upper = bounds.SemiSyncMPL(p), bounds.SemiSyncMPU(p)
+		} else {
+			e.Lower, e.Upper = bounds.SemiSyncSML(p), bounds.SemiSyncSMU(p)
+		}
+	case Sporadic:
+		if !mp {
+			return Envelope{}, fmt.Errorf("sessionproblem: the sporadic SM model equals the asynchronous SM model; use Asynchronous")
+		}
+		e.Lower, e.Upper = bounds.SporadicMPL(p), bounds.SporadicMPU(p)
+	case Asynchronous:
+		if mp {
+			e.Lower, e.Upper = bounds.AsyncMPL(p), bounds.AsyncMPU(p)
+		} else {
+			e.Lower, e.Upper = bounds.AsyncSML(p), bounds.AsyncSMU(p)
+			e.Unit = "rounds"
+		}
+	default:
+		return Envelope{}, fmt.Errorf("sessionproblem: unknown model %q", m)
+	}
+	return e, nil
+}

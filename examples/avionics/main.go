@@ -18,57 +18,64 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"sessionproblem/internal/alg/periodic"
-	"sessionproblem/internal/bounds"
-	"sessionproblem/internal/core"
-	"sessionproblem/internal/timing"
-	"sessionproblem/internal/trace"
+	"sessionproblem"
 )
 
 func main() {
 	sensors := []string{"air-data", "inertial", "gps", "radar-altimeter"}
 	const controlFrames = 8 // s: control-law updates to certify
-
-	spec := core.Spec{S: controlFrames, N: len(sensors), B: 3}
+	ctx := context.Background()
 
 	// Sensor tasks sample at constant unknown rates between 5 and 20 ticks
-	// (the periodic constraint). The Skewed strategy makes the radar
+	// (the periodic constraint). The skewed strategy makes the radar
 	// altimeter... process 0, actually — the slowest device, the worst case
 	// for frame alignment.
-	model := timing.NewPeriodic(5, 20, 0)
+	instance := []sessionproblem.Option{
+		sessionproblem.WithSpec(controlFrames, len(sensors)),
+		sessionproblem.WithAccessBound(3),
+		sessionproblem.WithPeriodRange(5, 20),
+	}
 
 	fmt.Printf("avionics bus: %d sensors, certifying %d control frames\n", len(sensors), controlFrames)
 	fmt.Println("sensors:", sensors)
 	fmt.Println()
 
-	worst := int64(0)
-	for _, strategy := range timing.AllStrategies() {
-		report, err := core.RunSM(periodic.NewSM(), spec, model, strategy, 42)
+	worst := sessionproblem.Ticks(0)
+	for _, strategy := range sessionproblem.Strategies() {
+		opts := append([]sessionproblem.Option{sessionproblem.WithSchedule(strategy, 42)}, instance...)
+		report, err := sessionproblem.Solve(ctx,
+			sessionproblem.Periodic, sessionproblem.SharedMemory, opts...)
 		if err != nil {
 			log.Fatalf("strategy %v: %v", strategy, err)
 		}
 		fmt.Printf("  %-9v schedule: %2d frames in %4v ticks (%d steps)\n",
-			strategy, report.Sessions, report.Finish, len(report.Trace.Steps))
-		if int64(report.Finish) > worst {
-			worst = int64(report.Finish)
+			strategy, report.Sessions, report.Finish, report.Steps)
+		if report.Finish > worst {
+			worst = report.Finish
 		}
 	}
 
-	p := bounds.Params{S: spec.S, N: spec.N, B: spec.B, Cmin: 5, Cmax: 20}
+	env, err := sessionproblem.PaperEnvelope(
+		sessionproblem.Periodic, sessionproblem.SharedMemory, instance...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nworst observed frame-certification time: %d ticks\n", worst)
-	fmt.Printf("paper envelope: [%.0f, %.0f] ticks (Theorems 4.3 / 4.1)\n",
-		bounds.PeriodicSML(p), bounds.PeriodicSMU(p))
+	fmt.Printf("paper envelope: [%.0f, %.0f] ticks (Theorems 4.3 / 4.1)\n", env.Lower, env.Upper)
 
 	// Show the frame boundaries of one run.
-	report, err := core.RunSM(periodic.NewSM(), spec, model, timing.Skewed, 42)
+	opts := append([]sessionproblem.Option{sessionproblem.WithSchedule("skewed", 42)}, instance...)
+	report, err := sessionproblem.Solve(ctx,
+		sessionproblem.Periodic, sessionproblem.SharedMemory, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nframe boundaries under the skewed schedule (slow sensor 0):")
-	for _, span := range trace.Sessions(report.Trace) {
+	for _, span := range report.Spans {
 		fmt.Printf("  frame %d complete at t=%v\n", span.Index, span.End)
 	}
 }

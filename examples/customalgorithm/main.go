@@ -1,8 +1,8 @@
 // Customalgorithm: the library-adoption story. A user designs their own
 // session algorithm for the semi-synchronous model — a "double-wait"
 // variant that takes 2*(floor(c2/c1)+1) steps per session, trading time for
-// simplicity — plugs it into the core.SMAlgorithm interface, and validates
-// it with the same pipeline the built-in algorithms pass: sampled
+// simplicity — plugs it into the sessionproblem.SMAlgorithm interface, and
+// validates it with the same pipeline the built-in algorithms pass: sampled
 // schedules, exhaustive small-schedule model checking, idle-stability
 // probes, and the Theorem 5.1 reorder adversary.
 //
@@ -20,12 +20,7 @@ import (
 	"fmt"
 	"os"
 
-	"sessionproblem/internal/check"
-	"sessionproblem/internal/core"
-	"sessionproblem/internal/model"
-	"sessionproblem/internal/sim"
-	"sessionproblem/internal/sm"
-	"sessionproblem/internal/timing"
+	"sessionproblem"
 )
 
 // doubleWait is the user's algorithm family: every port process takes
@@ -34,12 +29,12 @@ import (
 // waits floor(c2/(2c1)).
 type doubleWait struct {
 	name    string
-	stepsOf func(s int, m timing.Model) int
+	stepsOf func(s int, m sessionproblem.TimingModel) int
 }
 
 func (d doubleWait) Name() string { return d.name }
 
-func (d doubleWait) BuildSM(spec core.Spec, m timing.Model) (*sm.System, error) {
+func (d doubleWait) BuildSM(spec sessionproblem.Spec, m sessionproblem.TimingModel) (*sessionproblem.SMSystem, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,23 +42,23 @@ func (d doubleWait) BuildSM(spec core.Spec, m timing.Model) (*sm.System, error) 
 	if b == 0 {
 		b = 2
 	}
-	sys := &sm.System{B: b}
+	sys := &sessionproblem.SMSystem{B: b}
 	for i := 0; i < spec.N; i++ {
-		v := model.VarID(i)
+		v := sessionproblem.VarID(i)
 		sys.Procs = append(sys.Procs, &walker{v: v, left: d.stepsOf(spec.S, m)})
-		sys.Ports = append(sys.Ports, sm.PortBinding{Var: v, Proc: i})
+		sys.Ports = append(sys.Ports, sessionproblem.SMPortBinding{Var: v, Proc: i})
 	}
 	return sys, nil
 }
 
 // walker steps on its own port a fixed number of times.
 type walker struct {
-	v    model.VarID
+	v    sessionproblem.VarID
 	left int
 }
 
-func (w *walker) Target() model.VarID { return w.v }
-func (w *walker) Step(old sm.Value) sm.Value {
+func (w *walker) Target() sessionproblem.VarID { return w.v }
+func (w *walker) Step(old sessionproblem.SMValue) sessionproblem.SMValue {
 	if w.left == 0 {
 		return old
 	}
@@ -74,33 +69,30 @@ func (w *walker) Step(old sm.Value) sm.Value {
 func (w *walker) Idle() bool { return w.left == 0 }
 
 func main() {
-	m := timing.NewSemiSynchronous(2, 9, 0)
-	spec := core.Spec{S: 3, N: 4, B: 2}
+	m := sessionproblem.NewSemiSynchronousModel(2, 9, 0)
+	spec := sessionproblem.Spec{S: 3, N: 4, B: 2}
 
 	correct := doubleWait{
 		name: "double-wait",
-		stepsOf: func(s int, m timing.Model) int {
+		stepsOf: func(s int, m sessionproblem.TimingModel) int {
 			w := int(m.C2/m.C1) + 1
 			return (s-1)*2*w + 1
 		},
 	}
 	broken := doubleWait{
 		name: "broken-wait (half the wait)",
-		stepsOf: func(s int, m timing.Model) int {
+		stepsOf: func(s int, m sessionproblem.TimingModel) int {
 			w := int(m.C2 / (2 * m.C1)) // spans only ~c2/2: not enough
 			return (s-1)*w + 1
 		},
 	}
 
 	exit := 0
-	for _, alg := range []core.SMAlgorithm{correct, broken} {
+	for _, alg := range []sessionproblem.SMAlgorithm{correct, broken} {
 		fmt.Printf("validating %q under the semi-synchronous model (c1=2, c2=9)\n", alg.Name())
-		rep := check.SM(alg, check.SMOptions{
-			Spec:           spec,
-			Model:          m,
-			Seeds:          3,
-			ExhaustiveGaps: []sim.Duration{2, 9},
-		})
+		rep := sessionproblem.ValidateSM(alg, spec, m,
+			sessionproblem.WithSeeds(3),
+			sessionproblem.WithExhaustiveGaps(2, 9))
 		for _, item := range rep.Items {
 			mark := "ok  "
 			if !item.Passed {

@@ -20,14 +20,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"sessionproblem/internal/alg/sporadic"
-	"sessionproblem/internal/bounds"
-	"sessionproblem/internal/core"
-	"sessionproblem/internal/sim"
-	"sessionproblem/internal/timing"
+	"sessionproblem"
 )
 
 func main() {
@@ -36,7 +33,7 @@ func main() {
 		generations = 6
 		c1          = 2 // interrupt latency floor (ticks)
 	)
-	spec := core.Spec{S: generations, N: handlers}
+	ctx := context.Background()
 
 	fmt.Printf("device mesh: %d interrupt handlers, %d barrier generations\n\n", handlers, generations)
 	fmt.Println("delay window [d1,d2]   worst time   per-gen   paper U (gamma-based)")
@@ -44,18 +41,22 @@ func main() {
 	// Sweep the network's delay uncertainty: tight windows let condition 2
 	// (local step counting) certify generations; wide windows force
 	// condition 1 (acknowledgement collection).
-	for _, window := range []struct{ d1, d2 sim.Duration }{
+	for _, window := range []struct{ d1, d2 sessionproblem.Ticks }{
 		{24, 24}, // u = 0: deterministic bus
 		{16, 24}, // small u
 		{8, 24},  // medium u
 		{0, 24},  // u = d2: fully uncertain
 	} {
-		model := timing.NewSporadic(c1, window.d1, window.d2, 3*c1)
-		var worst sim.Time
-		var worstGamma sim.Duration
-		for _, strategy := range timing.AllStrategies() {
+		var worst, worstGamma sessionproblem.Ticks
+		for _, strategy := range sessionproblem.Strategies() {
 			for seed := uint64(1); seed <= 3; seed++ {
-				rep, err := core.RunMP(sporadic.NewMP(), spec, model, strategy, seed)
+				rep, err := sessionproblem.Solve(ctx,
+					sessionproblem.Sporadic, sessionproblem.MessagePassing,
+					sessionproblem.WithSpec(generations, handlers),
+					sessionproblem.WithStepBounds(c1, 10),
+					sessionproblem.WithDelayBounds(window.d1, window.d2),
+					sessionproblem.WithGapCap(3*c1),
+					sessionproblem.WithSchedule(strategy, seed))
 				if err != nil {
 					log.Fatalf("[%v,%v] %v seed %d: %v", window.d1, window.d2, strategy, seed, err)
 				}
@@ -64,13 +65,18 @@ func main() {
 				}
 			}
 		}
-		p := bounds.Params{
-			S: generations, N: handlers,
-			C1: c1, D1: window.d1, D2: window.d2, Gamma: worstGamma,
+		env, err := sessionproblem.PaperEnvelope(
+			sessionproblem.Sporadic, sessionproblem.MessagePassing,
+			sessionproblem.WithSpec(generations, handlers),
+			sessionproblem.WithStepBounds(c1, 10),
+			sessionproblem.WithDelayBounds(window.d1, window.d2),
+			sessionproblem.WithGamma(worstGamma))
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("  [%2v,%2v] (u=%2v)        %5v        %5.1f     %.0f\n",
 			window.d1, window.d2, window.d2-window.d1,
-			worst, float64(worst)/float64(generations), bounds.SporadicMPU(p))
+			worst, float64(worst)/float64(generations), env.Upper)
 	}
 
 	fmt.Println("\nshape check: tighter delay windows -> cheaper generations")

@@ -13,10 +13,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"sessionproblem/internal/harness"
+	"sessionproblem"
 )
 
 func main() {
@@ -29,14 +30,19 @@ func main() {
 	fmt.Printf("(%d,%d)-session problem, asynchronous algorithm, per-hop delay <= %d\n\n",
 		sessions, nodes, hopDelay)
 
-	pts, err := harness.SweepDiameter(sessions, nodes, c2, hopDelay, 3)
+	res, err := sessionproblem.Sweep(context.Background(), sessionproblem.SweepNetworkDiameter,
+		sessionproblem.WithSpec(sessions, nodes),
+		sessionproblem.WithStepBounds(1, c2),
+		sessionproblem.WithDelayBounds(0, hopDelay),
+		sessionproblem.WithSeeds(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("topology   diameter  effective d2  measured worst  abstract bound")
-	for _, p := range pts {
+	for _, p := range res.Points {
+		diameter := sessionproblem.Ticks(p.X)
 		fmt.Printf("%-10s %-9d %-13v %-15.0f %.0f\n",
-			p.Topology, p.Diameter, p.EffectiveD2, p.Measured, p.PaperUpper)
+			p.Label, diameter, diameter*hopDelay, p.Measured, p.PaperUpper)
 	}
 	fmt.Println("\nThe same algorithm, the same hop delays — only the diameter differs.")
 	fmt.Println("Substituting d2 := diameter * hop-delay makes every run admissible for the")

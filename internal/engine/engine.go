@@ -180,7 +180,7 @@ func (e *Engine) Stats() Stats {
 // CollectAll every task runs and the lowest-index error is returned. The
 // results slice always has len(tasks) entries.
 func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow nodeterm wall-clock accounting, never in results
 	if e.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.timeout)
@@ -215,7 +215,7 @@ func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
 					// reported by Execute's return value.
 					continue
 				}
-				t0 := time.Now()
+				t0 := time.Now() //lint:allow nodeterm wall-clock accounting, never in results
 				v, err := tasks[i].Run(runCtx)
 				r := Result{
 					Index:  i,
@@ -223,7 +223,7 @@ func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
 					Value:  v,
 					Err:    err,
 					Worker: worker,
-					Wall:   time.Since(t0),
+					Wall:   time.Since(t0), //lint:allow nodeterm wall-clock accounting, never in results
 				}
 				if acc, ok := v.(Accountable); ok && acc != nil {
 					r.Counts = acc.Account()
@@ -242,7 +242,7 @@ func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
 	wg.Wait()
 
 	e.mu.Lock()
-	e.stats.Wall += time.Since(start)
+	e.stats.Wall += time.Since(start) //lint:allow nodeterm wall-clock accounting, never in results
 	for _, r := range results {
 		if errors.Is(r.Err, ErrSkipped) {
 			e.stats.Tasks++

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxpoll enforces the executors' polling contract from the parallel
+// engine: any potentially unbounded loop in a function that receives a
+// context.Context must poll the context, or cancellation and timeouts
+// stall mid-computation. The simulator executors poll every 1024 steps
+// (sm/mp ctxCheckInterval); a loop with no fixed iteration bound — `for {`
+// or `for cond {` — can exceed that, so its body must reference a
+// context-typed value (ctx.Err(), ctx.Done(), or a call that is handed the
+// context). Counted `for i := ...; ...; i++` and `range` loops are bounded
+// by their data and are not reported.
+var Ctxpoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "potentially unbounded loops in context-aware functions must poll their context",
+	Run:  runCtxpoll,
+}
+
+func runCtxpoll(pass *Pass) error {
+	for _, f := range pass.Files {
+		// A function literal nested in a context-aware function is walked as
+		// part of the outer body; reported tracks loop positions so it is
+		// not reported twice when the literal has a context param itself.
+		reported := make(map[token.Pos]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ftype, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil || !hasContextParam(pass.TypesInfo, ftype) {
+				return true
+			}
+			checkLoops(pass, body, reported)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasContextParam reports whether the function signature takes a
+// context.Context.
+func hasContextParam(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoops reports unbounded loops in body that never touch a context.
+// Nested function literals are walked too: they close over the context, so
+// the contract follows them in.
+func checkLoops(pass *Pass, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		// Counted loops (init/post present) are bounded by their data.
+		if loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		polls := referencesContext(pass.TypesInfo, loop.Body) ||
+			(loop.Cond != nil && referencesContext(pass.TypesInfo, loop.Cond))
+		if !reported[loop.Pos()] && !polls {
+			reported[loop.Pos()] = true
+			pass.Reportf(loop.Pos(), "potentially unbounded loop in a context-aware function never polls the context; add a ctx.Err() check (executors poll every 1024 steps)")
+		}
+		return true
+	})
+}
+
+// referencesContext reports whether any identifier inside n has type
+// context.Context — a ctx.Err()/ctx.Done() poll, a select on ctx, or a call
+// that is handed the context all qualify.
+func referencesContext(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := info.Uses[id]; obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Facadeonly keeps the examples honest as external-usage documentation:
+// code under examples/ demonstrates what a real importer of this module can
+// write, and a real importer cannot reach sessionproblem/internal/....
+// Every example must therefore go through the root sessionproblem facade.
+// If an example needs a capability the facade lacks, the facade grows a
+// hook — the example does not reach around it.
+var Facadeonly = &Analyzer{
+	Name: "facadeonly",
+	Doc:  "examples must import the public sessionproblem facade, never sessionproblem/internal/...",
+	Run:  runFacadeonly,
+}
+
+const (
+	examplesPrefix = "sessionproblem/examples/"
+	internalPrefix = "sessionproblem/internal"
+)
+
+func runFacadeonly(pass *Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), examplesPrefix) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path == internalPrefix || strings.HasPrefix(path, internalPrefix+"/") {
+				pass.Reportf(spec.Pos(), "example imports %s; examples document external usage and must use the sessionproblem facade", path)
+			}
+		}
+	}
+	return nil
+}

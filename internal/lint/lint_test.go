@@ -1,0 +1,130 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"sessionproblem/internal/lint"
+	"sessionproblem/internal/lint/linttest"
+)
+
+func TestNodetermFixtures(t *testing.T) {
+	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/det", "sessionproblem/internal/alg/detfixture")
+}
+
+func TestNodetermIgnoresNondeterministicPackages(t *testing.T) {
+	linttest.RunClean(t, lint.Nodeterm, "testdata/nodeterm/free", "sessionproblem/cmd/freefixture")
+}
+
+func TestMaprangeFixtures(t *testing.T) {
+	linttest.Run(t, lint.Maprange, "testdata/maprange", "sessionproblem/internal/maprangefixture")
+}
+
+func TestCtxpollFixtures(t *testing.T) {
+	linttest.Run(t, lint.Ctxpoll, "testdata/ctxpoll", "sessionproblem/internal/ctxpollfixture")
+}
+
+func TestFacadeonlyFlagsExamples(t *testing.T) {
+	linttest.Run(t, lint.Facadeonly, "testdata/facadeonly/example", "sessionproblem/examples/demofixture")
+}
+
+func TestFacadeonlyIgnoresCommands(t *testing.T) {
+	linttest.RunClean(t, lint.Facadeonly, "testdata/facadeonly/cmd", "sessionproblem/cmd/demofixture")
+}
+
+func TestPanicmsgFixtures(t *testing.T) {
+	linttest.Run(t, lint.Panicmsg, "testdata/panicmsg/internal", "sessionproblem/internal/pm")
+}
+
+func TestPanicmsgIgnoresExternalPackages(t *testing.T) {
+	linttest.RunClean(t, lint.Panicmsg, "testdata/panicmsg/external", "sessionproblem/extfixture")
+}
+
+// TestSuiteRunsCleanOverRepo is the acceptance gate: the shipped tree has
+// no outstanding diagnostics (violations are either fixed or carry an
+// explicit //lint:allow directive).
+func TestSuiteRunsCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	sawLint := false
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Path, "internal/lint") {
+			sawLint = true
+		}
+		diags, err := lint.Check(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, lint.Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+	if !sawLint {
+		t.Error("module walk did not include internal/lint itself")
+	}
+}
+
+// TestMaprangeAuditedPackagesStayClean is the regression gate for the
+// map-iteration audit of the result-producing packages: aggregation in
+// internal/model, internal/harness and internal/check must never let map
+// iteration order escape into results (the only map ranges there today are
+// order-insensitive comparisons or map-to-map builds, and it must stay
+// that way).
+func TestMaprangeAuditedPackagesStayClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	pkgs, err := lint.Load("../..", "./internal/model", "./internal/harness", "./internal/check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("expected 3 audited packages, loaded %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.Check(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*lint.Analyzer{lint.Maprange})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+func TestDeterministicSetCoversSimulatorPackages(t *testing.T) {
+	for _, path := range []string{
+		"sessionproblem/internal/sim",
+		"sessionproblem/internal/sm",
+		"sessionproblem/internal/mp",
+		"sessionproblem/internal/timing",
+		"sessionproblem/internal/core",
+		"sessionproblem/internal/adversary",
+		"sessionproblem/internal/model",
+		"sessionproblem/internal/explore",
+		"sessionproblem/internal/engine",
+		"sessionproblem/internal/alg/periodic",
+	} {
+		if !lint.IsDeterministicPkg(path) {
+			t.Errorf("%s should be in the deterministic set", path)
+		}
+	}
+	for _, path := range []string{
+		"sessionproblem",
+		"sessionproblem/internal/harness",
+		"sessionproblem/internal/lint",
+		"sessionproblem/cmd/sessiontable",
+	} {
+		if lint.IsDeterministicPkg(path) {
+			t.Errorf("%s should not be in the deterministic set", path)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package linttest runs a lint analyzer over a fixture directory and
+// checks its diagnostics against expectations embedded in the fixtures,
+// in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m {
+//		fmt.Println(k) // want `fmt call inside map iteration`
+//	}
+//
+// Every `// want` comment must be matched by a diagnostic on its line, and
+// every diagnostic must match a `// want` on its line. Several backquoted
+// regular expressions may follow one `// want`.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"sessionproblem/internal/lint"
+)
+
+// wantRE matches one backquoted or double-quoted pattern.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads dir's fixture files as a package with import path pkgPath,
+// applies the analyzer, and reports expectation mismatches on t. The
+// import path is how a fixture opts in to a path-predicated analyzer
+// (nodeterm's deterministic set, facadeonly's examples tree, panicmsg's
+// internal tree).
+func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(files)
+	pkg, err := lint.LoadFiles("", pkgPath, files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Check(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := indexWant(text)
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx:], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// indexWant returns the offset of a "// want" marker in a comment, or -1.
+func indexWant(text string) int {
+	for i := 0; i+7 <= len(text); i++ {
+		if text[i:i+7] == "// want" || (i == 0 && len(text) >= 7 && text[:7] == "//want ") {
+			return i + 7
+		}
+	}
+	return -1
+}
+
+// RunClean asserts the analyzer produces no diagnostics over dir (used for
+// negative fixtures that deliberately carry no want comments).
+func RunClean(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	pkg, err := lint.LoadFiles("", pkgPath, files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Check(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

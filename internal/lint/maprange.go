@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maprange flags `for range` loops over maps whose iteration order can
+// escape into observable output. Go randomizes map iteration order, so a
+// map-ordered append, print, channel send or string build makes results
+// differ run to run — exactly the nondeterminism the simulator's
+// byte-identical-output guarantee forbids. Appending keys in order to sort
+// them afterwards is the sanctioned fix and is recognized: an append whose
+// target is later passed to a sort.* or slices.* call is not reported.
+var Maprange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iterations whose nondeterministic order escapes into output",
+	Run:  runMaprange,
+}
+
+func runMaprange(pass *Pass) error {
+	for _, f := range pass.Files {
+		// funcStack tracks enclosing function bodies so an escape can be
+		// checked for a downstream sort in the same function.
+		var funcStack []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				funcStack = append(funcStack, n.Body)
+				ast.Inspect(n.Body, walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.FuncLit:
+				funcStack = append(funcStack, n.Body)
+				ast.Inspect(n.Body, walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				var encl *ast.BlockStmt
+				if len(funcStack) > 0 {
+					encl = funcStack[len(funcStack)-1]
+				}
+				checkMapRange(pass, n, encl)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// checkMapRange reports order escapes from one map-range loop.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, encl *ast.BlockStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration leaks nondeterministic order; collect and sort keys first")
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if obj := rootObject(pass.TypesInfo, n.Lhs[0]); obj != nil && declaredOutside(obj, rng) && isStringType(obj.Type()) {
+					pass.Reportf(n.Pos(), "string built in map iteration order; collect and sort keys first")
+				}
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, n, rng, encl)
+		}
+		return true
+	})
+}
+
+// checkMapRangeCall reports a single call expression inside a map-range
+// body when it lets the iteration order escape.
+func checkMapRangeCall(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt, encl *ast.BlockStmt) {
+	// Print-family calls emit in iteration order.
+	if pkgPath, _ := pkgFunc(pass.TypesInfo, call.Fun); pkgPath == "fmt" {
+		pass.Reportf(call.Pos(), "fmt call inside map iteration emits nondeterministic order; collect and sort keys first")
+		return
+	}
+	// Appends to a variable from outside the loop build an order-dependent
+	// slice — unless that slice is sorted afterwards.
+	if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) > 0 {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+			obj := rootObject(pass.TypesInfo, call.Args[0])
+			if obj != nil && declaredOutside(obj, rng) && !sortedAfter(pass, encl, rng, obj) {
+				pass.Reportf(call.Pos(), "append to %s in map iteration order with no later sort; sort it before it escapes", obj.Name())
+			}
+			return
+		}
+	}
+	// Builder/buffer writes emit in iteration order.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "WriteString", "WriteByte", "WriteRune", "Write":
+			if obj := rootObject(pass.TypesInfo, sel.X); obj != nil && declaredOutside(obj, rng) && isBuilderType(obj.Type()) {
+				pass.Reportf(call.Pos(), "%s.%s inside map iteration builds nondeterministic output; collect and sort keys first", obj.Name(), sel.Sel.Name)
+			}
+		}
+	}
+}
+
+// rootObject resolves expr to the object of its base identifier (x, x.f,
+// x[i], &x, *x all resolve to x).
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return info.Uses[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration is outside the range
+// statement, i.e. the value survives the loop.
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.* call
+// after the loop, inside the enclosing function body.
+func sortedAfter(pass *Pass, encl *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		pkgPath, _ := pkgFunc(pass.TypesInfo, call.Fun)
+		if pkgPath != "sort" && pkgPath != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(pass.TypesInfo, arg) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isBuilderType matches strings.Builder and bytes.Buffer (possibly behind a
+// pointer).
+func isBuilderType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Nodeterm forbids nondeterminism sources inside the deterministic
+// simulator packages. Table 1 results must be byte-identical across seeds
+// and parallelism levels, so simulator code may not consult the wall clock
+// (time.Now, time.Since, time.Sleep, timers), global randomness (math/rand,
+// math/rand/v2 — internal/sim.RNG exists precisely so that schedules are
+// reproducible across Go versions), or the environment (os.Getenv and
+// friends). The engine's wall-clock accounting is the sanctioned exception,
+// waived line by line with //lint:allow nodeterm.
+var Nodeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid wall-clock, global randomness and environment reads in deterministic packages",
+	Run:  runNodeterm,
+}
+
+// deterministicPkgs are the exact import paths of the packages whose
+// behavior must be a pure function of their inputs.
+var deterministicPkgs = map[string]bool{
+	"sessionproblem/internal/sim":       true,
+	"sessionproblem/internal/sm":        true,
+	"sessionproblem/internal/mp":        true,
+	"sessionproblem/internal/timing":    true,
+	"sessionproblem/internal/core":      true,
+	"sessionproblem/internal/adversary": true,
+	"sessionproblem/internal/model":     true,
+	"sessionproblem/internal/explore":   true,
+	"sessionproblem/internal/engine":    true,
+}
+
+// deterministicPrefixes extends the set to whole subtrees (every session
+// algorithm).
+var deterministicPrefixes = []string{
+	"sessionproblem/internal/alg/",
+}
+
+// IsDeterministicPkg reports whether the package at path is in the
+// deterministic set nodeterm polices.
+func IsDeterministicPkg(path string) bool {
+	if deterministicPkgs[path] {
+		return true
+	}
+	for _, p := range deterministicPrefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// forbiddenFuncs maps package path to the selectors nodeterm rejects.
+var forbiddenFuncs = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+	},
+}
+
+// forbiddenImports are rejected wholesale.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use internal/sim.RNG so schedules stay reproducible",
+	"math/rand/v2": "use internal/sim.RNG so schedules stay reproducible",
+}
+
+func runNodeterm(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if why, ok := forbiddenImports[path]; ok {
+				pass.Reportf(spec.Pos(), "import of %s in deterministic package %s: %s", path, pass.Pkg.Path(), why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := pkgFunc(pass.TypesInfo, expr)
+			if pkgPath == "" {
+				return true
+			}
+			if funcs, ok := forbiddenFuncs[pkgPath]; ok && funcs[name] {
+				pass.Reportf(n.Pos(), "%s.%s in deterministic package %s: simulator results must not depend on wall-clock time or the environment", pkgPath, name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Panicmsg enforces the internal packages' panic convention (established in
+// bounds, stats and sim): a panic carries a constant string prefixed with
+// the package name, "pkg: message", so a stack-trace-free report still says
+// which invariant broke and where. Accepted forms are a constant string, a
+// fmt.Sprintf whose format string is such a constant, and a string
+// concatenation whose leftmost operand is such a constant.
+var Panicmsg = &Analyzer{
+	Name: "panicmsg",
+	Doc:  `panics in internal packages must carry a "pkg: message"-prefixed constant string`,
+	Run:  runPanicmsg,
+}
+
+func runPanicmsg(pass *Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "/internal/") {
+		return nil
+	}
+	prefix := pass.Pkg.Name() + ": "
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			if !panicMsgOK(pass.TypesInfo, call.Args[0], prefix) {
+				pass.Reportf(call.Pos(), "panic message must be a constant string prefixed %q (got %s)", prefix, typeOf(pass.TypesInfo, call.Args[0]))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// panicMsgOK reports whether arg is one of the accepted panic-message
+// forms for the given "pkg: " prefix.
+func panicMsgOK(info *types.Info, arg ast.Expr, prefix string) bool {
+	if hasConstPrefix(info, arg, prefix) {
+		return true
+	}
+	switch e := arg.(type) {
+	case *ast.CallExpr:
+		// fmt.Sprintf("pkg: ...", args...) and fmt.Errorf alike.
+		if pkgPath, name := pkgFunc(info, e.Fun); pkgPath == "fmt" && (name == "Sprintf" || name == "Errorf") && len(e.Args) > 0 {
+			return hasConstPrefix(info, e.Args[0], prefix)
+		}
+	case *ast.BinaryExpr:
+		// "pkg: ...: " + err.Error() — check the leftmost operand.
+		if e.Op == token.ADD {
+			left := ast.Expr(e)
+			for {
+				b, ok := left.(*ast.BinaryExpr)
+				if !ok {
+					break
+				}
+				left = b.X
+			}
+			return hasConstPrefix(info, left, prefix)
+		}
+	}
+	return false
+}
+
+// hasConstPrefix reports whether expr is a compile-time string constant
+// starting with prefix.
+func hasConstPrefix(info *types.Info, expr ast.Expr, prefix string) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+}
+
+// typeOf renders expr's type for the diagnostic, or "non-constant
+// expression" when unknown.
+func typeOf(info *types.Info, expr ast.Expr) string {
+	if tv, ok := info.Types[expr]; ok && tv.Type != nil {
+		if tv.Value != nil {
+			return "constant without the prefix"
+		}
+		return "non-constant " + tv.Type.String()
+	}
+	return "non-constant expression"
+}

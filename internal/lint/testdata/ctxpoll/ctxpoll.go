@@ -1,0 +1,83 @@
+// Fixture for ctxpoll: potentially unbounded loops in context-aware
+// functions must reference the context; counted and range loops are exempt.
+package ctxpollfixture
+
+import "context"
+
+func unpolled(ctx context.Context, work func() bool) {
+	for work() { // want `potentially unbounded loop in a context-aware function never polls the context`
+	}
+}
+
+func polled(ctx context.Context, work func() bool) error {
+	for work() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func infinite(ctx context.Context, work func()) {
+	for { // want `never polls the context`
+		work()
+	}
+}
+
+func selectLoop(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+func delegated(ctx context.Context, step func(context.Context) bool) {
+	for step(ctx) {
+	}
+}
+
+func derivedContext(ctx context.Context, work func() bool) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for work() {
+		if sub.Err() != nil {
+			return
+		}
+	}
+}
+
+func counted(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func ranged(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func noContext(work func() bool) {
+	for work() {
+	}
+}
+
+func nestedLiteral(ctx context.Context, work func() bool) func() {
+	return func() {
+		for work() { // want `never polls the context`
+		}
+	}
+}
+
+func waived(ctx context.Context, work func() bool) {
+	for work() { //lint:allow ctxpoll fixture: provably tiny loop
+	}
+}

@@ -1,0 +1,13 @@
+// Fixture loaded as sessionproblem/cmd/demofixture: first-party commands
+// may use internal packages; facadeonly only polices examples.
+package main
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/sim"
+)
+
+func main() {
+	fmt.Println(sim.NewRNG(1).Uint64())
+}

@@ -1,0 +1,13 @@
+// Fixture loaded as sessionproblem/examples/demofixture: examples must use
+// the public facade, never the internal packages.
+package main
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/sim" // want `example imports sessionproblem/internal/sim`
+)
+
+func main() {
+	fmt.Println(sim.NewRNG(1).Uint64())
+}

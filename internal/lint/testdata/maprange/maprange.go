@@ -1,0 +1,85 @@
+// Fixture for maprange: iteration order escaping into output is diagnosed;
+// lookup-only iteration and the collect-sort-emit idiom are not.
+package maprangefixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func printEscape(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt call inside map iteration`
+	}
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map iteration order with no later sort`
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sendEscape(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+func builderEscape(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `sb\.WriteString inside map iteration`
+	}
+	return sb.String()
+}
+
+func concatEscape(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string built in map iteration order`
+	}
+	return out
+}
+
+func lookupOnly(a, b map[string]int) bool {
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func localOnly(m map[string]int) {
+	for k := range m {
+		var tmp []string
+		tmp = append(tmp, k)
+		_ = tmp
+	}
+}
+
+func sliceRange(xs []string, ch chan<- string) {
+	for _, x := range xs {
+		ch <- x
+	}
+}
+
+func waived(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow maprange fixture: order genuinely irrelevant
+	}
+	return keys
+}

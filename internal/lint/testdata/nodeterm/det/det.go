@@ -1,0 +1,28 @@
+// Fixture loaded as sessionproblem/internal/alg/detfixture: inside the
+// deterministic set, so every nondeterminism source must be diagnosed.
+package detfixture
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"os"
+	"time"
+)
+
+func now() time.Time { return time.Now() } // want `time\.Now in deterministic package`
+
+func sleepy() { time.Sleep(time.Millisecond) } // want `time\.Sleep in deterministic package`
+
+func since(t time.Time) time.Duration { return time.Since(t) } // want `time\.Since in deterministic package`
+
+func envy() string { return os.Getenv("SESSION_DEBUG") } // want `os\.Getenv in deterministic package`
+
+func random() int { return rand.Int() }
+
+// Types from the time package are fine; only the wall-clock entry points
+// are banned.
+func scaled(d time.Duration) time.Duration { return 2 * d }
+
+func waived() time.Time { return time.Now() } //lint:allow nodeterm fixture: sanctioned wall-clock stats
+
+//lint:allow nodeterm fixture: directive on the line above also waives
+func waivedAbove() time.Time { return time.Now() }

@@ -1,0 +1,13 @@
+// Fixture loaded as sessionproblem/cmd/freefixture: outside the
+// deterministic set, wall-clock use is legitimate (progress reporting,
+// benchmarks) and nothing is diagnosed.
+package freefixture
+
+import (
+	"os"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+func envy() string { return os.Getenv("SESSION_DEBUG") }

@@ -1,0 +1,7 @@
+// Fixture loaded as sessionproblem/extfixture: the panic convention only
+// applies under internal/.
+package extfixture
+
+import "errors"
+
+func anyPanic() { panic(errors.New("whatever")) }

@@ -1,0 +1,32 @@
+// Fixture loaded as sessionproblem/internal/pm: panics must carry a
+// constant "pm: ..." message in one of the accepted forms.
+package pm
+
+import (
+	"errors"
+	"fmt"
+)
+
+const msgBadState = "pm: bad state"
+
+func constLiteral() { panic("pm: boom") }
+
+func constNamed() { panic(msgBadState) }
+
+func constConcat(err error) { panic("pm: wrap: " + err.Error()) }
+
+func sprintfForm(n int) { panic(fmt.Sprintf("pm: n = %d", n)) }
+
+func errorfForm(n int) { panic(fmt.Errorf("pm: n = %d", n)) }
+
+func wrongPrefix() { panic("boom") } // want `panic message must be a constant string prefixed "pm: "`
+
+func rawError(err error) { panic(err) } // want `panic message must be a constant string prefixed`
+
+func nonConstant() { panic(errors.New("pm: built at runtime")) } // want `panic message must be`
+
+func notAString() { panic(42) } // want `panic message must be`
+
+func concatWrongSide(err error) { panic(err.Error() + "pm: suffix") } // want `panic message must be`
+
+func waived(err error) { panic(err) } //lint:allow panicmsg fixture: legacy re-panic

@@ -105,6 +105,17 @@ func (g *Graph) Diameter() int {
 // Degree returns the number of neighbors of v.
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 
+// mustNew builds a graph whose construction cannot fail for the fixed
+// topologies below; a failure means a broken invariant, reported with the
+// package panic convention.
+func mustNew(n int, edges [][2]int) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic("topo: impossible construction: " + err.Error())
+	}
+	return g
+}
+
 // Complete returns the complete graph K_n (diameter 1).
 func Complete(n int) *Graph {
 	var edges [][2]int
@@ -113,11 +124,7 @@ func Complete(n int) *Graph {
 			edges = append(edges, [2]int{i, j})
 		}
 	}
-	g, err := New(n, edges)
-	if err != nil {
-		panic(err) // construction is total for n >= 1
-	}
-	return g
+	return mustNew(n, edges) // construction is total for n >= 1
 }
 
 // Ring returns the cycle C_n (diameter floor(n/2)); for n <= 2 it
@@ -130,11 +137,7 @@ func Ring(n int) *Graph {
 			edges = append(edges, [2]int{i, j})
 		}
 	}
-	g, err := New(n, edges)
-	if err != nil {
-		panic(err)
-	}
-	return g
+	return mustNew(n, edges)
 }
 
 // Line returns the path P_n (diameter n-1).
@@ -143,11 +146,7 @@ func Line(n int) *Graph {
 	for i := 0; i+1 < n; i++ {
 		edges = append(edges, [2]int{i, i + 1})
 	}
-	g, err := New(n, edges)
-	if err != nil {
-		panic(err)
-	}
-	return g
+	return mustNew(n, edges)
 }
 
 // Star returns the star S_n with center 0 (diameter 2 for n >= 3).
@@ -156,11 +155,7 @@ func Star(n int) *Graph {
 	for i := 1; i < n; i++ {
 		edges = append(edges, [2]int{0, i})
 	}
-	g, err := New(n, edges)
-	if err != nil {
-		panic(err)
-	}
-	return g
+	return mustNew(n, edges)
 }
 
 // GapScheduler is the step-gap side a HopScheduler delegates to.

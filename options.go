@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"sessionproblem/internal/core"
 	"sessionproblem/internal/engine"
 	"sessionproblem/internal/harness"
 	"sessionproblem/internal/sim"
@@ -67,6 +68,15 @@ type settings struct {
 	sweepSteps   int
 	maxSessions  int
 	periodMaxima []sim.Duration
+
+	gapCap sim.Duration
+	gamma  sim.Duration
+
+	exhaustiveGaps   []sim.Duration
+	exhaustiveDelays []sim.Duration
+
+	smAlg core.SMAlgorithm
+	mpAlg core.MPAlgorithm
 }
 
 func newSettings(opts []Option) settings {
@@ -227,4 +237,53 @@ func WithPeriodMaxima(cmaxs ...Ticks) Option {
 			cfg.periodMaxima[i] = sim.Duration(c)
 		}
 	}
+}
+
+// WithGapCap bounds the step gaps schedulers draw under the models with
+// unbounded gaps (sporadic, asynchronous shared memory). Zero keeps the
+// model's default cap.
+func WithGapCap(cap Ticks) Option {
+	return func(cfg *settings) { cfg.gapCap = sim.Duration(cap) }
+}
+
+// WithGamma supplies γ, the largest step time of a concrete computation,
+// to PaperEnvelope's sporadic message-passing upper bound (the sporadic
+// model has no a-priori c2; Solve reports γ as Report.Gamma).
+func WithGamma(gamma Ticks) Option {
+	return func(cfg *settings) { cfg.gamma = sim.Duration(gamma) }
+}
+
+// WithExhaustiveGaps enables ValidateSM/ValidateMP's exhaustive pass,
+// model-checking every schedule built from these step-gap choices. Keep
+// the problem instance tiny: the schedule space is exponential.
+func WithExhaustiveGaps(gaps ...Ticks) Option {
+	return func(cfg *settings) {
+		cfg.exhaustiveGaps = make([]sim.Duration, len(gaps))
+		for i, g := range gaps {
+			cfg.exhaustiveGaps[i] = sim.Duration(g)
+		}
+	}
+}
+
+// WithExhaustiveDelays sets the message-delay choices of ValidateMP's
+// exhaustive pass (must match WithExhaustiveGaps in cardinality).
+func WithExhaustiveDelays(delays ...Ticks) Option {
+	return func(cfg *settings) {
+		cfg.exhaustiveDelays = make([]sim.Duration, len(delays))
+		for i, d := range delays {
+			cfg.exhaustiveDelays[i] = sim.Duration(d)
+		}
+	}
+}
+
+// WithSMAlgorithm makes Solve run the given shared-memory algorithm
+// instead of the model's designated built-in one.
+func WithSMAlgorithm(alg SMAlgorithm) Option {
+	return func(cfg *settings) { cfg.smAlg = alg }
+}
+
+// WithMPAlgorithm makes Solve run the given message-passing algorithm
+// instead of the model's designated built-in one.
+func WithMPAlgorithm(alg MPAlgorithm) Option {
+	return func(cfg *settings) { cfg.mpAlg = alg }
 }

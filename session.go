@@ -11,6 +11,7 @@ import (
 	"sessionproblem/internal/harness"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
+	"sessionproblem/internal/trace"
 )
 
 // TableCell is one Table-1 cell: a (timing model, communication model)
@@ -163,6 +164,13 @@ const (
 	// SweepPeriodicVsSporadic (F3): periodic versus sporadic running time
 	// as the period maximum cmax grows.
 	SweepPeriodicVsSporadic
+	// SweepNetworkDiameter (F5): the asynchronous algorithm over concrete
+	// point-to-point topologies (complete, star, ring, line) with per-hop
+	// delays bounded by d2 (WithDelayBounds), demonstrating the paper's
+	// conversion of [4]'s diameter factor into d2. Points carry X =
+	// diameter, Label = topology name, and the abstract Table-1 upper bound
+	// evaluated at d2 := diameter * hop-delay.
+	SweepNetworkDiameter
 )
 
 // SweepPoint is one x/y observation of a sweep, with the paper-predicted
@@ -191,6 +199,23 @@ func Sweep(ctx context.Context, kind SweepKind, opts ...Option) (*SweepResult, e
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	eng := cfg.engine()
+
+	if kind == SweepNetworkDiameter {
+		pts, err := harness.SweepDiameter(cfg.s, cfg.n, cfg.c2, cfg.d2, cfg.seeds)
+		if err != nil {
+			return nil, err
+		}
+		res := &SweepResult{Stats: statsOf(eng)}
+		for _, p := range pts {
+			res.Points = append(res.Points, SweepPoint{
+				X:          float64(p.Diameter),
+				Label:      p.Topology,
+				Measured:   p.Measured,
+				PaperUpper: p.PaperUpper,
+			})
+		}
+		return res, nil
+	}
 
 	spec := harness.SweepSpec{
 		S: cfg.s, N: cfg.n,
@@ -239,6 +264,30 @@ type Report struct {
 	// counts broadcasts (message passing only).
 	Steps    int
 	Messages int
+	// Gamma is the largest step time any process took — the per-computation
+	// parameter γ of the sporadic analysis (feed it back to PaperEnvelope
+	// via WithGamma).
+	Gamma Ticks
+	// Spans is the greedy disjoint-session decomposition: one entry per
+	// achieved session, with its completion boundaries.
+	Spans []SessionSpan
+}
+
+// SessionSpan is one disjoint session of a computation.
+type SessionSpan struct {
+	// Index is the 1-based session number.
+	Index int
+	// Start and End are the times of the fragment's first step and of the
+	// step completing the session.
+	Start, End Ticks
+}
+
+func spansOf(rep *core.Report) []SessionSpan {
+	var out []SessionSpan
+	for _, sp := range trace.Sessions(rep.Trace) {
+		out = append(out, SessionSpan{Index: sp.Index, Start: Ticks(sp.Start), End: Ticks(sp.End)})
+	}
+	return out
 }
 
 // Model names a timing model for Solve.
@@ -279,12 +328,12 @@ func (s settings) timingModel(m Model, comm Comm) (timing.Model, error) {
 		if !mp {
 			return timing.Model{}, fmt.Errorf("sessionproblem: the sporadic SM model equals the asynchronous SM model; use Asynchronous")
 		}
-		return timing.NewSporadic(s.c1, s.d1, s.d2, 0), nil
+		return timing.NewSporadic(s.c1, s.d1, s.d2, s.gapCap), nil
 	case Asynchronous:
 		if mp {
 			return timing.NewAsynchronousMP(s.c2, s.d2), nil
 		}
-		return timing.NewAsynchronousSM(0), nil
+		return timing.NewAsynchronousSM(s.gapCap), nil
 	default:
 		return timing.Model{}, fmt.Errorf("sessionproblem: unknown model %q", m)
 	}
@@ -310,9 +359,11 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 	var rep *core.Report
 	switch comm {
 	case SharedMemory:
-		alg, err := registry.ForSM(tm.Kind)
-		if err != nil {
-			return nil, err
+		alg := cfg.smAlg
+		if alg == nil {
+			if alg, err = registry.ForSM(tm.Kind); err != nil {
+				return nil, err
+			}
 		}
 		spec := core.Spec{S: cfg.s, N: cfg.n, B: cfg.b}
 		rep, err = core.RunSMContext(ctx, alg, spec, tm, st, cfg.seed)
@@ -320,9 +371,11 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 			return nil, err
 		}
 	case MessagePassing:
-		alg, err := registry.ForMP(tm.Kind)
-		if err != nil {
-			return nil, err
+		alg := cfg.mpAlg
+		if alg == nil {
+			if alg, err = registry.ForMP(tm.Kind); err != nil {
+				return nil, err
+			}
 		}
 		spec := core.Spec{S: cfg.s, N: cfg.n}
 		rep, err = core.RunMPContext(ctx, alg, spec, tm, st, cfg.seed)
@@ -340,5 +393,7 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 		Rounds:    rep.Rounds,
 		Steps:     rep.Steps(),
 		Messages:  rep.Messages,
+		Gamma:     Ticks(rep.Gamma),
+		Spans:     spansOf(rep),
 	}, nil
 }
