@@ -10,6 +10,7 @@
 package sessionproblem_test
 
 import (
+	"context"
 	"testing"
 
 	"sessionproblem/internal/adversary"
@@ -21,6 +22,7 @@ import (
 	"sessionproblem/internal/causal"
 	"sessionproblem/internal/core"
 	"sessionproblem/internal/explore"
+	"sessionproblem/internal/fault"
 	"sessionproblem/internal/harness"
 	"sessionproblem/internal/mp"
 	"sessionproblem/internal/search"
@@ -334,6 +336,44 @@ func BenchmarkSMExecutorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(len(rep.Trace.Steps)))
+	}
+}
+
+// BenchmarkFaultInjectionOverhead backs the zero-cost claim of the fault
+// layer: the plain path, the fault-aware runner with a nil injector (one nil
+// check per step and per send), and a wired-in zero-intensity plan injector
+// should all run the same workload at indistinguishable cost.
+func BenchmarkFaultInjectionOverhead(b *testing.B) {
+	m := timing.NewSemiSynchronous(benchCfg.C1, benchCfg.C2, benchCfg.D2)
+	spec := core.Spec{S: benchCfg.S, N: benchCfg.N}
+	alg := semisync.NewMP(semisync.Auto)
+	variants := []struct {
+		name string
+		run  func(seed uint64) error
+	}{
+		{"plain", func(seed uint64) error {
+			_, err := core.RunMP(alg, spec, m, timing.Slow, seed)
+			return err
+		}},
+		{"nil-injector", func(seed uint64) error {
+			_, err := core.RunMPFaulted(context.Background(), alg, spec, m, timing.Slow, seed, core.FaultRun{})
+			return err
+		}},
+		{"zero-intensity", func(seed uint64) error {
+			plan := fault.NewPlan(1, 0).ScaledTo(m)
+			_, err := core.RunMPFaulted(context.Background(), alg, spec, m, timing.Slow, seed,
+				core.FaultRun{Injector: plan.Injector()})
+			return err
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := v.run(uint64(i) + 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmall(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-s", "2", "-n", "2", "-seeds", "1",
+		"-intensities", "0,0.4", "-maxsteps", "20000"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MARGIN") || !strings.Contains(out, "semi-synchronous") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if strings.Contains(out, "SILENT") {
+		t.Fatalf("silent wrong answers in output:\n%s", out)
+	}
+}
+
+// The table must be byte-identical at any parallelism: fault-plan seeds are
+// keyed by run-matrix index, never by worker scheduling.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	render := func(par string) string {
+		var buf bytes.Buffer
+		err := run([]string{"-s", "2", "-n", "2", "-seeds", "2",
+			"-intensities", "0,0.2", "-maxsteps", "20000",
+			"-models", "semi-synchronous,sporadic",
+			"-parallelism", par}, &buf)
+		if err != nil {
+			t.Fatalf("run -parallelism %s: %v", par, err)
+		}
+		return buf.String()
+	}
+	if p1, pn := render("1"), render("8"); p1 != pn {
+		t.Fatalf("output differs by parallelism:\n--- p=1\n%s\n--- p=8\n%s", p1, pn)
+	}
+}
+
+func TestRunRestrictedKinds(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-s", "2", "-n", "2", "-seeds", "1",
+		"-intensities", "0,0.5", "-kinds", "message-drop,late-delivery",
+		"-models", "synchronous", "-maxsteps", "20000"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-intensities", "2.0"}, &buf); err == nil {
+		t.Error("out-of-range intensity accepted")
+	}
+	if err := run([]string{"-intensities", "nope"}, &buf); err == nil {
+		t.Error("unparsable intensity accepted")
+	}
+	if err := run([]string{"-kinds", "gamma-ray"}, &buf); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+	if err := run([]string{"-models", "quantum"}, &buf); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

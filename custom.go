@@ -6,6 +6,7 @@ import (
 	"sessionproblem/internal/bounds"
 	"sessionproblem/internal/check"
 	"sessionproblem/internal/core"
+	"sessionproblem/internal/fault"
 	"sessionproblem/internal/model"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/sm"
@@ -90,6 +91,37 @@ func NewAsynchronousSMModel(gapCap Ticks) TimingModel {
 func NewAsynchronousMPModel(c2, d2 Ticks) TimingModel {
 	return timing.NewAsynchronousMP(sim.Duration(c2), sim.Duration(d2))
 }
+
+// FaultPlan is a deterministic fault-injection plan: a seed, an intensity
+// (per-injection-point probability) and the fault kinds to draw from. Build
+// one with NewFaultPlan and pass it to Solve via WithFaultPlan.
+type FaultPlan = fault.Plan
+
+// FaultKind identifies one injectable fault class.
+type FaultKind = fault.Kind
+
+// The injectable fault kinds. Step faults (crash, overrun, stale read)
+// apply to both communication models; message faults (drop, duplicate,
+// late delivery) apply to message passing only. Stale reads apply to
+// shared memory only.
+const (
+	FaultCrash            = fault.Crash
+	FaultStepOverrun      = fault.StepOverrun
+	FaultStaleRead        = fault.StaleRead
+	FaultMessageDrop      = fault.MessageDrop
+	FaultMessageDuplicate = fault.MessageDuplicate
+	FaultLateDelivery     = fault.LateDelivery
+)
+
+// NewFaultPlan returns a fault plan with the given seed and intensity,
+// restricted to the given kinds (none means all). The same plan injects
+// the same faults into the same run, every time, at any parallelism.
+func NewFaultPlan(seed uint64, intensity float64, kinds ...FaultKind) FaultPlan {
+	return fault.NewPlan(seed, intensity, kinds...)
+}
+
+// AllFaultKinds lists every injectable fault kind.
+func AllFaultKinds() []FaultKind { return fault.AllKinds() }
 
 // Strategies lists the scheduling strategy names accepted by WithSchedule,
 // in the order the harness sweeps them.

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sessionproblem/internal/fault"
 	"sessionproblem/internal/model"
 	"sessionproblem/internal/mp"
 	"sessionproblem/internal/sim"
@@ -84,6 +85,14 @@ type Report struct {
 	Gamma sim.Duration
 	// Messages counts broadcasts (message-passing runs only).
 	Messages int
+
+	// Audit is the fault auditor's classification. Only the fault-aware
+	// runners (RunSMFaulted, RunMPFaulted) fill it; it is zero for the
+	// plain verified paths, which fail hard on inadmissibility instead.
+	Audit fault.Audit
+	// Faults lists the injected faults the executor applied, in execution
+	// order. Nil for fault-free runs.
+	Faults []fault.Event
 }
 
 // ErrTooFewSessions is wrapped by verification failures where the

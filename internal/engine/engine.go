@@ -40,6 +40,8 @@ type Counts struct {
 	Sessions int
 	// Messages is the number of broadcasts (message-passing runs).
 	Messages int
+	// Faults is the number of injected faults applied during the run.
+	Faults int
 }
 
 // Accountable lets task return values feed simulator counts into the
@@ -289,6 +291,7 @@ func (e *Engine) record(r Result) {
 	e.stats.Counts.Steps += r.Counts.Steps
 	e.stats.Counts.Sessions += r.Counts.Sessions
 	e.stats.Counts.Messages += r.Counts.Messages
+	e.stats.Counts.Faults += r.Counts.Faults
 }
 
 // Map runs f over indices 0..n-1 on the engine and returns the typed,

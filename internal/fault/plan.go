@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// Plan is a seeded, fully deterministic fault schedule. A Plan is a value:
+// copies are independent, and Injector() mints a fresh stateful injector per
+// run, so the same plan wired into runs executing in parallel yields
+// byte-identical outcomes at any parallelism level.
+type Plan struct {
+	// Seed seeds the plan's private sim.RNG stream.
+	Seed uint64
+	// Intensity is the probability in [0, 1] that any single injection
+	// point (a process step, or a message-destination pair) is struck.
+	// Intensity 0 disables injection entirely: no RNG draws, zero effects,
+	// byte-identical computations to the fault-free path.
+	Intensity float64
+	// Kinds restricts which fault classes the plan may inject. Empty means
+	// all of AllKinds().
+	Kinds []Kind
+	// StepScale is the magnitude unit for step faults: overruns postpone by
+	// at least StepScale+1 so the gap provably exceeds a finite c2. Zero
+	// means derive from the model via ScaledTo, or a default of 8.
+	StepScale sim.Duration
+	// DelayScale is the magnitude unit for delivery faults: late deliveries
+	// add at least DelayScale+1 so the delay provably exceeds d2. Zero means
+	// derive from the model via ScaledTo, or a default of 8.
+	DelayScale sim.Duration
+	// MaxFaults caps the number of faults injected per run; 0 is unlimited.
+	MaxFaults int
+}
+
+// NewPlan builds a plan striking each injection point with probability
+// intensity, restricted to the given kinds (all kinds when none are given).
+func NewPlan(seed uint64, intensity float64, kinds ...Kind) Plan {
+	return Plan{Seed: seed, Intensity: intensity, Kinds: kinds}
+}
+
+// WithIntensity returns a copy of the plan at a different intensity; the
+// robustness sweep uses it to rescale one plan across a whole intensity axis.
+func (p Plan) WithIntensity(x float64) Plan {
+	p.Intensity = x
+	return p
+}
+
+// WithSeed returns a copy of the plan with a different RNG seed.
+func (p Plan) WithSeed(seed uint64) Plan {
+	p.Seed = seed
+	return p
+}
+
+// WithMaxFaults returns a copy of the plan injecting at most n faults.
+func (p Plan) WithMaxFaults(n int) Plan {
+	p.MaxFaults = n
+	return p
+}
+
+// ScaledTo fills zero magnitude scales from the timing model's own bounds:
+// StepScale from c2 (or the scheduler gap cap when c2 is unbounded) and
+// DelayScale from d2, so injected overruns and late deliveries land strictly
+// beyond the bounds they are meant to violate.
+func (p Plan) ScaledTo(m timing.Model) Plan {
+	if p.StepScale == 0 {
+		s := m.C2
+		if s.IsInfinite() {
+			s = m.GapCap
+		}
+		if s <= 0 {
+			s = 8
+		}
+		p.StepScale = s
+	}
+	if p.DelayScale == 0 {
+		d := m.D2
+		if d <= 0 || d.IsInfinite() {
+			d = 8
+		}
+		p.DelayScale = d
+	}
+	return p
+}
+
+// Validate checks the plan's parameters.
+func (p Plan) Validate() error {
+	if p.Intensity < 0 || p.Intensity > 1 {
+		return fmt.Errorf("fault: intensity %v outside [0,1]", p.Intensity)
+	}
+	for _, k := range p.Kinds {
+		if k <= None || k > LateDelivery {
+			return fmt.Errorf("fault: unknown kind %v", k)
+		}
+	}
+	if p.MaxFaults < 0 {
+		return fmt.Errorf("fault: negative MaxFaults %d", p.MaxFaults)
+	}
+	return nil
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p Plan) Enabled() bool { return p.Intensity > 0 }
+
+// Injector mints a fresh injector for one run. Each call returns an
+// independent injector with its own RNG stream at the plan's seed, so
+// concurrent runs sharing a plan never share mutable state.
+func (p Plan) Injector() Injector {
+	pi := &planInjector{plan: p, rng: sim.NewRNG(p.Seed)}
+	kinds := p.Kinds
+	if len(kinds) == 0 {
+		kinds = AllKinds()
+	}
+	for _, k := range kinds {
+		switch k {
+		case Crash, StepOverrun, StaleRead:
+			pi.stepKinds = append(pi.stepKinds, k)
+		case MessageDrop, MessageDuplicate, LateDelivery:
+			pi.deliveryKinds = append(pi.deliveryKinds, k)
+		}
+	}
+	return pi
+}
+
+// planInjector is the stateful per-run realization of a Plan. Not safe for
+// concurrent use; the executors are single-goroutine per run.
+type planInjector struct {
+	plan          Plan
+	rng           *sim.RNG
+	stepKinds     []Kind
+	deliveryKinds []Kind
+	fired         int
+}
+
+func (pi *planInjector) stepScale() sim.Duration {
+	if pi.plan.StepScale > 0 {
+		return pi.plan.StepScale
+	}
+	return 8
+}
+
+func (pi *planInjector) delayScale() sim.Duration {
+	if pi.plan.DelayScale > 0 {
+		return pi.plan.DelayScale
+	}
+	return 8
+}
+
+// fire decides whether the next injection point is struck. Intensity 0
+// consumes no RNG values, keeping the plan's stream untouched.
+func (pi *planInjector) fire() bool {
+	if pi.plan.Intensity <= 0 {
+		return false
+	}
+	if pi.plan.MaxFaults > 0 && pi.fired >= pi.plan.MaxFaults {
+		return false
+	}
+	if pi.plan.Intensity < 1 && pi.rng.Float64() >= pi.plan.Intensity {
+		return false
+	}
+	pi.fired++
+	return true
+}
+
+func (pi *planInjector) StepEffect(proc int, at sim.Time) StepEffect {
+	if len(pi.stepKinds) == 0 || !pi.fire() {
+		return StepEffect{}
+	}
+	switch k := pi.stepKinds[pi.rng.Intn(len(pi.stepKinds))]; k {
+	case Crash:
+		if pi.rng.Intn(2) == 0 {
+			return StepEffect{Kind: Crash} // permanent: Restart zero
+		}
+		pause := (pi.stepScale() + pi.delayScale()) * sim.Duration(1+pi.rng.Intn(4))
+		return StepEffect{Kind: Crash, Restart: pause}
+	case StepOverrun:
+		// At least StepScale+1 extra on top of an admissible gap: with
+		// StepScale = c2 the resulting gap strictly exceeds any finite c2.
+		return StepEffect{Kind: StepOverrun, Delay: pi.stepScale()*sim.Duration(1+pi.rng.Intn(3)) + 1}
+	default: // StaleRead
+		return StepEffect{Kind: StaleRead}
+	}
+}
+
+func (pi *planInjector) DeliveryEffect(src, dst int, at sim.Time) DeliveryEffect {
+	if len(pi.deliveryKinds) == 0 || !pi.fire() {
+		return DeliveryEffect{}
+	}
+	switch k := pi.deliveryKinds[pi.rng.Intn(len(pi.deliveryKinds))]; k {
+	case MessageDrop:
+		return DeliveryEffect{Kind: MessageDrop}
+	case MessageDuplicate:
+		return DeliveryEffect{
+			Kind:           MessageDuplicate,
+			DuplicateDelay: sim.Duration(1 + pi.rng.Intn(int(pi.delayScale()))),
+		}
+	default: // LateDelivery
+		// At least DelayScale+1 extra on top of a drawn delay >= d1 >= 0:
+		// with DelayScale = d2 the total strictly exceeds d2.
+		return DeliveryEffect{Kind: LateDelivery, Delay: pi.delayScale()*sim.Duration(1+pi.rng.Intn(3)) + 1}
+	}
+}

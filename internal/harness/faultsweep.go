@@ -1,0 +1,308 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/semisync"
+	"sessionproblem/internal/alg/sporadic"
+	"sessionproblem/internal/alg/synchronous"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
+	"sessionproblem/internal/fault"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// FaultSweepConfig parameterizes a robustness sweep: every message-passing
+// model's algorithm runs under increasing fault intensity, and each run is
+// audited rather than pass/failed, yielding a per-model robustness margin.
+type FaultSweepConfig struct {
+	S int // sessions
+	N int // ports
+
+	C1, C2     sim.Duration // step bounds (C2 doubles as the synchronous step time)
+	Cmin, Cmax sim.Duration // periodic period range
+	D1, D2     sim.Duration // message delay bounds
+
+	Seeds int // scheduler seeds per strategy (default 3)
+
+	// Intensities is the swept fault-intensity axis, ascending. Default
+	// {0, 0.05, 0.1, 0.2, 0.4, 0.8}. Intensity 0 must always hold: it is
+	// the fault-free control.
+	Intensities []float64
+	// Kinds restricts the injected fault classes; empty means all.
+	Kinds []fault.Kind
+	// FaultSeed is the base seed for fault plans; each run derives its own
+	// plan seed from FaultSeed and its run-matrix index, so results are
+	// byte-identical at any parallelism. Default 1.
+	FaultSeed uint64
+	// MaxSteps caps each run's executor steps (faulted runs may not
+	// terminate). Default 200_000.
+	MaxSteps int
+
+	// Models selects a subset of the five MP model rows by name
+	// ("synchronous", "periodic", "semi-synchronous", "sporadic",
+	// "asynchronous"); empty means all five.
+	Models []string
+
+	// Parallelism is the worker-pool width; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Engine optionally supplies a shared execution engine, overriding
+	// Parallelism.
+	Engine *engine.Engine
+}
+
+func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
+	def := Default()
+	if c.S == 0 {
+		c.S = def.S
+	}
+	if c.N == 0 {
+		c.N = def.N
+	}
+	if c.C1 == 0 {
+		c.C1 = def.C1
+	}
+	if c.C2 == 0 {
+		c.C2 = def.C2
+	}
+	if c.Cmin == 0 {
+		c.Cmin = def.Cmin
+	}
+	if c.Cmax == 0 {
+		c.Cmax = def.Cmax
+	}
+	if c.D1 == 0 {
+		c.D1 = def.D1
+	}
+	if c.D2 == 0 {
+		c.D2 = def.D2
+	}
+	if c.Seeds == 0 {
+		c.Seeds = def.Seeds
+	}
+	if len(c.Intensities) == 0 {
+		c.Intensities = []float64{0, 0.05, 0.1, 0.2, 0.4, 0.8}
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = 1
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 200_000
+	}
+	return c
+}
+
+func (c FaultSweepConfig) engineOrNew() *engine.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return engine.New(engine.WithParallelism(c.Parallelism))
+}
+
+// FaultCell aggregates one (model, intensity) point of the sweep.
+type FaultCell struct {
+	// Intensity is the per-injection-point fault probability.
+	Intensity float64
+	// Runs is the matrix size at this point (strategies × seeds).
+	Runs int
+	// Admissible, Recovered and Broken partition the runs by audit verdict.
+	Admissible, Recovered, Broken int
+	// Silent counts broken runs with an empty violation list — wrong
+	// answers the auditor failed to explain. Must stay zero.
+	Silent int
+	// MinSessions is the fewest sessions any run achieved.
+	MinSessions int
+	// FaultsInjected totals the applied faults across runs.
+	FaultsInjected int
+}
+
+// Held reports whether the session guarantee survived every run at this
+// intensity (no broken verdicts).
+func (c FaultCell) Held() bool { return c.Broken == 0 }
+
+// FaultSweepRow is one model's robustness profile.
+type FaultSweepRow struct {
+	// Model and Algorithm identify the row.
+	Model     string
+	Algorithm string
+	// Margin is the robustness margin: the largest swept intensity such
+	// that the guarantee held at it and at every smaller swept intensity.
+	// -1 means the guarantee broke even at the lowest intensity.
+	Margin float64
+	// Cells are the per-intensity aggregates, in ascending intensity order.
+	Cells []FaultCell
+}
+
+// faultOutcome is one engine task's return: the audited report.
+type faultOutcome struct {
+	rep *core.Report
+}
+
+// Account feeds the run's simulator counts into engine.Stats.
+func (o faultOutcome) Account() engine.Counts {
+	return engine.Counts{
+		Steps:    o.rep.Steps(),
+		Sessions: o.rep.Sessions,
+		Messages: o.rep.Messages,
+		Faults:   len(o.rep.Faults),
+	}
+}
+
+// faultRowDef is one model row of the sweep (mirrors HierarchyCtx's defs).
+type faultRowDef struct {
+	name  string
+	alg   core.MPAlgorithm
+	model timing.Model
+}
+
+func faultSweepDefs(cfg FaultSweepConfig) ([]faultRowDef, error) {
+	all := []faultRowDef{
+		{"synchronous", synchronous.NewMP(), timing.NewSynchronous(cfg.C2, cfg.D2)},
+		{"periodic", periodic.NewMP(), timing.NewPeriodic(cfg.Cmin, cfg.Cmax, cfg.D2)},
+		{"semi-synchronous", semisync.NewMP(semisync.Auto), timing.NewSemiSynchronous(cfg.C1, cfg.C2, cfg.D2)},
+		{"sporadic", sporadic.NewMP(), timing.NewSporadic(cfg.C1, cfg.D1, cfg.D2, 0)},
+		{"asynchronous", async.NewMP(), timing.NewAsynchronousMP(cfg.C2, cfg.D2)},
+	}
+	if len(cfg.Models) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]faultRowDef, len(all))
+	for _, d := range all {
+		byName[d.name] = d
+	}
+	defs := make([]faultRowDef, 0, len(cfg.Models))
+	for _, name := range cfg.Models {
+		d, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown fault-sweep model %q", name)
+		}
+		defs = append(defs, d)
+	}
+	return defs, nil
+}
+
+// planSeed derives run i's fault-plan seed from the base seed: index-keyed,
+// so a run's faults depend only on its position in the matrix, never on
+// scheduling order.
+func planSeed(base uint64, i int) uint64 {
+	return base ^ (uint64(i)+1)*0x9e3779b97f4a7c15
+}
+
+// FaultSweep runs the robustness sweep: for every selected model row and
+// every intensity, the full strategies × seeds matrix executes under a
+// deterministic fault plan and is audited. The output is byte-identical at
+// any parallelism level.
+func FaultSweep(ctx context.Context, cfg FaultSweepConfig) ([]FaultSweepRow, error) {
+	cfg = cfg.withDefaults()
+	defs, err := faultSweepDefs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec := core.Spec{S: cfg.S, N: cfg.N}
+	sts := timing.AllStrategies()
+	perCell := len(sts) * cfg.Seeds
+	perRow := len(cfg.Intensities) * perCell
+	total := len(defs) * perRow
+
+	// decode maps a flat index to its matrix coordinates.
+	decode := func(i int) (d faultRowDef, intensity float64, st timing.Strategy, seed uint64) {
+		d = defs[i/perRow]
+		j := i % perRow
+		intensity = cfg.Intensities[j/perCell]
+		k := j % perCell
+		return d, intensity, sts[k/cfg.Seeds], uint64(k%cfg.Seeds) + 1
+	}
+
+	outs, err := engine.Map(ctx, cfg.engineOrNew(), total,
+		func(i int) string {
+			d, intensity, st, seed := decode(i)
+			return fmt.Sprintf("fault %s i=%.2f %v seed %d", d.name, intensity, st, seed)
+		},
+		func(ctx context.Context, i int) (faultOutcome, error) {
+			d, intensity, st, seed := decode(i)
+			plan := fault.NewPlan(planSeed(cfg.FaultSeed, i), intensity, cfg.Kinds...).ScaledTo(d.model)
+			rep, err := core.RunMPFaulted(ctx, d.alg, spec, d.model, st, seed,
+				core.FaultRun{Injector: plan.Injector(), MaxSteps: cfg.MaxSteps})
+			if err != nil {
+				return faultOutcome{}, fmt.Errorf("fault sweep %s i=%.2f: %w", d.name, intensity, err)
+			}
+			return faultOutcome{rep: rep}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]FaultSweepRow, len(defs))
+	for di, d := range defs {
+		row := FaultSweepRow{Model: d.name, Algorithm: d.alg.Name(), Margin: -1}
+		for ii, intensity := range cfg.Intensities {
+			cell := FaultCell{Intensity: intensity, Runs: perCell, MinSessions: -1}
+			base := di*perRow + ii*perCell
+			for k := 0; k < perCell; k++ {
+				rep := outs[base+k].rep
+				switch rep.Audit.Verdict {
+				case fault.VerdictAdmissible:
+					cell.Admissible++
+				case fault.VerdictRecovered:
+					cell.Recovered++
+				default:
+					cell.Broken++
+					if rep.Audit.Silent() {
+						cell.Silent++
+					}
+				}
+				if cell.MinSessions < 0 || rep.Sessions < cell.MinSessions {
+					cell.MinSessions = rep.Sessions
+				}
+				cell.FaultsInjected += len(rep.Faults)
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		// Margin: the longest all-held prefix of the ascending intensity
+		// axis — monotone by construction.
+		for _, cell := range row.Cells {
+			if !cell.Held() {
+				break
+			}
+			row.Margin = cell.Intensity
+		}
+		rows[di] = row
+	}
+	return rows, nil
+}
+
+// WriteFaultSweep renders the robustness table: one row per model, one
+// held/runs column per intensity, and the margin.
+func WriteFaultSweep(w io.Writer, rows []FaultSweepRow) error {
+	fmt.Fprintln(w, "# Robustness: held runs per fault intensity (held = session guarantee survived)")
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "MODEL\tALGORITHM\tMARGIN")
+	if len(rows) > 0 {
+		for _, c := range rows[0].Cells {
+			fmt.Fprintf(tw, "\ti=%.2f", c.Intensity)
+		}
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		if r.Margin < 0 {
+			fmt.Fprintf(tw, "%s\t%s\tnone", r.Model, r.Algorithm)
+		} else {
+			fmt.Fprintf(tw, "%s\t%s\t%.2f", r.Model, r.Algorithm, r.Margin)
+		}
+		for _, c := range r.Cells {
+			held := c.Admissible + c.Recovered
+			fmt.Fprintf(tw, "\t%d/%d", held, c.Runs)
+			if c.Silent > 0 {
+				fmt.Fprint(tw, " SILENT")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"sessionproblem/internal/engine"
+)
+
+// The acceptance property of the robustness sweep: the guarantee holds at
+// intensity 0 (the fault-free control is byte-identical to the plain path),
+// degrades somewhere past a threshold, and every broken run carries an
+// explanation — the silent quadrant stays empty.
+func TestFaultSweepMonotoneAcceptance(t *testing.T) {
+	rows, err := FaultSweep(context.Background(), FaultSweepConfig{
+		S: 2, N: 3, Seeds: 2,
+		Intensities: []float64{0, 0.9},
+		MaxSteps:    20_000,
+		Models:      []string{"semi-synchronous", "sporadic"},
+	})
+	if err != nil {
+		t.Fatalf("FaultSweep: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: got %d, want 2", len(rows))
+	}
+	for _, row := range rows {
+		ctrl := row.Cells[0]
+		if ctrl.Intensity != 0 || ctrl.Admissible != ctrl.Runs {
+			t.Errorf("%s: fault-free control not fully admissible: %+v", row.Model, ctrl)
+		}
+		hot := row.Cells[len(row.Cells)-1]
+		if hot.Broken == 0 {
+			t.Errorf("%s: guarantee survived intensity %.2f across all %d runs", row.Model, hot.Intensity, hot.Runs)
+		}
+		if row.Margin < 0 {
+			t.Errorf("%s: margin %v despite a clean control cell", row.Model, row.Margin)
+		}
+		for _, c := range row.Cells {
+			if c.Silent != 0 {
+				t.Errorf("%s i=%.2f: %d silent wrong answers", row.Model, c.Intensity, c.Silent)
+			}
+			if c.Admissible+c.Recovered+c.Broken != c.Runs {
+				t.Errorf("%s i=%.2f: verdicts don't partition the runs: %+v", row.Model, c.Intensity, c)
+			}
+		}
+	}
+}
+
+// The sweep must be byte-identical at any parallelism: fault seeds are keyed
+// by run-matrix index, never by scheduling order.
+func TestFaultSweepDeterministicAcrossParallelism(t *testing.T) {
+	render := func(parallelism int) string {
+		rows, err := FaultSweep(context.Background(), FaultSweepConfig{
+			S: 2, N: 2, Seeds: 2,
+			Intensities: []float64{0, 0.3},
+			MaxSteps:    20_000,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatalf("FaultSweep(parallelism=%d): %v", parallelism, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFaultSweep(&buf, rows); err != nil {
+			t.Fatalf("WriteFaultSweep: %v", err)
+		}
+		return buf.String()
+	}
+	p1, pn := render(1), render(8)
+	if p1 != pn {
+		t.Fatalf("fault sweep differs across parallelism:\n--- p=1\n%s\n--- p=8\n%s", p1, pn)
+	}
+	if !strings.Contains(p1, "MARGIN") {
+		t.Fatalf("rendered table missing header:\n%s", p1)
+	}
+}
+
+func TestFaultSweepUnknownModel(t *testing.T) {
+	_, err := FaultSweep(context.Background(), FaultSweepConfig{Models: []string{"quantum"}})
+	if err == nil || !strings.Contains(err.Error(), "quantum") {
+		t.Fatalf("unknown model not rejected: %v", err)
+	}
+}
+
+// The facade-level sweep kind flattens the robustness rows into SweepPoints
+// with the held fraction as the measurement.
+func TestSweepFaultIntensityKind(t *testing.T) {
+	pts, err := Sweep(context.Background(), SweepSpec{
+		Kind:        SweepKindFaultIntensity,
+		S:           2,
+		N:           2,
+		Seeds:       1,
+		Intensities: []float64{0, 0.5},
+		Engine:      engine.New(engine.WithParallelism(2)),
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	// Five model rows x two intensities.
+	if len(pts) != 10 {
+		t.Fatalf("points: got %d, want 10", len(pts))
+	}
+	for _, p := range pts {
+		if p.Measured < 0 || p.Measured > 1 {
+			t.Errorf("%s: held fraction %v outside [0,1]", p.Label, p.Measured)
+		}
+		if p.X == 0 && p.Measured != 1 {
+			t.Errorf("%s: fault-free control held fraction %v, want 1", p.Label, p.Measured)
+		}
+	}
+}

@@ -154,7 +154,12 @@ type runOutcome struct {
 
 // Account feeds the run's simulator counts into engine.Stats.
 func (r runOutcome) Account() engine.Counts {
-	return engine.Counts{Steps: r.rep.Steps(), Sessions: r.rep.Sessions, Messages: r.rep.Messages}
+	return engine.Counts{
+		Steps:    r.rep.Steps(),
+		Sessions: r.rep.Sessions,
+		Messages: r.rep.Messages,
+		Faults:   len(r.rep.Faults),
+	}
 }
 
 // cellDef declares one Table-1 cell's run matrix: which algorithm under

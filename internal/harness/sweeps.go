@@ -14,6 +14,7 @@ import (
 	"sessionproblem/internal/bounds"
 	"sessionproblem/internal/core"
 	"sessionproblem/internal/engine"
+	"sessionproblem/internal/fault"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
 )
@@ -112,6 +113,11 @@ const (
 	// SweepKindPeriodicVsSporadic is experiment F3: A(p) versus A(sp) as
 	// cmax grows.
 	SweepKindPeriodicVsSporadic
+	// SweepKindFaultIntensity is the robustness sweep: every MP model's
+	// algorithm under increasing fault intensity, measured as the fraction
+	// of runs whose session guarantee survived (see FaultSweep for the
+	// structured per-model form).
+	SweepKindFaultIntensity
 )
 
 // SweepSpec declares a sweep experiment as data: the kind, the problem
@@ -132,6 +138,10 @@ type SweepSpec struct {
 	Steps int            // number of sweep points (F1)
 	MaxS  int            // largest session count (F2; sweeps s = 2..MaxS)
 	Cmaxs []sim.Duration // swept period maxima (F3)
+
+	Intensities []float64    // swept fault intensities (fault-intensity sweep)
+	FaultSeed   uint64       // base fault-plan seed (fault-intensity sweep)
+	FaultKinds  []fault.Kind // injected fault classes; empty = all
 
 	Seeds int // seeds per strategy (default 3)
 
@@ -167,6 +177,8 @@ func Sweep(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
 		return sweepPeriodicVsSemiSync(ctx, sp)
 	case SweepKindPeriodicVsSporadic:
 		return sweepPeriodicVsSporadic(ctx, sp)
+	case SweepKindFaultIntensity:
+		return sweepFaultIntensity(ctx, sp)
 	default:
 		return nil, fmt.Errorf("harness: unknown sweep kind %d", sp.Kind)
 	}
@@ -307,6 +319,41 @@ func sweepPeriodicVsSporadic(ctx context.Context, sp SweepSpec) ([]SweepPoint, e
 			Label:      fmt.Sprintf("cmax=%v", cmax),
 			Measured:   max[i+1],
 			PaperUpper: spFinish,
+		}
+	}
+	return out, nil
+}
+
+// sweepFaultIntensity flattens the robustness sweep into SweepPoints: one
+// point per (model, intensity) with Measured the fraction of runs whose
+// session guarantee held and PaperUpper the fault-free ideal of 1.
+func sweepFaultIntensity(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
+	rows, err := FaultSweep(ctx, FaultSweepConfig{
+		S: sp.S, N: sp.N,
+		C1: sp.C1, C2: sp.C2, D1: sp.D1, D2: sp.D2,
+		Seeds:       sp.Seeds,
+		Intensities: sp.Intensities,
+		Kinds:       sp.FaultKinds,
+		FaultSeed:   sp.FaultSeed,
+		Parallelism: sp.Parallelism,
+		Engine:      sp.Engine,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fault sweep: %w", err)
+	}
+	var out []SweepPoint
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			held := 0.0
+			if c.Runs > 0 {
+				held = float64(c.Admissible+c.Recovered) / float64(c.Runs)
+			}
+			out = append(out, SweepPoint{
+				X:          c.Intensity,
+				Label:      fmt.Sprintf("%s i=%.2f", r.Model, c.Intensity),
+				Measured:   held,
+				PaperUpper: 1,
+			})
 		}
 	}
 	return out, nil

@@ -16,6 +16,13 @@ func TestNodetermIgnoresNondeterministicPackages(t *testing.T) {
 	linttest.RunClean(t, lint.Nodeterm, "testdata/nodeterm/free", "sessionproblem/cmd/freefixture")
 }
 
+// The fault-injection layer must itself be deterministic: a fault plan is a
+// pure function of its seed. This fixture pins internal/fault inside the
+// nodeterm set so a wall clock or math/rand can never leak into plans.
+func TestNodetermCoversFaultPackage(t *testing.T) {
+	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/fault", "sessionproblem/internal/fault")
+}
+
 func TestMaprangeFixtures(t *testing.T) {
 	linttest.Run(t, lint.Maprange, "testdata/maprange", "sessionproblem/internal/maprangefixture")
 }
@@ -111,6 +118,7 @@ func TestDeterministicSetCoversSimulatorPackages(t *testing.T) {
 		"sessionproblem/internal/model",
 		"sessionproblem/internal/explore",
 		"sessionproblem/internal/engine",
+		"sessionproblem/internal/fault",
 		"sessionproblem/internal/alg/periodic",
 	} {
 		if !lint.IsDeterministicPkg(path) {

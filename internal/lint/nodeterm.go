@@ -31,6 +31,7 @@ var deterministicPkgs = map[string]bool{
 	"sessionproblem/internal/model":     true,
 	"sessionproblem/internal/explore":   true,
 	"sessionproblem/internal/engine":    true,
+	"sessionproblem/internal/fault":     true,
 }
 
 // deterministicPrefixes extends the set to whole subtrees (every session

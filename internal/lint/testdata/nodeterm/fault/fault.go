@@ -1,0 +1,18 @@
+// Fixture loaded as sessionproblem/internal/fault: fault plans must be a
+// pure function of their seed, so every nondeterminism source is diagnosed —
+// a wall clock or math/rand here would make fault schedules irreproducible.
+package fault
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"time"
+)
+
+func stamp() time.Time { return time.Now() } // want `time\.Now in deterministic package`
+
+func jitter() { time.Sleep(time.Millisecond) } // want `time\.Sleep in deterministic package`
+
+func roll() float64 { return rand.Float64() }
+
+// Duration arithmetic stays legal; only wall-clock entry points are banned.
+func doubled(d time.Duration) time.Duration { return 2 * d }

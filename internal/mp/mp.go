@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sessionproblem/internal/fault"
 	"sessionproblem/internal/model"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
@@ -60,6 +61,14 @@ type Options struct {
 	// demonstrate that the reliability assumption is load-bearing — the
 	// session algorithms hang without it.
 	DropEvery int
+	// Injector, when non-nil, is consulted once per popped process step
+	// (crash, restart, overrun; stale reads have no message-passing
+	// analogue and are ignored) and once per message-destination pair at
+	// send time (drop, duplicate, late delivery). The fault-free path (nil
+	// Injector) costs a single nil check per step and per send. Applied
+	// faults are recorded in Result.Faults; crashed processes count as
+	// settled for termination.
+	Injector fault.Injector
 }
 
 // Result is the outcome of one execution.
@@ -75,6 +84,11 @@ type Result struct {
 	Finish sim.Time
 	// MessagesSent counts broadcasts (each reaching len(Procs) destinations).
 	MessagesSent int
+	// Faults records every fault the injector applied, in execution order.
+	// Nil when no fault struck.
+	Faults []fault.Event
+	// Crashed[p] reports whether process p was permanently crashed.
+	Crashed []bool
 }
 
 // ErrNoTermination is returned when the step cap is reached before all
@@ -135,13 +149,15 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	}
 
 	res := &Result{
-		Trace:  &model.Trace{NumProcs: n, NumPorts: len(sys.PortProcs)},
-		IdleAt: make([]sim.Time, n),
+		Trace:   &model.Trace{NumProcs: n, NumPorts: len(sys.PortProcs)},
+		IdleAt:  make([]sim.Time, n),
+		Crashed: make([]bool, n),
 	}
 	for i := range res.IdleAt {
 		res.IdleAt[i] = -1
 	}
 
+	inj := opts.Injector
 	buffers := make([][]Message, n)
 	var q sim.Queue
 	for p := 0; p < n; p++ {
@@ -150,11 +166,12 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 
 	idleMark := make([]bool, n)
 	idleCount := 0
+	crashedLive := 0 // processes crashed permanently before going idle
 	steps := 0
 	sendCounter := 0
 	drainUntil := sim.Time(-1)
 	for q.Len() > 0 {
-		if idleCount == n {
+		if idleCount+crashedLive == n {
 			// With StepIdleProcesses the current tick is finished so the
 			// final round of lockstep traces is complete; otherwise stop.
 			if !opts.StepIdleProcesses || q.Peek().At > drainUntil {
@@ -177,7 +194,10 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 
 		case sim.KindStep:
 			if steps >= maxSteps {
-				return nil, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
+				// Partial result: under fault injection non-termination is a
+				// degraded outcome to audit, not an invariant failure, so
+				// the trace so far rides along with the error.
+				return res, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
 			}
 			steps++
 			if steps%ctxCheckInterval == 0 {
@@ -188,6 +208,39 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			p := ev.Proc
 			proc := sys.Procs[p]
 			wasIdle := idleMark[p]
+			if inj != nil {
+				switch eff := inj.StepEffect(p, ev.At); eff.Kind {
+				case fault.Crash:
+					if eff.Restart > 0 {
+						res.Faults = append(res.Faults, fault.Event{
+							Kind: fault.Crash, At: ev.At, Proc: p, Src: -1,
+							Detail: fmt.Sprintf("restart after %v", eff.Restart),
+						})
+						q.Push(sim.Event{At: ev.At.Add(eff.Restart), Kind: sim.KindStep, Proc: p})
+						continue
+					}
+					res.Faults = append(res.Faults, fault.Event{
+						Kind: fault.Crash, At: ev.At, Proc: p, Src: -1, Detail: "permanent",
+					})
+					res.Crashed[p] = true
+					if !wasIdle {
+						crashedLive++
+						if idleCount+crashedLive == n {
+							drainUntil = ev.At
+						}
+					}
+					continue
+				case fault.StepOverrun:
+					res.Faults = append(res.Faults, fault.Event{
+						Kind: fault.StepOverrun, At: ev.At, Proc: p, Src: -1,
+						Detail: fmt.Sprintf("postponed +%v", eff.Delay),
+					})
+					q.Push(sim.Event{At: ev.At.Add(eff.Delay), Kind: sim.KindStep, Proc: p})
+					continue
+				default:
+					// None; StaleRead has no message-passing analogue.
+				}
+			}
 			received := buffers[p]
 			buffers[p] = nil
 			body := proc.Step(received)
@@ -222,6 +275,26 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 						continue // fault injection: message lost in transit
 					}
 					delay := sched.Delay(p, dst)
+					var eff fault.DeliveryEffect
+					if inj != nil {
+						eff = inj.DeliveryEffect(p, dst, ev.At)
+					}
+					switch eff.Kind {
+					case fault.MessageDrop:
+						// Dropped in transit: no delivery event and no delay
+						// record — only the fault log witnesses the message.
+						res.Faults = append(res.Faults, fault.Event{
+							Kind: fault.MessageDrop, At: ev.At, Proc: dst, Src: p,
+							Detail: "lost in transit",
+						})
+						continue
+					case fault.LateDelivery:
+						res.Faults = append(res.Faults, fault.Event{
+							Kind: fault.LateDelivery, At: ev.At, Proc: dst, Src: p,
+							Detail: fmt.Sprintf("delayed +%v beyond schedule", eff.Delay),
+						})
+						delay += eff.Delay
+					}
 					at := ev.At.Add(delay)
 					q.Push(sim.Event{
 						At:      at,
@@ -232,6 +305,22 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 					res.Delays = append(res.Delays, timing.MessageDelay{
 						Src: p, Dst: dst, Sent: ev.At, Delivered: at,
 					})
+					if eff.Kind == fault.MessageDuplicate {
+						dupAt := at.Add(eff.DuplicateDelay)
+						res.Faults = append(res.Faults, fault.Event{
+							Kind: fault.MessageDuplicate, At: ev.At, Proc: dst, Src: p,
+							Detail: fmt.Sprintf("second copy delivered at %v", dupAt),
+						})
+						q.Push(sim.Event{
+							At:      dupAt,
+							Kind:    sim.KindDelivery,
+							Proc:    dst,
+							Payload: delivery{msg: Message{From: p, Body: body}},
+						})
+						res.Delays = append(res.Delays, timing.MessageDelay{
+							Src: p, Dst: dst, Sent: ev.At, Delivered: dupAt,
+						})
+					}
 				}
 			}
 
@@ -242,11 +331,11 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 					res.IdleAt[p] = ev.At
 					idleMark[p] = true
 					idleCount++
-					if idleCount == n {
+					if idleCount+crashedLive == n {
 						drainUntil = ev.At
 					}
 				}
-				if opts.StepIdleProcesses && idleCount < n {
+				if opts.StepIdleProcesses && idleCount+crashedLive < n {
 					q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 				}
 				continue
@@ -255,7 +344,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 		}
 	}
 
-	if idleCount != n {
+	if idleCount+crashedLive != n {
 		return nil, fmt.Errorf("mp: executor drained queue with %d/%d processes idle", idleCount, n)
 	}
 	for _, pp := range sys.PortProcs {

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sessionproblem/internal/fault"
 	"sessionproblem/internal/model"
 	"sessionproblem/internal/sim"
 )
@@ -65,6 +66,12 @@ type Options struct {
 	// processes infinitely many (no-op) steps; the lower-bound adversary
 	// constructions need those steps in the trace to define rounds.
 	StepIdleProcesses bool
+	// Injector, when non-nil, is consulted once per popped step and may
+	// crash the process, postpone the step beyond the model's bounds, or
+	// make it observe a stale value. The fault-free path (nil Injector)
+	// costs a single nil check per step. Applied faults are recorded in
+	// Result.Faults; crashed processes count as settled for termination.
+	Injector fault.Injector
 }
 
 // Result is the outcome of one execution.
@@ -79,6 +86,11 @@ type Result struct {
 	// FinishAll is the earliest time by which every process (ports and
 	// relays) is idle.
 	FinishAll sim.Time
+	// Faults records every fault the injector applied, in execution order.
+	// Nil when no fault struck.
+	Faults []fault.Event
+	// Crashed[p] reports whether process p was permanently crashed.
+	Crashed []bool
 }
 
 // ErrNoTermination is returned when the step cap is reached before all
@@ -135,11 +147,20 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	}
 
 	res := &Result{
-		Trace:  &model.Trace{NumProcs: len(sys.Procs), NumPorts: len(sys.Ports)},
-		IdleAt: make([]sim.Time, len(sys.Procs)),
+		Trace:   &model.Trace{NumProcs: len(sys.Procs), NumPorts: len(sys.Ports)},
+		IdleAt:  make([]sim.Time, len(sys.Procs)),
+		Crashed: make([]bool, len(sys.Procs)),
 	}
 	for i := range res.IdleAt {
 		res.IdleAt[i] = -1
+	}
+
+	inj := opts.Injector
+	// prevVals remembers each variable's value before its latest write, the
+	// value a StaleRead fault resurrects. Maintained only under injection.
+	var prevVals map[model.VarID]Value
+	if inj != nil {
+		prevVals = make(map[model.VarID]Value)
 	}
 
 	var q sim.Queue
@@ -148,6 +169,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	}
 
 	idleCount := 0
+	crashedLive := 0 // processes crashed permanently before going idle
 	steps := 0
 	probes := make([]int, len(sys.Procs))
 	drainUntil := sim.Time(-1)
@@ -160,7 +182,10 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 		proc := sys.Procs[p]
 
 		if steps >= maxSteps {
-			return nil, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
+			// Partial result: under fault injection non-termination is a
+			// degraded outcome to audit, not an invariant failure, so the
+			// trace so far rides along with the error.
+			return res, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
 		}
 		steps++
 		if steps%ctxCheckInterval == 0 {
@@ -169,11 +194,62 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			}
 		}
 
+		stale := false
+		if inj != nil {
+			switch eff := inj.StepEffect(p, ev.At); eff.Kind {
+			case fault.None:
+			case fault.Crash:
+				if eff.Restart > 0 {
+					res.Faults = append(res.Faults, fault.Event{
+						Kind: fault.Crash, At: ev.At, Proc: p, Src: -1,
+						Detail: fmt.Sprintf("restart after %v", eff.Restart),
+					})
+					q.Push(sim.Event{At: ev.At.Add(eff.Restart), Kind: sim.KindStep, Proc: p})
+					continue
+				}
+				res.Faults = append(res.Faults, fault.Event{
+					Kind: fault.Crash, At: ev.At, Proc: p, Src: -1, Detail: "permanent",
+				})
+				res.Crashed[p] = true
+				if !proc.Idle() {
+					crashedLive++
+					if idleCount+crashedLive == len(sys.Procs) && opts.ProbeSteps == 0 && opts.StepIdleProcesses {
+						drainUntil = ev.At
+					}
+				}
+				continue
+			case fault.StepOverrun:
+				res.Faults = append(res.Faults, fault.Event{
+					Kind: fault.StepOverrun, At: ev.At, Proc: p, Src: -1,
+					Detail: fmt.Sprintf("postponed +%v", eff.Delay),
+				})
+				q.Push(sim.Event{At: ev.At.Add(eff.Delay), Kind: sim.KindStep, Proc: p})
+				continue
+			case fault.StaleRead:
+				stale = true
+			}
+		}
+
 		wasIdle := proc.Idle()
 		target := proc.Target()
 		old := vars[target]
-		newVal := proc.Step(old)
+		observed := old
+		if stale {
+			if pv, ok := prevVals[target]; ok {
+				observed = pv
+				res.Faults = append(res.Faults, fault.Event{
+					Kind: fault.StaleRead, At: ev.At, Proc: p, Src: -1,
+					Detail: fmt.Sprintf("variable %d read pre-update value", target),
+				})
+			}
+			// No previous write to resurrect: the fault has no effect and is
+			// not recorded.
+		}
+		newVal := proc.Step(observed)
 		vars[target] = newVal
+		if prevVals != nil {
+			prevVals[target] = old
+		}
 
 		acc := accessors[target]
 		if acc == nil {
@@ -199,22 +275,23 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			Index:    len(res.Trace.Steps),
 			Proc:     p,
 			Time:     ev.At,
-			Accesses: []model.VarAccess{{Var: target, Old: old, New: newVal}},
+			Accesses: []model.VarAccess{{Var: target, Old: observed, New: newVal}},
 			Port:     port,
 		})
 
 		if wasIdle {
 			// Idle-stability probe: state must be unchanged and the process
-			// must remain idle.
+			// must remain idle. The contract is relative to the observed
+			// value, so a stale read does not fail an honest idle process.
 			if !proc.Idle() {
 				return nil, fmt.Errorf("sm: process %d left idle state at %v", p, ev.At)
 			}
-			if !valuesEqual(old, newVal) {
+			if !valuesEqual(observed, newVal) {
 				return nil, fmt.Errorf("sm: idle process %d modified variable %d at %v",
 					p, target, ev.At)
 			}
 			switch {
-			case opts.StepIdleProcesses && idleCount < len(sys.Procs):
+			case opts.StepIdleProcesses && idleCount+crashedLive < len(sys.Procs):
 				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 			case probes[p] < opts.ProbeSteps:
 				probes[p]++
@@ -225,7 +302,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 		if proc.Idle() {
 			res.IdleAt[p] = ev.At
 			idleCount++
-			if idleCount == len(sys.Procs) {
+			if idleCount+crashedLive == len(sys.Procs) {
 				res.FinishAll = ev.At
 				if opts.ProbeSteps == 0 {
 					if !opts.StepIdleProcesses {
@@ -237,7 +314,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 				}
 			}
 			switch {
-			case opts.StepIdleProcesses && idleCount < len(sys.Procs):
+			case opts.StepIdleProcesses && idleCount+crashedLive < len(sys.Procs):
 				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 			case probes[p] < opts.ProbeSteps:
 				probes[p]++
@@ -248,7 +325,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 		q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 	}
 
-	if idleCount != len(sys.Procs) {
+	if idleCount+crashedLive != len(sys.Procs) {
 		return nil, fmt.Errorf("sm: executor drained queue with %d/%d processes idle",
 			idleCount, len(sys.Procs))
 	}

@@ -234,7 +234,44 @@ func (m Model) CheckAdmissible(tr *model.Trace, delays []MessageDelay) error {
 	return nil
 }
 
+// AdmissibilityViolations returns a description of every constraint the
+// trace and recorded delays violate under this model, in deterministic
+// order: per-process gap violations (processes in index order, steps in
+// trace order), then message-delay violations in send order. It returns nil
+// for admissible computations. CheckAdmissible is the fail-fast variant;
+// the fault auditor uses this collecting one.
+func (m Model) AdmissibilityViolations(tr *model.Trace, delays []MessageDelay) []string {
+	if err := tr.Validate(); err != nil {
+		return []string{fmt.Sprintf("trace invalid: %v", err)}
+	}
+	var out []string
+	collect := func(err error) bool {
+		out = append(out, err.Error())
+		return true
+	}
+	for p := 0; p < tr.NumProcs; p++ {
+		m.walkGaps(tr, p, collect)
+	}
+	for _, d := range delays {
+		if err := m.checkDelay(d); err != nil {
+			out = append(out, err.Error())
+		}
+	}
+	return out
+}
+
 func (m Model) checkGaps(tr *model.Trace, proc int) error {
+	var firstErr error
+	m.walkGaps(tr, proc, func(err error) bool {
+		firstErr = err
+		return false
+	})
+	return firstErr
+}
+
+// walkGaps visits every gap violation of proc in step order, calling visit
+// for each; visit returns false to stop the walk early.
+func (m Model) walkGaps(tr *model.Trace, proc int, visit func(error) bool) {
 	last := sim.Time(0)
 	var period sim.Duration
 	first := true
@@ -248,16 +285,19 @@ func (m Model) checkGaps(tr *model.Trace, proc int) error {
 			// [4]'s convention: the synchronized first step occurs at time
 			// 0; subsequent gaps obey the model constraints.
 			if gap != 0 {
-				return fmt.Errorf("p%d: first step at %v, want 0 under synchronized start",
-					proc, s.Time)
+				if !visit(fmt.Errorf("p%d: first step at %v, want 0 under synchronized start",
+					proc, s.Time)) {
+					return
+				}
 			}
 			first = false
 			continue
 		}
+		var err error
 		switch m.Kind {
 		case Synchronous:
 			if gap != m.C2 {
-				return fmt.Errorf("p%d step %d: gap %v != c2 %v", proc, s.Index, gap, m.C2)
+				err = fmt.Errorf("p%d step %d: gap %v != c2 %v", proc, s.Index, gap, m.C2)
 			}
 		case Periodic:
 			if period == 0 {
@@ -265,33 +305,35 @@ func (m Model) checkGaps(tr *model.Trace, proc int) error {
 				// (PeriodMin > 0, so 0 is a safe "unset" sentinel).
 				period = gap
 				if period < m.PeriodMin || period > m.PeriodMax {
-					return fmt.Errorf("p%d: period %v outside [%v,%v]",
+					err = fmt.Errorf("p%d: period %v outside [%v,%v]",
 						proc, period, m.PeriodMin, m.PeriodMax)
 				}
 			} else if gap != period {
-				return fmt.Errorf("p%d step %d: gap %v != period %v", proc, s.Index, gap, period)
+				err = fmt.Errorf("p%d step %d: gap %v != period %v", proc, s.Index, gap, period)
 			}
 		case SemiSynchronous:
 			if gap < m.C1 || gap > m.C2 {
-				return fmt.Errorf("p%d step %d: gap %v outside [%v,%v]",
+				err = fmt.Errorf("p%d step %d: gap %v outside [%v,%v]",
 					proc, s.Index, gap, m.C1, m.C2)
 			}
 		case Sporadic:
 			if gap < m.C1 {
-				return fmt.Errorf("p%d step %d: gap %v below c1 %v", proc, s.Index, gap, m.C1)
+				err = fmt.Errorf("p%d step %d: gap %v below c1 %v", proc, s.Index, gap, m.C1)
 			}
 		case AsynchronousSM:
 			if gap < 0 {
-				return fmt.Errorf("p%d step %d: negative gap", proc, s.Index)
+				err = fmt.Errorf("p%d step %d: negative gap", proc, s.Index)
 			}
 		case AsynchronousMP:
 			if gap < 0 || gap > m.C2 {
-				return fmt.Errorf("p%d step %d: gap %v outside [0,%v]", proc, s.Index, gap, m.C2)
+				err = fmt.Errorf("p%d step %d: gap %v outside [0,%v]", proc, s.Index, gap, m.C2)
 			}
+		}
+		if err != nil && !visit(err) {
+			return
 		}
 		first = false
 	}
-	return nil
 }
 
 func (m Model) checkDelay(d MessageDelay) error {

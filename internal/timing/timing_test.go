@@ -345,3 +345,48 @@ func TestMessageDelayDelay(t *testing.T) {
 		t.Errorf("Delay: got %v, want 7", d.Delay())
 	}
 }
+
+// AdmissibilityViolations is the collecting counterpart of CheckAdmissible:
+// it must list every violated bound in deterministic order (processes by
+// index, steps in trace order, then delays in send order), agree with
+// CheckAdmissible on the first violation, and return nil — not an empty
+// slice — for admissible computations.
+func TestAdmissibilityViolationsCollectsAll(t *testing.T) {
+	m := NewSemiSynchronous(2, 5, 8)
+
+	// p0 violates twice (gap 1 < c1, gap 6 > c2); p1 stays in range.
+	tr := &model.Trace{NumProcs: 2, NumPorts: 0, Steps: []model.Step{
+		{Index: 0, Proc: 0, Time: 1, Port: model.NoPort},
+		{Index: 1, Proc: 1, Time: 3, Port: model.NoPort},
+		{Index: 2, Proc: 1, Time: 6, Port: model.NoPort},
+		{Index: 3, Proc: 0, Time: 7, Port: model.NoPort},
+	}}
+	delays := []MessageDelay{
+		{Src: 0, Dst: 1, Sent: 0, Delivered: 8},  // delay 8 = d2, fine
+		{Src: 1, Dst: 0, Sent: 0, Delivered: 20}, // delay 12 > d2
+	}
+
+	out := m.AdmissibilityViolations(tr, delays)
+	if len(out) != 3 {
+		t.Fatalf("got %d violations, want 3: %q", len(out), out)
+	}
+	for i, want := range []string{"p0", "p0", "delay"} {
+		if !strings.Contains(out[i], want) {
+			t.Errorf("violation %d = %q, want containing %q", i, out[i], want)
+		}
+	}
+	if err := m.CheckAdmissible(tr, delays); err == nil || err.Error() != out[0] {
+		t.Errorf("fail-fast variant disagrees: CheckAdmissible = %v, first violation = %q",
+			err, out[0])
+	}
+
+	if got := m.AdmissibilityViolations(traceWithGaps(2, 5, 3), nil); got != nil {
+		t.Errorf("admissible trace: got %q, want nil", got)
+	}
+
+	bad := traceWithGaps(3, 3)
+	bad.Steps[1].Index = 9
+	if got := m.AdmissibilityViolations(bad, nil); len(got) != 1 || !strings.Contains(got[0], "trace invalid") {
+		t.Errorf("invalid trace: got %q, want single trace-invalid entry", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"sessionproblem/internal/core"
 	"sessionproblem/internal/engine"
+	"sessionproblem/internal/fault"
 	"sessionproblem/internal/harness"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
@@ -24,10 +25,12 @@ type Observation struct {
 	Worker int
 	// Wall is the run's wall-clock duration.
 	Wall time.Duration
-	// Steps, Sessions and Messages are the run's simulator counts.
+	// Steps, Sessions and Messages are the run's simulator counts; Faults
+	// counts injected faults the run applied.
 	Steps    int
 	Sessions int
 	Messages int
+	Faults   int
 	// Err is non-nil when the run failed.
 	Err error
 }
@@ -47,10 +50,11 @@ type Stats struct {
 	// Parallelism is the worker-pool width; PerWorker counts runs per slot.
 	Parallelism int
 	PerWorker   []int
-	// Steps, Sessions and Messages aggregate the simulator counts.
+	// Steps, Sessions, Messages and Faults aggregate the simulator counts.
 	Steps    int
 	Sessions int
 	Messages int
+	Faults   int
 }
 
 // settings is the resolved configuration an API call runs with.
@@ -77,6 +81,12 @@ type settings struct {
 
 	smAlg core.SMAlgorithm
 	mpAlg core.MPAlgorithm
+
+	faultPlan        *fault.Plan
+	retries          int
+	retryBackoff     time.Duration
+	faultIntensities []float64
+	robustness       bool
 }
 
 func newSettings(opts []Option) settings {
@@ -123,6 +133,7 @@ func (s settings) engine() *engine.Engine {
 				Steps:    r.Counts.Steps,
 				Sessions: r.Counts.Sessions,
 				Messages: r.Counts.Messages,
+				Faults:   r.Counts.Faults,
 				Err:      r.Err,
 			})
 		}))
@@ -137,6 +148,7 @@ func statsOf(eng *engine.Engine) Stats {
 		Wall: es.Wall, Busy: es.Busy,
 		Parallelism: es.Parallelism, PerWorker: es.PerWorker,
 		Steps: es.Counts.Steps, Sessions: es.Counts.Sessions, Messages: es.Counts.Messages,
+		Faults: es.Counts.Faults,
 	}
 }
 
@@ -286,4 +298,47 @@ func WithSMAlgorithm(alg SMAlgorithm) Option {
 // instead of the model's designated built-in one.
 func WithMPAlgorithm(alg MPAlgorithm) Option {
 	return func(cfg *settings) { cfg.mpAlg = alg }
+}
+
+// WithFaultPlan wires a deterministic fault plan into Solve: the executor
+// injects the plan's faults and the run is audited instead of failed —
+// Report.Admissible, Verdict and Violations carry the outcome, and a broken
+// session guarantee is reported honestly rather than returned as an error.
+// The plan also seeds SweepFaultIntensity and the robustness-margin sweep.
+func WithFaultPlan(p FaultPlan) Option {
+	return func(cfg *settings) { cfg.faultPlan = &p }
+}
+
+// WithRetries makes Solve retry a run whose audit verdict is not admissible
+// up to n extra times. Each attempt derives a fresh fault-plan seed (attempt
+// k uses Seed+k), so retries explore different fault draws over the same
+// schedule; the best outcome (admissible > recovered > broken) is reported,
+// with Report.Attempts counting the runs. Retries never mask cancellation:
+// an expired context surfaces as ctx.Err() immediately.
+func WithRetries(n int) Option {
+	return func(cfg *settings) { cfg.retries = n }
+}
+
+// WithRetryBackoff inserts a wall-clock pause between Solve retry attempts,
+// interruptible by the call's context.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(cfg *settings) { cfg.retryBackoff = d }
+}
+
+// WithFaultIntensities sets the intensity axis used by SweepFaultIntensity
+// and by Solve's robustness-margin sweep. Values are sorted ascending
+// before use. Default {0, 0.05, 0.1, 0.2, 0.4, 0.8}.
+func WithFaultIntensities(intensities ...float64) Option {
+	return func(cfg *settings) {
+		cfg.faultIntensities = append([]float64(nil), intensities...)
+	}
+}
+
+// WithRobustnessMargin makes Solve additionally run a deterministic sweep
+// over the fault-intensity axis (same schedule, the fault plan rescaled per
+// intensity) and report the largest prefix intensity at which the session
+// guarantee still held as Report.RobustnessMargin. Without this option the
+// field is -1 (not computed).
+func WithRobustnessMargin() Option {
+	return func(cfg *settings) { cfg.robustness = true }
 }

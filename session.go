@@ -4,10 +4,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"text/tabwriter"
+	"time"
 
 	"sessionproblem/internal/alg/registry"
 	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
+	"sessionproblem/internal/fault"
 	"sessionproblem/internal/harness"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
@@ -171,6 +175,12 @@ const (
 	// diameter, Label = topology name, and the abstract Table-1 upper bound
 	// evaluated at d2 := diameter * hop-delay.
 	SweepNetworkDiameter
+	// SweepFaultIntensity: the robustness sweep — every message-passing
+	// model's algorithm under increasing deterministic fault intensity
+	// (WithFaultIntensities; WithFaultPlan seeds and restricts the injected
+	// kinds). Points carry X = intensity, Label = "model i=x", and Measured
+	// = the fraction of runs whose session guarantee survived (1 = all).
+	SweepFaultIntensity
 )
 
 // SweepPoint is one x/y observation of a sweep, with the paper-predicted
@@ -234,6 +244,13 @@ func Sweep(ctx context.Context, kind SweepKind, opts ...Option) (*SweepResult, e
 		if len(spec.Cmaxs) == 0 {
 			return nil, fmt.Errorf("sessionproblem: SweepPeriodicVsSporadic needs WithPeriodMaxima")
 		}
+	case SweepFaultIntensity:
+		spec.Kind = harness.SweepKindFaultIntensity
+		spec.Intensities = cfg.sortedIntensities()
+		if cfg.faultPlan != nil {
+			spec.FaultSeed = cfg.faultPlan.Seed
+			spec.FaultKinds = cfg.faultPlan.Kinds
+		}
 	default:
 		return nil, fmt.Errorf("sessionproblem: unknown sweep kind %d", kind)
 	}
@@ -271,6 +288,26 @@ type Report struct {
 	// Spans is the greedy disjoint-session decomposition: one entry per
 	// achieved session, with its completion boundaries.
 	Spans []SessionSpan
+
+	// Admissible reports whether the run satisfied every timing-model
+	// assumption and the session guarantee; always true on the plain
+	// (fault-free) path, which fails hard instead of degrading.
+	Admissible bool
+	// Verdict is the auditor's classification: "admissible", "recovered"
+	// (assumptions violated but the guarantee survived) or "broken".
+	Verdict string
+	// Violations lists every violated assumption: injected faults in
+	// execution order, then the timing bounds the trace itself broke. Nil
+	// for admissible runs.
+	Violations []string
+	// FaultsInjected counts the faults applied to the reported attempt.
+	FaultsInjected int
+	// Attempts is the number of runs executed (1 + retries actually used).
+	Attempts int
+	// RobustnessMargin is the largest swept fault intensity at which the
+	// session guarantee still held (see WithRobustnessMargin); -1 when the
+	// sweep did not run or the guarantee broke at the lowest intensity.
+	RobustnessMargin float64
 }
 
 // SessionSpan is one disjoint session of a computation.
@@ -339,10 +376,37 @@ func (s settings) timingModel(m Model, comm Comm) (timing.Model, error) {
 	}
 }
 
+// defaultFaultMaxSteps caps faulted executions well below the executors'
+// 1M default: a crashed relay can starve the others indefinitely, and the
+// audit only needs enough trace to classify the outcome.
+const defaultFaultMaxSteps = 200_000
+
+// defaultIntensities is the fault-intensity axis when WithFaultIntensities
+// is not given (shared with harness.FaultSweepConfig's default).
+var defaultIntensities = []float64{0, 0.05, 0.1, 0.2, 0.4, 0.8}
+
+// sortedIntensities returns the configured intensity axis in ascending
+// order (margin logic depends on it).
+func (s settings) sortedIntensities() []float64 {
+	if len(s.faultIntensities) == 0 {
+		return append([]float64(nil), defaultIntensities...)
+	}
+	out := append([]float64(nil), s.faultIntensities...)
+	sort.Float64s(out)
+	return out
+}
+
 // Solve runs the designated algorithm for the given timing and
 // communication model on one schedule (WithSchedule selects strategy and
 // seed), verifies admissibility and the session condition, and reports the
 // result.
+//
+// With WithFaultPlan, WithRetries or WithRobustnessMargin, Solve switches to
+// graceful degradation: the run is audited rather than pass/failed, retries
+// re-draw the fault schedule until an admissible outcome (or the retry
+// budget runs out), and a broken guarantee comes back as a report with
+// Verdict "broken" and a nil error — no silent wrong answers, but no hard
+// failure either. Context cancellation still surfaces as an error.
 func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, error) {
 	cfg := newSettings(opts)
 	ctx, cancel := cfg.withTimeout(ctx)
@@ -356,7 +420,9 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 		return nil, err
 	}
 
-	var rep *core.Report
+	// Resolve the algorithm once; the fault path reuses it across attempts.
+	var runPlain func(context.Context) (*core.Report, error)
+	var runFaulted func(context.Context, core.FaultRun) (*core.Report, error)
 	switch comm {
 	case SharedMemory:
 		alg := cfg.smAlg
@@ -366,9 +432,11 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 			}
 		}
 		spec := core.Spec{S: cfg.s, N: cfg.n, B: cfg.b}
-		rep, err = core.RunSMContext(ctx, alg, spec, tm, st, cfg.seed)
-		if err != nil {
-			return nil, err
+		runPlain = func(ctx context.Context) (*core.Report, error) {
+			return core.RunSMContext(ctx, alg, spec, tm, st, cfg.seed)
+		}
+		runFaulted = func(ctx context.Context, fr core.FaultRun) (*core.Report, error) {
+			return core.RunSMFaulted(ctx, alg, spec, tm, st, cfg.seed, fr)
 		}
 	case MessagePassing:
 		alg := cfg.mpAlg
@@ -378,13 +446,130 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 			}
 		}
 		spec := core.Spec{S: cfg.s, N: cfg.n}
-		rep, err = core.RunMPContext(ctx, alg, spec, tm, st, cfg.seed)
-		if err != nil {
-			return nil, err
+		runPlain = func(ctx context.Context) (*core.Report, error) {
+			return core.RunMPContext(ctx, alg, spec, tm, st, cfg.seed)
+		}
+		runFaulted = func(ctx context.Context, fr core.FaultRun) (*core.Report, error) {
+			return core.RunMPFaulted(ctx, alg, spec, tm, st, cfg.seed, fr)
 		}
 	default:
 		return nil, fmt.Errorf("sessionproblem: unknown communication model %q (want sm or mp)", comm)
 	}
+
+	if cfg.faultPlan == nil && cfg.retries == 0 && !cfg.robustness {
+		rep, err := runPlain(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := reportOf(rep)
+		out.Admissible = true
+		out.Verdict = fault.VerdictAdmissible.String()
+		out.Attempts = 1
+		out.RobustnessMargin = -1
+		return out, nil
+	}
+	return cfg.solveFaulted(ctx, tm, runFaulted)
+}
+
+// solveFaulted is Solve's degradation path: audit instead of fail, retry
+// non-admissible attempts under fresh fault draws, and optionally sweep the
+// intensity axis for the robustness margin.
+func (cfg settings) solveFaulted(ctx context.Context, tm timing.Model, runFaulted func(context.Context, core.FaultRun) (*core.Report, error)) (*Report, error) {
+	faultRunAt := func(attempt int) core.FaultRun {
+		fr := core.FaultRun{MaxSteps: defaultFaultMaxSteps}
+		if cfg.faultPlan != nil {
+			// Attempt k re-seeds the plan with Seed+k: retries only help
+			// because the fault draws change; the schedule itself is fixed.
+			plan := cfg.faultPlan.WithSeed(cfg.faultPlan.Seed + uint64(attempt)).ScaledTo(tm)
+			fr.Injector = plan.Injector()
+		}
+		return fr
+	}
+
+	var best *core.Report
+	attempts := 0
+	for a := 0; a <= cfg.retries; a++ {
+		// Cancellation is never masked by the retry loop: check before
+		// every attempt and during backoff.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if a > 0 && cfg.retryBackoff > 0 {
+			timer := time.NewTimer(cfg.retryBackoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		rep, err := runFaulted(ctx, faultRunAt(a))
+		if err != nil {
+			return nil, err
+		}
+		attempts++
+		if best == nil || rep.Audit.Verdict < best.Audit.Verdict {
+			best = rep
+		}
+		if best.Audit.Verdict == fault.VerdictAdmissible {
+			break
+		}
+	}
+
+	margin := -1.0
+	if cfg.robustness {
+		var err error
+		if margin, err = cfg.robustnessMargin(ctx, tm, runFaulted); err != nil {
+			return nil, err
+		}
+	}
+
+	out := reportOf(best)
+	out.Admissible = best.Audit.Verdict == fault.VerdictAdmissible
+	out.Verdict = best.Audit.Verdict.String()
+	out.Violations = best.Audit.Violations
+	out.FaultsInjected = len(best.Faults)
+	out.Attempts = attempts
+	out.RobustnessMargin = margin
+	return out, nil
+}
+
+// robustnessMargin reruns the same schedule across the ascending intensity
+// axis on the worker pool and returns the largest prefix intensity at which
+// the session guarantee held.
+func (cfg settings) robustnessMargin(ctx context.Context, tm timing.Model, runFaulted func(context.Context, core.FaultRun) (*core.Report, error)) (float64, error) {
+	intensities := cfg.sortedIntensities()
+	base := fault.NewPlan(1, 0)
+	if cfg.faultPlan != nil {
+		base = *cfg.faultPlan
+	}
+	held, err := engine.Map(ctx, cfg.engine(), len(intensities),
+		func(i int) string { return fmt.Sprintf("robustness i=%.2f", intensities[i]) },
+		func(ctx context.Context, i int) (bool, error) {
+			plan := base.WithIntensity(intensities[i]).ScaledTo(tm)
+			rep, err := runFaulted(ctx, core.FaultRun{
+				Injector: plan.Injector(), MaxSteps: defaultFaultMaxSteps,
+			})
+			if err != nil {
+				return false, err
+			}
+			return rep.Audit.Held(), nil
+		})
+	if err != nil {
+		return -1, err
+	}
+	margin := -1.0
+	for i, h := range held {
+		if !h {
+			break
+		}
+		margin = intensities[i]
+	}
+	return margin, nil
+}
+
+// reportOf maps a core report onto the public one (fault fields left zero).
+func reportOf(rep *core.Report) *Report {
 	return &Report{
 		Algorithm: rep.Algorithm,
 		Model:     rep.Model.String(),
@@ -395,5 +580,5 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 		Messages:  rep.Messages,
 		Gamma:     Ticks(rep.Gamma),
 		Spans:     spansOf(rep),
-	}, nil
+	}
 }

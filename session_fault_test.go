@@ -1,0 +1,158 @@
+package sessionproblem_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"sessionproblem"
+)
+
+func TestSolvePlainReportFaultFields(t *testing.T) {
+	rep, err := sessionproblem.Solve(context.Background(),
+		sessionproblem.Synchronous, sessionproblem.MessagePassing,
+		sessionproblem.WithSpec(2, 2),
+		sessionproblem.WithSchedule("slow", 1))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !rep.Admissible || rep.Verdict != "admissible" {
+		t.Errorf("plain run: Admissible=%v Verdict=%q", rep.Admissible, rep.Verdict)
+	}
+	if rep.Attempts != 1 || rep.RobustnessMargin != -1 || rep.Violations != nil || rep.FaultsInjected != 0 {
+		t.Errorf("plain run fault fields: %+v", rep)
+	}
+}
+
+// The zero-cost claim, end to end: a zero-intensity fault plan must produce
+// a report byte-identical to the plain fault-free path, for both
+// communication models.
+func TestSolveIntensityZeroGolden(t *testing.T) {
+	for _, comm := range []sessionproblem.Comm{sessionproblem.SharedMemory, sessionproblem.MessagePassing} {
+		opts := []sessionproblem.Option{
+			sessionproblem.WithSpec(2, 2),
+			sessionproblem.WithSchedule("random", 7),
+		}
+		plain, err := sessionproblem.Solve(context.Background(),
+			sessionproblem.Synchronous, comm, opts...)
+		if err != nil {
+			t.Fatalf("%s plain Solve: %v", comm, err)
+		}
+		zero, err := sessionproblem.Solve(context.Background(),
+			sessionproblem.Synchronous, comm,
+			append(opts, sessionproblem.WithFaultPlan(sessionproblem.NewFaultPlan(3, 0)))...)
+		if err != nil {
+			t.Fatalf("%s zero-intensity Solve: %v", comm, err)
+		}
+		if !reflect.DeepEqual(plain, zero) {
+			t.Errorf("%s: zero-intensity report differs from plain:\nplain: %+v\nzero:  %+v", comm, plain, zero)
+		}
+	}
+}
+
+// A guarantee broken by faults comes back as a degraded report with a nil
+// error, never as a silent wrong answer.
+func TestSolveBrokenDegradesGracefully(t *testing.T) {
+	rep, err := sessionproblem.Solve(context.Background(),
+		sessionproblem.Synchronous, sessionproblem.MessagePassing,
+		sessionproblem.WithSpec(2, 2),
+		sessionproblem.WithSchedule("slow", 1),
+		sessionproblem.WithFaultPlan(sessionproblem.NewFaultPlan(1, 1, sessionproblem.FaultCrash)))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if rep.Admissible || rep.Verdict != "broken" {
+		t.Fatalf("crash-everything run: Admissible=%v Verdict=%q", rep.Admissible, rep.Verdict)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("broken run with no recorded violations (silent wrong answer)")
+	}
+	if rep.FaultsInjected == 0 {
+		t.Error("broken run reports zero injected faults")
+	}
+}
+
+func TestSolveRetriesCountAttempts(t *testing.T) {
+	rep, err := sessionproblem.Solve(context.Background(),
+		sessionproblem.Synchronous, sessionproblem.MessagePassing,
+		sessionproblem.WithSpec(2, 2),
+		sessionproblem.WithSchedule("slow", 1),
+		sessionproblem.WithFaultPlan(sessionproblem.NewFaultPlan(1, 1, sessionproblem.FaultCrash)),
+		sessionproblem.WithRetries(2))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Intensity 1 crashes break every attempt: all retries are consumed.
+	if rep.Attempts != 3 {
+		t.Errorf("Attempts: got %d, want 3", rep.Attempts)
+	}
+	if rep.Admissible {
+		t.Error("crash-everything run reported admissible")
+	}
+}
+
+// Cancellation mid-retry must surface promptly as ctx.Err(), not be masked
+// by the retry loop or its backoff timer.
+func TestSolveRetryCancellationNotMasked(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := sessionproblem.Solve(ctx,
+		sessionproblem.Synchronous, sessionproblem.MessagePassing,
+		sessionproblem.WithSpec(2, 2),
+		sessionproblem.WithSchedule("slow", 1),
+		sessionproblem.WithFaultPlan(sessionproblem.NewFaultPlan(1, 1, sessionproblem.FaultCrash)),
+		sessionproblem.WithRetries(5),
+		sessionproblem.WithRetryBackoff(30*time.Second))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the backoff timer masked ctx.Done", elapsed)
+	}
+}
+
+func TestSolveRobustnessMargin(t *testing.T) {
+	rep, err := sessionproblem.Solve(context.Background(),
+		sessionproblem.Synchronous, sessionproblem.MessagePassing,
+		sessionproblem.WithSpec(2, 2),
+		sessionproblem.WithSchedule("slow", 1),
+		sessionproblem.WithFaultPlan(sessionproblem.NewFaultPlan(1, 1, sessionproblem.FaultCrash)),
+		sessionproblem.WithFaultIntensities(1, 0), // deliberately unsorted
+		sessionproblem.WithRobustnessMargin())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Held at intensity 0, broken at 1: the margin is exactly the clean
+	// control point.
+	if rep.RobustnessMargin != 0 {
+		t.Errorf("RobustnessMargin: got %v, want 0", rep.RobustnessMargin)
+	}
+}
+
+func TestSweepFaultIntensityFacade(t *testing.T) {
+	res, err := sessionproblem.Sweep(context.Background(), sessionproblem.SweepFaultIntensity,
+		sessionproblem.WithSpec(2, 2),
+		sessionproblem.WithSeeds(1),
+		sessionproblem.WithFaultIntensities(0.4, 0)) // sorted by the facade
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	// Five model rows x two intensities.
+	if len(res.Points) != 10 {
+		t.Fatalf("points: got %d, want 10", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.X == 0 && p.Measured != 1 {
+			t.Errorf("%s: fault-free control held fraction %v, want 1", p.Label, p.Measured)
+		}
+		if p.Measured < 0 || p.Measured > 1 {
+			t.Errorf("%s: held fraction %v outside [0,1]", p.Label, p.Measured)
+		}
+	}
+}
