@@ -11,6 +11,7 @@ package sessionproblem_test
 
 import (
 	"context"
+	"strconv"
 	"testing"
 
 	"sessionproblem/internal/adversary"
@@ -24,9 +25,11 @@ import (
 	"sessionproblem/internal/explore"
 	"sessionproblem/internal/fault"
 	"sessionproblem/internal/harness"
+	"sessionproblem/internal/model"
 	"sessionproblem/internal/mp"
 	"sessionproblem/internal/search"
 	"sessionproblem/internal/sim"
+	"sessionproblem/internal/sm"
 	"sessionproblem/internal/timing"
 	"sessionproblem/internal/tree"
 )
@@ -181,7 +184,7 @@ func BenchmarkAdversaryRetime(b *testing.B) {
 // the access bound b grows: the paper's floor(log_{2b-1}(2n-1)) cost shape.
 func BenchmarkAblationTreeArity(b *testing.B) {
 	for _, bb := range []int{2, 3, 5, 9} {
-		b.Run("b="+itoa(bb), func(b *testing.B) {
+		b.Run("b="+strconv.Itoa(bb), func(b *testing.B) {
 			spec := core.Spec{S: 2, N: 32, B: bb}
 			m := timing.NewAsynchronousSM(1)
 			var rounds int
@@ -311,19 +314,53 @@ func BenchmarkCausalAnalysis(b *testing.B) {
 
 // --- Microbenchmarks of the substrates ---------------------------------------
 
-func BenchmarkTreePropagation(b *testing.B) {
-	nw, err := tree.Build(64, 3, 0, 1)
-	if err != nil {
-		b.Fatal(err)
+// announcer is the port process of the tree-propagation workload: it writes
+// its own progress into its port variable once, then idles while the relay
+// tree spreads the announcement.
+type announcer struct {
+	port int
+	v    model.VarID
+	done bool
+}
+
+func (a *announcer) Target() model.VarID { return a.v }
+func (a *announcer) Idle() bool          { return a.done }
+func (a *announcer) Step(old sm.Value) sm.Value {
+	if a.done {
+		return old
 	}
-	_ = nw
-	spec := core.Spec{S: 1, N: 64, B: 3}
-	m := timing.NewAsynchronousSM(1)
+	a.done = true
+	know := tree.Knowledge{a.port: 1}
+	tree.MergeCell(know, old)
+	return tree.Cell{Know: know}
+}
+
+// BenchmarkTreePropagation measures one full propagation wave through the
+// Section-3 relay tree: 64 ports announce progress 1 and the run ends once
+// every relay has learned all announcements and spread them back down.
+func BenchmarkTreePropagation(b *testing.B) {
+	const n = 64
+	sched := timing.NewAsynchronousSM(1).NewScheduler(timing.Slow, 1)
+	var scratch sm.Scratch
+	var finish sim.Time
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunSM(async.NewSM(), spec, m, timing.Slow, 1); err != nil {
+		nw, err := tree.Build(n, 3, 0, 1)
+		if err != nil {
 			b.Fatal(err)
 		}
+		sys := &sm.System{B: 3}
+		for p := 0; p < n; p++ {
+			sys.Procs = append(sys.Procs, &announcer{port: p, v: nw.PortVars[p]})
+			sys.Ports = append(sys.Ports, sm.PortBinding{Var: nw.PortVars[p], Proc: p})
+		}
+		sys.Procs = append(sys.Procs, nw.Processes()...)
+		res, err := sm.Run(sys, sched, sm.Options{Scratch: &scratch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		finish = res.FinishAll
 	}
+	b.ReportMetric(float64(finish), "vticks")
 }
 
 func BenchmarkSMExecutorThroughput(b *testing.B) {
@@ -375,18 +412,4 @@ func BenchmarkFaultInjectionOverhead(b *testing.B) {
 			}
 		})
 	}
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }

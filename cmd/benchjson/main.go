@@ -1,0 +1,234 @@
+// Benchjson is the bench telemetry pipeline: it runs `go test -bench` over
+// the repository's benchmark suite, parses the standard benchmark output
+// (ns/op, B/op, allocs/op and the suite's custom vticks/rounds metrics)
+// into a stable JSON document, and optionally enforces a checked-in
+// allocation budget. CI uses it to produce the BENCH_*.json artifacts and
+// to fail the build when an executor's allocs/op regresses past budget.
+//
+// Usage:
+//
+//	benchjson [-bench regex] [-benchtime 10x] [-o out.json]   # run + emit
+//	benchjson -parse bench.txt -o out.json                    # ingest a capture
+//	benchjson -parse bench.txt -merge out.json -label baseline # merge into doc
+//	benchjson -parse bench.txt -budget bench_budget.json      # enforce budget
+//
+// With -merge FILE the parsed results are stored under key -label inside an
+// existing (or fresh) JSON object, so one document can carry baseline and
+// optimized runs side by side. With -budget FILE the run fails (exit 1) if
+// any benchmark named in the budget file exceeds its allocs/op ceiling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's parsed measurements. Only metrics present in
+// the output are set; Extra carries the suite's custom b.ReportMetric units
+// (vticks, rounds, MB/s, ...).
+type Metrics struct {
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// parseBenchOutput parses `go test -bench` text output. Lines look like:
+//
+//	BenchmarkName-8   	      20	  26819 ns/op	  60.00 vticks	  19064 B/op	  204 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so names are stable across machines.
+func parseBenchOutput(text string) (map[string]Metrics, error) {
+	out := make(map[string]Metrics)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q", line)
+		}
+		m := Metrics{Iterations: iters}
+		// The rest is (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			default:
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[unit] = v
+			}
+		}
+		out[name] = m
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	return out, nil
+}
+
+// Budget maps benchmark name to its allocs/op ceiling.
+type Budget map[string]float64
+
+// checkBudget returns one violation message per benchmark over budget.
+// Budgeted benchmarks missing from the results are violations too — a
+// renamed benchmark must not silently drop its budget.
+func checkBudget(results map[string]Metrics, budget Budget) []string {
+	names := make([]string, 0, len(budget))
+	for name := range budget {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		m, ok := results[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: budgeted benchmark missing from results", name))
+			continue
+		}
+		if m.AllocsPerOp > budget[name] {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f allocs/op exceeds budget %.0f", name, m.AllocsPerOp, budget[name]))
+		}
+	}
+	return violations
+}
+
+// mergeInto reads file (if present) as a JSON object, sets obj[label] to
+// results, and returns the updated document.
+func mergeInto(file, label string, results map[string]Metrics) (map[string]json.RawMessage, error) {
+	doc := make(map[string]json.RawMessage)
+	if data, err := os.ReadFile(file); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("benchjson: %s is not a JSON object: %w", file, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	raw, err := json.Marshal(results)
+	if err != nil {
+		return nil, err
+	}
+	doc[label] = raw
+	return doc, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func run() error {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 10x)")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	parse := flag.String("parse", "", "parse a pre-captured go test -bench output file instead of running")
+	out := flag.String("o", "-", "output JSON path (- for stdout)")
+	label := flag.String("label", "", "store results under this key (requires -merge)")
+	merge := flag.String("merge", "", "merge results into this JSON document under -label")
+	budgetFile := flag.String("budget", "", "fail if any benchmark exceeds its allocs/op budget in this file")
+	flag.Parse()
+
+	var text string
+	if *parse != "" {
+		data, err := os.ReadFile(*parse)
+		if err != nil {
+			return err
+		}
+		text = string(data)
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, *pkg)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("benchjson: go %s: %w", strings.Join(args, " "), err)
+		}
+		text = string(outBytes)
+	}
+
+	results, err := parseBenchOutput(text)
+	if err != nil {
+		return err
+	}
+
+	if *budgetFile != "" {
+		data, err := os.ReadFile(*budgetFile)
+		if err != nil {
+			return err
+		}
+		var budget Budget
+		if err := json.Unmarshal(data, &budget); err != nil {
+			return fmt.Errorf("benchjson: bad budget file %s: %w", *budgetFile, err)
+		}
+		if violations := checkBudget(results, budget); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "benchjson: BUDGET EXCEEDED:", v)
+			}
+			return fmt.Errorf("benchjson: %d benchmark(s) over allocation budget", len(violations))
+		}
+	}
+
+	if *merge != "" {
+		if *label == "" {
+			return fmt.Errorf("benchjson: -merge requires -label")
+		}
+		doc, err := mergeInto(*merge, *label, results)
+		if err != nil {
+			return err
+		}
+		target := *merge
+		if *out != "-" && *out != "" {
+			target = *out
+		}
+		return writeJSON(target, doc)
+	}
+	return writeJSON(*out, results)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sessionproblem
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1SyncSM-8         	      20	     26819 ns/op	         6.000 rounds	        60.00 vticks	   19064 B/op	     204 allocs/op
+BenchmarkSMExecutorThroughput 	      20	    409920 ns/op	   2.50 MB/s	  280936 B/op	    3176 allocs/op
+PASS
+ok  	sessionproblem	0.095s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	sync, ok := got["BenchmarkTable1SyncSM"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: keys %v", keys(got))
+	}
+	if sync.Iterations != 20 || sync.NsPerOp != 26819 || sync.BytesPerOp != 19064 || sync.AllocsPerOp != 204 {
+		t.Errorf("SyncSM metrics = %+v", sync)
+	}
+	if sync.Extra["vticks"] != 60 || sync.Extra["rounds"] != 6 {
+		t.Errorf("SyncSM extra metrics = %v", sync.Extra)
+	}
+	sm := got["BenchmarkSMExecutorThroughput"]
+	if sm.AllocsPerOp != 3176 || sm.Extra["MB/s"] != 2.5 {
+		t.Errorf("SMExecutorThroughput metrics = %+v", sm)
+	}
+}
+
+func TestParseBenchOutputRejectsEmpty(t *testing.T) {
+	if _, err := parseBenchOutput("PASS\nok x 0.1s\n"); err == nil {
+		t.Fatal("want error on output without benchmark lines")
+	}
+}
+
+func TestCheckBudget(t *testing.T) {
+	results := map[string]Metrics{
+		"BenchmarkA": {AllocsPerOp: 100},
+		"BenchmarkB": {AllocsPerOp: 50},
+	}
+	if v := checkBudget(results, Budget{"BenchmarkA": 100, "BenchmarkB": 60}); len(v) != 0 {
+		t.Fatalf("within-budget run produced violations: %v", v)
+	}
+	v := checkBudget(results, Budget{"BenchmarkA": 99})
+	if len(v) != 1 || !strings.Contains(v[0], "exceeds budget") {
+		t.Fatalf("over-budget run: violations = %v", v)
+	}
+	// A budgeted benchmark that vanished from the results must fail, not
+	// silently pass.
+	v = checkBudget(results, Budget{"BenchmarkGone": 10})
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing benchmark: violations = %v", v)
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+
+	doc, err := mergeInto(path, "baseline", map[string]Metrics{"BenchmarkA": {NsPerOp: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSON(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	doc, err = mergeInto(path, "optimized", map[string]Metrics{"BenchmarkA": {NsPerOp: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSON(path, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full map[string]map[string]Metrics
+	if err := json.Unmarshal(data, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full["baseline"]["BenchmarkA"].NsPerOp != 1 || full["optimized"]["BenchmarkA"].NsPerOp != 2 {
+		t.Fatalf("merged doc = %v", full)
+	}
+}
+
+func keys(m map[string]Metrics) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -116,6 +116,10 @@ func RunSM(alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed 
 // RunSMContext is RunSM with cooperative cancellation threaded through the
 // shared-memory executor.
 func RunSMContext(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64) (*Report, error) {
+	return runSM(ctx, alg, spec, m, st, seed, nil)
+}
+
+func runSM(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64, rs *RunScratch) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,7 +130,7 @@ func RunSMContext(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Mode
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	res, err := sm.RunContext(ctx, sys, m.NewScheduler(st, seed), sm.Options{})
+	res, err := sm.RunContext(ctx, sys, m.NewScheduler(st, seed), smOptions(spec, rs))
 	if err != nil {
 		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
 	}
@@ -160,6 +164,10 @@ func RunMP(alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed 
 // RunMPContext is RunMP with cooperative cancellation threaded through the
 // message-passing executor.
 func RunMPContext(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64) (*Report, error) {
+	return runMP(ctx, alg, spec, m, st, seed, nil)
+}
+
+func runMP(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64, rs *RunScratch) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -170,7 +178,7 @@ func RunMPContext(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Mode
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), mp.Options{})
+	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), mpOptions(spec, rs))
 	if err != nil {
 		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
 	}

@@ -22,6 +22,9 @@ type FaultRun struct {
 	// want a cap well below the executor default of 1_000_000. Zero keeps
 	// the executor default.
 	MaxSteps int
+	// Scratch, when non-nil, backs the run with reusable executor buffers;
+	// the resulting Report then follows the RunScratch ownership contract.
+	Scratch *RunScratch
 }
 
 // noTerminationNote is appended to the audit's violations when the step cap
@@ -54,7 +57,9 @@ func RunSMFaulted(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Mode
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	opts := sm.Options{MaxSteps: fr.MaxSteps, Injector: fr.Injector}
+	opts := smOptions(spec, fr.Scratch)
+	opts.MaxSteps = fr.MaxSteps
+	opts.Injector = fr.Injector
 	res, err := sm.RunContext(ctx, sys, m.NewScheduler(st, seed), opts)
 	noTerm := false
 	if err != nil {
@@ -101,7 +106,9 @@ func RunMPFaulted(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Mode
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	opts := mp.Options{MaxSteps: fr.MaxSteps, Injector: fr.Injector}
+	opts := mpOptions(spec, fr.Scratch)
+	opts.MaxSteps = fr.MaxSteps
+	opts.Injector = fr.Injector
 	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), opts)
 	noTerm := false
 	if err != nil {

@@ -137,6 +137,27 @@ func WithObserver(obs Observer) Option {
 	return func(e *Engine) { e.observer = obs }
 }
 
+// WithWorkerState installs a per-worker state factory. Each worker goroutine
+// of each Execute call invokes it once and exposes the value to its tasks
+// via WorkerState(ctx). Tasks on the same worker see the same value and run
+// sequentially, so the state needs no locking — this is how the harness
+// hands each worker a reusable core.RunScratch without any cross-run
+// synchronization. State is created per Execute call (never shared between
+// concurrent Executes on one engine) and abandoned when the call returns.
+func WithWorkerState(factory func() any) Option {
+	return func(e *Engine) { e.workerState = factory }
+}
+
+// workerStateKey carries the per-worker state through task contexts.
+type workerStateKey struct{}
+
+// WorkerState returns the value the engine's WithWorkerState factory
+// produced for the worker running the current task, or nil when no factory
+// is installed (or ctx did not come from an engine worker).
+func WorkerState(ctx context.Context) any {
+	return ctx.Value(workerStateKey{})
+}
+
 // Engine is a reusable worker-pool executor. The zero value is not ready;
 // use New. An Engine is safe for concurrent use; Stats accumulate across
 // Execute calls.
@@ -145,6 +166,7 @@ type Engine struct {
 	policy      ErrorPolicy
 	timeout     time.Duration
 	observer    Observer
+	workerState func() any
 
 	mu    sync.Mutex
 	stats Stats
@@ -207,6 +229,10 @@ func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			taskCtx := runCtx
+			if e.workerState != nil {
+				taskCtx = context.WithValue(runCtx, workerStateKey{}, e.workerState())
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
@@ -218,7 +244,7 @@ func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
 					continue
 				}
 				t0 := time.Now() //lint:allow nodeterm wall-clock accounting, never in results
-				v, err := tasks[i].Run(runCtx)
+				v, err := tasks[i].Run(taskCtx)
 				r := Result{
 					Index:  i,
 					Label:  tasks[i].Label,

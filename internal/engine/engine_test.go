@@ -304,3 +304,73 @@ func TestEngineReuseAcrossCalls(t *testing.T) {
 		t.Fatalf("stats after 3 rounds = %+v, want 15 tasks", st)
 	}
 }
+
+// TestWorkerStateIsPerWorker checks the WithWorkerState contract: every task
+// on a given worker sees the same state value, distinct workers see distinct
+// values, and the factory runs once per worker per Execute call.
+func TestWorkerStateIsPerWorker(t *testing.T) {
+	type scratch struct{ worker int }
+	var made atomic.Int64
+	e := engine.New(
+		engine.WithParallelism(3),
+		engine.WithWorkerState(func() any {
+			made.Add(1)
+			return &scratch{worker: -1}
+		}),
+	)
+	const tasks = 60
+	states, err := engine.Map(context.Background(), e, tasks, nil,
+		func(ctx context.Context, i int) (*scratch, error) {
+			sc, ok := engine.WorkerState(ctx).(*scratch)
+			if !ok {
+				return nil, fmt.Errorf("task %d: WorkerState = %v, want *scratch", i, engine.WorkerState(ctx))
+			}
+			return sc, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[*scratch]bool)
+	for _, sc := range states {
+		distinct[sc] = true
+	}
+	if n := int(made.Load()); n != 3 {
+		t.Errorf("factory ran %d times, want once per worker (3)", n)
+	}
+	if len(distinct) > 3 {
+		t.Errorf("%d distinct states across 3 workers", len(distinct))
+	}
+
+	// A second Execute must get fresh state: concurrent Execute calls on one
+	// engine share worker ids, so reusing state across calls would race.
+	again, err := engine.Map(context.Background(), e, tasks, nil,
+		func(ctx context.Context, i int) (*scratch, error) {
+			return engine.WorkerState(ctx).(*scratch), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range again {
+		if distinct[sc] {
+			t.Fatal("second Execute reused a first-Execute worker state")
+		}
+	}
+}
+
+// TestWorkerStateAbsent checks WorkerState degrades to nil without a factory.
+func TestWorkerStateAbsent(t *testing.T) {
+	e := engine.New(engine.WithParallelism(2))
+	vals, err := engine.Map(context.Background(), e, 4, nil,
+		func(ctx context.Context, i int) (any, error) {
+			if st := engine.WorkerState(ctx); st != nil {
+				return nil, fmt.Errorf("task %d: WorkerState = %v, want nil", i, st)
+			}
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 4 {
+		t.Fatalf("got %d results", len(vals))
+	}
+}

@@ -102,7 +102,7 @@ func (c FaultSweepConfig) engineOrNew() *engine.Engine {
 	if c.Engine != nil {
 		return c.Engine
 	}
-	return engine.New(engine.WithParallelism(c.Parallelism))
+	return newEngine(c.Parallelism)
 }
 
 // FaultCell aggregates one (model, intensity) point of the sweep.
@@ -228,7 +228,7 @@ func FaultSweep(ctx context.Context, cfg FaultSweepConfig) ([]FaultSweepRow, err
 			d, intensity, st, seed := decode(i)
 			plan := fault.NewPlan(planSeed(cfg.FaultSeed, i), intensity, cfg.Kinds...).ScaledTo(d.model)
 			rep, err := core.RunMPFaulted(ctx, d.alg, spec, d.model, st, seed,
-				core.FaultRun{Injector: plan.Injector(), MaxSteps: cfg.MaxSteps})
+				core.FaultRun{Injector: plan.Injector(), MaxSteps: cfg.MaxSteps, Scratch: scratchFrom(ctx)})
 			if err != nil {
 				return faultOutcome{}, fmt.Errorf("fault sweep %s i=%.2f: %w", d.name, intensity, err)
 			}

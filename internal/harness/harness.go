@@ -100,13 +100,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// newEngine builds the harness's default engine: the given parallelism plus
+// a reusable core.RunScratch per worker, so the sweep's steady state runs
+// allocation-free in the executors. Safe because every harness aggregation
+// reads only scalars out of each report before the worker's next run reuses
+// the trace backing.
+func newEngine(parallelism int) *engine.Engine {
+	return engine.New(
+		engine.WithParallelism(parallelism),
+		engine.WithWorkerState(func() any { return new(core.RunScratch) }),
+	)
+}
+
+// scratchFrom extracts the per-worker scratch; nil (scratch-free runs) when
+// the engine was supplied externally without one.
+func scratchFrom(ctx context.Context) *core.RunScratch {
+	sc, _ := engine.WorkerState(ctx).(*core.RunScratch)
+	return sc
+}
+
 // engineOrNew returns the configured shared engine or builds one at the
 // configured parallelism.
 func (c Config) engineOrNew() *engine.Engine {
 	if c.Engine != nil {
 		return c.Engine
 	}
-	return engine.New(engine.WithParallelism(c.Parallelism))
+	return newEngine(c.Parallelism)
 }
 
 // Cell is one Table-1 row instantiation: a (timing model, communication
@@ -191,9 +210,9 @@ func (d cellDef) runOnce(ctx context.Context, st timing.Strategy, seed uint64) (
 	var rep *core.Report
 	var err error
 	if d.smAlg != nil {
-		rep, err = core.RunSMContext(ctx, d.smAlg, d.spec, d.model, st, seed)
+		rep, err = core.RunSMScratch(ctx, d.smAlg, d.spec, d.model, st, seed, scratchFrom(ctx))
 	} else {
-		rep, err = core.RunMPContext(ctx, d.mpAlg, d.spec, d.model, st, seed)
+		rep, err = core.RunMPScratch(ctx, d.mpAlg, d.spec, d.model, st, seed, scratchFrom(ctx))
 	}
 	if err != nil {
 		return runOutcome{}, fmt.Errorf("%s/%s %v seed %d: %w", d.row, d.comm, st, seed, err)

@@ -66,7 +66,7 @@ func maxFinishByGroup(ctx context.Context, eng *engine.Engine, runs []mpRun, gro
 		},
 		func(ctx context.Context, i int) (runOutcome, error) {
 			r := runs[i]
-			rep, err := core.RunMPContext(ctx, r.alg, r.spec, r.model, r.st, r.seed)
+			rep, err := core.RunMPScratch(ctx, r.alg, r.spec, r.model, r.st, r.seed, scratchFrom(ctx))
 			if err != nil {
 				return runOutcome{}, fmt.Errorf("%s: %w", r.label, err)
 			}
@@ -163,7 +163,7 @@ func (sp SweepSpec) engineOrNew() *engine.Engine {
 	if sp.Engine != nil {
 		return sp.Engine
 	}
-	return engine.New(engine.WithParallelism(sp.Parallelism))
+	return newEngine(sp.Parallelism)
 }
 
 // Sweep runs the experiment a SweepSpec declares, fanning the full

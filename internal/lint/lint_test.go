@@ -23,6 +23,13 @@ func TestNodetermCoversFaultPackage(t *testing.T) {
 	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/fault", "sessionproblem/internal/fault")
 }
 
+// The scratch arenas back recorded traces, so internal/arena sits in the
+// nodeterm set too: nondeterministic capacity or recycling decisions would
+// silently leak into results via reused backing arrays.
+func TestNodetermCoversArenaPackage(t *testing.T) {
+	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/arena", "sessionproblem/internal/arena")
+}
+
 func TestMaprangeFixtures(t *testing.T) {
 	linttest.Run(t, lint.Maprange, "testdata/maprange", "sessionproblem/internal/maprangefixture")
 }

@@ -32,6 +32,7 @@ var deterministicPkgs = map[string]bool{
 	"sessionproblem/internal/explore":   true,
 	"sessionproblem/internal/engine":    true,
 	"sessionproblem/internal/fault":     true,
+	"sessionproblem/internal/arena":     true,
 }
 
 // deterministicPrefixes extends the set to whole subtrees (every session

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sessionproblem/internal/arena"
 	"sessionproblem/internal/fault"
 	"sessionproblem/internal/model"
 	"sessionproblem/internal/sim"
@@ -31,6 +32,10 @@ type Message struct {
 // passes every message currently in the process's buffer (possibly none) and
 // the process returns a message body to broadcast, or nil for no broadcast.
 // Implementations must keep Idle stable and must not broadcast while idle.
+//
+// The received slice is owned by the executor and recycled after Step
+// returns: implementations must not retain it (retaining individual message
+// bodies is fine). Every algorithm in this repository only iterates it.
 type Process interface {
 	Step(received []Message) (broadcast any)
 	Idle() bool
@@ -42,6 +47,29 @@ type Process interface {
 type System struct {
 	Procs     []Process
 	PortProcs []int
+}
+
+// Scratch holds every buffer the executor grows during a run: the event
+// queue, the recorded steps and their access-record arena, the message-delay
+// log, and the per-process message buffers with their freelist. Reusing a
+// Scratch across runs recycles all of that capacity, making steady-state
+// execution allocation-free apart from what the algorithm itself allocates.
+//
+// Ownership contract: a Result produced with a given Scratch — including
+// Trace, Delays, IdleAt and Crashed — aliases the scratch's memory and is
+// valid only until the next run with the same Scratch. Determinism is
+// unaffected: reuse recycles backing arrays, never values.
+type Scratch struct {
+	queue    sim.Queue
+	steps    []model.Step
+	accesses arena.Chunked[model.VarAccess]
+	delays   []timing.MessageDelay
+	buffers  [][]Message
+	free     arena.Freelist[Message]
+	idleAt   []sim.Time
+	crashed  []bool
+	idleMark []bool
+	portIdx  []int // proc -> port index, -1 = none
 }
 
 // Options tune an execution.
@@ -69,6 +97,14 @@ type Options struct {
 	// faults are recorded in Result.Faults; crashed processes count as
 	// settled for termination.
 	Injector fault.Injector
+	// Scratch, when non-nil, backs the run with reusable buffers; see the
+	// Scratch ownership contract. Nil runs with fresh buffers.
+	Scratch *Scratch
+	// ExpectedSteps and ExpectedDelays pre-size the trace and delay log
+	// when the scratch has no warm capacity yet. Zero means no pre-sizing;
+	// both are hints only.
+	ExpectedSteps  int
+	ExpectedDelays int
 }
 
 // Result is the outcome of one execution.
@@ -108,10 +144,6 @@ type Scheduler interface {
 // ID 0 is reserved for net (not recorded; see package comment).
 func bufVar(proc int) model.VarID { return model.VarID(proc + 1) }
 
-type delivery struct {
-	msg Message
-}
-
 // Run executes the system until every regular process is idle.
 func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
 	return RunContext(context.Background(), sys, sched, opts)
@@ -121,6 +153,58 @@ func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
 // process steps, trading one atomic load per interval for sub-millisecond
 // cancellation latency.
 const ctxCheckInterval = 1024
+
+// prepare resets the scratch for a run over n processes.
+func (sc *Scratch) prepare(sys *System, expectedSteps, expectedDelays int) {
+	n := len(sys.Procs)
+	sc.queue.Reset()
+	sc.queue.Reserve(n)
+	if sc.steps == nil && expectedSteps > 0 {
+		sc.steps = make([]model.Step, 0, expectedSteps)
+	}
+	sc.steps = sc.steps[:0]
+	sc.accesses.Reset()
+	if sc.delays == nil && expectedDelays > 0 {
+		sc.delays = make([]timing.MessageDelay, 0, expectedDelays)
+	}
+	sc.delays = sc.delays[:0]
+
+	if cap(sc.buffers) >= n {
+		// Recycle per-process buffer capacity through the freelist so a
+		// shrinking process count doesn't strand backing arrays.
+		old := sc.buffers[:cap(sc.buffers)]
+		for i := range old {
+			if i >= n && old[i] != nil {
+				sc.free.Put(old[i])
+				old[i] = nil
+			}
+		}
+		sc.buffers = old[:n]
+		for i := range sc.buffers {
+			if sc.buffers[i] != nil {
+				buf := sc.buffers[i]
+				clear(buf)
+				sc.buffers[i] = buf[:0]
+			}
+		}
+	} else {
+		sc.buffers = make([][]Message, n)
+	}
+
+	sc.idleAt = arena.Resize(sc.idleAt, n)
+	sc.crashed = arena.Resize(sc.crashed, n)
+	sc.idleMark = arena.Resize(sc.idleMark, n)
+	sc.portIdx = arena.Resize(sc.portIdx, n)
+	for i := 0; i < n; i++ {
+		sc.idleAt[i] = -1
+		sc.crashed[i] = false
+		sc.idleMark[i] = false
+		sc.portIdx[i] = -1
+	}
+	for i, pp := range sys.PortProcs {
+		sc.portIdx[pp] = i // last binding wins, like the old map
+	}
+}
 
 // RunContext is Run with cooperative cancellation: it polls ctx every few
 // hundred steps and returns ctx.Err() mid-computation when the caller
@@ -143,28 +227,31 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 		maxSteps = defaultMaxSteps
 	}
 
-	portOf := make(map[int]int, len(sys.PortProcs))
-	for i, pp := range sys.PortProcs {
-		portOf[pp] = i
+	inj := opts.Injector
+	sc := opts.Scratch
+	if sc == nil {
+		sc = new(Scratch)
 	}
+	sc.prepare(sys, opts.ExpectedSteps, opts.ExpectedDelays)
 
 	res := &Result{
 		Trace:   &model.Trace{NumProcs: n, NumPorts: len(sys.PortProcs)},
-		IdleAt:  make([]sim.Time, n),
-		Crashed: make([]bool, n),
+		IdleAt:  sc.idleAt,
+		Crashed: sc.crashed,
 	}
-	for i := range res.IdleAt {
-		res.IdleAt[i] = -1
+	// finish publishes the recorded steps and delays into the result;
+	// called at every exit that hands res to the caller (appends may have
+	// moved sc.steps and sc.delays).
+	finish := func() {
+		res.Trace.Steps = sc.steps
+		res.Delays = sc.delays
 	}
 
-	inj := opts.Injector
-	buffers := make([][]Message, n)
-	var q sim.Queue
+	q := &sc.queue
 	for p := 0; p < n; p++ {
 		q.Push(sim.Event{At: sim.Time(0).Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 	}
 
-	idleMark := make([]bool, n)
 	idleCount := 0
 	crashedLive := 0 // processes crashed permanently before going idle
 	steps := 0
@@ -181,14 +268,17 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 		ev := q.Pop()
 		switch ev.Kind {
 		case sim.KindDelivery:
-			d := ev.Payload.(delivery)
 			dst := ev.Proc
-			buffers[dst] = append(buffers[dst], d.msg)
-			res.Trace.Steps = append(res.Trace.Steps, model.Step{
-				Index:    len(res.Trace.Steps),
+			buf := sc.buffers[dst]
+			if buf == nil {
+				buf = sc.free.Get()
+			}
+			sc.buffers[dst] = append(buf, Message{From: ev.Src, Body: ev.Body})
+			sc.steps = append(sc.steps, model.Step{
+				Index:    len(sc.steps),
 				Proc:     model.NetworkProc,
 				Time:     ev.At,
-				Accesses: []model.VarAccess{{Var: bufVar(dst)}},
+				Accesses: sc.accesses.One(model.VarAccess{Var: bufVar(dst)}),
 				Port:     model.NoPort,
 			})
 
@@ -197,6 +287,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 				// Partial result: under fault injection non-termination is a
 				// degraded outcome to audit, not an invariant failure, so
 				// the trace so far rides along with the error.
+				finish()
 				return res, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
 			}
 			steps++
@@ -207,7 +298,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			}
 			p := ev.Proc
 			proc := sys.Procs[p]
-			wasIdle := idleMark[p]
+			wasIdle := sc.idleMark[p]
 			if inj != nil {
 				switch eff := inj.StepEffect(p, ev.At); eff.Kind {
 				case fault.Crash:
@@ -241,9 +332,13 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 					// None; StaleRead has no message-passing analogue.
 				}
 			}
-			received := buffers[p]
-			buffers[p] = nil
+			received := sc.buffers[p]
+			sc.buffers[p] = nil
 			body := proc.Step(received)
+			// Step's contract forbids retaining the slice, so its backing
+			// array goes straight back to the freelist for the next
+			// delivery burst.
+			sc.free.Put(received)
 			if wasIdle {
 				if !proc.Idle() {
 					return nil, fmt.Errorf("mp: process %d left idle state at %v", p, ev.At)
@@ -254,16 +349,16 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			}
 
 			port := model.NoPort
-			if idx, ok := portOf[p]; ok && !wasIdle {
+			if !wasIdle {
 				// Steps taken from an idle state are not port steps (see
 				// the matching comment in internal/sm).
-				port = idx
+				port = sc.portIdx[p]
 			}
-			res.Trace.Steps = append(res.Trace.Steps, model.Step{
-				Index:    len(res.Trace.Steps),
+			sc.steps = append(sc.steps, model.Step{
+				Index:    len(sc.steps),
 				Proc:     p,
 				Time:     ev.At,
-				Accesses: []model.VarAccess{{Var: bufVar(p)}},
+				Accesses: sc.accesses.One(model.VarAccess{Var: bufVar(p)}),
 				Port:     port,
 			})
 
@@ -297,12 +392,13 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 					}
 					at := ev.At.Add(delay)
 					q.Push(sim.Event{
-						At:      at,
-						Kind:    sim.KindDelivery,
-						Proc:    dst,
-						Payload: delivery{msg: Message{From: p, Body: body}},
+						At:   at,
+						Kind: sim.KindDelivery,
+						Proc: dst,
+						Src:  p,
+						Body: body,
 					})
-					res.Delays = append(res.Delays, timing.MessageDelay{
+					sc.delays = append(sc.delays, timing.MessageDelay{
 						Src: p, Dst: dst, Sent: ev.At, Delivered: at,
 					})
 					if eff.Kind == fault.MessageDuplicate {
@@ -312,12 +408,13 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 							Detail: fmt.Sprintf("second copy delivered at %v", dupAt),
 						})
 						q.Push(sim.Event{
-							At:      dupAt,
-							Kind:    sim.KindDelivery,
-							Proc:    dst,
-							Payload: delivery{msg: Message{From: p, Body: body}},
+							At:   dupAt,
+							Kind: sim.KindDelivery,
+							Proc: dst,
+							Src:  p,
+							Body: body,
 						})
-						res.Delays = append(res.Delays, timing.MessageDelay{
+						sc.delays = append(sc.delays, timing.MessageDelay{
 							Src: p, Dst: dst, Sent: ev.At, Delivered: dupAt,
 						})
 					}
@@ -329,7 +426,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 					// A process may broadcast at the step on which it enters
 					// an idle state (A(sp) does), but never afterwards.
 					res.IdleAt[p] = ev.At
-					idleMark[p] = true
+					sc.idleMark[p] = true
 					idleCount++
 					if idleCount+crashedLive == n {
 						drainUntil = ev.At
@@ -343,6 +440,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 		}
 	}
+	finish()
 
 	if idleCount+crashedLive != n {
 		return nil, fmt.Errorf("mp: executor drained queue with %d/%d processes idle", idleCount, n)

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // EventKind orders events that fall on the same tick. Lower kinds run first:
 // network deliveries are processed before process steps at the same time, so
 // a message delivered "at" time t is visible to a step taken at time t. This
@@ -17,19 +15,30 @@ const (
 
 // Event is a scheduled occurrence in virtual time. Proc identifies the
 // process taking a step (KindStep) or the destination process (KindDelivery).
-// Payload carries event-specific data owned by the executor.
+//
+// Src and Body carry the delivery payload inline: the sending process and
+// the executor-owned message body. Keeping them as plain fields — rather
+// than behind a boxed payload interface — means Push copies an already
+// constructed interface header and never allocates. Step events leave both
+// at their zero values.
 type Event struct {
-	At      Time
-	Kind    EventKind
-	Proc    int
-	Seq     uint64 // assigned by the queue; breaks remaining ties FIFO
-	Payload any
+	At   Time
+	Kind EventKind
+	Proc int
+	Seq  uint64 // assigned by the queue; breaks remaining ties FIFO
+	Src  int
+	Body any
 }
 
 // Queue is a deterministic priority queue of events ordered by
 // (At, Kind, Proc, Seq). The zero value is ready to use.
+//
+// The heap is concrete and inlined: no container/heap, no heap.Interface,
+// no any-boxing on Push or Pop. Pushing into spare capacity is
+// allocation-free, so a warmed queue runs the whole simulation steady state
+// without touching the allocator.
 type Queue struct {
-	h   eventHeap
+	h   []Event
 	seq uint64
 }
 
@@ -37,13 +46,23 @@ type Queue struct {
 func (q *Queue) Push(ev Event) {
 	q.seq++
 	ev.Seq = q.seq
-	heap.Push(&q.h, ev)
+	q.h = append(q.h, ev)
+	q.siftUp(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest event. It panics on an empty queue;
 // use Len to guard.
 func (q *Queue) Pop() Event {
-	return heap.Pop(&q.h).(Event)
+	h := q.h
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = Event{} // drop the Body reference so the slot doesn't retain it
+	q.h = h[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return ev
 }
 
 // Peek returns the earliest event without removing it. It panics on an empty
@@ -55,12 +74,29 @@ func (q *Queue) Peek() Event {
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
-type eventHeap []Event
+// Reset empties the queue and restarts the tie-breaking sequence, keeping
+// the backing array so a reused queue pushes into warm capacity. Pending
+// events are cleared to release their Body references.
+func (q *Queue) Reset() {
+	clear(q.h)
+	q.h = q.h[:0]
+	q.seq = 0
+}
 
-func (h eventHeap) Len() int { return len(h) }
+// Reserve grows the backing array to hold at least n events without further
+// allocation.
+func (q *Queue) Reserve(n int) {
+	if cap(q.h) >= n {
+		return
+	}
+	h := make([]Event, len(q.h), n)
+	copy(h, q.h)
+	q.h = h
+}
 
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// less orders the heap by (At, Kind, Proc, Seq).
+func (q *Queue) less(i, j int) bool {
+	a, b := &q.h[i], &q.h[j]
 	if a.At != b.At {
 		return a.At < b.At
 	}
@@ -73,14 +109,32 @@ func (h eventHeap) Less(i, j int) bool {
 	return a.Seq < b.Seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+func (q *Queue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
 }

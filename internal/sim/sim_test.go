@@ -245,13 +245,50 @@ func TestQueueOrdering(t *testing.T) {
 func TestQueueFIFOWithinTies(t *testing.T) {
 	var q Queue
 	for i := 0; i < 10; i++ {
-		q.Push(Event{At: 1, Kind: KindStep, Proc: 0, Payload: i})
+		q.Push(Event{At: 1, Kind: KindStep, Proc: 0, Body: i})
 	}
 	for i := 0; i < 10; i++ {
 		ev := q.Pop()
-		if ev.Payload.(int) != i {
-			t.Fatalf("tie order broken: got %v at pop %d", ev.Payload, i)
+		if ev.Body.(int) != i {
+			t.Fatalf("tie order broken: got %v at pop %d", ev.Body, i)
 		}
+	}
+}
+
+func TestQueueResetKeepsCapacityAndRestartsSeq(t *testing.T) {
+	var q Queue
+	body := any("payload")
+	for i := 0; i < 100; i++ {
+		q.Push(Event{At: Time(i), Kind: KindDelivery, Proc: 0, Body: body})
+	}
+	grown := cap(q.h)
+	q.Reset()
+	if q.Len() != 0 || cap(q.h) != grown {
+		t.Fatalf("Reset: len=%d cap=%d, want 0 and %d", q.Len(), cap(q.h), grown)
+	}
+	q.Push(Event{At: 7, Kind: KindStep, Proc: 3})
+	if ev := q.Pop(); ev.Seq != 1 {
+		t.Fatalf("Reset did not restart Seq: got %d", ev.Seq)
+	}
+}
+
+// The queue's steady-state contract: once the backing array has grown to
+// the run's high-water mark, pushing and popping events — including events
+// carrying a pre-boxed Body — performs zero allocations per event.
+func TestQueueSteadyStateAllocFree(t *testing.T) {
+	var q Queue
+	body := any(42) // boxed once, outside the measured region
+	q.Reserve(256)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 256; i++ {
+			q.Push(Event{At: Time(i % 17), Kind: KindDelivery, Proc: i % 5, Src: i % 3, Body: body})
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed queue allocated %.1f times per 512-event cycle, want 0", allocs)
 	}
 }
 

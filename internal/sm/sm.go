@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sessionproblem/internal/arena"
 	"sessionproblem/internal/fault"
 	"sessionproblem/internal/model"
 	"sessionproblem/internal/sim"
@@ -52,6 +53,33 @@ type System struct {
 	Ports   []PortBinding
 }
 
+// Scratch holds every buffer the executor grows during a run: the event
+// queue, the recorded steps and their access-record arena, and the
+// per-process bookkeeping. Reusing a Scratch across runs recycles all of
+// that capacity, making steady-state execution allocation-free.
+//
+// Ownership contract: a Result produced with a given Scratch — including
+// Trace, IdleAt and Crashed — aliases the scratch's memory and is valid
+// only until the next run with the same Scratch. Callers that retain
+// results must either copy them or run without a Scratch. Determinism is
+// unaffected: reuse recycles backing arrays, never values — every field of
+// every recorded step is written fresh by the run that produces it.
+type Scratch struct {
+	queue    sim.Queue
+	steps    []model.Step
+	accesses arena.Chunked[model.VarAccess]
+	idleAt   []sim.Time
+	crashed  []bool
+	probes   []int
+	portIdx  []int         // proc -> port index, -1 = none
+	portVar  []model.VarID // proc -> port variable (valid when portIdx >= 0)
+	portDup  []PortBinding // rare: extra bindings for procs with several ports
+	portDupI []int         // port indices parallel to portDup
+	vars     map[model.VarID]Value
+	prevVals map[model.VarID]Value
+	access   map[model.VarID][]int32 // var -> distinct accessing procs (b-bound)
+}
+
 // Options tune an execution.
 type Options struct {
 	// MaxSteps caps the number of process steps before the run is declared
@@ -72,6 +100,13 @@ type Options struct {
 	// costs a single nil check per step. Applied faults are recorded in
 	// Result.Faults; crashed processes count as settled for termination.
 	Injector fault.Injector
+	// Scratch, when non-nil, backs the run with reusable buffers; see the
+	// Scratch ownership contract. Nil runs with fresh buffers.
+	Scratch *Scratch
+	// ExpectedSteps pre-sizes the trace (and the event queue) when the
+	// scratch has no warm capacity yet. Zero means no pre-sizing. It is a
+	// hint only: runs may exceed it freely.
+	ExpectedSteps int
 }
 
 // Result is the outcome of one execution.
@@ -118,6 +153,86 @@ func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
 // millisecond without an atomic load on the hot path of every step.
 const ctxCheckInterval = 1024
 
+// prepare resets the scratch for a run over np processes, pre-sizing fresh
+// buffers from the hint when no warm capacity exists yet.
+func (sc *Scratch) prepare(sys *System, expectedSteps int, injected bool) {
+	np := len(sys.Procs)
+	sc.queue.Reset()
+	sc.queue.Reserve(np)
+	if sc.steps == nil && expectedSteps > 0 {
+		sc.steps = make([]model.Step, 0, expectedSteps)
+	}
+	sc.steps = sc.steps[:0]
+	sc.accesses.Reset()
+
+	sc.idleAt = arena.Resize(sc.idleAt, np)
+	sc.crashed = arena.Resize(sc.crashed, np)
+	sc.probes = arena.Resize(sc.probes, np)
+	sc.portIdx = arena.Resize(sc.portIdx, np)
+	sc.portVar = arena.Resize(sc.portVar, np)
+	for i := 0; i < np; i++ {
+		sc.idleAt[i] = -1
+		sc.crashed[i] = false
+		sc.probes[i] = 0
+		sc.portIdx[i] = -1
+		sc.portVar[i] = 0
+	}
+	sc.portDup = sc.portDup[:0]
+	sc.portDupI = sc.portDupI[:0]
+	for i, pb := range sys.Ports {
+		if pb.Proc < 0 || pb.Proc >= np {
+			// A binding whose process is out of range can never match a
+			// popped step; skipping it preserves the old map semantics.
+			continue
+		}
+		switch {
+		case sc.portIdx[pb.Proc] < 0 || sc.portVar[pb.Proc] == pb.Var:
+			sc.portIdx[pb.Proc] = i
+			sc.portVar[pb.Proc] = pb.Var
+		default:
+			// A process with more than one port variable: keep the extras in
+			// a (normally empty) overflow list scanned linearly.
+			sc.portDup = append(sc.portDup, pb)
+			sc.portDupI = append(sc.portDupI, i)
+		}
+	}
+
+	if sc.vars == nil {
+		sc.vars = make(map[model.VarID]Value, len(sys.Initial))
+	} else {
+		clear(sc.vars)
+	}
+	for k, v := range sys.Initial {
+		sc.vars[k] = v
+	}
+	if sc.access == nil {
+		sc.access = make(map[model.VarID][]int32)
+	} else {
+		clear(sc.access)
+	}
+	if injected {
+		if sc.prevVals == nil {
+			sc.prevVals = make(map[model.VarID]Value)
+		} else {
+			clear(sc.prevVals)
+		}
+	}
+}
+
+// portOf resolves the port index of a step of proc p on variable target, or
+// model.NoPort.
+func (sc *Scratch) portOf(p int, target model.VarID) int {
+	if sc.portIdx[p] >= 0 && sc.portVar[p] == target {
+		return sc.portIdx[p]
+	}
+	for i := len(sc.portDup) - 1; i >= 0; i-- { // last binding wins, like the old map
+		if sc.portDup[i].Proc == p && sc.portDup[i].Var == target {
+			return sc.portDupI[i]
+		}
+	}
+	return model.NoPort
+}
+
 // RunContext is Run with cooperative cancellation: it polls ctx every few
 // hundred steps and returns ctx.Err() mid-computation when the caller
 // cancels or times out.
@@ -136,34 +251,23 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 		maxSteps = defaultMaxSteps
 	}
 
-	vars := make(map[model.VarID]Value, len(sys.Initial))
-	for k, v := range sys.Initial {
-		vars[k] = v
+	inj := opts.Injector
+	sc := opts.Scratch
+	if sc == nil {
+		sc = new(Scratch)
 	}
-	accessors := make(map[model.VarID]map[int]bool)
-	portOf := make(map[portKey]int, len(sys.Ports))
-	for i, pb := range sys.Ports {
-		portOf[portKey{pb.Var, pb.Proc}] = i
-	}
+	sc.prepare(sys, opts.ExpectedSteps, inj != nil)
 
 	res := &Result{
 		Trace:   &model.Trace{NumProcs: len(sys.Procs), NumPorts: len(sys.Ports)},
-		IdleAt:  make([]sim.Time, len(sys.Procs)),
-		Crashed: make([]bool, len(sys.Procs)),
+		IdleAt:  sc.idleAt,
+		Crashed: sc.crashed,
 	}
-	for i := range res.IdleAt {
-		res.IdleAt[i] = -1
-	}
+	// finish publishes the recorded steps into the trace; called at every
+	// exit that hands res to the caller (appends may have moved sc.steps).
+	finish := func() { res.Trace.Steps = sc.steps }
 
-	inj := opts.Injector
-	// prevVals remembers each variable's value before its latest write, the
-	// value a StaleRead fault resurrects. Maintained only under injection.
-	var prevVals map[model.VarID]Value
-	if inj != nil {
-		prevVals = make(map[model.VarID]Value)
-	}
-
-	var q sim.Queue
+	q := &sc.queue
 	for p := range sys.Procs {
 		q.Push(sim.Event{At: sim.Time(0).Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 	}
@@ -171,7 +275,6 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	idleCount := 0
 	crashedLive := 0 // processes crashed permanently before going idle
 	steps := 0
-	probes := make([]int, len(sys.Procs))
 	drainUntil := sim.Time(-1)
 	for q.Len() > 0 {
 		if drainUntil >= 0 && q.Peek().At > drainUntil {
@@ -185,6 +288,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			// Partial result: under fault injection non-termination is a
 			// degraded outcome to audit, not an invariant failure, so the
 			// trace so far rides along with the error.
+			finish()
 			return res, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
 		}
 		steps++
@@ -232,10 +336,10 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 
 		wasIdle := proc.Idle()
 		target := proc.Target()
-		old := vars[target]
+		old := sc.vars[target]
 		observed := old
 		if stale {
-			if pv, ok := prevVals[target]; ok {
+			if pv, ok := sc.prevVals[target]; ok {
 				observed = pv
 				res.Faults = append(res.Faults, fault.Event{
 					Kind: fault.StaleRead, At: ev.At, Proc: p, Src: -1,
@@ -246,36 +350,46 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			// not recorded.
 		}
 		newVal := proc.Step(observed)
-		vars[target] = newVal
-		if prevVals != nil {
-			prevVals[target] = old
+		sc.vars[target] = newVal
+		if inj != nil {
+			sc.prevVals[target] = old
 		}
 
-		acc := accessors[target]
-		if acc == nil {
-			acc = make(map[int]bool)
-			accessors[target] = acc
+		// b-bound: track the distinct processes touching each variable in a
+		// small dense slice (len <= b+1, linear scan) instead of a nested
+		// map, so enforcement costs at most one tiny alloc per variable per
+		// run and none per step.
+		acc := sc.access[target]
+		known := false
+		for _, ap := range acc {
+			if ap == int32(p) {
+				known = true
+				break
+			}
 		}
-		acc[p] = true
-		if len(acc) > sys.B {
-			return nil, fmt.Errorf("sm: variable %d accessed by %d > b=%d processes",
-				target, len(acc), sys.B)
+		if !known {
+			acc = append(acc, int32(p))
+			sc.access[target] = acc
+			if len(acc) > sys.B {
+				return nil, fmt.Errorf("sm: variable %d accessed by %d > b=%d processes",
+					target, len(acc), sys.B)
+			}
 		}
 
 		port := model.NoPort
-		if idx, ok := portOf[portKey{target, p}]; ok && !wasIdle {
+		if !wasIdle {
 			// Steps taken from an idle state are not port steps: the
 			// session condition quantifies over the computation up to
 			// idleness (otherwise idle processes parked on their ports
 			// would accumulate sessions forever and trivialize the
 			// problem, contradicting the paper's lower-bound arguments).
-			port = idx
+			port = sc.portOf(p, target)
 		}
-		res.Trace.Steps = append(res.Trace.Steps, model.Step{
-			Index:    len(res.Trace.Steps),
+		sc.steps = append(sc.steps, model.Step{
+			Index:    len(sc.steps),
 			Proc:     p,
 			Time:     ev.At,
-			Accesses: []model.VarAccess{{Var: target, Old: observed, New: newVal}},
+			Accesses: sc.accesses.One(model.VarAccess{Var: target, Old: observed, New: newVal}),
 			Port:     port,
 		})
 
@@ -293,8 +407,8 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			switch {
 			case opts.StepIdleProcesses && idleCount+crashedLive < len(sys.Procs):
 				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
-			case probes[p] < opts.ProbeSteps:
-				probes[p]++
+			case sc.probes[p] < opts.ProbeSteps:
+				sc.probes[p]++
 				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 			}
 			continue
@@ -316,36 +430,30 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 			switch {
 			case opts.StepIdleProcesses && idleCount+crashedLive < len(sys.Procs):
 				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
-			case probes[p] < opts.ProbeSteps:
-				probes[p]++
+			case sc.probes[p] < opts.ProbeSteps:
+				sc.probes[p]++
 				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 			}
 			continue
 		}
 		q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 	}
+	finish()
 
 	if idleCount+crashedLive != len(sys.Procs) {
 		return nil, fmt.Errorf("sm: executor drained queue with %d/%d processes idle",
 			idleCount, len(sys.Procs))
 	}
 
-	isPortProc := make(map[int]bool, len(sys.Ports))
 	for _, pb := range sys.Ports {
-		isPortProc[pb.Proc] = true
-	}
-	for p, at := range res.IdleAt {
-		if isPortProc[p] {
-			res.Finish = sim.MaxTime(res.Finish, at)
+		if pb.Proc >= 0 && pb.Proc < len(sc.idleAt) {
+			res.Finish = sim.MaxTime(res.Finish, res.IdleAt[pb.Proc])
 		}
+	}
+	for _, at := range res.IdleAt {
 		res.FinishAll = sim.MaxTime(res.FinishAll, at)
 	}
 	return res, nil
-}
-
-type portKey struct {
-	v model.VarID
-	p int
 }
 
 func valuesEqual(a, b Value) bool {
