@@ -330,7 +330,8 @@ func (a *announcer) Step(old sm.Value) sm.Value {
 		return old
 	}
 	a.done = true
-	know := tree.Knowledge{a.port: 1}
+	know := tree.NewKnowledge(a.port + 1)
+	know[a.port] = 1
 	tree.MergeCell(know, old)
 	return tree.Cell{Know: know}
 }

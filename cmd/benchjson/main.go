@@ -11,11 +11,19 @@
 //	benchjson -parse bench.txt -o out.json                    # ingest a capture
 //	benchjson -parse bench.txt -merge out.json -label baseline # merge into doc
 //	benchjson -parse bench.txt -budget bench_budget.json      # enforce budget
+//	benchjson -merge doc.json -compare before,after -max-regress 10 # judge labels
 //
 // With -merge FILE the parsed results are stored under key -label inside an
 // existing (or fresh) JSON object, so one document can carry baseline and
 // optimized runs side by side. With -budget FILE the run fails (exit 1) if
 // any benchmark named in the budget file exceeds its allocs/op ceiling.
+//
+// With -compare OLD,NEW the two labels are read from the -merge document and
+// the run fails (exit 1) if any benchmark's ns/op under NEW exceeds OLD by
+// more than -max-regress percent, or if a benchmark vanished from NEW.
+// Without -label this is a pure judgment — no benchmarks run; with -label
+// the fresh results are merged first and can then be compared against a
+// stored baseline in one invocation.
 package main
 
 import (
@@ -122,6 +130,51 @@ func checkBudget(results map[string]Metrics, budget Budget) []string {
 	return violations
 }
 
+// checkRegression compares cur against old and returns one message per
+// benchmark whose ns/op grew by more than maxPct percent, sorted by name.
+// Benchmarks present in old but missing from cur are violations too — a
+// deleted benchmark must not silently drop its coverage. Benchmarks only in
+// cur are ignored (new benchmarks have no baseline).
+func checkRegression(old, cur map[string]Metrics, maxPct float64) []string {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		o := old[name]
+		c, ok := cur[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from the new results", name))
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		pct := (c.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		if pct > maxPct {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, allowed %+.1f%%)",
+					name, o.NsPerOp, c.NsPerOp, pct, maxPct))
+		}
+	}
+	return violations
+}
+
+// labeledResults extracts one label's result set from a merged document.
+func labeledResults(doc map[string]json.RawMessage, label string) (map[string]Metrics, error) {
+	raw, ok := doc[label]
+	if !ok {
+		return nil, fmt.Errorf("benchjson: label %q not in document", label)
+	}
+	var results map[string]Metrics
+	if err := json.Unmarshal(raw, &results); err != nil {
+		return nil, fmt.Errorf("benchjson: label %q: %w", label, err)
+	}
+	return results, nil
+}
+
 // mergeInto reads file (if present) as a JSON object, sets obj[label] to
 // results, and returns the updated document.
 func mergeInto(file, label string, results map[string]Metrics) (map[string]json.RawMessage, error) {
@@ -163,7 +216,18 @@ func run() error {
 	label := flag.String("label", "", "store results under this key (requires -merge)")
 	merge := flag.String("merge", "", "merge results into this JSON document under -label")
 	budgetFile := flag.String("budget", "", "fail if any benchmark exceeds its allocs/op budget in this file")
+	compare := flag.String("compare", "", "compare OLD,NEW labels in the -merge document; fail on ns/op regressions past -max-regress")
+	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op regression percent for -compare")
 	flag.Parse()
+
+	// Pure compare mode: no bench run, just judge two labels already in the
+	// document.
+	if *compare != "" && *label == "" && *parse == "" {
+		if *merge == "" {
+			return fmt.Errorf("benchjson: -compare requires -merge DOC (the labeled document)")
+		}
+		return compareDoc(*merge, *compare, *maxRegress)
+	}
 
 	var text string
 	if *parse != "" {
@@ -221,9 +285,53 @@ func run() error {
 		if *out != "-" && *out != "" {
 			target = *out
 		}
-		return writeJSON(target, doc)
+		if err := writeJSON(target, doc); err != nil {
+			return err
+		}
+		if *compare != "" {
+			return compareDoc(target, *compare, *maxRegress)
+		}
+		return nil
+	}
+	if *compare != "" {
+		return fmt.Errorf("benchjson: -compare requires -merge DOC (the labeled document)")
 	}
 	return writeJSON(*out, results)
+}
+
+// compareDoc loads a labeled document and fails if label NEW regressed past
+// maxPct percent ns/op relative to label OLD ("OLD,NEW").
+func compareDoc(file, spec string, maxPct float64) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("benchjson: -compare wants OLD,NEW labels, got %q", spec)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	doc := make(map[string]json.RawMessage)
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("benchjson: %s is not a JSON object: %w", file, err)
+	}
+	old, err := labeledResults(doc, parts[0])
+	if err != nil {
+		return err
+	}
+	cur, err := labeledResults(doc, parts[1])
+	if err != nil {
+		return err
+	}
+	if violations := checkRegression(old, cur, maxPct); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", v)
+		}
+		return fmt.Errorf("benchjson: %d benchmark(s) regressed past %.1f%% (%s vs %s)",
+			len(violations), maxPct, parts[1], parts[0])
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s within %.1f%% of %s across %d benchmarks\n",
+		parts[1], maxPct, parts[0], len(old))
+	return nil
 }
 
 func main() {

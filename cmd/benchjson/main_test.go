@@ -109,3 +109,70 @@ func keys(m map[string]Metrics) []string {
 	sort.Strings(out)
 	return out
 }
+
+func TestCheckRegression(t *testing.T) {
+	old := map[string]Metrics{
+		"BenchmarkA": {NsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 1000},
+	}
+	cur := map[string]Metrics{
+		"BenchmarkA": {NsPerOp: 105},
+		"BenchmarkB": {NsPerOp: 1500},
+	}
+	// A: +5% within a 10% allowance; B: +50% over it.
+	v := checkRegression(old, cur, 10)
+	if len(v) != 1 || !strings.Contains(v[0], "BenchmarkB") {
+		t.Fatalf("violations = %v, want only BenchmarkB", v)
+	}
+	if v = checkRegression(old, cur, 60); len(v) != 0 {
+		t.Fatalf("within-allowance run produced violations: %v", v)
+	}
+	// A benchmark that vanished from the new results must fail.
+	v = checkRegression(old, map[string]Metrics{"BenchmarkB": {NsPerOp: 1}}, 10)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing benchmark: violations = %v", v)
+	}
+	// New benchmarks without a baseline are not violations.
+	cur["BenchmarkNew"] = Metrics{NsPerOp: 1}
+	if v = checkRegression(old, cur, 60); len(v) != 0 {
+		t.Fatalf("baseline-free benchmark flagged: %v", v)
+	}
+	// Improvements never trip, even at a 0% allowance.
+	if v = checkRegression(old, map[string]Metrics{
+		"BenchmarkA": {NsPerOp: 50}, "BenchmarkB": {NsPerOp: 900},
+	}, 0); len(v) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", v)
+	}
+}
+
+func TestCompareDoc(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	doc, err := mergeInto(path, "before", map[string]Metrics{"BenchmarkA": {NsPerOp: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSON(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	doc, err = mergeInto(path, "after", map[string]Metrics{"BenchmarkA": {NsPerOp: 90}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSON(path, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := compareDoc(path, "before,after", 5); err != nil {
+		t.Errorf("improved run failed the gate: %v", err)
+	}
+	if err := compareDoc(path, "after,before", 5); err == nil {
+		t.Error("11% regression passed a 5% gate")
+	}
+	if err := compareDoc(path, "before,missing", 5); err == nil {
+		t.Error("unknown label accepted")
+	}
+	if err := compareDoc(path, "before", 5); err == nil {
+		t.Error("malformed -compare spec accepted")
+	}
+}

@@ -14,7 +14,11 @@
 //
 //	faultsweep [-s N] [-n N] [-c1 N] [-c2 N] [-d1 N] [-d2 N] [-seeds N]
 //	           [-intensities CSV] [-kinds CSV] [-faultseed N] [-maxsteps N]
-//	           [-models CSV] [-parallelism N] [-timeout D]
+//	           [-models CSV] [-perkind] [-parallelism N] [-timeout D]
+//
+// With -perkind, each fault kind is additionally swept in isolation and a
+// per-kind margin table follows the main one, showing which fault class
+// breaks each model's guarantee first. The main table is unaffected.
 package main
 
 import (
@@ -53,6 +57,7 @@ func run(args []string, w io.Writer) error {
 	faultSeed := fs.Uint64("faultseed", 1, "base seed for fault plans")
 	maxSteps := fs.Int("maxsteps", 0, "step cap per run (0 = default 200000); faulted runs may not terminate")
 	models := fs.String("models", "", "comma-separated subset of model rows (default all): synchronous, periodic, semi-synchronous, sporadic, asynchronous")
+	perKind := fs.Bool("perkind", false, "additionally sweep each fault kind alone and report per-kind robustness margins")
 	parallelism := fs.Int("parallelism", 0, "worker-pool width (0 = GOMAXPROCS); output is identical at any setting")
 	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole sweep (0 = none)")
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +90,7 @@ func run(args []string, w io.Writer) error {
 		FaultSeed:   *faultSeed,
 		MaxSteps:    *maxSteps,
 		Models:      splitCSV(*models),
+		PerKind:     *perKind,
 		Parallelism: *parallelism,
 	}
 	rows, err := harness.FaultSweep(ctx, cfg)

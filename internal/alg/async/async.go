@@ -79,7 +79,7 @@ var _ sm.Process = (*Confirmer)(nil)
 
 // NewConfirmer builds a confirmer port process writing to variable v.
 func NewConfirmer(port, n, s int, v model.VarID) *Confirmer {
-	return &Confirmer{port: port, n: n, s: s, v: v, know: make(tree.Knowledge)}
+	return &Confirmer{port: port, n: n, s: s, v: v, know: tree.NewKnowledge(n)}
 }
 
 // Target implements sm.Process.

@@ -76,7 +76,7 @@ type smPort struct {
 var _ sm.Process = (*smPort)(nil)
 
 func newSMPort(port, n, s int, v model.VarID) *smPort {
-	return &smPort{port: port, n: n, s: s, v: v, know: make(tree.Knowledge)}
+	return &smPort{port: port, n: n, s: s, v: v, know: tree.NewKnowledge(n)}
 }
 
 func (p *smPort) Target() model.VarID { return p.v }

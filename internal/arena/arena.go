@@ -12,16 +12,21 @@
 // Scratch is valid only until the next run with the same Scratch.
 package arena
 
-// chunkSize is the number of entries per arena chunk. Handed-out slices
-// point into a chunk, and chunks are never reallocated or moved once
-// created, so growing the arena cannot invalidate earlier slices. 1024
-// entries amortizes chunk allocation to well under one alloc per thousand
-// steps while keeping idle scratch memory modest.
-const chunkSize = 1024
+// Chunk sizing: handed-out slices point into a chunk, and chunks are never
+// reallocated or moved once created, so growing the arena cannot invalidate
+// earlier slices. Chunks may have different sizes: Reserve seeds an empty
+// arena with one exactly-sized chunk, the first organic chunk starts small
+// (short runs dominate the fresh-scratch path, and a zeroed 1024-entry
+// chunk of pointer-bearing records is the single biggest allocation of such
+// a run), and later chunks use the full size to amortize long runs.
+const (
+	chunkSize      = 1024
+	firstChunkSize = 256
+)
 
-// Chunked hands out small full-capacity slices of T backed by fixed-size
-// chunks. The zero value is ready to use; Reset recycles every chunk for
-// the next run without freeing them.
+// Chunked hands out small full-capacity slices of T backed by chunks. The
+// zero value is ready to use; Reset recycles every chunk for the next run
+// without freeing them.
 type Chunked[T any] struct {
 	chunks [][]T
 	ci     int // index of the chunk currently being filled
@@ -32,17 +37,31 @@ type Chunked[T any] struct {
 // it. The slice stays valid (and immovable) until the next Reset.
 func (a *Chunked[T]) One(v T) []T {
 	if a.ci == len(a.chunks) {
-		a.chunks = append(a.chunks, make([]T, chunkSize))
+		n := chunkSize
+		if len(a.chunks) == 0 {
+			n = firstChunkSize
+		}
+		a.chunks = append(a.chunks, make([]T, n))
 	}
 	c := a.chunks[a.ci]
 	i := a.used
 	c[i] = v
 	a.used++
-	if a.used == chunkSize {
+	if a.used == len(c) {
 		a.ci++
 		a.used = 0
 	}
 	return c[i : i+1 : i+1]
+}
+
+// Reserve seeds an empty arena with a single chunk of capacity n, so a run
+// whose record count is known in advance allocates exactly once. It is a
+// no-op on an arena that already owns chunks (warm scratch reuse) or for
+// n <= 0; overflow past the reserved chunk falls back to regular chunks.
+func (a *Chunked[T]) Reserve(n int) {
+	if n > 0 && len(a.chunks) == 0 {
+		a.chunks = append(a.chunks, make([]T, n))
+	}
 }
 
 // Reset recycles all chunks for reuse. Previously handed-out slices become

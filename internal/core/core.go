@@ -130,7 +130,7 @@ func runSM(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Model, st t
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	res, err := sm.RunContext(ctx, sys, m.NewScheduler(st, seed), smOptions(spec, rs))
+	res, err := sm.RunContext(ctx, sys, m.NewScheduler(st, seed), smOptions(spec, m, rs))
 	if err != nil {
 		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
 	}
@@ -178,7 +178,7 @@ func runMP(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, st t
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), mpOptions(spec, rs))
+	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), mpOptions(spec, m, rs))
 	if err != nil {
 		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
 	}

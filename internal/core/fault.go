@@ -57,7 +57,7 @@ func RunSMFaulted(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Mode
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	opts := smOptions(spec, fr.Scratch)
+	opts := smOptions(spec, m, fr.Scratch)
 	opts.MaxSteps = fr.MaxSteps
 	opts.Injector = fr.Injector
 	res, err := sm.RunContext(ctx, sys, m.NewScheduler(st, seed), opts)
@@ -106,7 +106,7 @@ func RunMPFaulted(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Mode
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	opts := mpOptions(spec, fr.Scratch)
+	opts := mpOptions(spec, m, fr.Scratch)
 	opts.MaxSteps = fr.MaxSteps
 	opts.Injector = fr.Injector
 	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), opts)

@@ -44,18 +44,22 @@ func RunMPScratch(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Mode
 	return runMP(ctx, alg, spec, m, st, seed, rs)
 }
 
-func smOptions(spec Spec, rs *RunScratch) sm.Options {
-	opts := sm.Options{ExpectedSteps: expectedSMSteps(spec)}
+func smOptions(spec Spec, m timing.Model, rs *RunScratch) sm.Options {
+	opts := sm.Options{
+		ExpectedSteps: expectedSMSteps(spec),
+		WindowHint:    m.MaxIncrement(),
+	}
 	if rs != nil {
 		opts.Scratch = &rs.SM
 	}
 	return opts
 }
 
-func mpOptions(spec Spec, rs *RunScratch) mp.Options {
+func mpOptions(spec Spec, m timing.Model, rs *RunScratch) mp.Options {
 	opts := mp.Options{
 		ExpectedSteps:  expectedMPSteps(spec),
 		ExpectedDelays: expectedMPDelays(spec),
+		WindowHint:     m.MaxIncrement(),
 	}
 	if rs != nil {
 		opts.Scratch = &rs.MP

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the fixed shard count of a RunCache. Sharding bounds lock
+// contention when many workers consult the cache at once; 64 comfortably
+// exceeds any realistic worker-pool width.
+const cacheShards = 64
+
+// RunCache is a content-addressed, concurrency-safe result cache shared by
+// harness and facade runs. Keys are full-fidelity strings (see core.RunKey):
+// hashing only routes a key to a shard, equality is always decided on the
+// complete key, so hash collisions can never alias two distinct runs.
+//
+// Values are opaque to the engine; callers store immutable summaries (never
+// anything aliasing reusable trace or scratch state) so a hit can be handed
+// to any number of concurrent readers. A nil *RunCache is a valid no-op
+// cache: Get always misses without counting, Put discards.
+type RunCache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// NewRunCache returns an empty cache.
+func NewRunCache() *RunCache {
+	c := &RunCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]any)
+	}
+	return c
+}
+
+// shardOf routes a key to its shard with an inline FNV-1a hash.
+func (c *RunCache) shardOf(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached value for key, counting the lookup as a hit or
+// miss. Nil-safe: a nil cache misses silently.
+func (c *RunCache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shardOf(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores v under key, overwriting any previous entry. Nil-safe.
+func (c *RunCache) Put(key string, v any) {
+	if c == nil {
+		return
+	}
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
+}
+
+// Hits returns the cumulative hit count (0 for a nil cache).
+func (c *RunCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses returns the cumulative miss count (0 for a nil cache).
+func (c *RunCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// Len returns the number of cached entries.
+func (c *RunCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// WithRunCache attaches a shared run cache to the engine. Every task context
+// of every Execute call exposes it via RunCacheFrom, and the engine's Stats
+// report the hits and misses its Execute calls contributed.
+func WithRunCache(c *RunCache) Option {
+	return func(e *Engine) { e.cache = c }
+}
+
+// runCacheKey carries the engine's run cache through task contexts.
+type runCacheKey struct{}
+
+// RunCacheFrom returns the cache the running engine exposes to its tasks,
+// or nil when the task context has none (caching disabled).
+func RunCacheFrom(ctx context.Context) *RunCache {
+	c, _ := ctx.Value(runCacheKey{}).(*RunCache)
+	return c
+}

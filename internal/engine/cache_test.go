@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRunCacheGetPut(t *testing.T) {
+	c := NewRunCache()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", 42)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get(a) = %v, %v; want 42, true", v, ok)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	c.Put("a", 43) // overwrite
+	if v, _ := c.Get("a"); v.(int) != 43 {
+		t.Fatalf("overwrite lost: got %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d, want 1", c.Len())
+	}
+}
+
+func TestRunCacheNilSafe(t *testing.T) {
+	var c *RunCache
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.Put("a", 1) // must not panic
+	if c.Hits() != 0 || c.Misses() != 0 || c.Len() != 0 {
+		t.Fatal("nil cache counted something")
+	}
+}
+
+func TestRunCacheConcurrent(t *testing.T) {
+	c := NewRunCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%50)
+				if v, ok := c.Get(key); ok {
+					if v.(int) != i%50 {
+						panic("engine: cache returned an aliased entry")
+					}
+					continue
+				}
+				c.Put(key, i%50)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", c.Len())
+	}
+}
+
+func TestEngineRunCacheThreading(t *testing.T) {
+	cache := NewRunCache()
+	e := New(WithParallelism(2), WithRunCache(cache))
+
+	// Tasks memoize through the cache: 10 tasks over 5 distinct keys.
+	task := func(i int) Task {
+		key := fmt.Sprintf("key%d", i%5)
+		return Task{Label: key, Run: func(ctx context.Context) (any, error) {
+			c := RunCacheFrom(ctx)
+			if c == nil {
+				t.Error("RunCacheFrom returned nil inside an engine task")
+				return nil, nil
+			}
+			if v, ok := c.Get(key); ok {
+				return v, nil
+			}
+			v := i % 5
+			c.Put(key, v)
+			return v, nil
+		}}
+	}
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		tasks[i] = task(i)
+	}
+	if _, err := e.Execute(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CacheHits+st.CacheMisses != 10 {
+		t.Fatalf("hits+misses = %d, want 10", st.CacheHits+st.CacheMisses)
+	}
+	if st.CacheMisses < 5 {
+		t.Fatalf("misses = %d, want >= 5 (one per distinct key)", st.CacheMisses)
+	}
+	if cache.Len() != 5 {
+		t.Fatalf("cache entries = %d, want 5", cache.Len())
+	}
+
+	// A second engine sharing the cache sees only its own delta in Stats.
+	e2 := New(WithParallelism(2), WithRunCache(cache))
+	tasks2 := make([]Task, 5)
+	for i := range tasks2 {
+		tasks2[i] = task(i)
+	}
+	if _, err := e2.Execute(context.Background(), tasks2); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e2.Stats()
+	if st2.CacheHits != 5 || st2.CacheMisses != 0 {
+		t.Fatalf("second engine hits/misses = %d/%d, want 5/0", st2.CacheHits, st2.CacheMisses)
+	}
+}
+
+func TestEngineWithoutCache(t *testing.T) {
+	e := New(WithParallelism(1))
+	tasks := []Task{{Label: "t", Run: func(ctx context.Context) (any, error) {
+		if RunCacheFrom(ctx) != nil {
+			t.Error("RunCacheFrom returned a cache without WithRunCache")
+		}
+		return nil, nil
+	}}}
+	if _, err := e.Execute(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("cache counters without cache = %d/%d, want 0/0", st.CacheHits, st.CacheMisses)
+	}
+}

@@ -112,6 +112,11 @@ type Stats struct {
 	Counts Counts
 	// Parallelism is the worker-pool width.
 	Parallelism int
+	// CacheHits and CacheMisses count run-cache lookups made by this
+	// engine's Execute calls (zero when no cache is attached; see
+	// WithRunCache).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Option configures an Engine.
@@ -167,6 +172,7 @@ type Engine struct {
 	timeout     time.Duration
 	observer    Observer
 	workerState func() any
+	cache       *RunCache
 
 	mu    sync.Mutex
 	stats Stats
@@ -213,6 +219,12 @@ func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
 	// A fail-fast abort must not cancel the caller's ctx, so wrap it.
 	runCtx, abort := context.WithCancel(ctx)
 	defer abort()
+	if e.cache != nil {
+		runCtx = context.WithValue(runCtx, runCacheKey{}, e.cache)
+	}
+	// The cache counters are global to the (possibly shared) cache; the
+	// stats attribute only this call's delta to this engine.
+	hits0, misses0 := e.cache.Hits(), e.cache.Misses()
 
 	results := make([]Result, len(tasks))
 	for i := range results {
@@ -271,6 +283,8 @@ func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
 
 	e.mu.Lock()
 	e.stats.Wall += time.Since(start) //lint:allow nodeterm wall-clock accounting, never in results
+	e.stats.CacheHits += e.cache.Hits() - hits0
+	e.stats.CacheMisses += e.cache.Misses() - misses0
 	for _, r := range results {
 		if errors.Is(r.Err, ErrSkipped) {
 			e.stats.Tasks++

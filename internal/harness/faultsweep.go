@@ -50,6 +50,13 @@ type FaultSweepConfig struct {
 	// "asynchronous"); empty means all five.
 	Models []string
 
+	// PerKind additionally sweeps each fault kind in isolation and reports
+	// a per-kind robustness margin in FaultSweepRow.KindMargins. The base
+	// matrix (and its plan seeds) is unchanged; the per-kind sub-matrices
+	// extend the run index space, so enabling this never perturbs the
+	// combined-fault results.
+	PerKind bool
+
 	// Parallelism is the worker-pool width; <= 0 means GOMAXPROCS.
 	Parallelism int
 	// Engine optionally supplies a shared execution engine, overriding
@@ -137,20 +144,54 @@ type FaultSweepRow struct {
 	Margin float64
 	// Cells are the per-intensity aggregates, in ascending intensity order.
 	Cells []FaultCell
+	// KindMargins holds the robustness margin under each fault kind injected
+	// alone, identifying which fault class breaks the guarantee first. Nil
+	// unless FaultSweepConfig.PerKind is set.
+	KindMargins map[fault.Kind]float64
 }
 
-// faultOutcome is one engine task's return: the audited report.
+// faultOutcome is one engine task's return: the audit scalars the sweep
+// aggregates. Report-free so cached and live runs are indistinguishable.
 type faultOutcome struct {
-	rep *core.Report
+	verdict  fault.Verdict
+	silent   bool
+	sessions int
+
+	steps, messages, faults int
 }
 
 // Account feeds the run's simulator counts into engine.Stats.
 func (o faultOutcome) Account() engine.Counts {
 	return engine.Counts{
-		Steps:    o.rep.Steps(),
-		Sessions: o.rep.Sessions,
-		Messages: o.rep.Messages,
-		Faults:   len(o.rep.Faults),
+		Steps:    o.steps,
+		Sessions: o.sessions,
+		Messages: o.messages,
+		Faults:   o.faults,
+	}
+}
+
+// faultOutcomeOf projects a run summary onto the sweep outcome.
+func faultOutcomeOf(sum *core.RunSummary) faultOutcome {
+	return faultOutcome{
+		verdict:  sum.Audit.Verdict,
+		silent:   sum.Audit.Silent(),
+		sessions: sum.Sessions,
+		steps:    sum.Steps,
+		messages: sum.Messages,
+		faults:   sum.Faults,
+	}
+}
+
+// faultOutcomeOfReport is faultOutcomeOf without the summary detour, for
+// the cache-free path.
+func faultOutcomeOfReport(rep *core.Report) faultOutcome {
+	return faultOutcome{
+		verdict:  rep.Audit.Verdict,
+		silent:   rep.Audit.Silent(),
+		sessions: rep.Sessions,
+		steps:    rep.Steps(),
+		messages: rep.Messages,
+		faults:   len(rep.Faults),
 	}
 }
 
@@ -210,29 +251,62 @@ func FaultSweep(ctx context.Context, cfg FaultSweepConfig) ([]FaultSweepRow, err
 	perRow := len(cfg.Intensities) * perCell
 	total := len(defs) * perRow
 
+	// The per-kind sub-matrices occupy indices [total, grand): one full copy
+	// of the base matrix per kind, restricted to that kind. Plan seeds key
+	// off the extended flat index, so the base matrix's seeds — and its
+	// results — are bit-for-bit unchanged whether PerKind is on or off.
+	kindAxis := cfg.Kinds
+	if len(kindAxis) == 0 {
+		kindAxis = fault.AllKinds()
+	}
+	grand := total
+	if cfg.PerKind {
+		grand = total * (1 + len(kindAxis))
+	}
+
 	// decode maps a flat index to its matrix coordinates.
-	decode := func(i int) (d faultRowDef, intensity float64, st timing.Strategy, seed uint64) {
+	decode := func(i int) (d faultRowDef, intensity float64, st timing.Strategy, seed uint64, kinds []fault.Kind) {
+		kinds = cfg.Kinds
+		if i >= total {
+			kinds = kindAxis[(i-total)/total : (i-total)/total+1]
+			i = (i - total) % total
+		}
 		d = defs[i/perRow]
 		j := i % perRow
 		intensity = cfg.Intensities[j/perCell]
 		k := j % perCell
-		return d, intensity, sts[k/cfg.Seeds], uint64(k%cfg.Seeds) + 1
+		return d, intensity, sts[k/cfg.Seeds], uint64(k%cfg.Seeds) + 1, kinds
 	}
 
-	outs, err := engine.Map(ctx, cfg.engineOrNew(), total,
+	outs, err := engine.Map(ctx, cfg.engineOrNew(), grand,
 		func(i int) string {
-			d, intensity, st, seed := decode(i)
+			d, intensity, st, seed, _ := decode(i)
+			if i >= total {
+				return fmt.Sprintf("fault %s/%v i=%.2f %v seed %d",
+					d.name, kindAxis[(i-total)/total], intensity, st, seed)
+			}
 			return fmt.Sprintf("fault %s i=%.2f %v seed %d", d.name, intensity, st, seed)
 		},
 		func(ctx context.Context, i int) (faultOutcome, error) {
-			d, intensity, st, seed := decode(i)
-			plan := fault.NewPlan(planSeed(cfg.FaultSeed, i), intensity, cfg.Kinds...).ScaledTo(d.model)
-			rep, err := core.RunMPFaulted(ctx, d.alg, spec, d.model, st, seed,
-				core.FaultRun{Injector: plan.Injector(), MaxSteps: cfg.MaxSteps, Scratch: scratchFrom(ctx)})
+			d, intensity, st, seed, kinds := decode(i)
+			plan := fault.NewPlan(planSeed(cfg.FaultSeed, i), intensity, kinds...).ScaledTo(d.model)
+			run := func() (*core.Report, error) {
+				return core.RunMPFaulted(ctx, d.alg, spec, d.model, st, seed,
+					core.FaultRun{Injector: plan.Injector(), MaxSteps: cfg.MaxSteps, Scratch: scratchFrom(ctx)})
+			}
+			if engine.RunCacheFrom(ctx) != nil {
+				key := core.RunKey("MP", d.alg.Name(), spec, d.model, st, seed, cfg.MaxSteps, &plan)
+				sum, err := cachedRun(ctx, key, run)
+				if err != nil {
+					return faultOutcome{}, fmt.Errorf("fault sweep %s i=%.2f: %w", d.name, intensity, err)
+				}
+				return faultOutcomeOf(sum), nil
+			}
+			rep, err := run()
 			if err != nil {
 				return faultOutcome{}, fmt.Errorf("fault sweep %s i=%.2f: %w", d.name, intensity, err)
 			}
-			return faultOutcome{rep: rep}, nil
+			return faultOutcomeOfReport(rep), nil
 		})
 	if err != nil {
 		return nil, err
@@ -245,22 +319,22 @@ func FaultSweep(ctx context.Context, cfg FaultSweepConfig) ([]FaultSweepRow, err
 			cell := FaultCell{Intensity: intensity, Runs: perCell, MinSessions: -1}
 			base := di*perRow + ii*perCell
 			for k := 0; k < perCell; k++ {
-				rep := outs[base+k].rep
-				switch rep.Audit.Verdict {
+				o := outs[base+k]
+				switch o.verdict {
 				case fault.VerdictAdmissible:
 					cell.Admissible++
 				case fault.VerdictRecovered:
 					cell.Recovered++
 				default:
 					cell.Broken++
-					if rep.Audit.Silent() {
+					if o.silent {
 						cell.Silent++
 					}
 				}
-				if cell.MinSessions < 0 || rep.Sessions < cell.MinSessions {
-					cell.MinSessions = rep.Sessions
+				if cell.MinSessions < 0 || o.sessions < cell.MinSessions {
+					cell.MinSessions = o.sessions
 				}
-				cell.FaultsInjected += len(rep.Faults)
+				cell.FaultsInjected += o.faults
 			}
 			row.Cells = append(row.Cells, cell)
 		}
@@ -271,6 +345,27 @@ func FaultSweep(ctx context.Context, cfg FaultSweepConfig) ([]FaultSweepRow, err
 				break
 			}
 			row.Margin = cell.Intensity
+		}
+		if cfg.PerKind {
+			row.KindMargins = make(map[fault.Kind]float64, len(kindAxis))
+			for ki, kind := range kindAxis {
+				margin := -1.0
+				for ii, intensity := range cfg.Intensities {
+					base := total + ki*total + di*perRow + ii*perCell
+					held := true
+					for k := 0; k < perCell; k++ {
+						if v := outs[base+k].verdict; v != fault.VerdictAdmissible && v != fault.VerdictRecovered {
+							held = false
+							break
+						}
+					}
+					if !held {
+						break
+					}
+					margin = intensity
+				}
+				row.KindMargins[kind] = margin
+			}
 		}
 		rows[di] = row
 	}
@@ -304,5 +399,46 @@ func WriteFaultSweep(w io.Writer, rows []FaultSweepRow) error {
 		}
 		fmt.Fprintln(tw)
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Per-kind margins appear only when the sweep was run with PerKind, so
+	// the default table stays byte-identical.
+	perKind := false
+	for _, r := range rows {
+		if r.KindMargins != nil {
+			perKind = true
+			break
+		}
+	}
+	if !perKind {
+		return nil
+	}
+	fmt.Fprintln(w, "\n# Per-kind robustness margins (each fault class injected alone)")
+	ktw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	kinds := fault.AllKinds()
+	fmt.Fprint(ktw, "MODEL")
+	for _, k := range kinds {
+		if _, ok := rows[0].KindMargins[k]; ok {
+			fmt.Fprintf(ktw, "\t%v", k)
+		}
+	}
+	fmt.Fprintln(ktw)
+	for _, r := range rows {
+		fmt.Fprint(ktw, r.Model)
+		for _, k := range kinds {
+			m, ok := r.KindMargins[k]
+			if !ok {
+				continue
+			}
+			if m < 0 {
+				fmt.Fprint(ktw, "\tnone")
+			} else {
+				fmt.Fprintf(ktw, "\t%.2f", m)
+			}
+		}
+		fmt.Fprintln(ktw)
+	}
+	return ktw.Flush()
 }

@@ -3,10 +3,12 @@ package harness
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
 	"sessionproblem/internal/engine"
+	"sessionproblem/internal/fault"
 )
 
 // The acceptance property of the robustness sweep: the guarantee holds at
@@ -109,5 +111,76 @@ func TestSweepFaultIntensityKind(t *testing.T) {
 		if p.X == 0 && p.Measured != 1 {
 			t.Errorf("%s: fault-free control held fraction %v, want 1", p.Label, p.Measured)
 		}
+	}
+}
+
+// PerKind must extend the sweep without perturbing it: the base cells and
+// margins are bit-identical to a PerKind-free run, and every swept kind gets
+// a margin bounded by the intensity axis.
+func TestFaultSweepPerKind(t *testing.T) {
+	base := FaultSweepConfig{
+		S: 2, N: 2, Seeds: 1,
+		Intensities: []float64{0, 0.3, 0.9},
+		MaxSteps:    20_000,
+		Models:      []string{"synchronous", "sporadic"},
+	}
+	plain, err := FaultSweep(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.PerKind = true
+	rows, err := FaultSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := fault.AllKinds()
+	for i, row := range rows {
+		if !reflect.DeepEqual(row.Cells, plain[i].Cells) || row.Margin != plain[i].Margin {
+			t.Errorf("%s: PerKind perturbed the base matrix:\n%+v\nvs\n%+v",
+				row.Model, row.Cells, plain[i].Cells)
+		}
+		if len(row.KindMargins) != len(kinds) {
+			t.Fatalf("%s: %d kind margins, want %d", row.Model, len(row.KindMargins), len(kinds))
+		}
+		for _, k := range kinds {
+			m, ok := row.KindMargins[k]
+			if !ok {
+				t.Errorf("%s: kind %v missing", row.Model, k)
+				continue
+			}
+			if m != -1 && m != 0 && m != 0.3 && m != 0.9 {
+				t.Errorf("%s/%v: margin %v not on the intensity axis", row.Model, k, m)
+			}
+			// A single kind injects a subset of the combined plan's faults,
+			// so its margin can only meet or exceed the combined margin...
+			// except that plan seeds differ, so we only check the control:
+			// intensity 0 holds for every kind, hence margin >= 0.
+			if m < 0 {
+				t.Errorf("%s/%v: margin %v, want >= 0 (fault-free control must hold)", row.Model, k, m)
+			}
+		}
+	}
+	if plain[0].KindMargins != nil {
+		t.Error("PerKind-off rows carry kind margins")
+	}
+
+	// Rendering: the per-kind table appears, and only with PerKind on.
+	var with, without bytes.Buffer
+	if err := WriteFaultSweep(&with, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFaultSweep(&without, plain); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(with.String(), "Per-kind robustness margins") {
+		t.Errorf("per-kind table missing:\n%s", with.String())
+	}
+	if strings.Contains(without.String(), "Per-kind") {
+		t.Errorf("per-kind table leaked into default output:\n%s", without.String())
+	}
+	if !strings.HasPrefix(with.String(), without.String()) {
+		t.Errorf("PerKind changed the main table:\n%s\nvs\n%s", with.String(), without.String())
 	}
 }

@@ -163,22 +163,72 @@ func (c Cell) Verdict() string {
 }
 
 // runOutcome is what one engine task returns: the measurements cell
-// aggregation needs plus the report for engine-level accounting.
+// aggregation needs plus the scalar counts for engine-level accounting.
+// Deliberately report-free so cache hits (which have no report) and live
+// runs produce indistinguishable outcomes.
 type runOutcome struct {
 	finish float64
 	rounds int
 	gamma  sim.Duration
-	rep    *core.Report
+
+	steps, sessions, messages, faults int
 }
 
 // Account feeds the run's simulator counts into engine.Stats.
 func (r runOutcome) Account() engine.Counts {
 	return engine.Counts{
-		Steps:    r.rep.Steps(),
-		Sessions: r.rep.Sessions,
-		Messages: r.rep.Messages,
-		Faults:   len(r.rep.Faults),
+		Steps:    r.steps,
+		Sessions: r.sessions,
+		Messages: r.messages,
+		Faults:   r.faults,
 	}
+}
+
+// outcomeOf projects a run summary onto the harness outcome.
+func outcomeOf(sum *core.RunSummary) runOutcome {
+	return runOutcome{
+		finish:   float64(sum.Finish),
+		rounds:   sum.Rounds,
+		gamma:    sum.Gamma,
+		steps:    sum.Steps,
+		sessions: sum.Sessions,
+		messages: sum.Messages,
+		faults:   sum.Faults,
+	}
+}
+
+// outcomeOfReport is outcomeOf without the summary detour, for the
+// cache-free path; the two derive every field identically, so enabling the
+// cache never changes a result.
+func outcomeOfReport(rep *core.Report) runOutcome {
+	return runOutcome{
+		finish:   float64(rep.Finish),
+		rounds:   rep.Rounds,
+		gamma:    rep.Gamma,
+		steps:    rep.Steps(),
+		sessions: rep.Sessions,
+		messages: rep.Messages,
+		faults:   len(rep.Faults),
+	}
+}
+
+// cachedRun wraps a verified run with the content-addressed cache the
+// engine exposes (if any): equal keys return the memoized summary without
+// simulating; misses run, summarize and populate. Errors are never cached.
+func cachedRun(ctx context.Context, key string, run func() (*core.Report, error)) (*core.RunSummary, error) {
+	cache := engine.RunCacheFrom(ctx)
+	if cache != nil {
+		if v, ok := cache.Get(key); ok {
+			return v.(*core.RunSummary), nil
+		}
+	}
+	rep, err := run()
+	if err != nil {
+		return nil, err
+	}
+	sum := core.Summarize(rep)
+	cache.Put(key, sum)
+	return sum, nil
 }
 
 // cellDef declares one Table-1 cell's run matrix: which algorithm under
@@ -205,24 +255,29 @@ func (d cellDef) name() string {
 	return d.mpAlg.Name()
 }
 
-// runOnce executes one (strategy, seed) entry of the cell's matrix.
+// runOnce executes one (strategy, seed) entry of the cell's matrix,
+// consulting the engine's run cache (when one is attached) so overlapping
+// matrices simulate each unique run once.
 func (d cellDef) runOnce(ctx context.Context, st timing.Strategy, seed uint64) (runOutcome, error) {
-	var rep *core.Report
-	var err error
-	if d.smAlg != nil {
-		rep, err = core.RunSMScratch(ctx, d.smAlg, d.spec, d.model, st, seed, scratchFrom(ctx))
-	} else {
-		rep, err = core.RunMPScratch(ctx, d.mpAlg, d.spec, d.model, st, seed, scratchFrom(ctx))
+	run := func() (*core.Report, error) {
+		if d.smAlg != nil {
+			return core.RunSMScratch(ctx, d.smAlg, d.spec, d.model, st, seed, scratchFrom(ctx))
+		}
+		return core.RunMPScratch(ctx, d.mpAlg, d.spec, d.model, st, seed, scratchFrom(ctx))
 	}
+	if engine.RunCacheFrom(ctx) != nil {
+		key := core.RunKey(d.comm, d.name(), d.spec, d.model, st, seed, 0, nil)
+		sum, err := cachedRun(ctx, key, run)
+		if err != nil {
+			return runOutcome{}, fmt.Errorf("%s/%s %v seed %d: %w", d.row, d.comm, st, seed, err)
+		}
+		return outcomeOf(sum), nil
+	}
+	rep, err := run()
 	if err != nil {
 		return runOutcome{}, fmt.Errorf("%s/%s %v seed %d: %w", d.row, d.comm, st, seed, err)
 	}
-	return runOutcome{
-		finish: float64(rep.Finish),
-		rounds: rep.Rounds,
-		gamma:  rep.Gamma,
-		rep:    rep,
-	}, nil
+	return outcomeOfReport(rep), nil
 }
 
 // aggregate folds the cell's index-ordered run outcomes into a Cell. The

@@ -66,11 +66,25 @@ func maxFinishByGroup(ctx context.Context, eng *engine.Engine, runs []mpRun, gro
 		},
 		func(ctx context.Context, i int) (runOutcome, error) {
 			r := runs[i]
-			rep, err := core.RunMPScratch(ctx, r.alg, r.spec, r.model, r.st, r.seed, scratchFrom(ctx))
+			run := func() (*core.Report, error) {
+				return core.RunMPScratch(ctx, r.alg, r.spec, r.model, r.st, r.seed, scratchFrom(ctx))
+			}
+			if engine.RunCacheFrom(ctx) != nil {
+				// Same key space as the Table-1 cells: a hierarchy or sweep
+				// run that coincides with a table run is the same computation
+				// and shares its cache slot.
+				key := core.RunKey("MP", r.alg.Name(), r.spec, r.model, r.st, r.seed, 0, nil)
+				sum, err := cachedRun(ctx, key, run)
+				if err != nil {
+					return runOutcome{}, fmt.Errorf("%s: %w", r.label, err)
+				}
+				return outcomeOf(sum), nil
+			}
+			rep, err := run()
 			if err != nil {
 				return runOutcome{}, fmt.Errorf("%s: %w", r.label, err)
 			}
-			return runOutcome{finish: float64(rep.Finish), gamma: rep.Gamma, rep: rep}, nil
+			return outcomeOfReport(rep), nil
 		})
 	if err != nil {
 		return nil, err

@@ -214,10 +214,26 @@ func (tr *Trace) MaxStepGap(proc int) sim.Duration {
 // Gamma returns the largest step time of any regular process before the
 // given time bound (the per-computation parameter γ from Section 2.3).
 // Passing the trace's FinishTime covers the whole computation.
+//
+// Equivalent to maximizing MaxStepGap over all processes, but in one pass
+// over the trace with per-process last-step times instead of one pass per
+// process: the gap from time 0 to a process's first step counts, and
+// processes that never step contribute nothing.
 func (tr *Trace) Gamma() sim.Duration {
+	if tr.NumProcs == 0 {
+		return 0
+	}
+	last := make([]sim.Time, tr.NumProcs)
 	var gamma sim.Duration
-	for p := 0; p < tr.NumProcs; p++ {
-		gamma = sim.MaxDuration(gamma, tr.MaxStepGap(p))
+	for i := range tr.Steps {
+		s := &tr.Steps[i]
+		if s.Proc < 0 || s.Proc >= tr.NumProcs {
+			continue // network steps
+		}
+		if gap := s.Time.Sub(last[s.Proc]); gap > gamma {
+			gamma = gap
+		}
+		last[s.Proc] = s.Time
 	}
 	return gamma
 }

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"sessionproblem/internal/arena"
 	"sessionproblem/internal/fault"
@@ -69,7 +70,15 @@ type Scratch struct {
 	idleAt   []sim.Time
 	crashed  []bool
 	idleMark []bool
-	portIdx  []int // proc -> port index, -1 = none
+	portIdx  []int       // proc -> port index, -1 = none
+	batch    []sim.Event // tick-batch scratch for the dispatch loop
+	// lastSteps/lastDelays are the record counts of the previous run.
+	// Pooled scratches detach the step, access and delay buffers on
+	// release (a Result aliases them), so these scalars are what carry the
+	// sizing knowledge across pool cycles: the next run pre-sizes from the
+	// observed high-water marks instead of the caller's worst-case hints.
+	lastSteps  int
+	lastDelays int
 }
 
 // Options tune an execution.
@@ -105,6 +114,12 @@ type Options struct {
 	// both are hints only.
 	ExpectedSteps  int
 	ExpectedDelays int
+	// WindowHint is the timing model's maximum scheduling increment
+	// (timing.Model.MaxIncrement); the calendar queue sizes its bucket
+	// window from it so steady-state pushes never hit the overflow heap.
+	// Zero leaves the queue's default window; larger increments (e.g.
+	// fault-injected restart pauses) still work, via the overflow path.
+	WindowHint sim.Duration
 }
 
 // Result is the outcome of one execution.
@@ -154,16 +169,51 @@ func Run(sys *System, sched Scheduler, opts Options) (*Result, error) {
 // cancellation latency.
 const ctxCheckInterval = 1024
 
+// scratchPool recycles scratches for scratch-free runs, so the event queue,
+// message buffers, freelist and bookkeeping keep their warm capacity even
+// when the caller did not supply a Scratch. Only buffers the Result never
+// aliases stay attached; release detaches the rest, so a handed-out Result
+// is never mutated by a later pooled run. Reuse is invisible to
+// determinism: warm capacity changes where values live, never what they
+// are.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// release detaches every buffer a Result may alias (trace steps, the access
+// arena, Delays, IdleAt, Crashed) and returns the scratch to the pool.
+func (sc *Scratch) release() {
+	sc.lastSteps = len(sc.steps)
+	sc.lastDelays = len(sc.delays)
+	sc.steps = nil
+	sc.accesses = arena.Chunked[model.VarAccess]{}
+	sc.delays = nil
+	sc.idleAt = nil
+	sc.crashed = nil
+	scratchPool.Put(sc)
+}
+
 // prepare resets the scratch for a run over n processes.
-func (sc *Scratch) prepare(sys *System, expectedSteps, expectedDelays int) {
+func (sc *Scratch) prepare(sys *System, opts *Options) {
 	n := len(sys.Procs)
+	expectedSteps, expectedDelays := opts.ExpectedSteps, opts.ExpectedDelays
 	sc.queue.Reset()
 	sc.queue.Reserve(n)
+	if opts.WindowHint > 0 {
+		sc.queue.SetWindow(opts.WindowHint)
+	}
+	if sc.lastSteps > 0 {
+		// Observed sizes beat the caller's worst-case hints: short-lived
+		// runs would otherwise pay multi-kilobyte zeroed allocations for
+		// a few dozen steps. The slack absorbs seed-to-seed variation;
+		// append growth covers any remainder.
+		expectedSteps = sc.lastSteps + sc.lastSteps/8 + 8
+		expectedDelays = sc.lastDelays + sc.lastDelays/8 + 8
+	}
 	if sc.steps == nil && expectedSteps > 0 {
 		sc.steps = make([]model.Step, 0, expectedSteps)
 	}
 	sc.steps = sc.steps[:0]
 	sc.accesses.Reset()
+	sc.accesses.Reserve(expectedSteps) // one access record per step
 	if sc.delays == nil && expectedDelays > 0 {
 		sc.delays = make([]timing.MessageDelay, 0, expectedDelays)
 	}
@@ -230,9 +280,12 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	inj := opts.Injector
 	sc := opts.Scratch
 	if sc == nil {
-		sc = new(Scratch)
+		sc = scratchPool.Get().(*Scratch)
+		// Registered before the batch save-back below so it runs after it:
+		// the scratch must be fully quiescent before re-entering the pool.
+		defer sc.release()
 	}
-	sc.prepare(sys, opts.ExpectedSteps, opts.ExpectedDelays)
+	sc.prepare(sys, &opts)
 
 	res := &Result{
 		Trace:   &model.Trace{NumProcs: n, NumPorts: len(sys.PortProcs)},
@@ -257,187 +310,210 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	steps := 0
 	sendCounter := 0
 	drainUntil := sim.Time(-1)
+	// The dispatch loop drains whole ticks at once: PopTick hands over every
+	// event at the earliest tick in (Kind, Proc, Seq) order — deliveries
+	// before steps — and the PeekAt guard merges events pushed back onto the
+	// tick being drained (zero-delay deliveries under asynchronous models),
+	// so the executed order is identical to a pop-one-at-a-time loop.
+	batch := sc.batch[:0]
+	defer func() {
+		clear(batch) // release message-body references
+		sc.batch = batch[:0]
+	}()
+	var now sim.Time
+dispatch:
 	for q.Len() > 0 {
 		if idleCount+crashedLive == n {
 			// With StepIdleProcesses the current tick is finished so the
 			// final round of lockstep traces is complete; otherwise stop.
-			if !opts.StepIdleProcesses || q.Peek().At > drainUntil {
+			if !opts.StepIdleProcesses || q.PeekTime() > drainUntil {
 				break
 			}
 		}
-		ev := q.Pop()
-		switch ev.Kind {
-		case sim.KindDelivery:
-			dst := ev.Proc
-			buf := sc.buffers[dst]
-			if buf == nil {
-				buf = sc.free.Get()
-			}
-			sc.buffers[dst] = append(buf, Message{From: ev.Src, Body: ev.Body})
-			sc.steps = append(sc.steps, model.Step{
-				Index:    len(sc.steps),
-				Proc:     model.NetworkProc,
-				Time:     ev.At,
-				Accesses: sc.accesses.One(model.VarAccess{Var: bufVar(dst)}),
-				Port:     model.NoPort,
-			})
-
-		case sim.KindStep:
-			if steps >= maxSteps {
-				// Partial result: under fault injection non-termination is a
-				// degraded outcome to audit, not an invariant failure, so
-				// the trace so far rides along with the error.
-				finish()
-				return res, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
-			}
-			steps++
-			if steps%ctxCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
+		now, batch = q.PopTick(batch[:0])
+		for bi := 0; bi < len(batch); bi++ {
+			if idleCount+crashedLive == n {
+				if !opts.StepIdleProcesses || now > drainUntil {
+					break dispatch
 				}
 			}
-			p := ev.Proc
-			proc := sys.Procs[p]
-			wasIdle := sc.idleMark[p]
-			if inj != nil {
-				switch eff := inj.StepEffect(p, ev.At); eff.Kind {
-				case fault.Crash:
-					if eff.Restart > 0 {
-						res.Faults = append(res.Faults, fault.Event{
-							Kind: fault.Crash, At: ev.At, Proc: p, Src: -1,
-							Detail: fmt.Sprintf("restart after %v", eff.Restart),
-						})
-						q.Push(sim.Event{At: ev.At.Add(eff.Restart), Kind: sim.KindStep, Proc: p})
-						continue
+			if ev0, ok := q.PeekAt(now); ok && sim.SameTickLess(ev0, batch[bi]) {
+				batch = sim.MergeSameTick(q, now, batch, bi)
+			}
+			ev := batch[bi]
+			switch ev.Kind {
+			case sim.KindDelivery:
+				dst := ev.Proc
+				buf := sc.buffers[dst]
+				if buf == nil {
+					buf = sc.free.Get()
+				}
+				sc.buffers[dst] = append(buf, Message{From: ev.Src, Body: ev.Body})
+				sc.steps = append(sc.steps, model.Step{
+					Index:    len(sc.steps),
+					Proc:     model.NetworkProc,
+					Time:     ev.At,
+					Accesses: sc.accesses.One(model.VarAccess{Var: bufVar(dst)}),
+					Port:     model.NoPort,
+				})
+
+			case sim.KindStep:
+				if steps >= maxSteps {
+					// Partial result: under fault injection non-termination is a
+					// degraded outcome to audit, not an invariant failure, so
+					// the trace so far rides along with the error.
+					finish()
+					return res, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
+				}
+				steps++
+				if steps%ctxCheckInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
 					}
-					res.Faults = append(res.Faults, fault.Event{
-						Kind: fault.Crash, At: ev.At, Proc: p, Src: -1, Detail: "permanent",
-					})
-					res.Crashed[p] = true
-					if !wasIdle {
-						crashedLive++
-						if idleCount+crashedLive == n {
-							drainUntil = ev.At
+				}
+				p := ev.Proc
+				proc := sys.Procs[p]
+				wasIdle := sc.idleMark[p]
+				if inj != nil {
+					switch eff := inj.StepEffect(p, ev.At); eff.Kind {
+					case fault.Crash:
+						if eff.Restart > 0 {
+							res.Faults = append(res.Faults, fault.Event{
+								Kind: fault.Crash, At: ev.At, Proc: p, Src: -1,
+								Detail: fmt.Sprintf("restart after %v", eff.Restart),
+							})
+							q.Push(sim.Event{At: ev.At.Add(eff.Restart), Kind: sim.KindStep, Proc: p})
+							continue
 						}
-					}
-					continue
-				case fault.StepOverrun:
-					res.Faults = append(res.Faults, fault.Event{
-						Kind: fault.StepOverrun, At: ev.At, Proc: p, Src: -1,
-						Detail: fmt.Sprintf("postponed +%v", eff.Delay),
-					})
-					q.Push(sim.Event{At: ev.At.Add(eff.Delay), Kind: sim.KindStep, Proc: p})
-					continue
-				default:
-					// None; StaleRead has no message-passing analogue.
-				}
-			}
-			received := sc.buffers[p]
-			sc.buffers[p] = nil
-			body := proc.Step(received)
-			// Step's contract forbids retaining the slice, so its backing
-			// array goes straight back to the freelist for the next
-			// delivery burst.
-			sc.free.Put(received)
-			if wasIdle {
-				if !proc.Idle() {
-					return nil, fmt.Errorf("mp: process %d left idle state at %v", p, ev.At)
-				}
-				if body != nil {
-					return nil, fmt.Errorf("mp: idle process %d broadcast at %v", p, ev.At)
-				}
-			}
-
-			port := model.NoPort
-			if !wasIdle {
-				// Steps taken from an idle state are not port steps (see
-				// the matching comment in internal/sm).
-				port = sc.portIdx[p]
-			}
-			sc.steps = append(sc.steps, model.Step{
-				Index:    len(sc.steps),
-				Proc:     p,
-				Time:     ev.At,
-				Accesses: sc.accesses.One(model.VarAccess{Var: bufVar(p)}),
-				Port:     port,
-			})
-
-			if body != nil {
-				res.MessagesSent++
-				for dst := 0; dst < n; dst++ {
-					sendCounter++
-					if opts.DropEvery > 0 && sendCounter%opts.DropEvery == 0 {
-						continue // fault injection: message lost in transit
-					}
-					delay := sched.Delay(p, dst)
-					var eff fault.DeliveryEffect
-					if inj != nil {
-						eff = inj.DeliveryEffect(p, dst, ev.At)
-					}
-					switch eff.Kind {
-					case fault.MessageDrop:
-						// Dropped in transit: no delivery event and no delay
-						// record — only the fault log witnesses the message.
 						res.Faults = append(res.Faults, fault.Event{
-							Kind: fault.MessageDrop, At: ev.At, Proc: dst, Src: p,
-							Detail: "lost in transit",
+							Kind: fault.Crash, At: ev.At, Proc: p, Src: -1, Detail: "permanent",
 						})
+						res.Crashed[p] = true
+						if !wasIdle {
+							crashedLive++
+							if idleCount+crashedLive == n {
+								drainUntil = ev.At
+							}
+						}
 						continue
-					case fault.LateDelivery:
+					case fault.StepOverrun:
 						res.Faults = append(res.Faults, fault.Event{
-							Kind: fault.LateDelivery, At: ev.At, Proc: dst, Src: p,
-							Detail: fmt.Sprintf("delayed +%v beyond schedule", eff.Delay),
+							Kind: fault.StepOverrun, At: ev.At, Proc: p, Src: -1,
+							Detail: fmt.Sprintf("postponed +%v", eff.Delay),
 						})
-						delay += eff.Delay
+						q.Push(sim.Event{At: ev.At.Add(eff.Delay), Kind: sim.KindStep, Proc: p})
+						continue
+					default:
+						// None; StaleRead has no message-passing analogue.
 					}
-					at := ev.At.Add(delay)
-					q.Push(sim.Event{
-						At:   at,
-						Kind: sim.KindDelivery,
-						Proc: dst,
-						Src:  p,
-						Body: body,
-					})
-					sc.delays = append(sc.delays, timing.MessageDelay{
-						Src: p, Dst: dst, Sent: ev.At, Delivered: at,
-					})
-					if eff.Kind == fault.MessageDuplicate {
-						dupAt := at.Add(eff.DuplicateDelay)
-						res.Faults = append(res.Faults, fault.Event{
-							Kind: fault.MessageDuplicate, At: ev.At, Proc: dst, Src: p,
-							Detail: fmt.Sprintf("second copy delivered at %v", dupAt),
-						})
+				}
+				received := sc.buffers[p]
+				sc.buffers[p] = nil
+				body := proc.Step(received)
+				// Step's contract forbids retaining the slice, so its backing
+				// array goes straight back to the freelist for the next
+				// delivery burst.
+				sc.free.Put(received)
+				if wasIdle {
+					if !proc.Idle() {
+						return nil, fmt.Errorf("mp: process %d left idle state at %v", p, ev.At)
+					}
+					if body != nil {
+						return nil, fmt.Errorf("mp: idle process %d broadcast at %v", p, ev.At)
+					}
+				}
+
+				port := model.NoPort
+				if !wasIdle {
+					// Steps taken from an idle state are not port steps (see
+					// the matching comment in internal/sm).
+					port = sc.portIdx[p]
+				}
+				sc.steps = append(sc.steps, model.Step{
+					Index:    len(sc.steps),
+					Proc:     p,
+					Time:     ev.At,
+					Accesses: sc.accesses.One(model.VarAccess{Var: bufVar(p)}),
+					Port:     port,
+				})
+
+				if body != nil {
+					res.MessagesSent++
+					for dst := 0; dst < n; dst++ {
+						sendCounter++
+						if opts.DropEvery > 0 && sendCounter%opts.DropEvery == 0 {
+							continue // fault injection: message lost in transit
+						}
+						delay := sched.Delay(p, dst)
+						var eff fault.DeliveryEffect
+						if inj != nil {
+							eff = inj.DeliveryEffect(p, dst, ev.At)
+						}
+						switch eff.Kind {
+						case fault.MessageDrop:
+							// Dropped in transit: no delivery event and no delay
+							// record — only the fault log witnesses the message.
+							res.Faults = append(res.Faults, fault.Event{
+								Kind: fault.MessageDrop, At: ev.At, Proc: dst, Src: p,
+								Detail: "lost in transit",
+							})
+							continue
+						case fault.LateDelivery:
+							res.Faults = append(res.Faults, fault.Event{
+								Kind: fault.LateDelivery, At: ev.At, Proc: dst, Src: p,
+								Detail: fmt.Sprintf("delayed +%v beyond schedule", eff.Delay),
+							})
+							delay += eff.Delay
+						}
+						at := ev.At.Add(delay)
 						q.Push(sim.Event{
-							At:   dupAt,
+							At:   at,
 							Kind: sim.KindDelivery,
 							Proc: dst,
 							Src:  p,
 							Body: body,
 						})
 						sc.delays = append(sc.delays, timing.MessageDelay{
-							Src: p, Dst: dst, Sent: ev.At, Delivered: dupAt,
+							Src: p, Dst: dst, Sent: ev.At, Delivered: at,
 						})
+						if eff.Kind == fault.MessageDuplicate {
+							dupAt := at.Add(eff.DuplicateDelay)
+							res.Faults = append(res.Faults, fault.Event{
+								Kind: fault.MessageDuplicate, At: ev.At, Proc: dst, Src: p,
+								Detail: fmt.Sprintf("second copy delivered at %v", dupAt),
+							})
+							q.Push(sim.Event{
+								At:   dupAt,
+								Kind: sim.KindDelivery,
+								Proc: dst,
+								Src:  p,
+								Body: body,
+							})
+							sc.delays = append(sc.delays, timing.MessageDelay{
+								Src: p, Dst: dst, Sent: ev.At, Delivered: dupAt,
+							})
+						}
 					}
 				}
-			}
 
-			if proc.Idle() {
-				if !wasIdle {
-					// A process may broadcast at the step on which it enters
-					// an idle state (A(sp) does), but never afterwards.
-					res.IdleAt[p] = ev.At
-					sc.idleMark[p] = true
-					idleCount++
-					if idleCount+crashedLive == n {
-						drainUntil = ev.At
+				if proc.Idle() {
+					if !wasIdle {
+						// A process may broadcast at the step on which it enters
+						// an idle state (A(sp) does), but never afterwards.
+						res.IdleAt[p] = ev.At
+						sc.idleMark[p] = true
+						idleCount++
+						if idleCount+crashedLive == n {
+							drainUntil = ev.At
+						}
 					}
+					if opts.StepIdleProcesses && idleCount+crashedLive < n {
+						q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+					}
+					continue
 				}
-				if opts.StepIdleProcesses && idleCount+crashedLive < n {
-					q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
-				}
-				continue
+				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 			}
-			q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 		}
 	}
 	finish()

@@ -1,0 +1,31 @@
+package sim
+
+// MergeSameTick pops every event still pending at tick now — pushed there by
+// the executor while it drains a PopTick batch — and inserts each into the
+// unprocessed tail batch[bi:] at its (Kind, Proc, Seq) position, so the
+// combined drain order matches what a pop-one-at-a-time loop over a single
+// priority queue would have produced. Returns the (possibly grown) batch.
+//
+// Callers invoke it before processing each batch element, guarded by a
+// PeekAt check, so an event pushed back onto the current tick is interleaved
+// exactly where the full (At, Kind, Proc, Seq) order places it.
+func MergeSameTick(q *Queue, now Time, batch []Event, bi int) []Event {
+	for {
+		if _, ok := q.PeekAt(now); !ok {
+			return batch
+		}
+		ev := q.Pop()
+		lo, hi := bi, len(batch)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if SameTickLess(batch[mid], ev) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		batch = append(batch, Event{})
+		copy(batch[lo+1:], batch[lo:])
+		batch[lo] = ev
+	}
+}

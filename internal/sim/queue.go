@@ -30,20 +30,40 @@ type Event struct {
 	Body any
 }
 
-// Queue is a deterministic priority queue of events ordered by
-// (At, Kind, Proc, Seq). The zero value is ready to use.
+// SameTickLess reports whether a orders before b among events scheduled at
+// the same tick: by Kind, then Proc, then Seq. It is the tail of the full
+// (At, Kind, Proc, Seq) event order; the executors use it to merge events
+// pushed back onto the tick currently being drained.
+func SameTickLess(a, b Event) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	return a.Seq < b.Seq
+}
+
+// HeapQueue is a deterministic priority queue of events ordered by
+// (At, Kind, Proc, Seq), backed by a binary heap. The zero value is ready to
+// use.
+//
+// It is the reference implementation: CalendarQueue (the default Queue) must
+// pop byte-identical event sequences, and the differential tests in this
+// package check exactly that. Build with -tags sessionheap to run the whole
+// simulator on the heap instead.
 //
 // The heap is concrete and inlined: no container/heap, no heap.Interface,
 // no any-boxing on Push or Pop. Pushing into spare capacity is
 // allocation-free, so a warmed queue runs the whole simulation steady state
 // without touching the allocator.
-type Queue struct {
+type HeapQueue struct {
 	h   []Event
 	seq uint64
 }
 
 // Push schedules ev. The queue assigns ev.Seq.
-func (q *Queue) Push(ev Event) {
+func (q *HeapQueue) Push(ev Event) {
 	q.seq++
 	ev.Seq = q.seq
 	q.h = append(q.h, ev)
@@ -52,7 +72,7 @@ func (q *Queue) Push(ev Event) {
 
 // Pop removes and returns the earliest event. It panics on an empty queue;
 // use Len to guard.
-func (q *Queue) Pop() Event {
+func (q *HeapQueue) Pop() Event {
 	h := q.h
 	ev := h[0]
 	n := len(h) - 1
@@ -67,17 +87,45 @@ func (q *Queue) Pop() Event {
 
 // Peek returns the earliest event without removing it. It panics on an empty
 // queue.
-func (q *Queue) Peek() Event {
+func (q *HeapQueue) Peek() Event {
 	return q.h[0]
 }
 
+// PeekTime returns the earliest pending tick without removing anything. It
+// panics on an empty queue.
+func (q *HeapQueue) PeekTime() Time {
+	return q.h[0].At
+}
+
+// PeekAt returns the earliest pending event if it is scheduled at exactly
+// tick t, without removing it. The executors call it with the tick of the
+// batch they are draining, to detect events pushed back onto that tick.
+func (q *HeapQueue) PeekAt(t Time) (Event, bool) {
+	if len(q.h) == 0 || q.h[0].At != t {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// PopTick removes every pending event at the earliest tick, appends them to
+// dst in (Kind, Proc, Seq) order, and returns the tick and the extended
+// slice. It panics on an empty queue. Events pushed at the same tick after
+// PopTick returns are not part of the batch; callers merge them via PeekAt.
+func (q *HeapQueue) PopTick(dst []Event) (Time, []Event) {
+	t := q.h[0].At
+	for len(q.h) > 0 && q.h[0].At == t {
+		dst = append(dst, q.Pop())
+	}
+	return t, dst
+}
+
 // Len reports the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *HeapQueue) Len() int { return len(q.h) }
 
 // Reset empties the queue and restarts the tie-breaking sequence, keeping
 // the backing array so a reused queue pushes into warm capacity. Pending
 // events are cleared to release their Body references.
-func (q *Queue) Reset() {
+func (q *HeapQueue) Reset() {
 	clear(q.h)
 	q.h = q.h[:0]
 	q.seq = 0
@@ -85,7 +133,7 @@ func (q *Queue) Reset() {
 
 // Reserve grows the backing array to hold at least n events without further
 // allocation.
-func (q *Queue) Reserve(n int) {
+func (q *HeapQueue) Reserve(n int) {
 	if cap(q.h) >= n {
 		return
 	}
@@ -94,8 +142,13 @@ func (q *Queue) Reserve(n int) {
 	q.h = h
 }
 
+// SetWindow is a no-op on the heap implementation; it exists so HeapQueue
+// and CalendarQueue share a method set and the executors can be compiled
+// against either via the sessionheap build tag.
+func (q *HeapQueue) SetWindow(span Duration) {}
+
 // less orders the heap by (At, Kind, Proc, Seq).
-func (q *Queue) less(i, j int) bool {
+func (q *HeapQueue) less(i, j int) bool {
 	a, b := &q.h[i], &q.h[j]
 	if a.At != b.At {
 		return a.At < b.At
@@ -109,7 +162,7 @@ func (q *Queue) less(i, j int) bool {
 	return a.Seq < b.Seq
 }
 
-func (q *Queue) siftUp(i int) {
+func (q *HeapQueue) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !q.less(i, parent) {
@@ -120,7 +173,7 @@ func (q *Queue) siftUp(i int) {
 	}
 }
 
-func (q *Queue) siftDown(i int) {
+func (q *HeapQueue) siftDown(i int) {
 	n := len(q.h)
 	for {
 		left := 2*i + 1

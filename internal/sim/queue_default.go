@@ -1,0 +1,9 @@
+//go:build !sessionheap
+
+package sim
+
+// Queue is the event queue the executors run on. By default it is the
+// monotone CalendarQueue; build with -tags sessionheap to fall back to the
+// binary-heap reference implementation (HeapQueue). Both pop byte-identical
+// event sequences — the differential tests in this package pin that.
+type Queue = CalendarQueue

@@ -1,0 +1,8 @@
+//go:build sessionheap
+
+package sim
+
+// Queue is the event queue the executors run on. The sessionheap build tag
+// selects the binary-heap reference implementation instead of the default
+// CalendarQueue; traces must be byte-identical either way.
+type Queue = HeapQueue

@@ -261,14 +261,25 @@ func TestQueueResetKeepsCapacityAndRestartsSeq(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		q.Push(Event{At: Time(i), Kind: KindDelivery, Proc: 0, Body: body})
 	}
-	grown := cap(q.h)
 	q.Reset()
-	if q.Len() != 0 || cap(q.h) != grown {
-		t.Fatalf("Reset: len=%d cap=%d, want 0 and %d", q.Len(), cap(q.h), grown)
+	if q.Len() != 0 {
+		t.Fatalf("Reset: len=%d, want 0", q.Len())
 	}
 	q.Push(Event{At: 7, Kind: KindStep, Proc: 3})
 	if ev := q.Pop(); ev.Seq != 1 {
 		t.Fatalf("Reset did not restart Seq: got %d", ev.Seq)
+	}
+	// A warmed queue re-pushed after Reset must not allocate: every backing
+	// array (heap, buckets, or overflow) stays warm across Reset.
+	q.Reset()
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 100; i++ {
+			q.Push(Event{At: Time(i), Kind: KindDelivery, Proc: 0, Body: body})
+		}
+		q.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed queue allocated %.1f times per Reset cycle, want 0", allocs)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"sessionproblem/internal/arena"
 	"sessionproblem/internal/fault"
@@ -78,6 +79,13 @@ type Scratch struct {
 	vars     map[model.VarID]Value
 	prevVals map[model.VarID]Value
 	access   map[model.VarID][]int32 // var -> distinct accessing procs (b-bound)
+	batch    []sim.Event             // tick-batch scratch for the dispatch loop
+	// lastSteps is the step count of the previous run. Pooled scratches
+	// detach the step and access buffers on release (a Result aliases them),
+	// so this scalar is what carries the sizing knowledge across pool
+	// cycles: the next run pre-sizes from the observed high-water mark
+	// instead of the caller's worst-case hint.
+	lastSteps int
 }
 
 // Options tune an execution.
@@ -107,6 +115,13 @@ type Options struct {
 	// scratch has no warm capacity yet. Zero means no pre-sizing. It is a
 	// hint only: runs may exceed it freely.
 	ExpectedSteps int
+	// WindowHint is the timing model's maximum scheduling increment
+	// (timing.Model.MaxIncrement); the calendar queue sizes its bucket
+	// window from it so steady-state pushes never hit the overflow heap.
+	// Zero leaves the queue's default window. It is a hint only: larger
+	// increments (e.g. fault-injected restart pauses) still work, via the
+	// overflow path.
+	WindowHint sim.Duration
 }
 
 // Result is the outcome of one execution.
@@ -155,15 +170,28 @@ const ctxCheckInterval = 1024
 
 // prepare resets the scratch for a run over np processes, pre-sizing fresh
 // buffers from the hint when no warm capacity exists yet.
-func (sc *Scratch) prepare(sys *System, expectedSteps int, injected bool) {
+func (sc *Scratch) prepare(sys *System, opts *Options) {
 	np := len(sys.Procs)
+	expectedSteps := opts.ExpectedSteps
+	injected := opts.Injector != nil
 	sc.queue.Reset()
 	sc.queue.Reserve(np)
+	if opts.WindowHint > 0 {
+		sc.queue.SetWindow(opts.WindowHint)
+	}
+	if sc.lastSteps > 0 {
+		// Observed size beats the caller's worst-case hint: short-lived
+		// runs would otherwise pay a multi-kilobyte zeroed allocation for
+		// a few dozen steps. The slack absorbs seed-to-seed variation;
+		// append growth covers any remainder.
+		expectedSteps = sc.lastSteps + sc.lastSteps/8 + 8
+	}
 	if sc.steps == nil && expectedSteps > 0 {
 		sc.steps = make([]model.Step, 0, expectedSteps)
 	}
 	sc.steps = sc.steps[:0]
 	sc.accesses.Reset()
+	sc.accesses.Reserve(expectedSteps) // one access record per step
 
 	sc.idleAt = arena.Resize(sc.idleAt, np)
 	sc.crashed = arena.Resize(sc.crashed, np)
@@ -219,6 +247,25 @@ func (sc *Scratch) prepare(sys *System, expectedSteps int, injected bool) {
 	}
 }
 
+// scratchPool recycles scratches for scratch-free runs, so the event queue,
+// port tables and bookkeeping maps keep their warm capacity even when the
+// caller did not supply a Scratch. Only buffers the Result never aliases
+// stay attached; release detaches the rest, so a handed-out Result is never
+// mutated by a later pooled run. Reuse is invisible to determinism: warm
+// capacity changes where values live, never what they are.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// release detaches every buffer a Result may alias (trace steps, the access
+// arena, IdleAt, Crashed) and returns the scratch to the pool.
+func (sc *Scratch) release() {
+	sc.lastSteps = len(sc.steps)
+	sc.steps = nil
+	sc.accesses = arena.Chunked[model.VarAccess]{}
+	sc.idleAt = nil
+	sc.crashed = nil
+	scratchPool.Put(sc)
+}
+
 // portOf resolves the port index of a step of proc p on variable target, or
 // model.NoPort.
 func (sc *Scratch) portOf(p int, target model.VarID) int {
@@ -254,9 +301,12 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	inj := opts.Injector
 	sc := opts.Scratch
 	if sc == nil {
-		sc = new(Scratch)
+		sc = scratchPool.Get().(*Scratch)
+		// Registered before the batch save-back below so it runs after it:
+		// the scratch must be fully quiescent before re-entering the pool.
+		defer sc.release()
 	}
-	sc.prepare(sys, opts.ExpectedSteps, inj != nil)
+	sc.prepare(sys, &opts)
 
 	res := &Result{
 		Trace:   &model.Trace{NumProcs: len(sys.Procs), NumPorts: len(sys.Ports)},
@@ -276,167 +326,185 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	crashedLive := 0 // processes crashed permanently before going idle
 	steps := 0
 	drainUntil := sim.Time(-1)
+	// The dispatch loop drains whole ticks at once: PopTick hands over every
+	// event at the earliest tick in (Kind, Proc, Seq) order, and the PeekAt
+	// guard merges events a step pushes back onto the tick being drained
+	// (zero-gap custom schedulers, adversary constructions), so the executed
+	// order is identical to a pop-one-at-a-time loop.
+	batch := sc.batch[:0]
+	defer func() {
+		clear(batch)
+		sc.batch = batch[:0]
+	}()
+	var now sim.Time
+dispatch:
 	for q.Len() > 0 {
-		if drainUntil >= 0 && q.Peek().At > drainUntil {
+		if drainUntil >= 0 && q.PeekTime() > drainUntil {
 			break
 		}
-		ev := q.Pop()
-		p := ev.Proc
-		proc := sys.Procs[p]
-
-		if steps >= maxSteps {
-			// Partial result: under fault injection non-termination is a
-			// degraded outcome to audit, not an invariant failure, so the
-			// trace so far rides along with the error.
-			finish()
-			return res, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
-		}
-		steps++
-		if steps%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		now, batch = q.PopTick(batch[:0])
+		for bi := 0; bi < len(batch); bi++ {
+			if ev0, ok := q.PeekAt(now); ok && sim.SameTickLess(ev0, batch[bi]) {
+				batch = sim.MergeSameTick(q, now, batch, bi)
 			}
-		}
+			ev := batch[bi]
+			p := ev.Proc
+			proc := sys.Procs[p]
 
-		stale := false
-		if inj != nil {
-			switch eff := inj.StepEffect(p, ev.At); eff.Kind {
-			case fault.None:
-			case fault.Crash:
-				if eff.Restart > 0 {
-					res.Faults = append(res.Faults, fault.Event{
-						Kind: fault.Crash, At: ev.At, Proc: p, Src: -1,
-						Detail: fmt.Sprintf("restart after %v", eff.Restart),
-					})
-					q.Push(sim.Event{At: ev.At.Add(eff.Restart), Kind: sim.KindStep, Proc: p})
-					continue
+			if steps >= maxSteps {
+				// Partial result: under fault injection non-termination is a
+				// degraded outcome to audit, not an invariant failure, so the
+				// trace so far rides along with the error.
+				finish()
+				return res, fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)
+			}
+			steps++
+			if steps%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
 				}
-				res.Faults = append(res.Faults, fault.Event{
-					Kind: fault.Crash, At: ev.At, Proc: p, Src: -1, Detail: "permanent",
-				})
-				res.Crashed[p] = true
+			}
+
+			stale := false
+			if inj != nil {
+				switch eff := inj.StepEffect(p, ev.At); eff.Kind {
+				case fault.None:
+				case fault.Crash:
+					if eff.Restart > 0 {
+						res.Faults = append(res.Faults, fault.Event{
+							Kind: fault.Crash, At: ev.At, Proc: p, Src: -1,
+							Detail: fmt.Sprintf("restart after %v", eff.Restart),
+						})
+						q.Push(sim.Event{At: ev.At.Add(eff.Restart), Kind: sim.KindStep, Proc: p})
+						continue
+					}
+					res.Faults = append(res.Faults, fault.Event{
+						Kind: fault.Crash, At: ev.At, Proc: p, Src: -1, Detail: "permanent",
+					})
+					res.Crashed[p] = true
+					if !proc.Idle() {
+						crashedLive++
+						if idleCount+crashedLive == len(sys.Procs) && opts.ProbeSteps == 0 && opts.StepIdleProcesses {
+							drainUntil = ev.At
+						}
+					}
+					continue
+				case fault.StepOverrun:
+					res.Faults = append(res.Faults, fault.Event{
+						Kind: fault.StepOverrun, At: ev.At, Proc: p, Src: -1,
+						Detail: fmt.Sprintf("postponed +%v", eff.Delay),
+					})
+					q.Push(sim.Event{At: ev.At.Add(eff.Delay), Kind: sim.KindStep, Proc: p})
+					continue
+				case fault.StaleRead:
+					stale = true
+				}
+			}
+
+			wasIdle := proc.Idle()
+			target := proc.Target()
+			old := sc.vars[target]
+			observed := old
+			if stale {
+				if pv, ok := sc.prevVals[target]; ok {
+					observed = pv
+					res.Faults = append(res.Faults, fault.Event{
+						Kind: fault.StaleRead, At: ev.At, Proc: p, Src: -1,
+						Detail: fmt.Sprintf("variable %d read pre-update value", target),
+					})
+				}
+				// No previous write to resurrect: the fault has no effect and is
+				// not recorded.
+			}
+			newVal := proc.Step(observed)
+			sc.vars[target] = newVal
+			if inj != nil {
+				sc.prevVals[target] = old
+			}
+
+			// b-bound: track the distinct processes touching each variable in a
+			// small dense slice (len <= b+1, linear scan) instead of a nested
+			// map, so enforcement costs at most one tiny alloc per variable per
+			// run and none per step.
+			acc := sc.access[target]
+			known := false
+			for _, ap := range acc {
+				if ap == int32(p) {
+					known = true
+					break
+				}
+			}
+			if !known {
+				acc = append(acc, int32(p))
+				sc.access[target] = acc
+				if len(acc) > sys.B {
+					return nil, fmt.Errorf("sm: variable %d accessed by %d > b=%d processes",
+						target, len(acc), sys.B)
+				}
+			}
+
+			port := model.NoPort
+			if !wasIdle {
+				// Steps taken from an idle state are not port steps: the
+				// session condition quantifies over the computation up to
+				// idleness (otherwise idle processes parked on their ports
+				// would accumulate sessions forever and trivialize the
+				// problem, contradicting the paper's lower-bound arguments).
+				port = sc.portOf(p, target)
+			}
+			sc.steps = append(sc.steps, model.Step{
+				Index:    len(sc.steps),
+				Proc:     p,
+				Time:     ev.At,
+				Accesses: sc.accesses.One(model.VarAccess{Var: target, Old: observed, New: newVal}),
+				Port:     port,
+			})
+
+			if wasIdle {
+				// Idle-stability probe: state must be unchanged and the process
+				// must remain idle. The contract is relative to the observed
+				// value, so a stale read does not fail an honest idle process.
 				if !proc.Idle() {
-					crashedLive++
-					if idleCount+crashedLive == len(sys.Procs) && opts.ProbeSteps == 0 && opts.StepIdleProcesses {
+					return nil, fmt.Errorf("sm: process %d left idle state at %v", p, ev.At)
+				}
+				if !valuesEqual(observed, newVal) {
+					return nil, fmt.Errorf("sm: idle process %d modified variable %d at %v",
+						p, target, ev.At)
+				}
+				switch {
+				case opts.StepIdleProcesses && idleCount+crashedLive < len(sys.Procs):
+					q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+				case sc.probes[p] < opts.ProbeSteps:
+					sc.probes[p]++
+					q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+				}
+				continue
+			}
+			if proc.Idle() {
+				res.IdleAt[p] = ev.At
+				idleCount++
+				if idleCount+crashedLive == len(sys.Procs) {
+					res.FinishAll = ev.At
+					if opts.ProbeSteps == 0 {
+						if !opts.StepIdleProcesses {
+							break dispatch
+						}
+						// Finish the current tick so the final round of the
+						// lockstep traces used by the adversary is complete.
 						drainUntil = ev.At
 					}
 				}
-				continue
-			case fault.StepOverrun:
-				res.Faults = append(res.Faults, fault.Event{
-					Kind: fault.StepOverrun, At: ev.At, Proc: p, Src: -1,
-					Detail: fmt.Sprintf("postponed +%v", eff.Delay),
-				})
-				q.Push(sim.Event{At: ev.At.Add(eff.Delay), Kind: sim.KindStep, Proc: p})
-				continue
-			case fault.StaleRead:
-				stale = true
-			}
-		}
-
-		wasIdle := proc.Idle()
-		target := proc.Target()
-		old := sc.vars[target]
-		observed := old
-		if stale {
-			if pv, ok := sc.prevVals[target]; ok {
-				observed = pv
-				res.Faults = append(res.Faults, fault.Event{
-					Kind: fault.StaleRead, At: ev.At, Proc: p, Src: -1,
-					Detail: fmt.Sprintf("variable %d read pre-update value", target),
-				})
-			}
-			// No previous write to resurrect: the fault has no effect and is
-			// not recorded.
-		}
-		newVal := proc.Step(observed)
-		sc.vars[target] = newVal
-		if inj != nil {
-			sc.prevVals[target] = old
-		}
-
-		// b-bound: track the distinct processes touching each variable in a
-		// small dense slice (len <= b+1, linear scan) instead of a nested
-		// map, so enforcement costs at most one tiny alloc per variable per
-		// run and none per step.
-		acc := sc.access[target]
-		known := false
-		for _, ap := range acc {
-			if ap == int32(p) {
-				known = true
-				break
-			}
-		}
-		if !known {
-			acc = append(acc, int32(p))
-			sc.access[target] = acc
-			if len(acc) > sys.B {
-				return nil, fmt.Errorf("sm: variable %d accessed by %d > b=%d processes",
-					target, len(acc), sys.B)
-			}
-		}
-
-		port := model.NoPort
-		if !wasIdle {
-			// Steps taken from an idle state are not port steps: the
-			// session condition quantifies over the computation up to
-			// idleness (otherwise idle processes parked on their ports
-			// would accumulate sessions forever and trivialize the
-			// problem, contradicting the paper's lower-bound arguments).
-			port = sc.portOf(p, target)
-		}
-		sc.steps = append(sc.steps, model.Step{
-			Index:    len(sc.steps),
-			Proc:     p,
-			Time:     ev.At,
-			Accesses: sc.accesses.One(model.VarAccess{Var: target, Old: observed, New: newVal}),
-			Port:     port,
-		})
-
-		if wasIdle {
-			// Idle-stability probe: state must be unchanged and the process
-			// must remain idle. The contract is relative to the observed
-			// value, so a stale read does not fail an honest idle process.
-			if !proc.Idle() {
-				return nil, fmt.Errorf("sm: process %d left idle state at %v", p, ev.At)
-			}
-			if !valuesEqual(observed, newVal) {
-				return nil, fmt.Errorf("sm: idle process %d modified variable %d at %v",
-					p, target, ev.At)
-			}
-			switch {
-			case opts.StepIdleProcesses && idleCount+crashedLive < len(sys.Procs):
-				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
-			case sc.probes[p] < opts.ProbeSteps:
-				sc.probes[p]++
-				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
-			}
-			continue
-		}
-		if proc.Idle() {
-			res.IdleAt[p] = ev.At
-			idleCount++
-			if idleCount+crashedLive == len(sys.Procs) {
-				res.FinishAll = ev.At
-				if opts.ProbeSteps == 0 {
-					if !opts.StepIdleProcesses {
-						break
-					}
-					// Finish the current tick so the final round of the
-					// lockstep traces used by the adversary is complete.
-					drainUntil = ev.At
+				switch {
+				case opts.StepIdleProcesses && idleCount+crashedLive < len(sys.Procs):
+					q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
+				case sc.probes[p] < opts.ProbeSteps:
+					sc.probes[p]++
+					q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 				}
+				continue
 			}
-			switch {
-			case opts.StepIdleProcesses && idleCount+crashedLive < len(sys.Procs):
-				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
-			case sc.probes[p] < opts.ProbeSteps:
-				sc.probes[p]++
-				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
-			}
-			continue
+			q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 		}
-		q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p})
 	}
 	finish()
 

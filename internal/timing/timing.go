@@ -201,6 +201,22 @@ func (m Model) RoundBased() bool { return m.Kind == AsynchronousSM }
 // U returns d2 - d1, the delay uncertainty of the sporadic model.
 func (m Model) U() sim.Duration { return m.D2 - m.D1 }
 
+// MaxIncrement returns the largest finite scheduling increment this model's
+// schedulers can hand to an executor — the bound on how far ahead of the
+// current tick a step or delivery is ever pushed. The executors use it to
+// size the calendar queue's bucket window so steady-state pushes never spill
+// to the overflow heap. Infinite bounds are excluded: schedulers cap
+// unbounded gaps with GapCap, so the finite fields cover every draw.
+func (m Model) MaxIncrement() sim.Duration {
+	inc := sim.Duration(0)
+	for _, d := range [...]sim.Duration{m.C2, m.D2, m.PeriodMax, m.GapCap} {
+		if d > inc && !d.IsInfinite() {
+			inc = d
+		}
+	}
+	return inc
+}
+
 // MessageDelay records one message's transit interval for admissibility
 // checking: from the send step to the network delivery step.
 type MessageDelay struct {
@@ -217,18 +233,86 @@ func (d MessageDelay) Delay() sim.Duration { return d.Delivered.Sub(d.Sent) }
 // schedule was produced. Gap constraints apply to every regular process that
 // appears, counting the gap from time 0 to the first step (the paper
 // assumes all steps, including the first, obey the constraints from time 0).
+// It runs in one pass over the trace with per-process gap state (walkGaps
+// per process would rescan the whole trace NumProcs times); the reported
+// violation is the earliest in trace order rather than the earliest of the
+// lowest-numbered process, which only matters for inadmissible traces.
+// AdmissibilityViolations keeps the per-process ordering contract.
 func (m Model) CheckAdmissible(tr *model.Trace, delays []MessageDelay) error {
 	if err := tr.Validate(); err != nil {
 		return fmt.Errorf("trace invalid: %w", err)
 	}
-	for p := 0; p < tr.NumProcs; p++ {
-		if err := m.checkGaps(tr, p); err != nil {
-			return err
+	if tr.NumProcs > 0 {
+		st := make([]gapState, tr.NumProcs)
+		for i := range tr.Steps {
+			s := &tr.Steps[i]
+			if s.Proc < 0 || s.Proc >= tr.NumProcs {
+				continue // network steps have no gap constraint
+			}
+			if err := m.checkGapStep(&st[s.Proc], s.Proc, s.Index, s.Time); err != nil {
+				return err
+			}
 		}
 	}
 	for _, d := range delays {
 		if err := m.checkDelay(d); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// gapState is one process's running state for single-pass gap checking.
+type gapState struct {
+	last   sim.Time
+	period sim.Duration // Periodic: fixed by the first constrained gap
+	seen   bool
+}
+
+// checkGapStep checks one step's gap against the model, mirroring walkGaps'
+// per-process logic exactly (same messages, same period-fixing rule).
+func (m Model) checkGapStep(st *gapState, proc, index int, at sim.Time) error {
+	gap := at.Sub(st.last)
+	st.last = at
+	first := !st.seen
+	st.seen = true
+	if first && m.StartSync {
+		if gap != 0 {
+			return fmt.Errorf("p%d: first step at %v, want 0 under synchronized start", proc, at)
+		}
+		return nil
+	}
+	switch m.Kind {
+	case Synchronous:
+		if gap != m.C2 {
+			return fmt.Errorf("p%d step %d: gap %v != c2 %v", proc, index, gap, m.C2)
+		}
+	case Periodic:
+		if st.period == 0 {
+			// First constrained gap fixes the process's period
+			// (PeriodMin > 0, so 0 is a safe "unset" sentinel).
+			st.period = gap
+			if gap < m.PeriodMin || gap > m.PeriodMax {
+				return fmt.Errorf("p%d: period %v outside [%v,%v]", proc, gap, m.PeriodMin, m.PeriodMax)
+			}
+		} else if gap != st.period {
+			return fmt.Errorf("p%d step %d: gap %v != period %v", proc, index, gap, st.period)
+		}
+	case SemiSynchronous:
+		if gap < m.C1 || gap > m.C2 {
+			return fmt.Errorf("p%d step %d: gap %v outside [%v,%v]", proc, index, gap, m.C1, m.C2)
+		}
+	case Sporadic:
+		if gap < m.C1 {
+			return fmt.Errorf("p%d step %d: gap %v below c1 %v", proc, index, gap, m.C1)
+		}
+	case AsynchronousSM:
+		if gap < 0 {
+			return fmt.Errorf("p%d step %d: negative gap", proc, index)
+		}
+	case AsynchronousMP:
+		if gap < 0 || gap > m.C2 {
+			return fmt.Errorf("p%d step %d: gap %v outside [0,%v]", proc, index, gap, m.C2)
 		}
 	}
 	return nil
@@ -258,15 +342,6 @@ func (m Model) AdmissibilityViolations(tr *model.Trace, delays []MessageDelay) [
 		}
 	}
 	return out
-}
-
-func (m Model) checkGaps(tr *model.Trace, proc int) error {
-	var firstErr error
-	m.walkGaps(tr, proc, func(err error) bool {
-		firstErr = err
-		return false
-	})
-	return firstErr
 }
 
 // walkGaps visits every gap violation of proc in step order, calling visit

@@ -26,25 +26,36 @@ import (
 	"sessionproblem/internal/sm"
 )
 
-// Knowledge maps port index to the largest progress value announced by that
-// port. Merging takes the pointwise maximum.
-type Knowledge map[int]int
+// Knowledge records, per port index, the largest progress value announced
+// by that port; entry p covers port p and absent entries (beyond the slice
+// length) count as progress 0. Merging takes the pointwise maximum. Port
+// indices are dense in [0, n), so a slice beats a map here: merges and
+// clones are linear array scans on the relay hot path (one merge per relay
+// step), where map iteration and hashing dominated the async algorithms'
+// runtime.
+type Knowledge []int
+
+// NewKnowledge returns a zeroed knowledge vector covering ports [0, n).
+func NewKnowledge(n int) Knowledge { return make(Knowledge, n) }
 
 // Clone returns a copy of k (nil-safe).
 func (k Knowledge) Clone() Knowledge {
 	out := make(Knowledge, len(k))
-	for p, v := range k {
-		out[p] = v
-	}
+	copy(out, k)
 	return out
 }
 
 // MergeFrom raises k's entries to at least those of other, reporting whether
-// anything changed.
+// anything changed. Entries of other beyond k's length are ignored; callers
+// size every vector they merge to the same port count.
 func (k Knowledge) MergeFrom(other Knowledge) bool {
 	changed := false
-	for p, v := range other {
-		if v > k[p] {
+	n := len(other)
+	if len(k) < n {
+		n = len(k)
+	}
+	for p := 0; p < n; p++ {
+		if v := other[p]; v > k[p] {
 			k[p] = v
 			changed = true
 		}
@@ -52,10 +63,18 @@ func (k Knowledge) MergeFrom(other Knowledge) bool {
 	return changed
 }
 
+// At returns port p's progress (0 for ports beyond the vector).
+func (k Knowledge) At(p int) int {
+	if p < len(k) {
+		return k[p]
+	}
+	return 0
+}
+
 // AllAtLeast reports whether every port in [0, n) has progress >= v.
 func (k Knowledge) AllAtLeast(n, v int) bool {
 	for p := 0; p < n; p++ {
-		if k[p] < v {
+		if k.At(p) < v {
 			return false
 		}
 	}
@@ -67,10 +86,10 @@ func (k Knowledge) Min(n int) int {
 	if n == 0 {
 		return 0
 	}
-	min := k[0]
+	min := k.At(0)
 	for p := 1; p < n; p++ {
-		if k[p] < min {
-			min = k[p]
+		if v := k.At(p); v < min {
+			min = v
 		}
 	}
 	return min
@@ -123,7 +142,7 @@ var _ sm.Process = (*Relay)(nil)
 func NewRelay(vars []model.VarID, nPorts, doneAt int) *Relay {
 	return &Relay{
 		vars:    vars,
-		know:    make(Knowledge),
+		know:    NewKnowledge(nPorts),
 		nPorts:  nPorts,
 		doneAt:  doneAt,
 		sweepsL: -1,

@@ -11,7 +11,7 @@ import (
 )
 
 func TestKnowledgeMerge(t *testing.T) {
-	k := Knowledge{0: 1, 1: 5}
+	k := Knowledge{0: 1, 1: 5, 2: 0}
 	changed := k.MergeFrom(Knowledge{0: 3, 2: 2})
 	if !changed {
 		t.Error("merge should report change")
@@ -56,7 +56,7 @@ func TestKnowledgeClone(t *testing.T) {
 }
 
 func TestMergeCellNilSafety(t *testing.T) {
-	k := make(Knowledge)
+	k := NewKnowledge(4)
 	if MergeCell(k, nil) {
 		t.Error("merging nil value reported change")
 	}
@@ -149,7 +149,7 @@ type announcer struct {
 }
 
 func newAnnouncer(port, n int, v model.VarID) *announcer {
-	return &announcer{port: port, n: n, v: v, know: make(Knowledge)}
+	return &announcer{port: port, n: n, v: v, know: NewKnowledge(n)}
 }
 
 func (a *announcer) Target() model.VarID { return a.v }
@@ -284,7 +284,7 @@ func TestCommStepsIsATrueBound(t *testing.T) {
 // Property: merging is idempotent, commutative and monotone.
 func TestMergeProperties(t *testing.T) {
 	gen := func(seed uint64) Knowledge {
-		k := make(Knowledge)
+		k := NewKnowledge(5)
 		s := seed
 		for i := 0; i < 4; i++ {
 			s = s*6364136223846793005 + 1442695040888963407

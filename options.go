@@ -55,6 +55,10 @@ type Stats struct {
 	Sessions int
 	Messages int
 	Faults   int
+	// CacheHits and CacheMisses count run-cache lookups the call made
+	// (zero without WithRunCache).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // settings is the resolved configuration an API call runs with.
@@ -87,6 +91,9 @@ type settings struct {
 	retryBackoff     time.Duration
 	faultIntensities []float64
 	robustness       bool
+	perKindMargins   bool
+
+	runCache *engine.RunCache
 }
 
 func newSettings(opts []Option) settings {
@@ -123,6 +130,9 @@ func (s settings) harnessConfig(eng *engine.Engine) harness.Config {
 // observer to the public Observation type.
 func (s settings) engine() *engine.Engine {
 	opts := []engine.Option{engine.WithParallelism(s.parallelism)}
+	if s.runCache != nil {
+		opts = append(opts, engine.WithRunCache(s.runCache))
+	}
 	if s.observer != nil {
 		obs := s.observer
 		opts = append(opts, engine.WithObserver(func(r engine.Result) {
@@ -148,7 +158,8 @@ func statsOf(eng *engine.Engine) Stats {
 		Wall: es.Wall, Busy: es.Busy,
 		Parallelism: es.Parallelism, PerWorker: es.PerWorker,
 		Steps: es.Counts.Steps, Sessions: es.Counts.Sessions, Messages: es.Counts.Messages,
-		Faults: es.Counts.Faults,
+		Faults:    es.Counts.Faults,
+		CacheHits: es.CacheHits, CacheMisses: es.CacheMisses,
 	}
 }
 
@@ -341,4 +352,31 @@ func WithFaultIntensities(intensities ...float64) Option {
 // field is -1 (not computed).
 func WithRobustnessMargin() Option {
 	return func(cfg *settings) { cfg.robustness = true }
+}
+
+// WithPerKindMargins extends the robustness sweep with a per-fault-class
+// axis: for every injectable fault kind, Solve reruns the intensity sweep
+// with the plan restricted to that kind alone and reports the per-kind
+// margins as Report.RobustnessMargins. Implies WithRobustnessMargin.
+func WithPerKindMargins() Option {
+	return func(cfg *settings) { cfg.robustness = true; cfg.perKindMargins = true }
+}
+
+// RunCache is a content-addressed cache of verified simulator runs, shared
+// across API calls: a run is keyed by everything that determines it (spec,
+// timing constants, algorithm, strategy, seed, fault plan, step cap), so two
+// calls whose matrices overlap simulate each unique run once. Cached entries
+// are immutable summaries — hits never alias a live trace — and results are
+// byte-identical with and without a cache. Safe for concurrent use.
+type RunCache = engine.RunCache
+
+// NewRunCache returns an empty run cache for WithRunCache.
+func NewRunCache() *RunCache { return engine.NewRunCache() }
+
+// WithRunCache attaches a run cache to the call. Table1, Hierarchy, the
+// sweeps, FaultSweep and Solve consult it; Stats.CacheHits/CacheMisses
+// report the call's lookup counts (the cache's own Hits/Misses methods
+// report cumulative totals across calls).
+func WithRunCache(c *RunCache) Option {
+	return func(cfg *settings) { cfg.runCache = c }
 }

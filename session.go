@@ -15,7 +15,6 @@ import (
 	"sessionproblem/internal/harness"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
-	"sessionproblem/internal/trace"
 )
 
 // TableCell is one Table-1 cell: a (timing model, communication model)
@@ -308,6 +307,11 @@ type Report struct {
 	// session guarantee still held (see WithRobustnessMargin); -1 when the
 	// sweep did not run or the guarantee broke at the lowest intensity.
 	RobustnessMargin float64
+	// RobustnessMargins breaks the margin down by fault class (see
+	// WithPerKindMargins): for each injectable kind, the largest swept
+	// intensity the guarantee survived with only that kind injected. Nil
+	// when the per-kind sweep did not run.
+	RobustnessMargins map[FaultKind]float64
 }
 
 // SessionSpan is one disjoint session of a computation.
@@ -319,9 +323,9 @@ type SessionSpan struct {
 	Start, End Ticks
 }
 
-func spansOf(rep *core.Report) []SessionSpan {
+func spansOf(sum *core.RunSummary) []SessionSpan {
 	var out []SessionSpan
-	for _, sp := range trace.Sessions(rep.Trace) {
+	for _, sp := range sum.Spans {
 		out = append(out, SessionSpan{Index: sp.Index, Start: Ticks(sp.Start), End: Ticks(sp.End)})
 	}
 	return out
@@ -421,8 +425,13 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 	}
 
 	// Resolve the algorithm once; the fault path reuses it across attempts.
+	// keyComm/algName/spec identify the run in the cache key space (shared
+	// with the harness, so a Solve that coincides with a table or sweep run
+	// reuses its cache slot).
 	var runPlain func(context.Context) (*core.Report, error)
 	var runFaulted func(context.Context, core.FaultRun) (*core.Report, error)
+	var spec core.Spec
+	var keyComm, algName string
 	switch comm {
 	case SharedMemory:
 		alg := cfg.smAlg
@@ -431,7 +440,8 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 				return nil, err
 			}
 		}
-		spec := core.Spec{S: cfg.s, N: cfg.n, B: cfg.b}
+		spec = core.Spec{S: cfg.s, N: cfg.n, B: cfg.b}
+		keyComm, algName = "SM", alg.Name()
 		runPlain = func(ctx context.Context) (*core.Report, error) {
 			return core.RunSMContext(ctx, alg, spec, tm, st, cfg.seed)
 		}
@@ -445,7 +455,8 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 				return nil, err
 			}
 		}
-		spec := core.Spec{S: cfg.s, N: cfg.n}
+		spec = core.Spec{S: cfg.s, N: cfg.n}
+		keyComm, algName = "MP", alg.Name()
 		runPlain = func(ctx context.Context) (*core.Report, error) {
 			return core.RunMPContext(ctx, alg, spec, tm, st, cfg.seed)
 		}
@@ -457,36 +468,60 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 	}
 
 	if cfg.faultPlan == nil && cfg.retries == 0 && !cfg.robustness {
-		rep, err := runPlain(ctx)
+		key := core.RunKey(keyComm, algName, spec, tm, st, cfg.seed, 0, nil)
+		sum, err := cfg.cachedRun(ctx, key, runPlain)
 		if err != nil {
 			return nil, err
 		}
-		out := reportOf(rep)
+		out := reportOf(sum)
 		out.Admissible = true
 		out.Verdict = fault.VerdictAdmissible.String()
 		out.Attempts = 1
 		out.RobustnessMargin = -1
 		return out, nil
 	}
-	return cfg.solveFaulted(ctx, tm, runFaulted)
+	id := solveID{comm: keyComm, alg: algName, spec: spec, model: tm, strategy: st, seed: cfg.seed}
+	return cfg.solveFaulted(ctx, id, runFaulted)
+}
+
+// solveID carries the cache-key ingredients of one Solve call through the
+// degradation path.
+type solveID struct {
+	comm, alg string
+	spec      core.Spec
+	model     timing.Model
+	strategy  timing.Strategy
+	seed      uint64
+}
+
+// attempt runs one faulted execution under the given plan (nil = injector-
+// free) through the run cache.
+func (cfg settings) attempt(ctx context.Context, id solveID, plan *fault.Plan, runFaulted func(context.Context, core.FaultRun) (*core.Report, error)) (*core.RunSummary, error) {
+	fr := core.FaultRun{MaxSteps: defaultFaultMaxSteps}
+	if plan != nil {
+		fr.Injector = plan.Injector()
+	}
+	key := core.RunKey(id.comm, id.alg, id.spec, id.model, id.strategy, id.seed, defaultFaultMaxSteps, plan)
+	return cfg.cachedRun(ctx, key, func(ctx context.Context) (*core.Report, error) {
+		return runFaulted(ctx, fr)
+	})
 }
 
 // solveFaulted is Solve's degradation path: audit instead of fail, retry
 // non-admissible attempts under fresh fault draws, and optionally sweep the
-// intensity axis for the robustness margin.
-func (cfg settings) solveFaulted(ctx context.Context, tm timing.Model, runFaulted func(context.Context, core.FaultRun) (*core.Report, error)) (*Report, error) {
-	faultRunAt := func(attempt int) core.FaultRun {
-		fr := core.FaultRun{MaxSteps: defaultFaultMaxSteps}
-		if cfg.faultPlan != nil {
-			// Attempt k re-seeds the plan with Seed+k: retries only help
-			// because the fault draws change; the schedule itself is fixed.
-			plan := cfg.faultPlan.WithSeed(cfg.faultPlan.Seed + uint64(attempt)).ScaledTo(tm)
-			fr.Injector = plan.Injector()
+// intensity axis for the robustness margin (overall and per fault kind).
+func (cfg settings) solveFaulted(ctx context.Context, id solveID, runFaulted func(context.Context, core.FaultRun) (*core.Report, error)) (*Report, error) {
+	planAt := func(attempt int) *fault.Plan {
+		if cfg.faultPlan == nil {
+			return nil
 		}
-		return fr
+		// Attempt k re-seeds the plan with Seed+k: retries only help
+		// because the fault draws change; the schedule itself is fixed.
+		plan := cfg.faultPlan.WithSeed(cfg.faultPlan.Seed + uint64(attempt)).ScaledTo(id.model)
+		return &plan
 	}
 
-	var best *core.Report
+	var best *core.RunSummary
 	attempts := 0
 	for a := 0; a <= cfg.retries; a++ {
 		// Cancellation is never masked by the retry loop: check before
@@ -503,13 +538,13 @@ func (cfg settings) solveFaulted(ctx context.Context, tm timing.Model, runFaulte
 			case <-timer.C:
 			}
 		}
-		rep, err := runFaulted(ctx, faultRunAt(a))
+		sum, err := cfg.attempt(ctx, id, planAt(a), runFaulted)
 		if err != nil {
 			return nil, err
 		}
 		attempts++
-		if best == nil || rep.Audit.Verdict < best.Audit.Verdict {
-			best = rep
+		if best == nil || sum.Audit.Verdict < best.Audit.Verdict {
+			best = sum
 		}
 		if best.Audit.Verdict == fault.VerdictAdmissible {
 			break
@@ -517,9 +552,10 @@ func (cfg settings) solveFaulted(ctx context.Context, tm timing.Model, runFaulte
 	}
 
 	margin := -1.0
+	var kindMargins map[FaultKind]float64
 	if cfg.robustness {
 		var err error
-		if margin, err = cfg.robustnessMargin(ctx, tm, runFaulted); err != nil {
+		if margin, kindMargins, err = cfg.robustnessMargin(ctx, id, runFaulted); err != nil {
 			return nil, err
 		}
 	}
@@ -527,58 +563,111 @@ func (cfg settings) solveFaulted(ctx context.Context, tm timing.Model, runFaulte
 	out := reportOf(best)
 	out.Admissible = best.Audit.Verdict == fault.VerdictAdmissible
 	out.Verdict = best.Audit.Verdict.String()
-	out.Violations = best.Audit.Violations
-	out.FaultsInjected = len(best.Faults)
+	// The summary may be shared via the cache; hand the caller its own copy
+	// (append on an empty source stays nil, matching the uncached shape).
+	out.Violations = append([]string(nil), best.Audit.Violations...)
+	out.FaultsInjected = best.Faults
 	out.Attempts = attempts
 	out.RobustnessMargin = margin
+	out.RobustnessMargins = kindMargins
 	return out, nil
 }
 
 // robustnessMargin reruns the same schedule across the ascending intensity
 // axis on the worker pool and returns the largest prefix intensity at which
-// the session guarantee held.
-func (cfg settings) robustnessMargin(ctx context.Context, tm timing.Model, runFaulted func(context.Context, core.FaultRun) (*core.Report, error)) (float64, error) {
+// the session guarantee held. With WithPerKindMargins the matrix gains one
+// row per injectable fault kind (the plan restricted to that kind), and the
+// per-kind prefix margins come back alongside the overall one.
+func (cfg settings) robustnessMargin(ctx context.Context, id solveID, runFaulted func(context.Context, core.FaultRun) (*core.Report, error)) (float64, map[FaultKind]float64, error) {
 	intensities := cfg.sortedIntensities()
 	base := fault.NewPlan(1, 0)
 	if cfg.faultPlan != nil {
 		base = *cfg.faultPlan
 	}
-	held, err := engine.Map(ctx, cfg.engine(), len(intensities),
-		func(i int) string { return fmt.Sprintf("robustness i=%.2f", intensities[i]) },
-		func(ctx context.Context, i int) (bool, error) {
-			plan := base.WithIntensity(intensities[i]).ScaledTo(tm)
-			rep, err := runFaulted(ctx, core.FaultRun{
-				Injector: plan.Injector(), MaxSteps: defaultFaultMaxSteps,
-			})
+	var kinds []FaultKind
+	if cfg.perKindMargins {
+		kinds = fault.AllKinds()
+	}
+	// Row 0 is the overall margin (the plan's own kind set); rows 1.. are
+	// the per-kind restrictions. Flat index = row*len(intensities) + i.
+	rows := 1 + len(kinds)
+	planFor := func(row, i int) *fault.Plan {
+		p := base
+		if row > 0 {
+			p.Kinds = []fault.Kind{kinds[row-1]}
+		}
+		p = p.WithIntensity(intensities[i]).ScaledTo(id.model)
+		return &p
+	}
+	held, err := engine.Map(ctx, cfg.engine(), rows*len(intensities),
+		func(j int) string {
+			row, i := j/len(intensities), j%len(intensities)
+			if row == 0 {
+				return fmt.Sprintf("robustness i=%.2f", intensities[i])
+			}
+			return fmt.Sprintf("robustness %v i=%.2f", kinds[row-1], intensities[i])
+		},
+		func(ctx context.Context, j int) (bool, error) {
+			row, i := j/len(intensities), j%len(intensities)
+			sum, err := cfg.attempt(ctx, id, planFor(row, i), runFaulted)
 			if err != nil {
 				return false, err
 			}
-			return rep.Audit.Held(), nil
+			return sum.Audit.Held(), nil
 		})
 	if err != nil {
-		return -1, err
+		return -1, nil, err
 	}
-	margin := -1.0
-	for i, h := range held {
-		if !h {
-			break
+	prefixMargin := func(row int) float64 {
+		margin := -1.0
+		for i := range intensities {
+			if !held[row*len(intensities)+i] {
+				break
+			}
+			margin = intensities[i]
 		}
-		margin = intensities[i]
+		return margin
 	}
-	return margin, nil
+	var kindMargins map[FaultKind]float64
+	if len(kinds) > 0 {
+		kindMargins = make(map[FaultKind]float64, len(kinds))
+		for r, k := range kinds {
+			kindMargins[k] = prefixMargin(r + 1)
+		}
+	}
+	return prefixMargin(0), kindMargins, nil
 }
 
-// reportOf maps a core report onto the public one (fault fields left zero).
-func reportOf(rep *core.Report) *Report {
+// reportOf maps a run summary onto the public report (fault fields left
+// zero). Both cache hits and live runs pass through here, so the output is
+// byte-identical either way; the spans are freshly built per call, never
+// shared with the cached summary.
+func reportOf(sum *core.RunSummary) *Report {
 	return &Report{
-		Algorithm: rep.Algorithm,
-		Model:     rep.Model.String(),
-		Finish:    Ticks(rep.Finish),
-		Sessions:  rep.Sessions,
-		Rounds:    rep.Rounds,
-		Steps:     rep.Steps(),
-		Messages:  rep.Messages,
-		Gamma:     Ticks(rep.Gamma),
-		Spans:     spansOf(rep),
+		Algorithm: sum.Algorithm,
+		Model:     sum.Model.String(),
+		Finish:    Ticks(sum.Finish),
+		Sessions:  sum.Sessions,
+		Rounds:    sum.Rounds,
+		Steps:     sum.Steps,
+		Messages:  sum.Messages,
+		Gamma:     Ticks(sum.Gamma),
+		Spans:     spansOf(sum),
 	}
+}
+
+// cachedRun runs one solve attempt through the configured run cache (no-op
+// when WithRunCache was not given): hits return the memoized summary, misses
+// execute and memoize. Errors are never cached.
+func (cfg settings) cachedRun(ctx context.Context, key string, run func(context.Context) (*core.Report, error)) (*core.RunSummary, error) {
+	if v, ok := cfg.runCache.Get(key); ok {
+		return v.(*core.RunSummary), nil
+	}
+	rep, err := run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sum := core.Summarize(rep)
+	cfg.runCache.Put(key, sum)
+	return sum, nil
 }
