@@ -111,7 +111,12 @@ func BenchmarkTable1AsyncMP(b *testing.B) {
 
 func BenchmarkSweepSporadicDelay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.SweepSporadicDelay(4, 3, 2, 40, 5, 1); err != nil {
+		_, err := harness.Sweep(context.Background(), harness.SweepSpec{
+			Kind: harness.SweepKindSporadicDelay,
+			S:    4, N: 3, C1: 2, D2: 40,
+			Steps: 5, Seeds: 1,
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -119,7 +124,12 @@ func BenchmarkSweepSporadicDelay(b *testing.B) {
 
 func BenchmarkSweepPeriodicVsSemiSync(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.SweepPeriodicVsSemiSync(3, 2, 10, 30, 6, 1); err != nil {
+		_, err := harness.Sweep(context.Background(), harness.SweepSpec{
+			Kind: harness.SweepKindPeriodicVsSemiSync,
+			N:    3, C1: 2, C2: 10, D2: 30,
+			MaxS: 6, Seeds: 1,
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -128,7 +138,12 @@ func BenchmarkSweepPeriodicVsSemiSync(b *testing.B) {
 func BenchmarkSweepPeriodicVsSporadic(b *testing.B) {
 	cmaxs := []sim.Duration{2, 8, 32}
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.SweepPeriodicVsSporadic(4, 3, 2, 4, 28, cmaxs, 1); err != nil {
+		_, err := harness.Sweep(context.Background(), harness.SweepSpec{
+			Kind: harness.SweepKindPeriodicVsSporadic,
+			S:    4, N: 3, C1: 2, D1: 4, D2: 28,
+			Cmaxs: cmaxs, Seeds: 1,
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

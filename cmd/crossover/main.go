@@ -12,7 +12,8 @@
 //
 // Usage:
 //
-//	crossover [-exp f1|...|f7|tight|all] [-seeds N]
+//	crossover [-exp f1|...|f7|tight|all] [-seeds N] [-parallelism N]
+//	          [-timeout D] [-cache-dir DIR]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"sessionproblem/internal/cmdflags"
 	"sessionproblem/internal/harness"
 	"sessionproblem/internal/sim"
 )
@@ -35,19 +37,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("crossover", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment: f1, f2, f3, f4, f5 or all")
-	seeds := fs.Int("seeds", 2, "seeds per scheduling strategy")
-	parallelism := fs.Int("parallelism", 0, "worker-pool width for the sweep run matrices (0 = GOMAXPROCS)")
-	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole invocation (0 = none)")
+	e := cmdflags.RegisterExec(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	ctx, cancel := e.Context(context.Background())
+	defer cancel()
+	eng, err := e.Engine()
+	if err != nil {
+		return err
 	}
+	seeds, parallelism := &e.Seeds, &e.Parallelism
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
 
@@ -57,6 +58,7 @@ func run(args []string) error {
 			Kind: harness.SweepKindSporadicDelay,
 			S:    6, N: 4, C1: 2, D2: 40,
 			Steps: 9, Seeds: *seeds, Parallelism: *parallelism,
+			Engine: eng,
 		})
 		if err != nil {
 			return err
@@ -75,6 +77,7 @@ func run(args []string) error {
 			Kind: harness.SweepKindPeriodicVsSemiSync,
 			N:    4, C1: 2, C2: 10, D2: 30,
 			MaxS: 10, Seeds: *seeds, Parallelism: *parallelism,
+			Engine: eng,
 		})
 		if err != nil {
 			return err
@@ -94,6 +97,7 @@ func run(args []string) error {
 			Kind: harness.SweepKindPeriodicVsSporadic,
 			S:    5, N: 3, C1: 2, D1: 4, D2: 28,
 			Cmaxs: cmaxs, Seeds: *seeds, Parallelism: *parallelism,
+			Engine: eng,
 		})
 		if err != nil {
 			return err
@@ -110,6 +114,7 @@ func run(args []string) error {
 		ran = true
 		cfg := harness.Default()
 		cfg.Parallelism = *parallelism
+		cfg.Engine = eng
 		rows, err := harness.HierarchyCtx(ctx, cfg)
 		if err != nil {
 			return err

@@ -15,6 +15,7 @@
 //	faultsweep [-s N] [-n N] [-c1 N] [-c2 N] [-d1 N] [-d2 N] [-seeds N]
 //	           [-intensities CSV] [-kinds CSV] [-faultseed N] [-maxsteps N]
 //	           [-models CSV] [-perkind] [-parallelism N] [-timeout D]
+//	           [-cache-dir DIR]
 //
 // With -perkind, each fault kind is additionally swept in isolation and a
 // per-kind margin table follows the main one, showing which fault class
@@ -30,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sessionproblem/internal/cmdflags"
 	"sessionproblem/internal/fault"
 	"sessionproblem/internal/harness"
 	"sessionproblem/internal/sim"
@@ -44,22 +46,14 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("faultsweep", flag.ContinueOnError)
-	def := harness.Default()
-	s := fs.Int("s", def.S, "number of sessions")
-	n := fs.Int("n", def.N, "number of ports")
-	c1 := fs.Int64("c1", int64(def.C1), "lower bound on step time (ticks)")
-	c2 := fs.Int64("c2", int64(def.C2), "upper bound on step time / synchronous step (ticks)")
-	d1 := fs.Int64("d1", int64(def.D1), "lower bound on message delay, sporadic model (ticks)")
-	d2 := fs.Int64("d2", int64(def.D2), "upper bound on message delay (ticks)")
-	seeds := fs.Int("seeds", def.Seeds, "scheduler seeds per strategy")
+	p := cmdflags.RegisterProblem(fs)
+	e := cmdflags.RegisterExec(fs)
 	intensities := fs.String("intensities", "", "comma-separated fault intensities in [0,1] (default 0,0.05,0.1,0.2,0.4,0.8)")
 	kinds := fs.String("kinds", "", "comma-separated fault kinds to inject (default all): crash, step-overrun, stale-read, message-drop, message-duplicate, late-delivery")
 	faultSeed := fs.Uint64("faultseed", 1, "base seed for fault plans")
 	maxSteps := fs.Int("maxsteps", 0, "step cap per run (0 = default 200000); faulted runs may not terminate")
 	models := fs.String("models", "", "comma-separated subset of model rows (default all): synchronous, periodic, semi-synchronous, sporadic, asynchronous")
 	perKind := fs.Bool("perkind", false, "additionally sweep each fault kind alone and report per-kind robustness margins")
-	parallelism := fs.Int("parallelism", 0, "worker-pool width (0 = GOMAXPROCS); output is identical at any setting")
-	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole sweep (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,31 +67,32 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	ctx, cancel := e.Context(context.Background())
+	defer cancel()
+	eng, err := e.Engine()
+	if err != nil {
+		return err
 	}
 	cfg := harness.FaultSweepConfig{
-		S: *s, N: *n,
-		C1: sim.Duration(*c1), C2: sim.Duration(*c2),
-		Cmin: sim.Duration(*c1), Cmax: sim.Duration(*c2),
-		D1: sim.Duration(*d1), D2: sim.Duration(*d2),
-		Seeds:       *seeds,
+		S: p.S, N: p.N,
+		C1: sim.Duration(p.C1), C2: sim.Duration(p.C2),
+		Cmin: sim.Duration(p.C1), Cmax: sim.Duration(p.C2),
+		D1: sim.Duration(p.D1), D2: sim.Duration(p.D2),
+		Seeds:       e.Seeds,
 		Intensities: xs,
 		Kinds:       ks,
 		FaultSeed:   *faultSeed,
 		MaxSteps:    *maxSteps,
 		Models:      splitCSV(*models),
 		PerKind:     *perKind,
-		Parallelism: *parallelism,
+		Parallelism: e.Parallelism,
+		Engine:      eng,
 	}
 	rows, err := harness.FaultSweep(ctx, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "Robustness sweep: s=%d n=%d seeds=%d faultseed=%d\n\n", *s, *n, *seeds, *faultSeed)
+	fmt.Fprintf(w, "Robustness sweep: s=%d n=%d seeds=%d faultseed=%d\n\n", p.S, p.N, e.Seeds, *faultSeed)
 	return harness.WriteFaultSweep(w, rows)
 }
 

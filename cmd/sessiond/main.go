@@ -1,0 +1,392 @@
+// Command sessiond serves the session-problem analysis library over
+// HTTP/JSON as a long-lived daemon. Where the CLI tools pay the full run
+// matrix on every invocation, sessiond keeps one shared run cache across
+// requests — in-memory always, disk-persistent with -cache-dir — so
+// repeated and overlapping analyses reuse every verified run summary, even
+// across daemon restarts and even with the CLI tools sharing the directory.
+//
+// Endpoints (all results are versioned wire envelopes, package wire):
+//
+//	POST /v1/table1     {"s":6,"n":8,...}            -> {"v":1,"kind":"table1",...}
+//	POST /v1/hierarchy  {"s":6,"n":8,...}            -> {"v":1,"kind":"hierarchy",...}
+//	POST /v1/sweep      {"kind":"sporadic-delay",..} -> {"v":1,"kind":"sweep",...}
+//	POST /v1/solve      {"model":"periodic",...}     -> {"v":1,"kind":"report",...}
+//	GET  /v1/stats                                   -> cache + request accounting
+//
+// Every request field is optional and defaults to the library default, so
+// `curl -d '{}' localhost:8372/v1/table1` regenerates the paper's Table 1.
+// Responses are byte-identical to the corresponding CLI `-json` output
+// (`sessiontable -json`, `sessionsim -json`): one envelope, one trailing
+// newline — cache state and parallelism never change a result byte.
+//
+// With ?stream=1 the POST endpoints reply with NDJSON: one
+// {"v":1,"kind":"progress",...} line per completed simulator run as it
+// happens, then the result envelope as the final line (still byte-identical
+// to the non-streaming body).
+//
+// Usage:
+//
+//	sessiond [-addr HOST:PORT] [-cache-dir DIR] [-parallelism N] [-timeout D]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"sessionproblem"
+	"sessionproblem/internal/diskcache"
+	"sessionproblem/internal/engine"
+	"sessionproblem/internal/harness"
+	"sessionproblem/wire"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sessiond", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8372", "listen address")
+	cacheDir := fs.String("cache-dir", "", "directory for the disk-persistent run cache (empty = in-memory only)")
+	parallelism := fs.Int("parallelism", 0, "worker-pool width per request (0 = GOMAXPROCS); results are identical at any setting")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound per request (0 = none)")
+	fs.Parse(os.Args[1:])
+
+	srv, err := newServer(*cacheDir, *parallelism, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sessiond:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+	go func() {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+	log.Printf("sessiond: listening on %s (cache-dir=%q)", *addr, *cacheDir)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "sessiond:", err)
+		os.Exit(1)
+	}
+}
+
+// server holds the state shared by every request: the run cache (the whole
+// point of being a daemon) and the execution limits.
+type server struct {
+	mem         *engine.RunCache  // memory tier, always present
+	tiered      *diskcache.Tiered // non-nil iff a cache directory is configured
+	parallelism int
+	timeout     time.Duration
+	requests    atomic.Int64
+}
+
+func newServer(cacheDir string, parallelism int, timeout time.Duration) (*server, error) {
+	s := &server{
+		mem:         engine.NewRunCache(),
+		parallelism: parallelism,
+		timeout:     timeout,
+	}
+	if cacheDir != "" {
+		tc, err := diskcache.NewSummaryCache(s.mem, cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.tiered = tc
+	}
+	return s, nil
+}
+
+// cache is the RunCacher every request shares.
+func (s *server) cache() sessionproblem.RunCacher {
+	if s.tiered != nil {
+		return s.tiered
+	}
+	return s.mem
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/table1", s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
+		res, err := sessionproblem.Table1(ctx, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return wire.MarshalTable(res.Cells)
+	}))
+	mux.HandleFunc("POST /v1/hierarchy", s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
+		res, err := sessionproblem.Hierarchy(ctx, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return wire.MarshalHierarchy(res.Rows)
+	}))
+	mux.HandleFunc("POST /v1/sweep", s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
+		kind, ok := sweepKinds[rq.Kind]
+		if !ok {
+			return nil, badRequestf("unknown sweep kind %q (want sporadic-delay, periodic-vs-semisync, periodic-vs-sporadic, network-diameter or fault-intensity)", rq.Kind)
+		}
+		res, err := sessionproblem.Sweep(ctx, kind, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return wire.MarshalSweep(res.Points)
+	}))
+	mux.HandleFunc("POST /v1/solve", s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
+		rep, err := sessionproblem.Solve(ctx, sessionproblem.Model(rq.Model), sessionproblem.Comm(rq.Comm), opts...)
+		if err != nil {
+			return nil, err
+		}
+		return wire.MarshalReport(rep)
+	}))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// request is the JSON body every POST endpoint accepts. Omitted fields take
+// the library defaults (harness.Default() — the same instance the CLI tools
+// and the facade default to), so "{}" is a valid body for every endpoint.
+type request struct {
+	S     int   `json:"s"`
+	N     int   `json:"n"`
+	B     int   `json:"b"`
+	C1    int64 `json:"c1"`
+	C2    int64 `json:"c2"`
+	D1    int64 `json:"d1"`
+	D2    int64 `json:"d2"`
+	Seeds int   `json:"seeds"`
+
+	// Sweep-only.
+	Kind        string  `json:"kind,omitempty"`
+	Steps       int     `json:"steps,omitempty"`
+	MaxSessions int     `json:"maxSessions,omitempty"`
+	Cmaxs       []int64 `json:"cmaxs,omitempty"`
+
+	// Solve-only.
+	Model    string `json:"model,omitempty"`
+	Comm     string `json:"comm,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+}
+
+func defaultRequest() request {
+	def := harness.Default()
+	return request{
+		S: def.S, N: def.N, B: def.B,
+		C1: int64(def.C1), C2: int64(def.C2),
+		D1: int64(def.D1), D2: int64(def.D2),
+		Seeds:       def.Seeds,
+		Steps:       9,
+		MaxSessions: 10,
+		Model:       "periodic",
+		Comm:        "mp",
+		Strategy:    "random",
+		Seed:        1,
+	}
+}
+
+var sweepKinds = map[string]sessionproblem.SweepKind{
+	"sporadic-delay":       sessionproblem.SweepSporadicDelay,
+	"periodic-vs-semisync": sessionproblem.SweepPeriodicVsSemiSync,
+	"periodic-vs-sporadic": sessionproblem.SweepPeriodicVsSporadic,
+	"network-diameter":     sessionproblem.SweepNetworkDiameter,
+	"fault-intensity":      sessionproblem.SweepFaultIntensity,
+}
+
+// options renders a request as facade options, always routing through the
+// daemon's shared run cache. This mirrors what the CLI tools build from
+// their flags, which is what keeps daemon and CLI results byte-identical.
+func (s *server) options(rq request) []sessionproblem.Option {
+	opts := []sessionproblem.Option{
+		sessionproblem.WithSpec(rq.S, rq.N),
+		sessionproblem.WithAccessBound(rq.B),
+		sessionproblem.WithStepBounds(rq.C1, rq.C2),
+		sessionproblem.WithDelayBounds(rq.D1, rq.D2),
+		sessionproblem.WithSeeds(rq.Seeds),
+		sessionproblem.WithParallelism(s.parallelism),
+		sessionproblem.WithTimeout(s.timeout),
+		sessionproblem.WithRunCache(s.cache()),
+		sessionproblem.WithSweepSteps(rq.Steps),
+		sessionproblem.WithMaxSessions(rq.MaxSessions),
+		sessionproblem.WithSchedule(rq.Strategy, rq.Seed),
+	}
+	if len(rq.Cmaxs) > 0 {
+		opts = append(opts, sessionproblem.WithPeriodMaxima(rq.Cmaxs...))
+	}
+	return opts
+}
+
+// badRequest marks an error as the client's fault (HTTP 400).
+type badRequest struct{ error }
+
+func badRequestf(format string, args ...any) error {
+	return badRequest{fmt.Errorf(format, args...)}
+}
+
+// analysis adapts one facade call into a POST handler: decode the request
+// (defaults for everything omitted), run, reply with the wire envelope plus
+// one trailing newline — or, with ?stream=1, with NDJSON progress lines
+// followed by the same envelope.
+func (s *server) analysis(run func(context.Context, request, []sessionproblem.Option) ([]byte, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		rq, err := decodeRequest(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts := s.options(rq)
+
+		if r.URL.Query().Get("stream") == "" {
+			data, err := run(r.Context(), rq, opts)
+			if err != nil {
+				writeError(w, errStatus(err), err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(append(data, '\n'))
+			return
+		}
+
+		// Streaming: progress events go out as they happen, so the header
+		// must commit before the result is known; a late failure becomes a
+		// terminal {"v":1,"kind":"error"} line instead of a status code.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		sw := &streamWriter{w: w}
+		opts = append(opts, sessionproblem.WithObserver(sw.observe))
+		data, err := run(r.Context(), rq, opts)
+		if err != nil {
+			sw.writeLine(map[string]any{"v": wire.Version, "kind": "error", "error": err.Error()})
+			return
+		}
+		sw.writeRaw(append(data, '\n'))
+	}
+}
+
+// streamWriter serializes NDJSON lines onto one response. The observer is
+// invoked concurrently from every worker, so writes are mutex-guarded and
+// flushed per line — clients see progress in real time.
+type streamWriter struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+}
+
+// progressEvent is one completed simulator run, as seen by a streaming
+// client. Completion order is nondeterministic under parallelism; the final
+// result envelope is deterministic regardless.
+type progressEvent struct {
+	V          int    `json:"v"`
+	Kind       string `json:"kind"` // always "progress"
+	Label      string `json:"label"`
+	Worker     int    `json:"worker"`
+	WallMicros int64  `json:"wallMicros"`
+	Steps      int    `json:"steps"`
+	Sessions   int    `json:"sessions"`
+	Messages   int    `json:"messages"`
+	Faults     int    `json:"faults"`
+	Err        string `json:"err,omitempty"`
+}
+
+func (sw *streamWriter) observe(o sessionproblem.Observation) {
+	ev := progressEvent{
+		V: wire.Version, Kind: "progress",
+		Label: o.Label, Worker: o.Worker, WallMicros: o.Wall.Microseconds(),
+		Steps: o.Steps, Sessions: o.Sessions, Messages: o.Messages, Faults: o.Faults,
+	}
+	if o.Err != nil {
+		ev.Err = o.Err.Error()
+	}
+	sw.writeLine(ev)
+}
+
+func (sw *streamWriter) writeLine(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	sw.writeRaw(append(data, '\n'))
+}
+
+func (sw *streamWriter) writeRaw(line []byte) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.w.Write(line)
+	if f, ok := sw.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func decodeRequest(r *http.Request) (request, error) {
+	rq := defaultRequest()
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		return rq, badRequestf("reading body: %v", err)
+	}
+	if len(body) == 0 {
+		return rq, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rq); err != nil {
+		return rq, badRequestf("decoding request: %v", err)
+	}
+	return rq, nil
+}
+
+func errStatus(err error) int {
+	var br badRequest
+	if errors.As(err, &br) {
+		return http.StatusBadRequest
+	}
+	// The facade reports unknown models, strategies and malformed sweeps as
+	// plain errors; they are client mistakes, not server faults.
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"v": wire.Version, "kind": "error", "error": err.Error()})
+}
+
+// statsResponse is GET /v1/stats: cumulative request and cache accounting
+// since daemon start. Disk fields are zero when no -cache-dir is set.
+type statsResponse struct {
+	V         int             `json:"v"`
+	Kind      string          `json:"kind"` // always "stats"
+	Requests  int64           `json:"requests"`
+	DiskCache bool            `json:"diskCache"`
+	Cache     diskcache.Stats `json:"cache"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{V: wire.Version, Kind: "stats", Requests: s.requests.Load()}
+	if s.tiered != nil {
+		resp.DiskCache = true
+		resp.Cache = s.tiered.Stats()
+	} else {
+		resp.Cache = diskcache.Stats{
+			Hits:       s.mem.Hits(),
+			Misses:     s.mem.Misses(),
+			MemHits:    s.mem.Hits(),
+			MemEntries: s.mem.Len(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sessionproblem"
+	"sessionproblem/wire"
+)
+
+const smallBody = `{"s":2,"n":2,"seeds":1}`
+
+func newTestServer(t *testing.T, cacheDir string) *httptest.Server {
+	t.Helper()
+	srv, err := newServer(cacheDir, 0, 0)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s response: %v", path, err)
+	}
+	return resp.StatusCode, data
+}
+
+func getStats(t *testing.T, ts *httptest.Server) statsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	return st
+}
+
+// The daemon's response must be byte-identical to the library path that the
+// CLI -json flags print: the wire envelope plus one trailing newline.
+func TestTable1MatchesLibrary(t *testing.T) {
+	ts := newTestServer(t, "")
+	status, got := post(t, ts, "/v1/table1", smallBody)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	res, err := sessionproblem.Table1(context.Background(),
+		sessionproblem.WithSpec(2, 2), sessionproblem.WithSeeds(1))
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	want, err := wire.MarshalTable(res.Cells)
+	if err != nil {
+		t.Fatalf("MarshalTable: %v", err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("daemon response differs from library:\ndaemon: %s\nlib:    %s", got, want)
+	}
+}
+
+func TestSolveMatchesLibrary(t *testing.T) {
+	ts := newTestServer(t, "")
+	body := `{"s":3,"n":4,"model":"periodic","comm":"mp","strategy":"slow","seed":7}`
+	status, got := post(t, ts, "/v1/solve", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	rep, err := sessionproblem.Solve(context.Background(),
+		sessionproblem.Periodic, sessionproblem.MessagePassing,
+		sessionproblem.WithSpec(3, 4), sessionproblem.WithSchedule("slow", 7))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want, err := wire.MarshalReport(rep)
+	if err != nil {
+		t.Fatalf("MarshalReport: %v", err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("daemon response differs from library:\ndaemon: %s\nlib:    %s", got, want)
+	}
+}
+
+func TestHierarchyAndSweep(t *testing.T) {
+	ts := newTestServer(t, "")
+	status, data := post(t, ts, "/v1/hierarchy", smallBody)
+	if status != http.StatusOK {
+		t.Fatalf("hierarchy status %d: %s", status, data)
+	}
+	var h wire.Hierarchy
+	if err := json.Unmarshal(data, &h); err != nil || len(h.Rows) == 0 {
+		t.Fatalf("hierarchy envelope: err=%v rows=%d", err, len(h.Rows))
+	}
+	status, data = post(t, ts, "/v1/sweep",
+		`{"s":3,"n":2,"seeds":1,"kind":"sporadic-delay","steps":3}`)
+	if status != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", status, data)
+	}
+	var sw wire.Sweep
+	if err := json.Unmarshal(data, &sw); err != nil || len(sw.Points) != 3 {
+		t.Fatalf("sweep envelope: err=%v points=%d", err, len(sw.Points))
+	}
+}
+
+// ?stream=1 interleaves per-run progress events and finishes with the exact
+// bytes the non-streaming path would have sent.
+func TestStreamingSolve(t *testing.T) {
+	ts := newTestServer(t, "")
+	_, plain := post(t, ts, "/v1/solve", smallBody)
+	status, streamed := post(t, ts, "/v1/solve?stream=1", smallBody)
+	if status != http.StatusOK {
+		t.Fatalf("stream status %d: %s", status, streamed)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(streamed), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want progress lines plus a result, got %d lines: %s", len(lines), streamed)
+	}
+	for _, line := range lines[:len(lines)-1] {
+		var ev progressEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("progress line %q: %v", line, err)
+		}
+		if ev.V != wire.Version || ev.Kind != "progress" || ev.Err != "" {
+			t.Fatalf("unexpected progress event: %+v", ev)
+		}
+	}
+	if got := lines[len(lines)-1] + "\n"; got != string(plain) {
+		t.Fatalf("streamed result differs from plain response:\nstream: %s\nplain:  %s", got, plain)
+	}
+}
+
+func TestStreamingTable1EmitsEveryRun(t *testing.T) {
+	ts := newTestServer(t, "")
+	status, streamed := post(t, ts, "/v1/table1?stream=1", smallBody)
+	if status != http.StatusOK {
+		t.Fatalf("stream status %d: %s", status, streamed)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(streamed), "\n"), "\n")
+	// 10 cells x 5 strategies x 1 seed runs (some cells share runs via the
+	// in-call dedup, but there is always more than one) plus the result.
+	if len(lines) < 5 {
+		t.Fatalf("suspiciously few stream lines: %d", len(lines))
+	}
+	var tbl wire.Table
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tbl); err != nil {
+		t.Fatalf("final stream line is not the table envelope: %v", err)
+	}
+}
+
+// A second identical request must be served from the shared cache, and a
+// daemon restart on the same directory must serve from disk.
+func TestStatsReportCacheReuseAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, dir)
+	post(t, ts, "/v1/table1", smallBody)
+	cold := getStats(t, ts)
+	if cold.Cache.Misses == 0 || !cold.DiskCache {
+		t.Fatalf("cold stats: %+v", cold)
+	}
+	post(t, ts, "/v1/table1", smallBody)
+	warm := getStats(t, ts)
+	if warm.Cache.Hits <= cold.Cache.Hits {
+		t.Fatalf("second request did not hit the cache: cold=%+v warm=%+v", cold, warm)
+	}
+	if warm.Requests != 2 { // the two POSTs; GET /v1/stats is not counted
+		t.Fatalf("requests: got %d, want 2: %+v", warm.Requests, warm)
+	}
+	ts.Close()
+
+	ts2 := newTestServer(t, dir)
+	post(t, ts2, "/v1/table1", smallBody)
+	restarted := getStats(t, ts2)
+	if restarted.Cache.DiskHits == 0 {
+		t.Fatalf("restarted daemon did not hit the disk cache: %+v", restarted)
+	}
+	if restarted.Cache.DiskEntries == 0 {
+		t.Fatalf("disk entries: %+v", restarted)
+	}
+}
+
+// Concurrent clients asking the same question get byte-identical answers,
+// with the shared cache absorbing the duplicate work.
+func TestConcurrentClientsByteIdentical(t *testing.T) {
+	ts := newTestServer(t, t.TempDir())
+	const clients = 8
+	results := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/table1", "application/json", strings.NewReader(smallBody))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				results[i], _ = io.ReadAll(resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("client %d failed", i)
+		}
+		if !bytes.Equal(r, results[0]) {
+			t.Fatalf("client %d got a different answer", i)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, "")
+	cases := []struct {
+		path, body string
+		status     int
+	}{
+		{"/v1/table1", `{"bogus":1}`, http.StatusBadRequest},
+		{"/v1/table1", `not json`, http.StatusBadRequest},
+		{"/v1/sweep", `{"kind":"warp-drive"}`, http.StatusBadRequest},
+		{"/v1/sweep", `{"kind":"periodic-vs-sporadic"}`, http.StatusUnprocessableEntity}, // needs cmaxs
+		{"/v1/solve", `{"model":"quantum"}`, http.StatusUnprocessableEntity},
+		{"/v1/solve", `{"strategy":"warp"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		status, data := post(t, ts, tc.path, tc.body)
+		if status != tc.status {
+			t.Errorf("POST %s %s: status %d want %d (%s)", tc.path, tc.body, status, tc.status, data)
+		}
+		var e struct {
+			Kind  string `json:"kind"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil || e.Kind != "error" || e.Error == "" {
+			t.Errorf("POST %s %s: malformed error body %s", tc.path, tc.body, data)
+		}
+	}
+}
+
+// An empty body means "all defaults"; decode must accept it without running
+// the (expensive) default-sized analysis here.
+func TestDecodeRequestDefaults(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/v1/table1", strings.NewReader(""))
+	rq, err := decodeRequest(r)
+	if err != nil {
+		t.Fatalf("empty body: %v", err)
+	}
+	if def := defaultRequest(); rq.S != def.S || rq.N != def.N || rq.Seeds != def.Seeds {
+		t.Fatalf("empty body should yield the defaults: %+v", rq)
+	}
+	r = httptest.NewRequest(http.MethodPost, "/v1/table1", strings.NewReader(`{"s":2}`))
+	rq, err = decodeRequest(r)
+	if err != nil {
+		t.Fatalf("partial body: %v", err)
+	}
+	if rq.S != 2 || rq.N != defaultRequest().N {
+		t.Fatalf("partial body should overlay the defaults: %+v", rq)
+	}
+}
+
+func TestUnusableCacheDirFailsStartup(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(file, 0, 0); err == nil {
+		t.Fatal("newServer accepted a regular file as cache dir")
+	}
+}

@@ -5,11 +5,18 @@
 // Usage:
 //
 //	sessionsim -alg periodic -comm mp [-s N] [-n N] [-b N] [-c1 N] [-c2 N]
-//	           [-d1 N] [-d2 N] [-strategy random] [-seed N] [-trace] [-json]
+//	           [-d1 N] [-d2 N] [-strategy random] [-seed N] [-cache-dir DIR]
+//	           [-json] [-trace] [-timeline] [-trace-json]
 //
 // Algorithms: synchronous, periodic, semisync, sporadic (MP only), async.
 // The timing model is implied by the algorithm: each runs under the model
 // it is designed for.
+//
+// -json emits the report as a versioned wire envelope (package wire), byte
+// for byte identical to the sessiond daemon's POST /v1/solve response for
+// the same parameters. The trace flags (-trace, -timeline, -trace-json)
+// print the timed computation itself and run the simulator directly; the
+// report paths go through the public API and its run cache.
 package main
 
 import (
@@ -18,15 +25,18 @@ import (
 	"fmt"
 	"os"
 
+	"sessionproblem"
 	"sessionproblem/internal/alg/async"
 	"sessionproblem/internal/alg/periodic"
 	"sessionproblem/internal/alg/semisync"
 	"sessionproblem/internal/alg/sporadic"
 	"sessionproblem/internal/alg/synchronous"
+	"sessionproblem/internal/cmdflags"
 	"sessionproblem/internal/core"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
 	"sessionproblem/internal/trace"
+	"sessionproblem/wire"
 )
 
 func main() {
@@ -36,88 +46,131 @@ func main() {
 	}
 }
 
+// models maps -alg names to the facade model identifiers.
+var models = map[string]sessionproblem.Model{
+	"synchronous": sessionproblem.Synchronous,
+	"periodic":    sessionproblem.Periodic,
+	"semisync":    sessionproblem.SemiSynchronous,
+	"sporadic":    sessionproblem.Sporadic,
+	"async":       sessionproblem.Asynchronous,
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("sessionsim", flag.ContinueOnError)
 	algName := fs.String("alg", "periodic", "algorithm: synchronous, periodic, semisync, sporadic, async")
 	comm := fs.String("comm", "mp", "communication model: sm or mp")
-	s := fs.Int("s", 4, "number of sessions")
-	n := fs.Int("n", 4, "number of ports")
-	b := fs.Int("b", 3, "shared-variable access bound (SM)")
-	c1 := fs.Int64("c1", 2, "lower bound on step time (ticks)")
-	c2 := fs.Int64("c2", 10, "upper bound on step time (ticks)")
-	d1 := fs.Int64("d1", 4, "lower bound on message delay (sporadic)")
-	d2 := fs.Int64("d2", 28, "upper bound on message delay")
+	p := cmdflags.RegisterProblem(fs)
+	e := cmdflags.RegisterExec(fs)
 	strategyName := fs.String("strategy", "random", "schedule strategy: random, slow, fast, skewed, jittered")
 	seed := fs.Uint64("seed", 1, "schedule seed")
-	timeout := fs.Duration("timeout", 0, "wall-clock bound on the run (0 = none)")
 	showTrace := fs.Bool("trace", false, "print the timed computation")
 	showTimeline := fs.Bool("timeline", false, "print an ASCII timeline of the computation")
-	jsonOut := fs.Bool("json", false, "emit the trace as JSON")
+	jsonOut := fs.Bool("json", false, "emit the report as a versioned wire envelope (identical to sessiond's /v1/solve)")
+	traceJSON := fs.Bool("trace-json", false, "emit the trace as JSON (runs the simulator directly)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	st, err := parseStrategy(*strategyName)
-	if err != nil {
-		return err
+	if *showTrace || *showTimeline || *traceJSON {
+		if *jsonOut {
+			return fmt.Errorf("-json cannot combine with the trace flags; use -trace-json for the trace")
+		}
+		return runWithTrace(p, e, *algName, *comm, *strategyName, *seed, *showTrace, *showTimeline, *traceJSON)
 	}
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	spec := core.Spec{S: *s, N: *n, B: *b}
-	dc1, dc2 := sim.Duration(*c1), sim.Duration(*c2)
-	dd1, dd2 := sim.Duration(*d1), sim.Duration(*d2)
 
-	var rep *core.Report
+	m, ok := models[*algName]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (want synchronous, periodic, semisync, sporadic or async)", *algName)
+	}
+	var cm sessionproblem.Comm
 	switch *comm {
 	case "sm":
-		alg, m, err := smAlgorithm(*algName, dc1, dc2)
-		if err != nil {
-			return err
-		}
-		rep, err = core.RunSMContext(ctx, alg, spec, m, st, *seed)
-		if err != nil {
-			return err
-		}
+		cm = sessionproblem.SharedMemory
 	case "mp":
-		alg, m, err := mpAlgorithm(*algName, dc1, dc2, dd1, dd2)
-		if err != nil {
-			return err
-		}
-		rep, err = core.RunMPContext(ctx, alg, spec, m, st, *seed)
-		if err != nil {
-			return err
-		}
+		cm = sessionproblem.MessagePassing
 	default:
 		return fmt.Errorf("unknown communication model %q (want sm or mp)", *comm)
 	}
+	opts := append(cmdflags.Options(p, e),
+		sessionproblem.WithSchedule(*strategyName, *seed))
+	rep, err := sessionproblem.Solve(context.Background(), m, cm, opts...)
+	if err != nil {
+		return err
+	}
 
 	if *jsonOut {
-		return trace.WriteJSON(os.Stdout, rep.Trace)
+		data, err := wire.MarshalReport(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
 	}
 	fmt.Printf("algorithm:  %s\n", rep.Algorithm)
-	fmt.Printf("model:      %v (%s)\n", rep.Model, *comm)
-	fmt.Printf("spec:       s=%d n=%d b=%d\n", spec.S, spec.N, spec.B)
-	fmt.Printf("strategy:   %v seed=%d\n", st, *seed)
+	fmt.Printf("model:      %s (%s)\n", rep.Model, *comm)
+	fmt.Printf("spec:       s=%d n=%d b=%d\n", p.S, p.N, p.B)
+	fmt.Printf("strategy:   %s seed=%d\n", *strategyName, *seed)
 	fmt.Printf("finish:     %v ticks (all ports idle)\n", rep.Finish)
-	fmt.Printf("sessions:   %d (needed %d)\n", rep.Sessions, spec.S)
+	fmt.Printf("sessions:   %d (needed %d)\n", rep.Sessions, p.S)
 	fmt.Printf("rounds:     %d\n", rep.Rounds)
 	fmt.Printf("gamma:      %v (largest step time)\n", rep.Gamma)
 	if rep.Messages > 0 {
 		fmt.Printf("broadcasts: %d\n", rep.Messages)
 	}
-	fmt.Printf("steps:      %d\n", len(rep.Trace.Steps))
-	if *showTimeline {
-		fmt.Println()
+	fmt.Printf("steps:      %d\n", rep.Steps)
+	return nil
+}
+
+// runWithTrace runs the simulator directly — the report paths go through
+// the public API, but the API (rightly) does not expose the full timed
+// computation, so the trace flags keep the direct path.
+func runWithTrace(p *cmdflags.Problem, e *cmdflags.Exec, algName, comm, strategyName string, seed uint64, showTrace, showTimeline, traceJSON bool) error {
+	st, err := parseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := e.Context(context.Background())
+	defer cancel()
+	spec := core.Spec{S: p.S, N: p.N, B: p.B}
+	dc1, dc2 := sim.Duration(p.C1), sim.Duration(p.C2)
+	dd1, dd2 := sim.Duration(p.D1), sim.Duration(p.D2)
+
+	var rep *core.Report
+	switch comm {
+	case "sm":
+		alg, m, err := smAlgorithm(algName, dc1, dc2)
+		if err != nil {
+			return err
+		}
+		rep, err = core.RunSMContext(ctx, alg, spec, m, st, seed)
+		if err != nil {
+			return err
+		}
+	case "mp":
+		alg, m, err := mpAlgorithm(algName, dc1, dc2, dd1, dd2)
+		if err != nil {
+			return err
+		}
+		rep, err = core.RunMPContext(ctx, alg, spec, m, st, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown communication model %q (want sm or mp)", comm)
+	}
+
+	if traceJSON {
+		return trace.WriteJSON(os.Stdout, rep.Trace)
+	}
+	if showTimeline {
 		if err := trace.Timeline(os.Stdout, rep.Trace, 100); err != nil {
 			return err
 		}
 	}
-	if *showTrace {
-		fmt.Println()
+	if showTrace {
+		if showTimeline {
+			fmt.Println()
+		}
 		return trace.Render(os.Stdout, rep.Trace, 200)
 	}
 	return nil

@@ -8,12 +8,18 @@
 // The full run matrix (cell × strategy × seed) fans across a worker pool;
 // -parallelism picks the width (default GOMAXPROCS) and the output is
 // byte-identical at any setting. -timeout bounds the whole regeneration,
-// cancelling in-flight simulations.
+// cancelling in-flight simulations. -cache-dir persists verified run
+// summaries on disk, so repeated regenerations reuse earlier work — even
+// work done by other tools or the sessiond daemon sharing the directory.
+//
+// -json emits the table as a versioned wire envelope (package wire), byte
+// for byte identical to the sessiond daemon's POST /v1/table1 response for
+// the same parameters.
 //
 // Usage:
 //
 //	sessiontable [-s N] [-n N] [-b N] [-c1 N] [-c2 N] [-d1 N] [-d2 N] [-seeds N]
-//	             [-parallelism N] [-timeout D]
+//	             [-parallelism N] [-timeout D] [-cache-dir DIR] [-json]
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 	"fmt"
 	"os"
 
+	"sessionproblem"
+	"sessionproblem/internal/cmdflags"
 	"sessionproblem/internal/harness"
-	"sessionproblem/internal/sim"
+	"sessionproblem/wire"
 )
 
 func main() {
@@ -35,37 +43,38 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sessiontable", flag.ContinueOnError)
-	def := harness.Default()
-	s := fs.Int("s", def.S, "number of sessions")
-	n := fs.Int("n", def.N, "number of ports")
-	b := fs.Int("b", def.B, "shared-variable access bound")
-	c1 := fs.Int64("c1", int64(def.C1), "lower bound on step time (ticks)")
-	c2 := fs.Int64("c2", int64(def.C2), "upper bound on step time / synchronous step (ticks)")
-	d1 := fs.Int64("d1", int64(def.D1), "lower bound on message delay, sporadic model (ticks)")
-	d2 := fs.Int64("d2", int64(def.D2), "upper bound on message delay (ticks)")
-	seeds := fs.Int("seeds", def.Seeds, "seeds per scheduling strategy")
-	parallelism := fs.Int("parallelism", 0, "worker-pool width (0 = GOMAXPROCS); output is identical at any setting")
-	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole regeneration (0 = none)")
+	p := cmdflags.RegisterProblem(fs)
+	e := cmdflags.RegisterExec(fs)
 	grid := fs.Bool("grid", false, "regenerate the table at several (s,n) scales")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of the aligned table")
+	asJSON := fs.Bool("json", false, "emit the versioned wire envelope (identical to sessiond's /v1/table1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if *asJSON {
+		if *grid || *asCSV {
+			return fmt.Errorf("-json cannot combine with -grid or -csv")
+		}
+		res, err := sessionproblem.Table1(context.Background(), cmdflags.Options(p, e)...)
+		if err != nil {
+			return err
+		}
+		data, err := wire.MarshalTable(res.Cells)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
 	}
-	cfg := harness.Config{
-		S: *s, N: *n, B: *b,
-		C1: sim.Duration(*c1), C2: sim.Duration(*c2),
-		Cmin: sim.Duration(*c1), Cmax: sim.Duration(*c2),
-		D1: sim.Duration(*d1), D2: sim.Duration(*d2),
-		Seeds:       *seeds,
-		Parallelism: *parallelism,
+
+	ctx, cancel := e.Context(context.Background())
+	defer cancel()
+	eng, err := e.Engine()
+	if err != nil {
+		return err
 	}
+	cfg := p.HarnessConfig(e, eng)
 	if *grid {
 		points, err := harness.GridCtx(ctx, cfg, harness.DefaultGridScales())
 		if err != nil {
@@ -90,7 +99,7 @@ func run(args []string) error {
 		return harness.WriteCSV(os.Stdout, cells)
 	}
 	fmt.Printf("Table 1 reproduction: s=%d n=%d b=%d c1=%d c2=%d d1=%d d2=%d (cmin=c1, cmax=c2)\n\n",
-		cfg.S, cfg.N, cfg.B, *c1, *c2, *d1, *d2)
+		cfg.S, cfg.N, cfg.B, p.C1, p.C2, p.D1, p.D2)
 	if err := harness.WriteTable(os.Stdout, cells); err != nil {
 		return err
 	}

@@ -1,0 +1,121 @@
+// Package cmdflags is the one place the CLI tools define their shared
+// flags. Every tool historically re-declared -s/-n/-c1/…/-parallelism by
+// hand, and the copies drifted: different defaults for the same parameter,
+// -timeout missing here, -seeds defaulting lower there. Registering through
+// this package pins every shared flag to one spelling, one help string and
+// one source of defaults (harness.Default(), which is also what the facade
+// uses), so `sessionsim -s 6` and `sessiontable -s 6` mean the same
+// instance — and adds the -cache-dir flag that gives every tool a
+// disk-persistent run cache shared across processes and invocations.
+package cmdflags
+
+import (
+	"context"
+	"flag"
+	"time"
+
+	"sessionproblem"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/diskcache"
+	"sessionproblem/internal/engine"
+	"sessionproblem/internal/harness"
+	"sessionproblem/internal/sim"
+)
+
+// Problem holds the shared problem-instance flags.
+type Problem struct {
+	S, N, B        int
+	C1, C2, D1, D2 int64
+}
+
+// Exec holds the shared execution flags.
+type Exec struct {
+	Seeds       int
+	Parallelism int
+	Timeout     time.Duration
+	CacheDir    string
+}
+
+// RegisterProblem installs the problem-instance flags (-s -n -b -c1 -c2
+// -d1 -d2) with the library defaults.
+func RegisterProblem(fs *flag.FlagSet) *Problem {
+	def := harness.Default()
+	p := &Problem{}
+	fs.IntVar(&p.S, "s", def.S, "number of sessions")
+	fs.IntVar(&p.N, "n", def.N, "number of ports")
+	fs.IntVar(&p.B, "b", def.B, "shared-variable access bound (SM)")
+	fs.Int64Var(&p.C1, "c1", int64(def.C1), "lower bound on step time (ticks)")
+	fs.Int64Var(&p.C2, "c2", int64(def.C2), "upper bound on step time / synchronous step (ticks)")
+	fs.Int64Var(&p.D1, "d1", int64(def.D1), "lower bound on message delay, sporadic model (ticks)")
+	fs.Int64Var(&p.D2, "d2", int64(def.D2), "upper bound on message delay (ticks)")
+	return p
+}
+
+// RegisterExec installs the execution flags (-seeds -parallelism -timeout
+// -cache-dir), identical across every tool.
+func RegisterExec(fs *flag.FlagSet) *Exec {
+	e := &Exec{}
+	fs.IntVar(&e.Seeds, "seeds", harness.Default().Seeds, "seeds per scheduling strategy")
+	fs.IntVar(&e.Parallelism, "parallelism", 0, "worker-pool width (0 = GOMAXPROCS); output is identical at any setting")
+	fs.DurationVar(&e.Timeout, "timeout", 0, "wall-clock bound for the whole invocation (0 = none)")
+	fs.StringVar(&e.CacheDir, "cache-dir", "", "directory for the disk-persistent run cache (empty = no disk cache)")
+	return e
+}
+
+// Context applies the -timeout bound to parent.
+func (e *Exec) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	if e.Timeout > 0 {
+		return context.WithTimeout(parent, e.Timeout)
+	}
+	return context.WithCancel(parent)
+}
+
+// Engine builds the execution engine the harness-path tools share: the
+// configured parallelism, per-worker run scratch, and — with -cache-dir —
+// a two-tier run cache persisting verified summaries across invocations.
+func (e *Exec) Engine() (*engine.Engine, error) {
+	opts := []engine.Option{
+		engine.WithParallelism(e.Parallelism),
+		engine.WithTimeout(e.Timeout),
+		engine.WithWorkerState(func() any { return new(core.RunScratch) }),
+	}
+	if e.CacheDir != "" {
+		tc, err := diskcache.NewSummaryCache(nil, e.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, engine.WithRunCache(tc))
+	}
+	return engine.New(opts...), nil
+}
+
+// HarnessConfig renders the flags as a harness configuration wired to eng.
+func (p *Problem) HarnessConfig(e *Exec, eng *engine.Engine) harness.Config {
+	cfg := harness.Default()
+	cfg.S, cfg.N, cfg.B = p.S, p.N, p.B
+	cfg.C1, cfg.C2 = dur(p.C1), dur(p.C2)
+	cfg.Cmin, cfg.Cmax = dur(p.C1), dur(p.C2)
+	cfg.D1, cfg.D2 = dur(p.D1), dur(p.D2)
+	cfg.Seeds = e.Seeds
+	cfg.Parallelism = e.Parallelism
+	cfg.Engine = eng
+	return cfg
+}
+
+func dur(v int64) sim.Duration { return sim.Duration(v) }
+
+// Options renders the flags as facade options, for the tools (and output
+// modes) that go through the public API — the path whose results are
+// byte-identical to the sessiond daemon's.
+func Options(p *Problem, e *Exec) []sessionproblem.Option {
+	return []sessionproblem.Option{
+		sessionproblem.WithSpec(p.S, p.N),
+		sessionproblem.WithAccessBound(p.B),
+		sessionproblem.WithStepBounds(p.C1, p.C2),
+		sessionproblem.WithDelayBounds(p.D1, p.D2),
+		sessionproblem.WithSeeds(e.Seeds),
+		sessionproblem.WithParallelism(e.Parallelism),
+		sessionproblem.WithTimeout(e.Timeout),
+		sessionproblem.WithCacheDir(e.CacheDir),
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sessionproblem/internal/fault"
+	"sessionproblem/internal/timing"
+	"sessionproblem/internal/trace"
+)
+
+// fullSummary builds a summary with every field populated, including the
+// audit and span slices a faulted run produces.
+func fullSummary() *RunSummary {
+	return &RunSummary{
+		Algorithm: "A(p)",
+		Model:     timing.Periodic,
+		Spec:      Spec{S: 4, N: 3, B: 2},
+		Finish:    123,
+		Sessions:  4,
+		Rounds:    7,
+		Gamma:     11,
+		Messages:  42,
+		Steps:     250,
+		Faults:    3,
+		Audit: fault.Audit{
+			Verdict:          fault.VerdictRecovered,
+			Violations:       []string{"t=3 crash port 1", "step overrun at t=9"},
+			FirstViolation:   "t=3 crash port 1",
+			SessionsAchieved: 4,
+			SessionsRequired: 4,
+			PortsIdle:        true,
+			FaultsInjected:   3,
+		},
+		Spans: []trace.SessionSpan{
+			{Index: 1, FirstStep: 0, LastStep: 8, Start: 0, End: 20},
+			{Index: 2, FirstStep: 9, LastStep: 17, Start: 21, End: 55},
+		},
+	}
+}
+
+func TestSummaryCodecRoundTrip(t *testing.T) {
+	want := fullSummary()
+	data, err := EncodeSummary(want)
+	if err != nil {
+		t.Fatalf("EncodeSummary: %v", err)
+	}
+	got, err := DecodeSummary(data)
+	if err != nil {
+		t.Fatalf("DecodeSummary: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// A real run's summary must round-trip exactly: this is the property the
+// disk cache tier depends on for byte-identical cached results.
+func TestSummaryCodecRoundTripRealRun(t *testing.T) {
+	m := timing.NewSynchronous(2, 5)
+	rep, err := RunMP(fixedMP{k: 3}, Spec{S: 3, N: 3}, m, timing.Slow, 1)
+	if err != nil {
+		t.Fatalf("RunMP: %v", err)
+	}
+	want := Summarize(rep)
+	data, err := EncodeSummary(want)
+	if err != nil {
+		t.Fatalf("EncodeSummary: %v", err)
+	}
+	got, err := DecodeSummary(data)
+	if err != nil {
+		t.Fatalf("DecodeSummary: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("real-run round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSummaryCodecVersionMismatch(t *testing.T) {
+	data, err := EncodeSummary(fullSummary())
+	if err != nil {
+		t.Fatalf("EncodeSummary: %v", err)
+	}
+	bumped := strings.Replace(string(data), `{"v":1,`, `{"v":2,`, 1)
+	if bumped == string(data) {
+		t.Fatalf("encoded summary does not start with the version field: %s", data)
+	}
+	if _, err := DecodeSummary([]byte(bumped)); err == nil {
+		t.Error("DecodeSummary accepted a future codec version")
+	}
+}
+
+func TestSummaryCodecRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]byte{nil, {}, []byte("{"), []byte(`"hi"`), []byte(`{"v":0}`)} {
+		if _, err := DecodeSummary(bad); err == nil {
+			t.Errorf("DecodeSummary(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEncodeSummaryNil(t *testing.T) {
+	if _, err := EncodeSummary(nil); err == nil {
+		t.Error("EncodeSummary(nil) succeeded, want error")
+	}
+}

@@ -1,0 +1,203 @@
+// Package diskcache is the disk-persistent tier under the engine's
+// in-memory run cache. A core.RunKey is a complete input tuple, so verified
+// run summaries are content-addressable across process lifetimes: Store maps
+// the SHA-256 of a key to one object file in a sharded directory tree, and
+// Tiered composes the store with an engine.RunCache behind the single
+// engine.RunCacher interface the engine, harness, facade and daemon share.
+//
+// The store is built to survive crashes and corruption without ever serving
+// a wrong answer:
+//
+//   - writes go to a private temp file first and reach the final path only
+//     through an atomic rename, so readers never observe a partial object
+//     and a kill at any point leaves the store readable;
+//   - every object carries a versioned envelope (magic, format version, key
+//     and payload lengths, CRC-32) and records the full key it was written
+//     under, so truncation, bit flips, format drift and even SHA collisions
+//     are detected on read and degrade to a miss — the caller recomputes and
+//     rewrites, never trusts a damaged object.
+package diskcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Envelope constants: every object file starts with a fixed 20-byte header.
+const (
+	magic         = "SPOB" // "session problem object"
+	formatVersion = 1
+	headerSize    = 20
+	// maxObjectSize bounds how large an object this store will read or
+	// write; run summaries are a few KB, so anything near this is damage.
+	maxObjectSize = 64 << 20
+)
+
+// Store is a content-addressed object store rooted at one directory. It is
+// safe for concurrent use by any number of goroutines and processes sharing
+// the directory: writers never modify files in place.
+type Store struct {
+	root string
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	corrupt   atomic.Int64
+	writeErrs atomic.Int64
+}
+
+// Open prepares a store rooted at dir, creating the directory tree as
+// needed. Existing objects written by a previous process are served.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("diskcache: empty cache directory")
+	}
+	for _, sub := range []string{objectsDir(dir), tmpDir(dir)} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("diskcache: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+func objectsDir(root string) string { return filepath.Join(root, "objects") }
+func tmpDir(root string) string     { return filepath.Join(root, "tmp") }
+
+// objectPath shards objects by the first byte of the key hash: a warm cache
+// holds thousands of objects, and 256 subdirectories keep any one directory
+// small.
+func (s *Store) objectPath(key string) string {
+	h := sha256.Sum256([]byte(key))
+	hx := hex.EncodeToString(h[:])
+	return filepath.Join(objectsDir(s.root), hx[:2], hx[2:])
+}
+
+// encode renders the envelope: header, key, payload.
+func encode(key string, data []byte) []byte {
+	buf := make([]byte, headerSize+len(key)+len(data))
+	copy(buf[0:4], magic)
+	binary.LittleEndian.PutUint16(buf[4:6], formatVersion)
+	// buf[6:8] reserved, zero.
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(data)))
+	copy(buf[headerSize:], key)
+	copy(buf[headerSize+len(key):], data)
+	binary.LittleEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(buf[headerSize:]))
+	return buf
+}
+
+// decode validates an envelope read from disk and returns its payload. Any
+// deviation — short file, wrong magic or version, length mismatch, checksum
+// failure, or a key other than the requested one — returns false.
+func decode(raw []byte, key string) ([]byte, bool) {
+	if len(raw) < headerSize || string(raw[0:4]) != magic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint16(raw[4:6]) != formatVersion {
+		return nil, false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(raw[8:12]))
+	dataLen := int(binary.LittleEndian.Uint32(raw[12:16]))
+	if keyLen < 0 || dataLen < 0 || keyLen+dataLen > maxObjectSize ||
+		len(raw) != headerSize+keyLen+dataLen {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(raw[headerSize:]) != binary.LittleEndian.Uint32(raw[16:20]) {
+		return nil, false
+	}
+	if string(raw[headerSize:headerSize+keyLen]) != key {
+		return nil, false
+	}
+	return raw[headerSize+keyLen:], true
+}
+
+// Get returns the payload stored under key. A missing object is a plain
+// miss; a damaged one (truncated, bit-flipped, wrong version, foreign key)
+// counts as corrupt, is deleted best-effort so the next Put repairs it, and
+// is reported as a miss — a damaged object is never served.
+func (s *Store) Get(key string) ([]byte, bool) {
+	path := s.objectPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	data, ok := decode(raw, key)
+	if !ok {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		os.Remove(path) // best-effort: let the recompute rewrite it
+		return nil, false
+	}
+	s.hits.Add(1)
+	return data, true
+}
+
+// Put stores the payload under key, overwriting any previous object. The
+// envelope is written to a temp file in the store's own tmp directory (same
+// filesystem) and renamed into place, so concurrent readers and a crash at
+// any instant see either the old object or the new one, never a mix.
+func (s *Store) Put(key string, data []byte) error {
+	if len(key)+len(data) > maxObjectSize {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: object too large (%d bytes)", len(key)+len(data))
+	}
+	path := s.objectPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(tmpDir(s.root), "obj-*")
+	if err != nil {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encode(key, data)); err != nil {
+		tmp.Close()
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	return nil
+}
+
+// Hits, Misses, Corrupt and WriteErrors return cumulative counters.
+func (s *Store) Hits() int64        { return s.hits.Load() }
+func (s *Store) Misses() int64      { return s.misses.Load() }
+func (s *Store) Corrupt() int64     { return s.corrupt.Load() }
+func (s *Store) WriteErrors() int64 { return s.writeErrs.Load() }
+
+// Entries walks the object tree and counts stored objects. It is a stats
+// convenience (the daemon's /v1/stats), not a hot path.
+func (s *Store) Entries() int {
+	n := 0
+	filepath.WalkDir(objectsDir(s.root), func(_ string, d fs.DirEntry, err error) error {
+		if err == nil && d.Type().IsRegular() {
+			n++
+		}
+		return nil
+	})
+	return n
+}

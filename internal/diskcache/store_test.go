@@ -1,0 +1,267 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := mustOpen(t)
+	key := "periodic|MP|s=6 n=8|seed=0"
+	payload := []byte(`{"v":1,"finish":42}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get missed a stored key")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("Get = %q, want %q", got, payload)
+	}
+	if s.Hits() != 1 || s.Misses() != 0 || s.Corrupt() != 0 {
+		t.Errorf("counters = hits %d misses %d corrupt %d, want 1/0/0",
+			s.Hits(), s.Misses(), s.Corrupt())
+	}
+}
+
+func TestStoreMissingKey(t *testing.T) {
+	s := mustOpen(t)
+	if _, ok := s.Get("never stored"); ok {
+		t.Error("Get hit on a key that was never stored")
+	}
+	if s.Misses() != 1 {
+		t.Errorf("Misses = %d, want 1", s.Misses())
+	}
+}
+
+func TestStorePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s1.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, ok := s2.Get("k")
+	if !ok || string(got) != "v" {
+		t.Errorf("Get after reopen = %q, %v; want \"v\", true", got, ok)
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	s := mustOpen(t)
+	if err := s.Put("k", []byte("old")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put("k", []byte("new")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get("k")
+	if !ok || string(got) != "new" {
+		t.Errorf("Get = %q, %v; want \"new\", true", got, ok)
+	}
+	if n := s.Entries(); n != 1 {
+		t.Errorf("Entries = %d, want 1 after overwrite", n)
+	}
+}
+
+// corruptObject applies fn to the raw object file for key.
+func corruptObject(t *testing.T, s *Store, key string, fn func([]byte) []byte) {
+	t.Helper()
+	path := s.objectPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read object: %v", err)
+	}
+	if err := os.WriteFile(path, fn(raw), 0o644); err != nil {
+		t.Fatalf("rewrite object: %v", err)
+	}
+}
+
+// Every corruption mode must be detected, reported as a miss, and repaired
+// by the next Put — never served.
+func TestStoreDetectsCorruption(t *testing.T) {
+	payload := []byte("the cached summary payload")
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated mid-payload", func(raw []byte) []byte { return raw[:len(raw)-3] }},
+		{"truncated inside header", func(raw []byte) []byte { return raw[:headerSize-5] }},
+		{"empty file", func([]byte) []byte { return nil }},
+		{"bit flip in payload", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[len(out)-1] ^= 0x40
+			return out
+		}},
+		{"bit flip in key", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[headerSize] ^= 0x01
+			return out
+		}},
+		{"wrong magic", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			copy(out, "NOPE")
+			return out
+		}},
+		{"future format version", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[4] = formatVersion + 1
+			// Recompute nothing: the version check fires before the CRC.
+			return out
+		}},
+		{"trailing garbage", func(raw []byte) []byte { return append(append([]byte(nil), raw...), 0xFF) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustOpen(t)
+			if err := s.Put("k", payload); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			corruptObject(t, s, "k", tc.mut)
+			if _, ok := s.Get("k"); ok {
+				t.Fatal("Get served a corrupted object")
+			}
+			if s.Corrupt() != 1 {
+				t.Errorf("Corrupt = %d, want 1", s.Corrupt())
+			}
+			// The recompute path: Put repairs, Get serves again.
+			if err := s.Put("k", payload); err != nil {
+				t.Fatalf("repair Put: %v", err)
+			}
+			got, ok := s.Get("k")
+			if !ok || !bytes.Equal(got, payload) {
+				t.Errorf("Get after repair = %q, %v; want payload, true", got, ok)
+			}
+		})
+	}
+}
+
+// An object written under one key must never be served for another, even if
+// it is dropped at the other key's path (the stored-key check, which also
+// closes the theoretical SHA-256 collision hole).
+func TestStoreRejectsForeignKey(t *testing.T) {
+	s := mustOpen(t)
+	if err := s.Put("key-a", []byte("payload-a")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	raw, err := os.ReadFile(s.objectPath("key-a"))
+	if err != nil {
+		t.Fatalf("read object: %v", err)
+	}
+	pathB := s.objectPath("key-b")
+	if err := os.MkdirAll(filepath.Dir(pathB), 0o755); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := os.WriteFile(pathB, raw, 0o644); err != nil {
+		t.Fatalf("plant object: %v", err)
+	}
+	if _, ok := s.Get("key-b"); ok {
+		t.Error("Get served an object stored under a different key")
+	}
+	if s.Corrupt() != 1 {
+		t.Errorf("Corrupt = %d, want 1", s.Corrupt())
+	}
+}
+
+// A process killed between writing the temp file and renaming it leaves a
+// stray file in tmp/ and nothing at the object path. The store must stay
+// fully usable: the key misses, other keys read fine, and a later Put of
+// the same key lands normally.
+func TestStoreSurvivesKillBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put("survivor", []byte("intact")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Simulate the kill: a fully written envelope stranded in tmp/.
+	stranded := encode("victim", []byte("never renamed"))
+	if err := os.WriteFile(filepath.Join(tmpDir(dir), "obj-stranded"), stranded, 0o644); err != nil {
+		t.Fatalf("strand temp file: %v", err)
+	}
+	// And a half-written one from an even unluckier kill.
+	if err := os.WriteFile(filepath.Join(tmpDir(dir), "obj-partial"), stranded[:7], 0o644); err != nil {
+		t.Fatalf("strand partial temp file: %v", err)
+	}
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after simulated kill: %v", err)
+	}
+	if _, ok := reopened.Get("victim"); ok {
+		t.Error("Get served a value whose write never completed")
+	}
+	got, ok := reopened.Get("survivor")
+	if !ok || string(got) != "intact" {
+		t.Errorf("Get(survivor) = %q, %v; want \"intact\", true", got, ok)
+	}
+	if err := reopened.Put("victim", []byte("recomputed")); err != nil {
+		t.Fatalf("Put after kill: %v", err)
+	}
+	got, ok = reopened.Get("victim")
+	if !ok || string(got) != "recomputed" {
+		t.Errorf("Get(victim) = %q, %v; want \"recomputed\", true", got, ok)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := mustOpen(t)
+	const (
+		writers = 8
+		keys    = 32
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				key := fmt.Sprintf("key-%d", i)
+				want := fmt.Sprintf("payload-%d", i)
+				if err := s.Put(key, []byte(want)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok := s.Get(key); ok && string(got) != want {
+					t.Errorf("Get(%s) = %q, want %q", key, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := s.Entries(); n != keys {
+		t.Errorf("Entries = %d, want %d", n, keys)
+	}
+	if s.WriteErrors() != 0 {
+		t.Errorf("WriteErrors = %d, want 0", s.WriteErrors())
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") succeeded, want error")
+	}
+}

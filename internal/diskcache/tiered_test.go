@@ -1,0 +1,221 @@
+package diskcache
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
+	"sessionproblem/internal/fault"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+func testSummary(finish int64) *core.RunSummary {
+	return &core.RunSummary{
+		Algorithm: "A(s)",
+		Model:     timing.Synchronous,
+		Spec:      core.Spec{S: 6, N: 8},
+		Finish:    sim.Time(finish),
+		Sessions:  6,
+		Rounds:    11,
+		Audit:     fault.Audit{SessionsAchieved: 6, SessionsRequired: 6, PortsIdle: true},
+	}
+}
+
+func mustSummaryCache(t *testing.T, dir string) *Tiered {
+	t.Helper()
+	tc, err := NewSummaryCache(nil, dir)
+	if err != nil {
+		t.Fatalf("NewSummaryCache: %v", err)
+	}
+	return tc
+}
+
+func TestTieredMemoryHit(t *testing.T) {
+	tc := mustSummaryCache(t, t.TempDir())
+	sum := testSummary(17)
+	tc.Put("k", sum)
+	v, ok := tc.Get("k")
+	if !ok {
+		t.Fatal("Get missed after Put")
+	}
+	// The memory tier stores the value itself, so a mem hit is the same
+	// pointer — no decode happened.
+	if v.(*core.RunSummary) != sum {
+		t.Error("memory hit returned a decoded copy, want the stored pointer")
+	}
+	st := tc.Stats()
+	if st.MemHits != 1 || st.DiskHits != 0 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want memHits 1, diskHits 0, hits 1", st)
+	}
+}
+
+// A fresh process (new Tiered over the same directory) must serve previously
+// computed summaries from disk, promote them to memory, and hand back values
+// equal to the originals.
+func TestTieredDiskHitAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	tc1 := mustSummaryCache(t, dir)
+	want := testSummary(99)
+	tc1.Put("k", want)
+
+	tc2 := mustSummaryCache(t, dir)
+	v, ok := tc2.Get("k")
+	if !ok {
+		t.Fatal("Get missed after restart; disk tier not serving")
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("disk hit = %+v, want %+v", v, want)
+	}
+	st := tc2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 0 {
+		t.Errorf("first lookup stats = %+v, want diskHits 1, memHits 0", st)
+	}
+	// Promotion: the second lookup is a memory hit.
+	if _, ok := tc2.Get("k"); !ok {
+		t.Fatal("second Get missed")
+	}
+	st = tc2.Stats()
+	if st.MemHits != 1 || st.DiskHits != 1 {
+		t.Errorf("second lookup stats = %+v, want memHits 1, diskHits 1", st)
+	}
+}
+
+// A corrupted disk object degrades to a miss at the tiered level: the caller
+// recomputes, and the recompute's Put repairs the store.
+func TestTieredCorruptDiskObjectIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	tc1 := mustSummaryCache(t, dir)
+	sum := testSummary(7)
+	tc1.Put("k", sum)
+
+	tc2 := mustSummaryCache(t, dir)
+	// Flip a payload bit behind the store's back.
+	path := tc2.Disk().objectPath("k")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read object: %v", err)
+	}
+	raw[len(raw)-2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("corrupt object: %v", err)
+	}
+	if _, ok := tc2.Get("k"); ok {
+		t.Fatal("tiered Get served a corrupted disk object")
+	}
+	st := tc2.Stats()
+	if st.Misses != 1 || st.Corrupt != 1 {
+		t.Errorf("stats = %+v, want misses 1, corrupt 1", st)
+	}
+	// Recompute path.
+	tc2.Put("k", sum)
+	v, ok := tc2.Get("k")
+	if !ok || !reflect.DeepEqual(v, sum) {
+		t.Errorf("Get after repair = %+v, %v; want the summary back", v, ok)
+	}
+}
+
+// A summary written by a future codec version must not be served; it decodes
+// with an error and the lookup falls through to recompute.
+func TestTieredForeignCodecVersionIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	tc := mustSummaryCache(t, dir)
+	// Plant a valid envelope whose payload claims codec version 2.
+	if err := tc.Disk().Put("k", []byte(`{"v":2,"alg":"future"}`)); err != nil {
+		t.Fatalf("plant payload: %v", err)
+	}
+	if _, ok := tc.Get("k"); ok {
+		t.Error("tiered Get served a payload from a future codec version")
+	}
+	if st := tc.Stats(); st.Misses != 1 {
+		t.Errorf("stats = %+v, want misses 1", st)
+	}
+}
+
+// Tiered satisfies engine.RunCacher and works end-to-end under the engine:
+// a second identical Execute is served entirely from cache.
+func TestTieredUnderEngine(t *testing.T) {
+	dir := t.TempDir()
+	tc := mustSummaryCache(t, dir)
+	var cacher engine.RunCacher = tc // compile-time + runtime interface check
+
+	eng := engine.New(engine.WithParallelism(2), engine.WithRunCache(cacher))
+	task := func(key string, finish int64) engine.Task {
+		return engine.Task{Label: key, Run: func(ctx context.Context) (any, error) {
+			c := engine.RunCacheFrom(ctx)
+			if v, ok := c.Get(key); ok {
+				return v, nil
+			}
+			sum := testSummary(finish)
+			c.Put(key, sum)
+			return sum, nil
+		}}
+	}
+	tasks := []engine.Task{task("a", 1), task("b", 2)}
+	if _, err := eng.Execute(context.Background(), tasks); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if _, err := eng.Execute(context.Background(), tasks); err != nil {
+		t.Fatalf("second Execute: %v", err)
+	}
+	st := eng.Stats()
+	if st.CacheHits != 2 || st.CacheMisses != 2 {
+		t.Errorf("engine stats hits/misses = %d/%d, want 2/2", st.CacheHits, st.CacheMisses)
+	}
+	if ts := tc.Stats(); ts.DiskEntries != 2 {
+		t.Errorf("DiskEntries = %d, want 2", ts.DiskEntries)
+	}
+}
+
+// The write path must leave no stray temp files behind after successful Puts.
+func TestTieredLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	tc := mustSummaryCache(t, dir)
+	for i := int64(0); i < 5; i++ {
+		tc.Put(string(rune('a'+i)), testSummary(i))
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		t.Fatalf("read tmp dir: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("tmp dir holds %d stray files after clean Puts", len(entries))
+	}
+}
+
+// Values the summary codec cannot encode still live in the memory tier: the
+// disk tier silently declines rather than losing the computed result.
+func TestTieredNonSummaryValueStaysInMemory(t *testing.T) {
+	tc := mustSummaryCache(t, t.TempDir())
+	tc.Put("k", "not a summary")
+	v, ok := tc.Get("k")
+	if !ok || v != "not a summary" {
+		t.Errorf("Get = %v, %v; want the raw value from memory", v, ok)
+	}
+	if st := tc.Stats(); st.DiskEntries != 0 {
+		t.Errorf("DiskEntries = %d, want 0 for an unencodable value", st.DiskEntries)
+	}
+}
+
+func TestDiskOnlyTiered(t *testing.T) {
+	disk, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	tc := NewTiered(nil, disk, Codec{
+		Encode: func(v any) ([]byte, error) { return []byte(v.(string)), nil },
+		Decode: func(d []byte) (any, error) { return string(d), nil },
+	})
+	tc.Put("k", "v")
+	got, ok := tc.Get("k")
+	if !ok || got != "v" {
+		t.Errorf("Get = %v, %v; want \"v\", true", got, ok)
+	}
+	if st := tc.Stats(); st.DiskHits != 1 || st.MemEntries != 0 {
+		t.Errorf("stats = %+v, want diskHits 1, memEntries 0", st)
+	}
+}

@@ -11,6 +11,26 @@ import (
 // exceeds any realistic worker-pool width.
 const cacheShards = 64
 
+// RunCacher is the cache contract the engine threads through task contexts.
+// The in-memory RunCache below is the canonical single-tier implementation;
+// internal/diskcache composes it with a disk-persistent object store behind
+// the same interface, so the engine, harness, facade and daemon are all
+// indifferent to how many tiers sit behind a Get.
+//
+// Implementations must be safe for concurrent use, must hand out only
+// immutable values (never anything aliasing reusable trace or scratch
+// state), and must count every Get as exactly one hit or one miss — the
+// engine attributes per-Execute deltas of Hits/Misses to its Stats.
+type RunCacher interface {
+	// Get returns the cached value for key, counting a hit or a miss.
+	Get(key string) (any, bool)
+	// Put stores v under key, overwriting any previous entry.
+	Put(key string, v any)
+	// Hits and Misses return cumulative lookup counts.
+	Hits() int64
+	Misses() int64
+}
+
 // RunCache is a content-addressed, concurrency-safe result cache shared by
 // harness and facade runs. Keys are full-fidelity strings (see core.RunKey):
 // hashing only routes a key to a shard, equality is always decided on the
@@ -114,10 +134,11 @@ func (c *RunCache) Len() int {
 	return n
 }
 
-// WithRunCache attaches a shared run cache to the engine. Every task context
+// WithRunCache attaches a shared run cache to the engine: a plain *RunCache
+// or any multi-tier RunCacher (see internal/diskcache). Every task context
 // of every Execute call exposes it via RunCacheFrom, and the engine's Stats
 // report the hits and misses its Execute calls contributed.
-func WithRunCache(c *RunCache) Option {
+func WithRunCache(c RunCacher) Option {
 	return func(e *Engine) { e.cache = c }
 }
 
@@ -126,7 +147,7 @@ type runCacheKey struct{}
 
 // RunCacheFrom returns the cache the running engine exposes to its tasks,
 // or nil when the task context has none (caching disabled).
-func RunCacheFrom(ctx context.Context) *RunCache {
-	c, _ := ctx.Value(runCacheKey{}).(*RunCache)
+func RunCacheFrom(ctx context.Context) RunCacher {
+	c, _ := ctx.Value(runCacheKey{}).(RunCacher)
 	return c
 }

@@ -172,7 +172,7 @@ type Engine struct {
 	timeout     time.Duration
 	observer    Observer
 	workerState func() any
-	cache       *RunCache
+	cache       RunCacher
 
 	mu    sync.Mutex
 	stats Stats
@@ -219,12 +219,13 @@ func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
 	// A fail-fast abort must not cancel the caller's ctx, so wrap it.
 	runCtx, abort := context.WithCancel(ctx)
 	defer abort()
-	if e.cache != nil {
-		runCtx = context.WithValue(runCtx, runCacheKey{}, e.cache)
-	}
 	// The cache counters are global to the (possibly shared) cache; the
 	// stats attribute only this call's delta to this engine.
-	hits0, misses0 := e.cache.Hits(), e.cache.Misses()
+	var hits0, misses0 int64
+	if e.cache != nil {
+		runCtx = context.WithValue(runCtx, runCacheKey{}, e.cache)
+		hits0, misses0 = e.cache.Hits(), e.cache.Misses()
+	}
 
 	results := make([]Result, len(tasks))
 	for i := range results {
@@ -283,8 +284,10 @@ func (e *Engine) Execute(ctx context.Context, tasks []Task) ([]Result, error) {
 
 	e.mu.Lock()
 	e.stats.Wall += time.Since(start) //lint:allow nodeterm wall-clock accounting, never in results
-	e.stats.CacheHits += e.cache.Hits() - hits0
-	e.stats.CacheMisses += e.cache.Misses() - misses0
+	if e.cache != nil {
+		e.stats.CacheHits += e.cache.Hits() - hits0
+		e.stats.CacheMisses += e.cache.Misses() - misses0
+	}
 	for _, r := range results {
 		if errors.Is(r.Err, ErrSkipped) {
 			e.stats.Tasks++

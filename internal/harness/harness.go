@@ -227,7 +227,9 @@ func cachedRun(ctx context.Context, key string, run func() (*core.Report, error)
 		return nil, err
 	}
 	sum := core.Summarize(rep)
-	cache.Put(key, sum)
+	if cache != nil {
+		cache.Put(key, sum)
+	}
 	return sum, nil
 }
 

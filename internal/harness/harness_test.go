@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -114,9 +115,13 @@ func TestVerdict(t *testing.T) {
 }
 
 func TestSweepSporadicDelayShape(t *testing.T) {
-	pts, err := SweepSporadicDelay(5, 3, 2, 40, 5, 1)
+	pts, err := Sweep(context.Background(), SweepSpec{
+		Kind: SweepKindSporadicDelay,
+		S:    5, N: 3, C1: 2, D2: 40,
+		Steps: 5, Seeds: 1,
+	})
 	if err != nil {
-		t.Fatalf("SweepSporadicDelay: %v", err)
+		t.Fatalf("Sweep(SweepKindSporadicDelay): %v", err)
 	}
 	if len(pts) != 5 {
 		t.Fatalf("points: got %d", len(pts))
@@ -137,9 +142,13 @@ func TestSweepSporadicDelayShape(t *testing.T) {
 func TestSweepPeriodicVsSemiSync(t *testing.T) {
 	// cmax = c2 = 10, c1 = 2 (2c1 < c2), n small: the periodic algorithm
 	// must be at least as fast for growing s.
-	pts, err := SweepPeriodicVsSemiSync(3, 2, 10, 30, 6, 1)
+	pts, err := Sweep(context.Background(), SweepSpec{
+		Kind: SweepKindPeriodicVsSemiSync,
+		N:    3, C1: 2, C2: 10, D2: 30,
+		MaxS: 6, Seeds: 1,
+	})
 	if err != nil {
-		t.Fatalf("SweepPeriodicVsSemiSync: %v", err)
+		t.Fatalf("Sweep(SweepKindPeriodicVsSemiSync): %v", err)
 	}
 	if len(pts) != 5 {
 		t.Fatalf("points: got %d", len(pts))
@@ -157,9 +166,13 @@ func TestSweepPeriodicVsSemiSync(t *testing.T) {
 
 func TestSweepPeriodicVsSporadic(t *testing.T) {
 	cmaxs := []sim.Duration{2, 6, 12, 24, 48}
-	pts, err := SweepPeriodicVsSporadic(4, 3, 2, 4, 28, cmaxs, 1)
+	pts, err := Sweep(context.Background(), SweepSpec{
+		Kind: SweepKindPeriodicVsSporadic,
+		S:    4, N: 3, C1: 2, D1: 4, D2: 28,
+		Cmaxs: cmaxs, Seeds: 1,
+	})
 	if err != nil {
-		t.Fatalf("SweepPeriodicVsSporadic: %v", err)
+		t.Fatalf("Sweep(SweepKindPeriodicVsSporadic): %v", err)
 	}
 	if len(pts) != len(cmaxs) {
 		t.Fatalf("points: got %d", len(pts))

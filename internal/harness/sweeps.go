@@ -198,20 +198,10 @@ func Sweep(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
 	}
 }
 
-// SweepSporadicDelay is experiment F1: per-session time of A(sp) as d1
+// sweepSporadicDelay is experiment F1: per-session time of A(sp) as d1
 // sweeps from 0 to d2 (u from d2 down to 0). The paper's claim: as d1 -> d2
 // the model behaves synchronously (per-session ~ c1..O(γ)); as d1 -> 0 it
 // behaves asynchronously (per-session ~ d2).
-//
-// It is a compatibility wrapper over Sweep with SweepKindSporadicDelay.
-func SweepSporadicDelay(s, n int, c1, d2 sim.Duration, steps, seeds int) ([]SweepPoint, error) {
-	return Sweep(context.Background(), SweepSpec{
-		Kind: SweepKindSporadicDelay,
-		S:    s, N: n, C1: c1, D2: d2,
-		Steps: steps, Seeds: seeds,
-	})
-}
-
 func sweepSporadicDelay(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
 	steps := sp.Steps
 	if steps < 2 {
@@ -247,21 +237,11 @@ func sweepSporadicDelay(ctx context.Context, sp SweepSpec) ([]SweepPoint, error)
 	return out, nil
 }
 
-// SweepPeriodicVsSemiSync is experiment F2: running time of A(p) under the
+// sweepPeriodicVsSemiSync is experiment F2: running time of A(p) under the
 // periodic model versus the semi-synchronous algorithm under the
 // semi-synchronous model, as s grows, with cmax = c2 and 2c1 < c2. The
 // paper: the periodic model is more efficient when n is constant relative
 // to s.
-//
-// It is a compatibility wrapper over Sweep with SweepKindPeriodicVsSemiSync.
-func SweepPeriodicVsSemiSync(n int, c1, c2, d2 sim.Duration, maxS, seeds int) ([]SweepPoint, error) {
-	return Sweep(context.Background(), SweepSpec{
-		Kind: SweepKindPeriodicVsSemiSync,
-		N:    n, C1: c1, C2: c2, D2: d2,
-		MaxS: maxS, Seeds: seeds,
-	})
-}
-
 func sweepPeriodicVsSemiSync(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
 	var runs []mpRun
 	numS := sp.MaxS - 1 // s = 2..MaxS
@@ -299,19 +279,9 @@ func sweepPeriodicVsSemiSync(ctx context.Context, sp SweepSpec) ([]SweepPoint, e
 	return out, nil
 }
 
-// SweepPeriodicVsSporadic is experiment F3: A(p) under the periodic model
+// sweepPeriodicVsSporadic is experiment F3: A(p) under the periodic model
 // versus A(sp) under the sporadic model as cmax grows. The paper: periodic
 // wins while cmax < floor(u/4c1)*K.
-//
-// It is a compatibility wrapper over Sweep with SweepKindPeriodicVsSporadic.
-func SweepPeriodicVsSporadic(s, n int, c1, d1, d2 sim.Duration, cmaxs []sim.Duration, seeds int) ([]SweepPoint, error) {
-	return Sweep(context.Background(), SweepSpec{
-		Kind: SweepKindPeriodicVsSporadic,
-		S:    s, N: n, C1: c1, D1: d1, D2: d2,
-		Cmaxs: cmaxs, Seeds: seeds,
-	})
-}
-
 func sweepPeriodicVsSporadic(ctx context.Context, sp SweepSpec) ([]SweepPoint, error) {
 	spec := core.Spec{S: sp.S, N: sp.N}
 	// Group 0 is the sporadic baseline; groups 1.. are the periodic points.

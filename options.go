@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sessionproblem/internal/core"
+	"sessionproblem/internal/diskcache"
 	"sessionproblem/internal/engine"
 	"sessionproblem/internal/fault"
 	"sessionproblem/internal/harness"
@@ -93,7 +94,31 @@ type settings struct {
 	robustness       bool
 	perKindMargins   bool
 
-	runCache *engine.RunCache
+	runCache engine.RunCacher
+	cacheDir string
+}
+
+// initCache resolves WithCacheDir into the cache the call runs with: a
+// two-tier (memory + disk) cache rooted at the directory. A WithRunCache
+// *RunCache becomes the memory tier, so its entries stay visible; any other
+// custom RunCacher takes precedence and the directory is ignored (the
+// caller opted into full control of caching). Called by each run-executing
+// API entry point because options cannot fail — an unusable directory
+// surfaces as the call's error.
+func (s settings) initCache() (settings, error) {
+	if s.cacheDir == "" {
+		return s, nil
+	}
+	mem, plain := s.runCache.(*engine.RunCache)
+	if s.runCache != nil && !plain {
+		return s, nil
+	}
+	tc, err := diskcache.NewSummaryCache(mem, s.cacheDir)
+	if err != nil {
+		return s, err
+	}
+	s.runCache = tc
+	return s, nil
 }
 
 func newSettings(opts []Option) settings {
@@ -370,13 +395,32 @@ func WithPerKindMargins() Option {
 // byte-identical with and without a cache. Safe for concurrent use.
 type RunCache = engine.RunCache
 
+// RunCacher is the cache contract WithRunCache accepts: the in-memory
+// RunCache is the canonical implementation, and WithCacheDir composes it
+// with a disk-persistent tier behind the same interface. Implementations
+// must be safe for concurrent use, hand out only immutable values, and
+// count every Get as exactly one hit or miss.
+type RunCacher = engine.RunCacher
+
 // NewRunCache returns an empty run cache for WithRunCache.
 func NewRunCache() *RunCache { return engine.NewRunCache() }
 
-// WithRunCache attaches a run cache to the call. Table1, Hierarchy, the
-// sweeps, FaultSweep and Solve consult it; Stats.CacheHits/CacheMisses
-// report the call's lookup counts (the cache's own Hits/Misses methods
-// report cumulative totals across calls).
-func WithRunCache(c *RunCache) Option {
+// WithRunCache attaches a run cache to the call — a *RunCache or any
+// RunCacher. Table1, Hierarchy, the sweeps and Solve consult it;
+// Stats.CacheHits/CacheMisses report the call's lookup counts (the cache's
+// own Hits/Misses methods report cumulative totals across calls).
+func WithRunCache(c RunCacher) Option {
 	return func(cfg *settings) { cfg.runCache = c }
+}
+
+// WithCacheDir persists verified run summaries in a content-addressed
+// object store rooted at dir, surviving process restarts: a call whose runs
+// were computed by any earlier process reuses them from disk. The disk tier
+// sits under an in-memory cache (the WithRunCache one when given a plain
+// *RunCache, else a fresh one) and results are byte-identical with and
+// without it — a damaged or version-skewed object degrades to a recompute,
+// never to a wrong answer. The directory is created as needed; an unusable
+// path fails the call.
+func WithCacheDir(dir string) Option {
+	return func(cfg *settings) { cfg.cacheDir = dir }
 }

@@ -18,31 +18,33 @@ import (
 )
 
 // TableCell is one Table-1 cell: a (timing model, communication model)
-// pair with the paper's bound formulas and the measured running times.
+// pair with the paper's bound formulas and the measured running times. The
+// JSON tags are the v1 wire contract (package wire); changing a name is a
+// wire version bump, not a rename.
 type TableCell struct {
 	// Model and Comm identify the cell ("periodic", "SM").
-	Model string
-	Comm  string
+	Model string `json:"model"`
+	Comm  string `json:"comm"`
 	// Unit is "time" (ticks) or "rounds".
-	Unit string
+	Unit string `json:"unit"`
 	// PaperLower and PaperUpper are the paper's bound formulas evaluated at
 	// the configuration.
-	PaperLower float64
-	PaperUpper float64
+	PaperLower float64 `json:"paperLower"`
+	PaperUpper float64 `json:"paperUpper"`
 	// Measured summary across every (strategy, seed) run.
-	MeasuredMin  float64
-	MeasuredMax  float64
-	MeasuredMean float64
-	MeasuredP95  float64
-	Runs         int
+	MeasuredMin  float64 `json:"measuredMin"`
+	MeasuredMax  float64 `json:"measuredMax"`
+	MeasuredMean float64 `json:"measuredMean"`
+	MeasuredP95  float64 `json:"measuredP95"`
+	Runs         int     `json:"runs"`
 	// RealizesLower: some schedule pushed the measurement to the lower
 	// bound. RespectsUpper: every run stayed within the upper bound.
-	RealizesLower bool
-	RespectsUpper bool
+	RealizesLower bool `json:"realizesLower"`
+	RespectsUpper bool `json:"respectsUpper"`
 	// Verdict is "ok", "upper-only" or "VIOLATION".
-	Verdict string
+	Verdict string `json:"verdict"`
 	// Algorithm names the implementation measured.
-	Algorithm string
+	Algorithm string `json:"algorithm"`
 }
 
 // TableResult is a regenerated Table 1 plus the engine's accounting.
@@ -77,7 +79,10 @@ func (s settings) withTimeout(ctx context.Context) (context.Context, context.Can
 // models — running the full (cell × strategy × seed) matrix on a worker
 // pool. Results are deterministic at any parallelism.
 func Table1(ctx context.Context, opts ...Option) (*TableResult, error) {
-	cfg := newSettings(opts)
+	cfg, err := newSettings(opts).initCache()
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	eng := cfg.engine()
@@ -105,12 +110,13 @@ func WriteTable(w io.Writer, cells []TableCell) error {
 }
 
 // HierarchyRow is one timing model's entry in the model-hierarchy summary.
+// The JSON tags are the v1 wire contract (package wire).
 type HierarchyRow struct {
-	Model     string
-	Comm      string
-	Unit      string
-	WorstTime float64
-	Algorithm string
+	Model     string  `json:"model"`
+	Comm      string  `json:"comm"`
+	Unit      string  `json:"unit"`
+	WorstTime float64 `json:"worstTime"`
+	Algorithm string  `json:"algorithm"`
 }
 
 // HierarchyResult is the measured model hierarchy plus engine accounting.
@@ -123,7 +129,10 @@ type HierarchyResult struct {
 // algorithm at one parameter point (the paper's qualitative ordering:
 // synchronous <= periodic <= semi-synchronous/sporadic <= asynchronous).
 func Hierarchy(ctx context.Context, opts ...Option) (*HierarchyResult, error) {
-	cfg := newSettings(opts)
+	cfg, err := newSettings(opts).initCache()
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	eng := cfg.engine()
@@ -184,13 +193,13 @@ const (
 
 // SweepPoint is one x/y observation of a sweep, with the paper-predicted
 // envelope at that x (for comparison sweeps the envelope fields carry the
-// two contenders).
+// two contenders). The JSON tags are the v1 wire contract (package wire).
 type SweepPoint struct {
-	X          float64
-	Label      string
-	Measured   float64
-	PaperLower float64
-	PaperUpper float64
+	X          float64 `json:"x"`
+	Label      string  `json:"label"`
+	Measured   float64 `json:"measured"`
+	PaperLower float64 `json:"paperLower"`
+	PaperUpper float64 `json:"paperUpper"`
 }
 
 // SweepResult is a completed sweep plus engine accounting.
@@ -204,7 +213,10 @@ type SweepResult struct {
 // comes from WithSweepSteps, WithMaxSessions or WithPeriodMaxima according
 // to the kind.
 func Sweep(ctx context.Context, kind SweepKind, opts ...Option) (*SweepResult, error) {
-	cfg := newSettings(opts)
+	cfg, err := newSettings(opts).initCache()
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	eng := cfg.engine()
@@ -264,63 +276,67 @@ func Sweep(ctx context.Context, kind SweepKind, opts ...Option) (*SweepResult, e
 	return res, nil
 }
 
-// Report is the verified outcome of a single run.
+// Report is the verified outcome of a single run. The JSON tags are the v1
+// wire contract (package wire); changing a name is a wire version bump.
 type Report struct {
 	// Algorithm and Model identify what ran.
-	Algorithm string
-	Model     string
+	Algorithm string `json:"algorithm"`
+	Model     string `json:"model"`
 	// Finish is the running time in ticks: the time by which every port
 	// process is idle.
-	Finish Ticks
+	Finish Ticks `json:"finish"`
 	// Sessions is the number of disjoint sessions achieved; Rounds the
 	// number of disjoint rounds (the asynchronous shared-memory measure).
-	Sessions int
-	Rounds   int
+	Sessions int `json:"sessions"`
+	Rounds   int `json:"rounds"`
 	// Steps is the number of process steps in the computation; Messages
 	// counts broadcasts (message passing only).
-	Steps    int
-	Messages int
+	Steps    int `json:"steps"`
+	Messages int `json:"messages"`
 	// Gamma is the largest step time any process took — the per-computation
 	// parameter γ of the sporadic analysis (feed it back to PaperEnvelope
 	// via WithGamma).
-	Gamma Ticks
+	Gamma Ticks `json:"gamma"`
 	// Spans is the greedy disjoint-session decomposition: one entry per
 	// achieved session, with its completion boundaries.
-	Spans []SessionSpan
+	Spans []SessionSpan `json:"spans,omitempty"`
 
 	// Admissible reports whether the run satisfied every timing-model
 	// assumption and the session guarantee; always true on the plain
 	// (fault-free) path, which fails hard instead of degrading.
-	Admissible bool
+	Admissible bool `json:"admissible"`
 	// Verdict is the auditor's classification: "admissible", "recovered"
 	// (assumptions violated but the guarantee survived) or "broken".
-	Verdict string
+	Verdict string `json:"verdict"`
 	// Violations lists every violated assumption: injected faults in
 	// execution order, then the timing bounds the trace itself broke. Nil
 	// for admissible runs.
-	Violations []string
+	Violations []string `json:"violations,omitempty"`
 	// FaultsInjected counts the faults applied to the reported attempt.
-	FaultsInjected int
+	FaultsInjected int `json:"faultsInjected"`
 	// Attempts is the number of runs executed (1 + retries actually used).
-	Attempts int
+	Attempts int `json:"attempts"`
 	// RobustnessMargin is the largest swept fault intensity at which the
 	// session guarantee still held (see WithRobustnessMargin); -1 when the
 	// sweep did not run or the guarantee broke at the lowest intensity.
-	RobustnessMargin float64
+	RobustnessMargin float64 `json:"robustnessMargin"`
 	// RobustnessMargins breaks the margin down by fault class (see
 	// WithPerKindMargins): for each injectable kind, the largest swept
 	// intensity the guarantee survived with only that kind injected. Nil
-	// when the per-kind sweep did not run.
-	RobustnessMargins map[FaultKind]float64
+	// when the per-kind sweep did not run. JSON keys are the numeric fault
+	// kinds (stable enum values), rendered by encoding/json.
+	RobustnessMargins map[FaultKind]float64 `json:"robustnessMargins,omitempty"`
 }
 
-// SessionSpan is one disjoint session of a computation.
+// SessionSpan is one disjoint session of a computation. The JSON tags are
+// the v1 wire contract (package wire).
 type SessionSpan struct {
 	// Index is the 1-based session number.
-	Index int
+	Index int `json:"i"`
 	// Start and End are the times of the fragment's first step and of the
 	// step completing the session.
-	Start, End Ticks
+	Start Ticks `json:"start"`
+	End   Ticks `json:"end"`
 }
 
 func spansOf(sum *core.RunSummary) []SessionSpan {
@@ -412,7 +428,10 @@ func (s settings) sortedIntensities() []float64 {
 // Verdict "broken" and a nil error — no silent wrong answers, but no hard
 // failure either. Context cancellation still surfaces as an error.
 func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, error) {
-	cfg := newSettings(opts)
+	cfg, err := newSettings(opts).initCache()
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	st, err := cfg.parseStrategy()
@@ -469,7 +488,8 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 
 	if cfg.faultPlan == nil && cfg.retries == 0 && !cfg.robustness {
 		key := core.RunKey(keyComm, algName, spec, tm, st, cfg.seed, 0, nil)
-		sum, err := cfg.cachedRun(ctx, key, runPlain)
+		label := fmt.Sprintf("solve %s/%s %s seed %d", algName, keyComm, st, cfg.seed)
+		sum, err := cfg.cachedRun(ctx, label, key, runPlain)
 		if err != nil {
 			return nil, err
 		}
@@ -502,7 +522,11 @@ func (cfg settings) attempt(ctx context.Context, id solveID, plan *fault.Plan, r
 		fr.Injector = plan.Injector()
 	}
 	key := core.RunKey(id.comm, id.alg, id.spec, id.model, id.strategy, id.seed, defaultFaultMaxSteps, plan)
-	return cfg.cachedRun(ctx, key, func(ctx context.Context) (*core.Report, error) {
+	label := fmt.Sprintf("solve %s/%s %s seed %d", id.alg, id.comm, id.strategy, id.seed)
+	if plan != nil {
+		label += " faulted"
+	}
+	return cfg.cachedRun(ctx, label, key, func(ctx context.Context) (*core.Report, error) {
 		return runFaulted(ctx, fr)
 	})
 }
@@ -657,17 +681,42 @@ func reportOf(sum *core.RunSummary) *Report {
 }
 
 // cachedRun runs one solve attempt through the configured run cache (no-op
-// when WithRunCache was not given): hits return the memoized summary, misses
-// execute and memoize. Errors are never cached.
-func (cfg settings) cachedRun(ctx context.Context, key string, run func(context.Context) (*core.Report, error)) (*core.RunSummary, error) {
-	if v, ok := cfg.runCache.Get(key); ok {
-		return v.(*core.RunSummary), nil
+// when neither WithRunCache nor WithCacheDir was given): hits return the
+// memoized summary, misses execute and memoize. Either way the observer is
+// notified — the engine-backed calls observe every run slot whether or not
+// the cache absorbed it, and Solve keeps that contract. Errors are never
+// cached.
+func (cfg settings) cachedRun(ctx context.Context, label, key string, run func(context.Context) (*core.Report, error)) (*core.RunSummary, error) {
+	start := time.Now()
+	sum, err := cfg.lookupOrRun(ctx, key, run)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.observer != nil {
+		cfg.observer(Observation{
+			Label:    label,
+			Wall:     time.Since(start),
+			Steps:    sum.Steps,
+			Sessions: sum.Sessions,
+			Messages: sum.Messages,
+		})
+	}
+	return sum, nil
+}
+
+func (cfg settings) lookupOrRun(ctx context.Context, key string, run func(context.Context) (*core.Report, error)) (*core.RunSummary, error) {
+	if cfg.runCache != nil {
+		if v, ok := cfg.runCache.Get(key); ok {
+			return v.(*core.RunSummary), nil
+		}
 	}
 	rep, err := run(ctx)
 	if err != nil {
 		return nil, err
 	}
 	sum := core.Summarize(rep)
-	cfg.runCache.Put(key, sum)
+	if cfg.runCache != nil {
+		cfg.runCache.Put(key, sum)
+	}
 	return sum, nil
 }

@@ -2,6 +2,8 @@ package sessionproblem_test
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -203,5 +205,95 @@ func TestSolvePerKindMargins(t *testing.T) {
 	if !reflect.DeepEqual(rep.RobustnessMargins, rep2.RobustnessMargins) {
 		t.Errorf("per-kind margins not deterministic across parallelism:\n%v\nvs\n%v",
 			rep.RobustnessMargins, rep2.RobustnessMargins)
+	}
+}
+
+func TestWithCacheDirPersistsAcrossCalls(t *testing.T) {
+	dir := t.TempDir()
+	opts := []sessionproblem.Option{
+		sessionproblem.WithSpec(2, 3),
+		sessionproblem.WithSeeds(1),
+		sessionproblem.WithParallelism(2),
+	}
+	plain, err := sessionproblem.Table1(context.Background(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sessionproblem.Table1(context.Background(),
+		append(opts, sessionproblem.WithCacheDir(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Cells, cold.Cells) {
+		t.Errorf("cold disk-cache cells differ from plain")
+	}
+	if cold.Stats.CacheMisses != int64(cold.Stats.Runs) || cold.Stats.CacheHits != 0 {
+		t.Errorf("cold stats hits/misses = %d/%d, want 0/%d",
+			cold.Stats.CacheHits, cold.Stats.CacheMisses, cold.Stats.Runs)
+	}
+	// Each call builds a fresh two-tier cache over the directory, so this
+	// warm call's memory tier is empty: every hit below is served from disk,
+	// proving the summaries persisted and decode back to identical results.
+	warm, err := sessionproblem.Table1(context.Background(),
+		append(opts, sessionproblem.WithCacheDir(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Cells, warm.Cells) {
+		t.Errorf("disk-served cells differ from plain")
+	}
+	if warm.Stats.CacheHits != int64(warm.Stats.Runs) || warm.Stats.CacheMisses != 0 {
+		t.Errorf("warm stats hits/misses = %d/%d, want %d/0",
+			warm.Stats.CacheHits, warm.Stats.CacheMisses, warm.Stats.Runs)
+	}
+}
+
+func TestWithCacheDirSolveAndMemTierCompose(t *testing.T) {
+	dir := t.TempDir()
+	mem := sessionproblem.NewRunCache()
+	opts := []sessionproblem.Option{
+		sessionproblem.WithSpec(2, 3),
+		sessionproblem.WithSchedule("random", 5),
+		sessionproblem.WithRunCache(mem),
+		sessionproblem.WithCacheDir(dir),
+	}
+	plain, err := sessionproblem.Solve(context.Background(),
+		sessionproblem.Periodic, sessionproblem.SharedMemory,
+		sessionproblem.WithSpec(2, 3), sessionproblem.WithSchedule("random", 5))
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	cold, err := sessionproblem.Solve(context.Background(),
+		sessionproblem.Periodic, sessionproblem.SharedMemory, opts...)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if !reflect.DeepEqual(plain, cold) {
+		t.Errorf("cold disk-cache report differs:\nplain: %+v\ncache: %+v", plain, cold)
+	}
+	// The WithRunCache memory cache is the tiered cache's memory tier: the
+	// run landed in it, so a memory-only call sees it too.
+	if mem.Len() == 0 {
+		t.Error("WithCacheDir did not compose with the WithRunCache memory tier")
+	}
+	warm, err := sessionproblem.Solve(context.Background(),
+		sessionproblem.Periodic, sessionproblem.SharedMemory, opts...)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if !reflect.DeepEqual(plain, warm) {
+		t.Errorf("warm disk-cache report differs:\nplain: %+v\ncache: %+v", plain, warm)
+	}
+}
+
+func TestWithCacheDirUnusablePathFails(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sessionproblem.Table1(context.Background(),
+		sessionproblem.WithSpec(2, 3), sessionproblem.WithSeeds(1),
+		sessionproblem.WithCacheDir(file)); err == nil {
+		t.Error("Table1 with a file as cache dir succeeded, want error")
 	}
 }

@@ -1,0 +1,141 @@
+// Package wire defines the versioned JSON encoding of the library's result
+// types: regenerated tables, hierarchy summaries, sweeps and single-run
+// reports. It is the one serialization shared by every surface that emits
+// results — the sessiond daemon's HTTP responses and the CLI tools' -json
+// output — so a response fetched over HTTP is byte-identical to the same
+// computation printed locally, and either can be diffed, archived or
+// consumed by tooling without knowing which surface produced it.
+//
+// Every document is a self-describing envelope, {"v":1,"kind":"table1",...}:
+// the version is the format contract (a shape change is a version bump, and
+// decoding a foreign version is an error, never a guess), and the kind pins
+// what the payload is so a sweep can't be mistaken for a table by a consumer
+// matching on field names.
+//
+// Engine accounting (Stats) is deliberately absent: wall-clock times and
+// cache counters vary run to run, and the envelope carries only the
+// deterministic result — the property that makes byte-for-byte diffing
+// meaningful. The daemon serves its accounting separately (GET /v1/stats).
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sessionproblem"
+)
+
+// Version is the current envelope format version.
+const Version = 1
+
+// The envelope kinds.
+const (
+	KindTable     = "table1"
+	KindHierarchy = "hierarchy"
+	KindSweep     = "sweep"
+	KindReport    = "report"
+)
+
+// Table is the wire envelope of a regenerated Table 1.
+type Table struct {
+	V     int                        `json:"v"`
+	Kind  string                     `json:"kind"`
+	Cells []sessionproblem.TableCell `json:"cells"`
+}
+
+// Hierarchy is the wire envelope of a model-hierarchy summary.
+type Hierarchy struct {
+	V    int                           `json:"v"`
+	Kind string                        `json:"kind"`
+	Rows []sessionproblem.HierarchyRow `json:"rows"`
+}
+
+// Sweep is the wire envelope of a parameter sweep.
+type Sweep struct {
+	V      int                         `json:"v"`
+	Kind   string                      `json:"kind"`
+	Points []sessionproblem.SweepPoint `json:"points"`
+}
+
+// Report is the wire envelope of a single-run report.
+type Report struct {
+	V      int                    `json:"v"`
+	Kind   string                 `json:"kind"`
+	Report *sessionproblem.Report `json:"report"`
+}
+
+// MarshalTable encodes Table-1 cells as a v1 envelope.
+func MarshalTable(cells []sessionproblem.TableCell) ([]byte, error) {
+	return json.Marshal(Table{V: Version, Kind: KindTable, Cells: cells})
+}
+
+// UnmarshalTable decodes a v1 table envelope.
+func UnmarshalTable(data []byte) ([]sessionproblem.TableCell, error) {
+	var t Table
+	if err := decode(data, &t, &t.V, &t.Kind, KindTable); err != nil {
+		return nil, err
+	}
+	return t.Cells, nil
+}
+
+// MarshalHierarchy encodes hierarchy rows as a v1 envelope.
+func MarshalHierarchy(rows []sessionproblem.HierarchyRow) ([]byte, error) {
+	return json.Marshal(Hierarchy{V: Version, Kind: KindHierarchy, Rows: rows})
+}
+
+// UnmarshalHierarchy decodes a v1 hierarchy envelope.
+func UnmarshalHierarchy(data []byte) ([]sessionproblem.HierarchyRow, error) {
+	var h Hierarchy
+	if err := decode(data, &h, &h.V, &h.Kind, KindHierarchy); err != nil {
+		return nil, err
+	}
+	return h.Rows, nil
+}
+
+// MarshalSweep encodes sweep points as a v1 envelope.
+func MarshalSweep(points []sessionproblem.SweepPoint) ([]byte, error) {
+	return json.Marshal(Sweep{V: Version, Kind: KindSweep, Points: points})
+}
+
+// UnmarshalSweep decodes a v1 sweep envelope.
+func UnmarshalSweep(data []byte) ([]sessionproblem.SweepPoint, error) {
+	var s Sweep
+	if err := decode(data, &s, &s.V, &s.Kind, KindSweep); err != nil {
+		return nil, err
+	}
+	return s.Points, nil
+}
+
+// MarshalReport encodes a single-run report as a v1 envelope.
+func MarshalReport(rep *sessionproblem.Report) ([]byte, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("wire: cannot encode a nil report")
+	}
+	return json.Marshal(Report{V: Version, Kind: KindReport, Report: rep})
+}
+
+// UnmarshalReport decodes a v1 report envelope.
+func UnmarshalReport(data []byte) (*sessionproblem.Report, error) {
+	var r Report
+	if err := decode(data, &r, &r.V, &r.Kind, KindReport); err != nil {
+		return nil, err
+	}
+	if r.Report == nil {
+		return nil, fmt.Errorf("wire: report envelope has no report")
+	}
+	return r.Report, nil
+}
+
+// decode unmarshals an envelope and enforces the version/kind contract.
+func decode(data []byte, dst any, v *int, kind *string, wantKind string) error {
+	if err := json.Unmarshal(data, dst); err != nil {
+		return fmt.Errorf("wire: decode %s: %w", wantKind, err)
+	}
+	if *v != Version {
+		return fmt.Errorf("wire: envelope version %d, want %d", *v, Version)
+	}
+	if *kind != wantKind {
+		return fmt.Errorf("wire: envelope kind %q, want %q", *kind, wantKind)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sessionproblem"
+)
+
+func sampleCells() []sessionproblem.TableCell {
+	return []sessionproblem.TableCell{
+		{
+			Model: "periodic", Comm: "SM", Unit: "time",
+			PaperLower: 10, PaperUpper: 58,
+			MeasuredMin: 12, MeasuredMax: 58, MeasuredMean: 31.5, MeasuredP95: 55,
+			Runs: 15, RealizesLower: true, RespectsUpper: true,
+			Verdict: "ok", Algorithm: "A(p)",
+		},
+		{
+			Model: "async", Comm: "SM", Unit: "rounds",
+			PaperLower: 3, PaperUpper: 7,
+			MeasuredMax: 7, MeasuredMean: 6, Runs: 15,
+			RespectsUpper: true, Verdict: "upper-only", Algorithm: "A(a,sm)",
+		},
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	want := sampleCells()
+	data, err := MarshalTable(want)
+	if err != nil {
+		t.Fatalf("MarshalTable: %v", err)
+	}
+	got, err := UnmarshalTable(data)
+	if err != nil {
+		t.Fatalf("UnmarshalTable: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestHierarchyRoundTrip(t *testing.T) {
+	want := []sessionproblem.HierarchyRow{
+		{Model: "synchronous", Comm: "SM", Unit: "time", WorstTime: 12, Algorithm: "A(s)"},
+		{Model: "async", Comm: "SM", Unit: "rounds", WorstTime: 7, Algorithm: "A(a,sm)"},
+	}
+	data, err := MarshalHierarchy(want)
+	if err != nil {
+		t.Fatalf("MarshalHierarchy: %v", err)
+	}
+	got, err := UnmarshalHierarchy(data)
+	if err != nil {
+		t.Fatalf("UnmarshalHierarchy: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSweepRoundTrip(t *testing.T) {
+	want := []sessionproblem.SweepPoint{
+		{X: 0, Label: "sporadic", Measured: 40, PaperLower: 10, PaperUpper: 80},
+		{X: 4, Label: "sporadic", Measured: 52, PaperLower: 14, PaperUpper: 92},
+	}
+	data, err := MarshalSweep(want)
+	if err != nil {
+		t.Fatalf("MarshalSweep: %v", err)
+	}
+	got, err := UnmarshalSweep(data)
+	if err != nil {
+		t.Fatalf("UnmarshalSweep: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	want := &sessionproblem.Report{
+		Algorithm: "B(p)", Model: "periodic",
+		Finish: 123, Sessions: 6, Steps: 480, Messages: 96, Gamma: 10,
+		Spans: []sessionproblem.SessionSpan{
+			{Index: 1, Start: 0, End: 20},
+			{Index: 2, Start: 21, End: 44},
+		},
+		Admissible: false, Verdict: "recovered",
+		Violations:     []string{"fault crash at t=3 on p1: crash"},
+		FaultsInjected: 2, Attempts: 2,
+		RobustnessMargin: 0.2,
+		RobustnessMargins: map[sessionproblem.FaultKind]float64{
+			sessionproblem.FaultCrash:       0.4,
+			sessionproblem.FaultMessageDrop: 0.1,
+		},
+	}
+	data, err := MarshalReport(want)
+	if err != nil {
+		t.Fatalf("MarshalReport: %v", err)
+	}
+	got, err := UnmarshalReport(data)
+	if err != nil {
+		t.Fatalf("UnmarshalReport: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// The envelope self-describes: version and kind are enforced, and a payload
+// of one kind never decodes as another.
+func TestEnvelopeContract(t *testing.T) {
+	table, err := MarshalTable(sampleCells())
+	if err != nil {
+		t.Fatalf("MarshalTable: %v", err)
+	}
+	var env struct {
+		V    int    `json:"v"`
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(table, &env); err != nil {
+		t.Fatalf("unmarshal envelope header: %v", err)
+	}
+	if env.V != Version || env.Kind != KindTable {
+		t.Errorf("envelope header = %+v, want v=%d kind=%q", env, Version, KindTable)
+	}
+
+	if _, err := UnmarshalSweep(table); err == nil {
+		t.Error("UnmarshalSweep accepted a table envelope")
+	}
+	if _, err := UnmarshalTable([]byte(`{"v":2,"kind":"table1","cells":[]}`)); err == nil {
+		t.Error("UnmarshalTable accepted a future envelope version")
+	}
+	if _, err := UnmarshalTable([]byte(`not json`)); err == nil {
+		t.Error("UnmarshalTable accepted garbage")
+	}
+	if _, err := UnmarshalReport([]byte(`{"v":1,"kind":"report"}`)); err == nil {
+		t.Error("UnmarshalReport accepted an envelope without a report")
+	}
+	if _, err := MarshalReport(nil); err == nil {
+		t.Error("MarshalReport(nil) succeeded, want error")
+	}
+}
+
+// Marshaling the same value twice yields identical bytes — the property the
+// daemon's byte-identity guarantee and the CI diff are built on.
+func TestMarshalIsDeterministic(t *testing.T) {
+	rep := &sessionproblem.Report{
+		Algorithm: "A(s)", Model: "synchronous", Finish: 12, Sessions: 6,
+		RobustnessMargins: map[sessionproblem.FaultKind]float64{
+			sessionproblem.FaultCrash:            0.4,
+			sessionproblem.FaultStepOverrun:      0.2,
+			sessionproblem.FaultStaleRead:        0.1,
+			sessionproblem.FaultMessageDrop:      0.8,
+			sessionproblem.FaultMessageDuplicate: 0.05,
+			sessionproblem.FaultLateDelivery:     0,
+		},
+	}
+	a, err := MarshalReport(rep)
+	if err != nil {
+		t.Fatalf("MarshalReport: %v", err)
+	}
+	for i := 0; i < 16; i++ {
+		b, err := MarshalReport(rep)
+		if err != nil {
+			t.Fatalf("MarshalReport: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("marshal %d differs:\n a %s\n b %s", i, a, b)
+		}
+	}
+}
+
+// An end-to-end check against the real library: a solved run must survive
+// the wire round trip exactly, so a report served by the daemon equals the
+// report computed in-process.
+func TestReportRoundTripRealSolve(t *testing.T) {
+	want, err := sessionproblem.Solve(context.Background(),
+		sessionproblem.Synchronous, sessionproblem.SharedMemory,
+		sessionproblem.WithSpec(3, 4))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	data, err := MarshalReport(want)
+	if err != nil {
+		t.Fatalf("MarshalReport: %v", err)
+	}
+	if !strings.HasPrefix(string(data), `{"v":1,"kind":"report",`) {
+		t.Errorf("envelope prefix = %.40s, want v/kind header first", data)
+	}
+	got, err := UnmarshalReport(data)
+	if err != nil {
+		t.Fatalf("UnmarshalReport: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("real solve round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
