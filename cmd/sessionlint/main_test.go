@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"os/exec"
@@ -161,4 +162,227 @@ func vetConfigForTest(t *testing.T, importPath string, goFiles, deps []string) *
 		}
 	}
 	return cfg
+}
+
+// writeScratchModule lays out a throwaway module named sessionproblem so
+// the analyzers' path predicates fire, with the given files (paths relative
+// to the module root).
+func writeScratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module sessionproblem\n\ngo 1.22\n"
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// exitCode runs the command and returns its exit status.
+func exitCode(t *testing.T, cmd *exec.Cmd) (int, string) {
+	t.Helper()
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("%v: %v\n%s", cmd.Args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestVetToolScratchModuleRoundTrip drives the full `go vet -vettool`
+// protocol end to end: the go command probes -V=full and -flags, fans out
+// unit.cfg files per compilation unit (test variants included), and the
+// tool's diagnostics fail the vet run. The violation lives in a _test.go
+// file, so a pass here proves the vet path covers test compilations and
+// maps their bracketed import paths back to the base package.
+func TestVetToolScratchModuleRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet")
+	}
+	exe := buildTool(t)
+	dir := writeScratchModule(t, map[string]string{
+		"internal/sim/sim.go": "package sim\n\nfunc Tick() int { return 1 }\n",
+		"internal/sim/sim_test.go": "package sim\n\nimport (\n\t\"testing\"\n\t\"time\"\n)\n\n" +
+			"func TestTick(t *testing.T) {\n\tif Tick() != 1 {\n\t\tt.Fatal(time.Now())\n\t}\n}\n",
+	})
+
+	cmd := exec.Command("go", "vet", "-vettool="+exe, "./...")
+	cmd.Dir = dir
+	code, out := exitCode(t, cmd)
+	if code == 0 {
+		t.Fatalf("go vet must fail on the test-file violation, output:\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now in deterministic package sessionproblem/internal/sim") {
+		t.Fatalf("diagnostic missing or misattributed:\n%s", out)
+	}
+
+	// Fixing the violation must turn the same invocation green.
+	clean := "package sim\n\nimport \"testing\"\n\nfunc TestTick(t *testing.T) {\n\tif Tick() != 1 {\n\t\tt.Fatal(\"tick\")\n\t}\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "internal/sim/sim_test.go"), []byte(clean), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command("go", "vet", "-vettool="+exe, "./...")
+	cmd.Dir = dir
+	if code, out := exitCode(t, cmd); code != 0 {
+		t.Fatalf("go vet over the fixed module failed (%d):\n%s", code, out)
+	}
+}
+
+// TestVersionHashStableAcrossRuns pins the -V=full id the go command keys
+// its vet cache on: two probes of the same binary must agree, or every vet
+// run would recheck the world.
+func TestVersionHashStableAcrossRuns(t *testing.T) {
+	exe := buildTool(t)
+	first, err := exec.Command(exe, "-V=full").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := exec.Command(exe, "-V=full").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("-V=full unstable across runs: %q vs %q", first, second)
+	}
+	if !regexp.MustCompile(`^sessionlint version sha256-[0-9a-f]{16}\n$`).Match(first) {
+		t.Fatalf("-V=full id %q is not a content hash", first)
+	}
+}
+
+// TestExitCodes pins the standalone exit contract: 0 clean, 1 findings,
+// 2 load errors — CI distinguishes a dirty tree from a broken tool.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and loads packages")
+	}
+	exe := buildTool(t)
+
+	dirty := writeScratchModule(t, map[string]string{
+		"internal/sim/sim.go": "package sim\n\nimport \"time\"\n\nfunc Tick() int64 { return time.Now().UnixNano() }\n",
+	})
+	cmd := exec.Command(exe, "./...")
+	cmd.Dir = dirty
+	if code, out := exitCode(t, cmd); code != 1 {
+		t.Errorf("findings must exit 1, got %d:\n%s", code, out)
+	}
+
+	clean := writeScratchModule(t, map[string]string{
+		"internal/sim/sim.go": "package sim\n\nfunc Tick() int { return 1 }\n",
+	})
+	cmd = exec.Command(exe, "./...")
+	cmd.Dir = clean
+	if code, out := exitCode(t, cmd); code != 0 {
+		t.Errorf("clean tree must exit 0, got %d:\n%s", code, out)
+	}
+
+	cmd = exec.Command(exe, "./no/such/package")
+	cmd.Dir = clean
+	if code, out := exitCode(t, cmd); code != 2 {
+		t.Errorf("load failure must exit 2, got %d:\n%s", code, out)
+	}
+}
+
+// TestStandaloneCoversTestFilesByDefault: -tests defaults on, so a
+// violation that lives only in a _test.go file fails the standalone run;
+// -tests=false restores the shipped-code-only view.
+func TestStandaloneCoversTestFilesByDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and loads packages")
+	}
+	exe := buildTool(t)
+	dir := writeScratchModule(t, map[string]string{
+		"internal/sim/sim.go": "package sim\n\nfunc Tick() int { return 1 }\n",
+		"internal/sim/sim_test.go": "package sim\n\nimport (\n\t\"testing\"\n\t\"time\"\n)\n\n" +
+			"func TestTick(t *testing.T) {\n\tif Tick() != 1 {\n\t\tt.Fatal(time.Now())\n\t}\n}\n",
+	})
+
+	cmd := exec.Command(exe, "./...")
+	cmd.Dir = dir
+	if code, out := exitCode(t, cmd); code != 1 {
+		t.Errorf("test-file violation must fail the default run, got %d:\n%s", code, out)
+	}
+
+	cmd = exec.Command(exe, "-tests=false", "./...")
+	cmd.Dir = dir
+	if code, out := exitCode(t, cmd); code != 0 {
+		t.Errorf("-tests=false must skip test files, got %d:\n%s", code, out)
+	}
+}
+
+// TestJSONDiagnostics: -json moves machine-readable findings to stdout
+// while the exit code still says 1.
+func TestJSONDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and loads packages")
+	}
+	exe := buildTool(t)
+	dir := writeScratchModule(t, map[string]string{
+		"internal/sim/sim.go": "package sim\n\nimport \"time\"\n\nfunc Tick() int64 { return time.Now().UnixNano() }\n",
+	})
+	cmd := exec.Command(exe, "-json", "./...")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("expected exit 1, got %v\n%s", err, stderr.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "nodeterm" || diags[0].Line == 0 ||
+		!strings.HasSuffix(diags[0].File, "sim.go") || !strings.Contains(diags[0].Message, "time.Now") {
+		t.Fatalf("unexpected diagnostics: %+v", diags)
+	}
+}
+
+// TestAllowsInventory: -allows lists each waiver with its analyzers and
+// justification, and exits 0 regardless of findings elsewhere.
+func TestAllowsInventory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and lists packages")
+	}
+	exe := buildTool(t)
+	dir := writeScratchModule(t, map[string]string{
+		"internal/sim/sim.go": "package sim\n\nimport \"time\"\n\n" +
+			"//lint:allow nodeterm benchmark stamp, never in results\n" +
+			"func Tick() int64 { return time.Now().UnixNano() }\n",
+	})
+	cmd := exec.Command(exe, "-allows", "-json", "./...")
+	cmd.Dir = dir
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("-allows must exit 0: %v", err)
+	}
+	var allows []struct {
+		File      string   `json:"file"`
+		Line      int      `json:"line"`
+		Analyzers []string `json:"analyzers"`
+		Reason    string   `json:"reason"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &allows); err != nil {
+		t.Fatalf("stdout is not a JSON waiver array: %v\n%s", err, stdout.String())
+	}
+	if len(allows) != 1 || len(allows[0].Analyzers) != 1 || allows[0].Analyzers[0] != "nodeterm" ||
+		allows[0].Reason != "benchmark stamp, never in results" || allows[0].Line != 5 {
+		t.Fatalf("unexpected inventory: %+v", allows)
+	}
 }

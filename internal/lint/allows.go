@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Allow is one //lint:allow waiver found in the tree: the file and line
+// carrying the directive, the analyzer it silences, and the justification
+// text the author wrote after the analyzer name. The inventory exists so
+// reviews and CI can audit the complete set of exceptions to the lint
+// contract instead of discovering them one grep at a time.
+type Allow struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+}
+
+// CollectAllows scans every Go source file (including test files) of the
+// packages matched by patterns for //lint:allow directives and returns them
+// sorted by file and line. dir is the directory the patterns are
+// interpreted in; it may be empty for the current directory. The scan is
+// parse-only — no type checking — so it works even while the tree does not
+// build.
+func CollectAllows(dir string, patterns ...string) ([]Allow, error) {
+	pkgs, err := goListFiles(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []Allow
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		names := make([]string, 0, len(p.GoFiles)+len(p.TestGoFiles)+len(p.XTestGoFiles))
+		names = append(names, p.GoFiles...)
+		names = append(names, p.TestGoFiles...)
+		names = append(names, p.XTestGoFiles...)
+		for _, name := range names {
+			if !filepath.IsAbs(name) {
+				name = filepath.Join(p.Dir, name)
+			}
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			allows, err := fileAllows(fset, name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, allows...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// fileAllows parses one file for comments only and extracts its directives.
+func fileAllows(fset *token.FileSet, filename string) ([]Allow, error) {
+	f, err := parser.ParseFile(fset, filename, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var out []Allow
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			names, reason, _ := strings.Cut(rest, " ")
+			var analyzers []string
+			for _, name := range strings.Split(names, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					analyzers = append(analyzers, name)
+				}
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, Allow{
+				File:      pos.Filename,
+				Line:      pos.Line,
+				Analyzers: analyzers,
+				Reason:    strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out, nil
+}
+
+// listedFiles is the go list output subset the allow scanner needs: source
+// file names of the package proper, its in-package tests and its external
+// test package.
+type listedFiles struct {
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// goListFiles resolves patterns to source file lists without building
+// anything (no -deps, no -export — the scanner never type-checks).
+func goListFiles(dir string, patterns []string) ([]listedFiles, error) {
+	args := append([]string{"list", "-json=Dir,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var out []listedFiles
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedFiles
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

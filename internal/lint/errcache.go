@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Errcache machine-checks the PR 5 cache invariant "errors are never
+// cached": a run cache must only ever hold verified results, because a hit
+// is returned to any number of callers without re-running — caching a value
+// produced alongside a non-nil error would replay the failure's partial
+// data as a success forever. For every RunCacher.Put (matched structurally:
+// Put(string, any) with a Get(string) (any, bool) sibling, so the
+// in-memory engine.RunCache and the tiered disk cache both match), the
+// analyzer traces the cached value back through the function's def/use
+// chains to the calls that produced it; if any such call also yielded an
+// error, that error must be checked on the path to the Put — an
+// `if err != nil` with a terminating body between the definition and the
+// Put, or the Put nested under `if err == nil` (or the else of `!= nil`).
+// Discarding the error with `_` counts as unchecked: the invariant wants
+// the check visible.
+var Errcache = &Analyzer{
+	Name: "errcache",
+	Doc:  "RunCacher.Put must be unreachable while the cached value's error is unchecked (errors are never cached)",
+	Run:  runErrcache,
+}
+
+func runErrcache(pass *Pass) error {
+	for _, fn := range collectFuncs(pass.Files) {
+		checkErrcacheFunc(pass, fn.decl)
+	}
+	return nil
+}
+
+// errOrigin is one call site that produced a value together with an error:
+// `v, err := run()`. values are the non-error results, errObj the error
+// (nil when it was discarded with _).
+type errOrigin struct {
+	pos    token.Pos
+	values map[types.Object]bool
+	errObj types.Object
+}
+
+// errGuard is one `err ==/!= nil` if-statement in the function.
+type errGuard struct {
+	stmt     *ast.IfStmt
+	errObj   types.Object
+	isNotNil bool
+}
+
+func checkErrcacheFunc(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	var origins []*errOrigin
+	var guards []errGuard
+	var puts []*ast.CallExpr
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if o := originOf(info, n); o != nil {
+				origins = append(origins, o)
+			}
+		case *ast.IfStmt:
+			if obj, notNil := nilCheck(info, n.Cond); obj != nil {
+				guards = append(guards, errGuard{stmt: n, errObj: obj, isNotNil: notNil})
+			}
+		case *ast.CallExpr:
+			if isRunCacherPut(info, n) {
+				puts = append(puts, n)
+			}
+		}
+		return true
+	})
+	if len(puts) == 0 || len(origins) == 0 {
+		return
+	}
+
+	for _, origin := range origins {
+		// Which values derive from this origin? Seed the taint with its
+		// result objects; any call fed a derived value derives too
+		// (sum := core.Summarize(rep) stays tied to rep's error).
+		fl := analyzeFlow(info, decl.Body, taintRules{
+			sourceExpr: func(e ast.Expr) bool {
+				id, ok := e.(*ast.Ident)
+				return ok && origin.values[info.Uses[id]]
+			},
+			taintedCall: func(c *ast.CallExpr, argTainted func(ast.Expr) bool) bool {
+				for _, a := range c.Args {
+					if argTainted(a) {
+						return true
+					}
+				}
+				return false
+			},
+		})
+		for _, put := range puts {
+			if put.Pos() < origin.pos || !fl.taintedExpr(put.Args[1]) {
+				continue
+			}
+			if origin.errObj == nil {
+				pass.Reportf(put.Pos(), "cached value's error was discarded with _; errors are never cached, check it before Put")
+				continue
+			}
+			if !errChecked(origin, put, guards) {
+				pass.Reportf(put.Pos(), "Put is reachable while %s may be non-nil; errors are never cached — guard with `if %s != nil` before caching", origin.errObj.Name(), origin.errObj.Name())
+			}
+		}
+	}
+}
+
+// originOf recognizes `v, err := call(...)` (and `=`) with exactly one
+// error-typed target among several results, returning the origin, or nil.
+func originOf(info *types.Info, as *ast.AssignStmt) *errOrigin {
+	if len(as.Lhs) < 2 || len(as.Rhs) != 1 {
+		return nil
+	}
+	if _, ok := as.Rhs[0].(*ast.CallExpr); !ok {
+		return nil
+	}
+	o := &errOrigin{pos: as.Pos(), values: make(map[types.Object]bool)}
+	sawErr := false
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		// The blank identifier gets a real object in info.Defs; treat it as
+		// a discard, never as a named error.
+		if id.Name == "_" {
+			sawErr = sawErr || blankDiscardedError(info, as, id)
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if isErrorType(obj.Type()) {
+			o.errObj = obj
+			sawErr = true
+			continue
+		}
+		o.values[obj] = true
+	}
+	if !sawErr || len(o.values) == 0 {
+		return nil
+	}
+	return o
+}
+
+// blankDiscardedError reports whether the blank identifier at id discards
+// an error result of the assignment's call.
+func blankDiscardedError(info *types.Info, as *ast.AssignStmt, id *ast.Ident) bool {
+	call := as.Rhs[0].(*ast.CallExpr)
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	if !ok {
+		return false
+	}
+	for i, lhs := range as.Lhs {
+		if lhs == ast.Expr(id) && i < tuple.Len() {
+			return isErrorType(tuple.At(i).Type())
+		}
+	}
+	return false
+}
+
+// errChecked reports whether origin's error is checked on the way to put:
+// a terminating `if err != nil` between the origin and the Put, or the Put
+// nested in the success branch of a nil comparison.
+func errChecked(origin *errOrigin, put *ast.CallExpr, guards []errGuard) bool {
+	for _, g := range guards {
+		if g.errObj != origin.errObj {
+			continue
+		}
+		// Guards attached to the same statement that defines the error
+		// (`if v, err := f(); err != nil`) begin at the if, which can sit
+		// at the origin's own position — accept guards at or after it.
+		if g.stmt.Pos() < origin.pos {
+			continue
+		}
+		if g.isNotNil {
+			if within(put.Pos(), g.stmt.Else) {
+				return true // Put in the else of `err != nil`
+			}
+			if terminates(g.stmt.Body) && g.stmt.End() <= put.Pos() {
+				return true // failure path returned before the Put
+			}
+		} else {
+			if within(put.Pos(), g.stmt.Body) {
+				return true // Put under `err == nil`
+			}
+		}
+	}
+	return false
+}
+
+// within reports whether pos falls inside node (nil-safe).
+func within(pos token.Pos, node ast.Node) bool {
+	if node == nil {
+		return false
+	}
+	return node.Pos() <= pos && pos < node.End()
+}

@@ -21,13 +21,34 @@ const (
 	internalPrefix = "sessionproblem/internal"
 )
 
+// facadeonlyExempt lists the import paths examples may use in addition to
+// the facade. wire is the public result-envelope package (an example that
+// archives or diffs daemon output legitimately decodes it); the disk cache
+// and the shared flag helpers are quasi-public integration seams — an
+// example wiring a persistent cache under a custom RunCacher, or matching
+// the CLI tools' flag conventions, reaches them pending their promotion to
+// the facade. Everything else under internal/ stays off limits: if an
+// example needs a capability, the facade grows a hook.
+var facadeonlyExempt = map[string]bool{
+	"sessionproblem/wire":               true,
+	"sessionproblem/internal/diskcache": true,
+	"sessionproblem/internal/cmdflags":  true,
+}
+
+// IsFacadeExempt reports whether examples may import the package at path
+// even though it is not the facade.
+func IsFacadeExempt(path string) bool { return facadeonlyExempt[path] }
+
 func runFacadeonly(pass *Pass) error {
-	if !strings.HasPrefix(pass.Pkg.Path(), examplesPrefix) {
+	if !strings.HasPrefix(BasePkgPath(pass.Pkg.Path()), examplesPrefix) {
 		return nil
 	}
 	for _, f := range pass.Files {
 		for _, spec := range f.Imports {
 			path := strings.Trim(spec.Path.Value, `"`)
+			if facadeonlyExempt[path] {
+				continue
+			}
 			if path == internalPrefix || strings.HasPrefix(path, internalPrefix+"/") {
 				pass.Reportf(spec.Pos(), "example imports %s; examples document external usage and must use the sessionproblem facade", path)
 			}

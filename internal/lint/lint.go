@@ -8,9 +8,20 @@
 //   - ctxpoll: potentially unbounded loops in context-aware functions must
 //     poll their context (the executors' 1024-step contract);
 //   - facadeonly: examples import the public sessionproblem facade, never
-//     sessionproblem/internal/...;
+//     sessionproblem/internal/... (a short exemption list excepted);
 //   - panicmsg: panics in internal packages carry a "pkg: message"-prefixed
-//     constant string.
+//     constant string;
+//   - scratchalias: scratch-backed run data (the PR 4 executor ownership
+//     contract) must not escape its Execute call into fields, globals,
+//     channels, caches or past-the-boundary returns;
+//   - errcache: RunCacher.Put must be guarded by an error check — errors
+//     are never cached;
+//   - wiretag: the wire v1 envelope JSON schema must match the committed
+//     wire/schema_v1.json golden.
+//
+// The last three are dataflow analyzers: they run on per-function def/use
+// chains (dataflow.go) instead of single-expression syntax, so they can
+// follow a value from the call that produced it to the store that leaks it.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis but is
 // built entirely on the standard library (go/ast, go/types, go/importer and
@@ -50,7 +61,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nodeterm, Maprange, Ctxpoll, Facadeonly, Panicmsg}
+	return []*Analyzer{Nodeterm, Maprange, Ctxpoll, Facadeonly, Panicmsg, Scratchalias, Errcache, Wiretag}
 }
 
 // A Diagnostic is one reported violation.

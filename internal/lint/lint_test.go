@@ -1,6 +1,9 @@
 package lint_test
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -54,14 +57,15 @@ func TestPanicmsgIgnoresExternalPackages(t *testing.T) {
 	linttest.RunClean(t, lint.Panicmsg, "testdata/panicmsg/external", "sessionproblem/extfixture")
 }
 
-// TestSuiteRunsCleanOverRepo is the acceptance gate: the shipped tree has
+// TestSuiteRunsCleanOverRepo is the acceptance gate: the shipped tree —
+// test files included, the surface cmd/sessionlint checks by default — has
 // no outstanding diagnostics (violations are either fixed or carry an
 // explicit //lint:allow directive).
 func TestSuiteRunsCleanOverRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
-	pkgs, err := lint.Load("../..", "./...")
+	pkgs, err := lint.LoadTests("../..", true, "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,5 +145,224 @@ func TestDeterministicSetCoversSimulatorPackages(t *testing.T) {
 		if lint.IsDeterministicPkg(path) {
 			t.Errorf("%s should not be in the deterministic set", path)
 		}
+	}
+}
+
+func TestScratchaliasFixtures(t *testing.T) {
+	linttest.Run(t, lint.Scratchalias, "testdata/scratchalias", "sessionproblem/internal/consumerfixture")
+}
+
+// The scratch implementation packages may alias scratch memory freely —
+// that is their whole job — so the same fixture loaded under an
+// implementation path must be silent.
+func TestScratchaliasIgnoresImplementationPackages(t *testing.T) {
+	linttest.RunClean(t, lint.Scratchalias, "testdata/nodeterm/det", "sessionproblem/internal/sm")
+}
+
+func TestErrcacheFixtures(t *testing.T) {
+	linttest.Run(t, lint.Errcache, "testdata/errcache", "sessionproblem/internal/errcachefixture")
+}
+
+func TestWiretagDriftFixture(t *testing.T) {
+	linttest.Run(t, lint.Wiretag, "testdata/wiretag/drift", "sessionproblem/wire")
+}
+
+// TestWiretagCleanFixture checks the silent path and owns the fixture
+// goldens: UPDATE_LINT_FIXTURES=1 go test ./internal/lint regenerates
+// testdata/wiretag/*/schema_v1.json from the clean fixture's declarations
+// (the drift fixture deliberately diverges from that same golden).
+func TestWiretagCleanFixture(t *testing.T) {
+	pkg, err := lint.LoadFiles("", "sessionproblem/wire", "testdata/wiretag/clean/clean.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_LINT_FIXTURES") != "" {
+		data, err := lint.WireSchemaJSON(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range []string{"testdata/wiretag/clean", "testdata/wiretag/drift"} {
+			if err := os.WriteFile(filepath.Join(dir, lint.WireSchemaFile), data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	diags, err := lint.Check(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*lint.Analyzer{lint.Wiretag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestWireSchemaGoldenIsCurrent recomputes the real wire package's schema
+// and compares it byte-for-byte against the committed golden: a wire type
+// change without `sessionlint -update-schema` fails here before it fails
+// in CI.
+func TestWireSchemaGoldenIsCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the wire package")
+	}
+	pkgs, err := lint.Load("../..", "./wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected 1 package, loaded %d", len(pkgs))
+	}
+	computed, err := lint.WireSchemaJSON(pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile("../../wire/" + lint.WireSchemaFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(computed, committed) {
+		t.Errorf("wire/%s is stale; run sessionlint -update-schema and review the diff together with a wire.Version bump", lint.WireSchemaFile)
+	}
+}
+
+// TestWiretagCatchesTagRename simulates the exact accident wiretag exists
+// for: a json tag rename on a committed envelope field. The committed
+// golden with one tag renamed must diff against itself unmodified.
+func TestWiretagCatchesTagRename(t *testing.T) {
+	data, err := os.ReadFile("../../wire/" + lint.WireSchemaFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := lint.ParseWireSchema(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed, err := lint.ParseWireSchema(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := renamed.TypeFields("Table")
+	if len(fields) == 0 {
+		t.Fatal("committed schema has no Table type")
+	}
+	fields[0].JSON = "renamed"
+	diffs := lint.DiffWireSchemas(golden, renamed)
+	if len(diffs) != 1 {
+		t.Fatalf("expected exactly 1 diff for a single tag rename, got %d: %v", len(diffs), diffs)
+	}
+	if diffs[0].Type != "Table" || !strings.Contains(diffs[0].Detail, "json tag changed") {
+		t.Errorf("diff did not pin the rename: %+v", diffs[0])
+	}
+}
+
+func TestNodetermCoversDiskcachePackage(t *testing.T) {
+	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/diskcache", "sessionproblem/internal/diskcache")
+}
+
+func TestNodetermCoversCmdflagsPackage(t *testing.T) {
+	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/cmdflags", "sessionproblem/internal/cmdflags")
+}
+
+func TestNodetermCoversWirePackage(t *testing.T) {
+	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/wire", "sessionproblem/wire")
+}
+
+// Test variants inherit their base package's membership in the
+// deterministic set: the invariants hold in test helpers too.
+func TestDeterministicSetCoversTestVariants(t *testing.T) {
+	for _, path := range []string{
+		"sessionproblem/internal/sim [sessionproblem/internal/sim.test]",
+		"sessionproblem/internal/engine_test",
+		"sessionproblem/wire",
+		"sessionproblem/internal/diskcache",
+		"sessionproblem/internal/cmdflags",
+	} {
+		if !lint.IsDeterministicPkg(path) {
+			t.Errorf("%s should be in the deterministic set", path)
+		}
+	}
+}
+
+func TestFacadeonlyExemptions(t *testing.T) {
+	linttest.RunClean(t, lint.Facadeonly, "testdata/facadeonly/exempt", "sessionproblem/examples/exemptfixture")
+	for _, path := range []string{
+		"sessionproblem/wire",
+		"sessionproblem/internal/diskcache",
+		"sessionproblem/internal/cmdflags",
+	} {
+		if !lint.IsFacadeExempt(path) {
+			t.Errorf("%s should be facade-exempt", path)
+		}
+	}
+	if lint.IsFacadeExempt("sessionproblem/internal/core") {
+		t.Error("internal/core must not be facade-exempt")
+	}
+}
+
+// TestLoadTestsIncludesTestFiles pins the -tests loading path: the test
+// variant's _test.go sources are parsed and type-checked together with the
+// package proper, under the base import path.
+func TestLoadTestsIncludesTestFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	pkgs, err := lint.LoadTests("../..", true, "./internal/arena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected the merged test variant only, loaded %d packages", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "sessionproblem/internal/arena" {
+		t.Errorf("test variant checked under %q, want the base path", pkg.Path)
+	}
+	sawTestFile := false
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go") {
+			sawTestFile = true
+		}
+	}
+	if !sawTestFile {
+		t.Error("test variant did not include any _test.go file")
+	}
+
+	noTests, err := lint.LoadTests("../..", false, "./internal/arena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range noTests {
+		for _, f := range p.Files {
+			if strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go") {
+				t.Errorf("tests=false loaded %s", p.Fset.Position(f.Package).Filename)
+			}
+		}
+	}
+}
+
+// TestCollectAllows pins the waiver inventory: the engine's wall-clock
+// waivers (code and tests) are found with their analyzer and a non-empty
+// justification.
+func TestCollectAllows(t *testing.T) {
+	allows, err := lint.CollectAllows("../..", "./internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allows) < 5 {
+		t.Fatalf("expected the engine's nodeterm waivers, got %d", len(allows))
+	}
+	sawTestFile := false
+	for _, a := range allows {
+		if len(a.Analyzers) != 1 || a.Analyzers[0] != "nodeterm" {
+			t.Errorf("%s:%d: unexpected analyzers %v", a.File, a.Line, a.Analyzers)
+		}
+		if a.Reason == "" {
+			t.Errorf("%s:%d: waiver without justification", a.File, a.Line)
+		}
+		if strings.HasSuffix(a.File, "_test.go") {
+			sawTestFile = true
+		}
+	}
+	if !sawTestFile {
+		t.Error("inventory missed the test-file waivers")
 	}
 }

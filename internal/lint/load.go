@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // A Package is one loaded, parsed and type-checked package ready for
@@ -31,6 +32,7 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	Export     string
+	ForTest    string
 	GoFiles    []string
 	CgoFiles   []string
 	Standard   bool
@@ -43,8 +45,21 @@ type listedPackage struct {
 // packages, parsed from source and type-checked against the build cache's
 // export data. dir is the directory the patterns are interpreted in (the
 // module root, typically); it may be empty for the current directory.
+// Test files are not loaded; LoadTests includes them.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	listed, err := goList(dir, patterns)
+	return LoadTests(dir, false, patterns...)
+}
+
+// LoadTests is Load with optional test coverage: when tests is true, each
+// package with in-package test files is loaded as its test variant
+// (regular plus _test.go sources type-checked together, the way the go
+// command compiles "pkg [pkg.test]"), and external "pkg_test" test
+// packages are loaded as packages of their own, their import of the
+// package under test resolved to the test-variant export data. The
+// determinism invariants hold in test helpers exactly as in shipped code,
+// so the default surface for cmd/sessionlint is tests on.
+func LoadTests(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, tests, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -56,13 +71,29 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 
+	// A package with in-package test files appears twice: plain and as the
+	// merged test variant "P [P.test]". The variant strictly supersets the
+	// plain files, so analyze only it.
+	hasTestVariant := make(map[string]bool)
+	for _, p := range listed {
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" [") {
+			hasTestVariant[p.ForTest] = true
+		}
+	}
+
 	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
+	sharedImp := exportImporter(fset, exports)
 
 	var out []*Package
 	for _, p := range listed {
-		if p.DepOnly || p.ImportPath == "unsafe" {
+		if p.DepOnly || p.Standard || p.ImportPath == "unsafe" {
 			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthetic test-main package (generated _testmain.go)
+		}
+		if p.ForTest == "" && hasTestVariant[p.ImportPath] {
+			continue // superseded by the merged test variant
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
@@ -72,20 +103,31 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		var files []*ast.File
 		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if !filepath.IsAbs(name) {
+				name = filepath.Join(p.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 			if err != nil {
 				return nil, fmt.Errorf("lint: %w", err)
 			}
 			files = append(files, f)
 		}
+		imp := sharedImp
+		if p.ForTest != "" {
+			// Deps of a test package may themselves be test variants (the
+			// under-test package with its test-only exports); resolve an
+			// import to the bracketed variant when one was compiled.
+			imp = testVariantImporter(fset, exports, p.ForTest)
+		}
+		checkPath := BasePkgPath(p.ImportPath)
 		info := NewInfo()
 		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		tpkg, err := conf.Check(checkPath, fset, files, info)
 		if err != nil {
 			return nil, fmt.Errorf("lint: typecheck %s: %w", p.ImportPath, err)
 		}
 		out = append(out, &Package{
-			Path:  p.ImportPath,
+			Path:  checkPath,
 			Fset:  fset,
 			Files: files,
 			Types: tpkg,
@@ -97,12 +139,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 // goList runs `go list -deps -export -json` over the patterns. -deps and
 // -export make the go command emit (building them if necessary) the export
-// data files every dependency's type information is read from.
-func goList(dir string, patterns []string) ([]listedPackage, error) {
-	args := append([]string{
+// data files every dependency's type information is read from; -test adds
+// the merged in-package test variants and the external test packages.
+func goList(dir string, tests bool, patterns []string) ([]listedPackage, error) {
+	args := []string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Incomplete,Error",
-	}, patterns...)
+		"-json=ImportPath,Dir,Export,ForTest,GoFiles,CgoFiles,Standard,DepOnly,Incomplete,Error",
+	}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -129,6 +176,24 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 // way the compiler itself resolves them during a build.
 func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
 	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (run go build first?)", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// testVariantImporter resolves imports for a test package of forTest: an
+// imported path compiled specially for this test binary ("P [forTest.test]"
+// — the package under test with its test-file exports) wins over the plain
+// build. A fresh importer per test package keeps its type cache from
+// leaking variant types into plain packages sharing the load.
+func testVariantImporter(fset *token.FileSet, exports map[string]string, forTest string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if file, ok := exports[path+" ["+forTest+".test]"]; ok {
+			return os.Open(file)
+		}
 		file, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q (run go build first?)", path)
@@ -167,7 +232,7 @@ func LoadFiles(dir, pkgPath string, filenames ...string) (*Package, error) {
 
 	exports := make(map[string]string)
 	if len(imports) > 0 {
-		listed, err := goList(dir, imports)
+		listed, err := goList(dir, false, imports)
 		if err != nil {
 			return nil, err
 		}

@@ -33,6 +33,14 @@ var deterministicPkgs = map[string]bool{
 	"sessionproblem/internal/engine":    true,
 	"sessionproblem/internal/fault":     true,
 	"sessionproblem/internal/arena":     true,
+	// The persistence and presentation layers joined the set once the
+	// daemon made cached results long-lived: a wall-clock or environment
+	// read in the disk cache's encode/decode path, the shared flag
+	// helpers, or the wire codec would make persisted and served results
+	// depend on when and where they were produced.
+	"sessionproblem/internal/diskcache": true,
+	"sessionproblem/internal/cmdflags":  true,
+	"sessionproblem/wire":               true,
 }
 
 // deterministicPrefixes extends the set to whole subtrees (every session
@@ -42,8 +50,11 @@ var deterministicPrefixes = []string{
 }
 
 // IsDeterministicPkg reports whether the package at path is in the
-// deterministic set nodeterm polices.
+// deterministic set nodeterm polices. Test variants ("pkg [pkg.test]",
+// external "pkg_test" packages) inherit their base package's membership:
+// the invariants hold in test helpers too.
 func IsDeterministicPkg(path string) bool {
+	path = BasePkgPath(path)
 	if deterministicPkgs[path] {
 		return true
 	}

@@ -1,0 +1,84 @@
+// Fixtures for the errcache analyzer: RunCacher.Put sites where the cached
+// value's producing error is unchecked, discarded, or properly guarded.
+package errcachefixture
+
+import (
+	"context"
+
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/timing"
+)
+
+// cache matches the engine.RunCacher method set structurally.
+type cache interface {
+	Get(key string) (any, bool)
+	Put(key string, v any)
+}
+
+// uncheckedPut caches a value whose error was never examined.
+func uncheckedPut(ctx context.Context, alg core.SMAlgorithm, spec core.Spec, m timing.Model, st timing.Strategy, c cache) {
+	rep, err := core.RunSMContext(ctx, alg, spec, m, st, 1)
+	c.Put("k", rep) // want `Put is reachable while err may be non-nil`
+	_ = err
+}
+
+// discardedError hides the failure with a blank identifier; the invariant
+// wants the check visible.
+func discardedError(ctx context.Context, alg core.SMAlgorithm, spec core.Spec, m timing.Model, st timing.Strategy, c cache) {
+	rep, _ := core.RunSMContext(ctx, alg, spec, m, st, 1)
+	c.Put("k", rep) // want `error was discarded with _`
+}
+
+// derivedPut caches a value derived from the failing call (the summary
+// inherits the report's error obligation through the dataflow).
+func derivedPut(ctx context.Context, alg core.SMAlgorithm, spec core.Spec, m timing.Model, st timing.Strategy, c cache) {
+	rep, err := core.RunSMContext(ctx, alg, spec, m, st, 1)
+	sum := core.Summarize(rep)
+	c.Put("k", sum) // want `Put is reachable while err may be non-nil`
+	_ = err
+}
+
+// lateGuard checks the error only after the Put already happened.
+func lateGuard(ctx context.Context, alg core.SMAlgorithm, spec core.Spec, m timing.Model, st timing.Strategy, c cache) {
+	rep, err := core.RunSMContext(ctx, alg, spec, m, st, 1)
+	c.Put("k", rep) // want `Put is reachable while err may be non-nil`
+	if err != nil {
+		return
+	}
+}
+
+// guardedPut is the canonical clean pattern: the failure path returns
+// before the cache is touched.
+func guardedPut(ctx context.Context, alg core.SMAlgorithm, spec core.Spec, m timing.Model, st timing.Strategy, c cache) {
+	rep, err := core.RunSMContext(ctx, alg, spec, m, st, 1)
+	if err != nil {
+		return
+	}
+	c.Put("k", core.Summarize(rep))
+}
+
+// successBranchPut nests the Put under the success comparison.
+func successBranchPut(ctx context.Context, alg core.SMAlgorithm, spec core.Spec, m timing.Model, st timing.Strategy, c cache) {
+	rep, err := core.RunSMContext(ctx, alg, spec, m, st, 1)
+	if err == nil {
+		c.Put("k", rep)
+	}
+}
+
+// elseBranchPut caches in the else of the failure comparison.
+func elseBranchPut(ctx context.Context, alg core.SMAlgorithm, spec core.Spec, m timing.Model, st timing.Strategy, c cache) {
+	rep, err := core.RunSMContext(ctx, alg, spec, m, st, 1)
+	if err != nil {
+		rep = nil
+	} else {
+		c.Put("k", rep)
+	}
+}
+
+// unrelatedValuePut: the cached value does not derive from the erroring
+// call, so that error imposes no obligation on the Put.
+func unrelatedValuePut(ctx context.Context, alg core.SMAlgorithm, spec core.Spec, m timing.Model, st timing.Strategy, c cache) {
+	_, err := core.RunSMContext(ctx, alg, spec, m, st, 1)
+	c.Put("k", spec)
+	_ = err
+}

@@ -1,0 +1,19 @@
+// Negative facadeonly fixture: the exemption list. An example may decode
+// wire envelopes and reach the two quasi-public integration seams
+// (internal/diskcache, internal/cmdflags) in addition to the facade;
+// none of these imports may be flagged.
+package exemptfixture
+
+import (
+	"sessionproblem/internal/cmdflags"
+	"sessionproblem/internal/diskcache"
+	"sessionproblem/wire"
+)
+
+func open(dir string) (*diskcache.Store, error) {
+	return diskcache.Open(dir)
+}
+
+var _ = wire.Version
+
+var _ = cmdflags.RegisterProblem

@@ -1,0 +1,10 @@
+// Pins sessionproblem/internal/cmdflags inside the nodeterm set: the shared
+// flag helpers feed every CLI's run configuration, so an environment read
+// here would make results depend on where they were produced.
+package cmdflagsfixture
+
+import "os"
+
+func defaultDir() string {
+	return os.Getenv("SESSION_CACHE_DIR") // want `os.Getenv in deterministic package`
+}

@@ -1,0 +1,10 @@
+// Pins sessionproblem/internal/diskcache inside the nodeterm set: persisted
+// cache entries are long-lived, so their encode/decode path must not depend
+// on when or where it ran.
+package diskcachefixture
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}

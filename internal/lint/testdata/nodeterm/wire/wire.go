@@ -1,0 +1,10 @@
+// Pins sessionproblem/wire inside the nodeterm set: the wire codec shapes
+// archived and served results, so global randomness (jittered ids, shuffled
+// rows) would break byte-stable envelopes.
+package wirefixture
+
+import "math/rand" // want `use internal/sim.RNG`
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,22 @@
+// Clean wiretag fixture: the committed schema_v1.json next to this file
+// matches these declarations exactly, so the analyzer must stay silent.
+// The package impersonates sessionproblem/wire (the analyzer's path
+// predicate); the golden is regenerated with
+// UPDATE_LINT_FIXTURES=1 go test ./internal/lint.
+package wire
+
+// Envelope is a versioned wrapper, shaped like the real wire envelopes.
+type Envelope struct {
+	V       int     `json:"v"`
+	Kind    string  `json:"kind"`
+	Payload Payload `json:"payload"`
+}
+
+// Payload exercises the field-visibility rules: an omitempty option, an
+// unexported field and a json:"-" field (both invisible on the wire).
+type Payload struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value,omitempty"`
+	raw   []byte
+	Skip  int `json:"-"`
+}

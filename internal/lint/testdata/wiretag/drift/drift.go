@@ -1,0 +1,25 @@
+// Drifted wiretag fixture: relative to the committed schema_v1.json in
+// this directory (which matches the clean fixture's shape), Envelope's
+// Kind field has had its json tag renamed and a new envelope type has
+// appeared — both must trip the analyzer.
+package wire
+
+// Envelope's Kind tag says "type" here; the golden says "kind".
+type Envelope struct { // want `Envelope.Kind json tag changed: "kind" -> "type"`
+	V       int     `json:"v"`
+	Kind    string  `json:"type"`
+	Payload Payload `json:"payload"`
+}
+
+// Payload is unchanged from the golden.
+type Payload struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value,omitempty"`
+	raw   []byte
+	Skip  int `json:"-"`
+}
+
+// Extra is not in the golden at all.
+type Extra struct { // want `envelope type Extra is new`
+	N int `json:"n"`
+}

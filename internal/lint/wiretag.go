@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Wiretag locks the wire v1 JSON contract. The wire/ envelope types and the
+// facade types they embed are a frozen format: the daemon's HTTP responses,
+// the CLI -json output and every archived result promise that a v1 document
+// decodes forever. Go makes it dangerously easy to break that promise
+// silently — add a field, rename a json tag, retype sim.Time — and nothing
+// fails until a consumer mis-parses an old archive. Wiretag computes the
+// JSON-tag schema of every exported envelope struct, recursively expanding
+// the named struct types its fields reach (that pulls the facade's
+// TableCell/HierarchyRow/SweepPoint/Report into the lock), and diffs it
+// against the committed golden wire/schema_v1.json. Any drift is a lint
+// error; the sanctioned workflow is `sessionlint -update-schema` plus a
+// wire.Version bump reviewed together.
+var Wiretag = &Analyzer{
+	Name: "wiretag",
+	Doc:  "wire envelope JSON schema must match the committed schema_v1.json (tag/type changes need a version bump)",
+	Run:  runWiretag,
+}
+
+// WireSchemaFile is the golden schema's filename, committed next to the
+// wire package sources.
+const WireSchemaFile = "schema_v1.json"
+
+// wirePkgPath is the package whose exported structs form the contract.
+const wirePkgPath = "sessionproblem/wire"
+
+// IsWirePkg reports whether the package at path carries the wire contract.
+func IsWirePkg(path string) bool { return BasePkgPath(path) == wirePkgPath }
+
+// fieldSchema is one struct field's wire identity: the Go name, the
+// resolved JSON key (with ,omitempty-style options and ",inline" for
+// untagged embedded fields), and the recursively rendered type.
+type fieldSchema struct {
+	Go   string      `json:"go"`
+	JSON string      `json:"json"`
+	Type *typeSchema `json:"type"`
+}
+
+// typeSchema renders a Go type's JSON shape. Exactly one branch is set.
+type typeSchema struct {
+	// Term is a terminal: a basic kind ("int64", "string", "bool", ...) or
+	// "any" for interfaces. Named types with basic underlying render their
+	// underlying — renaming sim.Time is invisible on the wire, retyping it
+	// is not.
+	Term   string        `json:"term,omitempty"`
+	Ptr    *typeSchema   `json:"ptr,omitempty"`
+	Slice  *typeSchema   `json:"slice,omitempty"`
+	Array  *typeSchema   `json:"array,omitempty"`
+	ArrayN int64         `json:"arrayLen,omitempty"`
+	Key    *typeSchema   `json:"key,omitempty"`
+	Value  *typeSchema   `json:"value,omitempty"`
+	Struct string        `json:"struct,omitempty"`
+	Fields []fieldSchema `json:"fields,omitempty"`
+	Cycle  string        `json:"cycle,omitempty"`
+}
+
+// WireSchema is the golden file's document shape. Types maps exported
+// envelope type names to their fields; encoding/json sorts the keys, so
+// the marshaled form is deterministic.
+type WireSchema struct {
+	V     int                      `json:"v"`
+	Types map[string][]fieldSchema `json:"types"`
+}
+
+// ParseWireSchema decodes a golden schema document.
+func ParseWireSchema(data []byte) (*WireSchema, error) {
+	var s WireSchema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("lint: parsing wire schema: %w", err)
+	}
+	return &s, nil
+}
+
+// TypeFields returns the named type's field list, shared with the schema
+// (mutations are visible to a subsequent DiffWireSchemas — tests use this
+// to simulate contract drift).
+func (s *WireSchema) TypeFields(name string) []fieldSchema { return s.Types[name] }
+
+func runWiretag(pass *Pass) error {
+	if !IsWirePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	schema, typePos := computeWireSchema(pass.Fset, pass.Files, pass.TypesInfo)
+	if len(schema.Types) == 0 {
+		return nil
+	}
+	pkgPos := pass.Files[0].Package
+
+	dir := filepath.Dir(pass.Fset.Position(pkgPos).Filename)
+	goldenPath := filepath.Join(dir, WireSchemaFile)
+	goldenData, err := os.ReadFile(goldenPath)
+	if err != nil {
+		pass.Reportf(pkgPos, "wire schema golden %s is unreadable (%v); run sessionlint -update-schema to create it", WireSchemaFile, err)
+		return nil
+	}
+	var golden WireSchema
+	if err := json.Unmarshal(goldenData, &golden); err != nil {
+		pass.Reportf(pkgPos, "wire schema golden %s is not valid JSON (%v); run sessionlint -update-schema", WireSchemaFile, err)
+		return nil
+	}
+	for _, d := range DiffWireSchemas(&golden, schema) {
+		pos := pkgPos
+		if p, ok := typePos[d.Type]; ok {
+			pos = p
+		}
+		pass.Reportf(pos, "wire contract drift: %s; regenerate %s with sessionlint -update-schema and bump wire.Version if the v1 shape changed", d.Detail, WireSchemaFile)
+	}
+	return nil
+}
+
+// A SchemaDiff is one detected divergence between the committed and the
+// computed wire schema, attributed to a type name.
+type SchemaDiff struct {
+	Type   string
+	Detail string
+}
+
+// DiffWireSchemas compares the committed golden against the computed
+// schema, returning one diff per diverging type (sorted by name).
+func DiffWireSchemas(golden, computed *WireSchema) []SchemaDiff {
+	var diffs []SchemaDiff
+	if golden.V != computed.V {
+		diffs = append(diffs, SchemaDiff{Detail: fmt.Sprintf("schema version %d in golden, computed %d", golden.V, computed.V)})
+	}
+	names := map[string]bool{}
+	for n := range golden.Types {
+		names[n] = true
+	}
+	for n := range computed.Types {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		g, inGolden := golden.Types[n]
+		c, inComputed := computed.Types[n]
+		switch {
+		case !inGolden:
+			diffs = append(diffs, SchemaDiff{Type: n, Detail: fmt.Sprintf("envelope type %s is new (not in the committed schema)", n)})
+		case !inComputed:
+			diffs = append(diffs, SchemaDiff{Type: n, Detail: fmt.Sprintf("envelope type %s was removed (still in the committed schema)", n)})
+		default:
+			if d := diffFields(n, g, c); d != "" {
+				diffs = append(diffs, SchemaDiff{Type: n, Detail: d})
+			}
+		}
+	}
+	return diffs
+}
+
+// diffFields pins the first field-level divergence of one type, comparing
+// through a JSON round-trip so golden files and in-memory schemas agree on
+// representation.
+func diffFields(typeName string, golden, computed []fieldSchema) string {
+	for i := 0; i < len(golden) && i < len(computed); i++ {
+		g, c := golden[i], computed[i]
+		switch {
+		case g.Go != c.Go:
+			return fmt.Sprintf("%s field %d renamed in Go: %s -> %s", typeName, i, g.Go, c.Go)
+		case g.JSON != c.JSON:
+			return fmt.Sprintf("%s.%s json tag changed: %q -> %q", typeName, c.Go, g.JSON, c.JSON)
+		case !schemaEqual(g.Type, c.Type):
+			return fmt.Sprintf("%s.%s type changed: %s -> %s", typeName, c.Go, renderSchema(g.Type), renderSchema(c.Type))
+		}
+	}
+	if len(golden) < len(computed) {
+		return fmt.Sprintf("%s gained field %s (%q)", typeName, computed[len(golden)].Go, computed[len(golden)].JSON)
+	}
+	if len(golden) > len(computed) {
+		return fmt.Sprintf("%s lost field %s (%q)", typeName, golden[len(computed)].Go, golden[len(computed)].JSON)
+	}
+	return ""
+}
+
+func schemaEqual(a, b *typeSchema) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// renderSchema flattens a type schema to a compact one-line form for
+// diagnostics.
+func renderSchema(t *typeSchema) string {
+	switch {
+	case t == nil:
+		return "?"
+	case t.Term != "":
+		return t.Term
+	case t.Ptr != nil:
+		return "*" + renderSchema(t.Ptr)
+	case t.Slice != nil:
+		return "[]" + renderSchema(t.Slice)
+	case t.Array != nil:
+		return fmt.Sprintf("[%d]%s", t.ArrayN, renderSchema(t.Array))
+	case t.Key != nil:
+		return fmt.Sprintf("map[%s]%s", renderSchema(t.Key), renderSchema(t.Value))
+	case t.Cycle != "":
+		return "cycle:" + t.Cycle
+	case t.Struct != "" || t.Fields != nil:
+		parts := make([]string, 0, len(t.Fields))
+		for _, f := range t.Fields {
+			parts = append(parts, fmt.Sprintf("%s:%s", f.JSON, renderSchema(f.Type)))
+		}
+		name := t.Struct
+		return name + "{" + strings.Join(parts, " ") + "}"
+	}
+	return "?"
+}
+
+// computeWireSchema builds the schema of every exported struct type
+// declared in the package's non-test files, with the position of each
+// declaration for diagnostics.
+func computeWireSchema(fset *token.FileSet, files []*ast.File, info *types.Info) (*WireSchema, map[string]token.Pos) {
+	schema := &WireSchema{V: 1, Types: map[string][]fieldSchema{}}
+	typePos := map[string]token.Pos{}
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if !ts.Name.IsExported() {
+					continue
+				}
+				obj := info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				seen := map[*types.TypeName]bool{}
+				schema.Types[ts.Name.Name] = structFields(st, seen)
+				typePos[ts.Name.Name] = ts.Pos()
+			}
+		}
+	}
+	return schema, typePos
+}
+
+// WireSchemaJSON renders the package's wire schema as the canonical golden
+// file content (indented JSON, trailing newline). cmd/sessionlint's
+// -update-schema writes exactly these bytes, so a regenerate-and-diff in CI
+// is byte-stable.
+func WireSchemaJSON(pkg *Package) ([]byte, error) {
+	schema, _ := computeWireSchema(pkg.Fset, pkg.Files, pkg.Info)
+	if len(schema.Types) == 0 {
+		return nil, fmt.Errorf("lint: package %s declares no exported struct types to lock", pkg.Path)
+	}
+	data, err := json.MarshalIndent(schema, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// structFields renders a struct's JSON-visible fields in declaration
+// order. Unexported fields and `json:"-"` fields are invisible on the wire
+// and are skipped — tagging a field "-" therefore shows up as a removal,
+// which is exactly what happened to the format.
+func structFields(st *types.Struct, seen map[*types.TypeName]bool) []fieldSchema {
+	fields := make([]fieldSchema, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		if !f.Exported() {
+			continue
+		}
+		name, opts, _ := strings.Cut(tag, ",")
+		if name == "-" && opts == "" {
+			continue
+		}
+		jsonKey := name
+		if jsonKey == "" {
+			if f.Embedded() && tag == "" {
+				jsonKey = ",inline"
+			} else {
+				jsonKey = f.Name()
+			}
+		}
+		if opts != "" {
+			jsonKey += "," + opts
+		}
+		fields = append(fields, fieldSchema{
+			Go:   f.Name(),
+			JSON: jsonKey,
+			Type: schemaOf(f.Type(), seen),
+		})
+	}
+	if len(fields) == 0 {
+		return nil // match the unmarshaled form of an absent "fields" key
+	}
+	return fields
+}
+
+// schemaOf renders one type's wire shape, expanding named structs from any
+// package (that is what locks the facade types the envelopes embed) with a
+// cycle guard.
+func schemaOf(t types.Type, seen map[*types.TypeName]bool) *typeSchema {
+	if named, ok := t.(*types.Named); ok {
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+			obj := named.Obj()
+			if seen[obj] {
+				return &typeSchema{Cycle: qualifiedTypeName(obj)}
+			}
+			seen[obj] = true
+			defer delete(seen, obj)
+			return &typeSchema{
+				Struct: qualifiedTypeName(obj),
+				Fields: structFields(named.Underlying().(*types.Struct), seen),
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return &typeSchema{Term: u.Name()}
+	case *types.Pointer:
+		return &typeSchema{Ptr: schemaOf(u.Elem(), seen)}
+	case *types.Slice:
+		return &typeSchema{Slice: schemaOf(u.Elem(), seen)}
+	case *types.Array:
+		return &typeSchema{Array: schemaOf(u.Elem(), seen), ArrayN: u.Len()}
+	case *types.Map:
+		return &typeSchema{Key: schemaOf(u.Key(), seen), Value: schemaOf(u.Elem(), seen)}
+	case *types.Struct:
+		return &typeSchema{Fields: structFields(u, seen)}
+	case *types.Interface:
+		return &typeSchema{Term: "any"}
+	}
+	return &typeSchema{Term: t.String()}
+}
+
+func qualifiedTypeName(obj *types.TypeName) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
