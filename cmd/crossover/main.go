@@ -13,7 +13,7 @@
 // Usage:
 //
 //	crossover [-exp f1|...|f7|tight|all] [-seeds N] [-parallelism N]
-//	          [-timeout D] [-cache-dir DIR]
+//	          [-timeout D] [-cache-dir DIR] [-journal FILE] [-resume] [-repair]
 package main
 
 import (
@@ -38,16 +38,21 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("crossover", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment: f1, f2, f3, f4, f5 or all")
 	e := cmdflags.RegisterExec(fs)
+	j := cmdflags.RegisterJournal(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if done, err := j.Preflight(os.Stdout); done || err != nil {
 		return err
 	}
 
 	ctx, cancel := e.Context(context.Background())
 	defer cancel()
-	eng, err := e.Engine()
+	eng, closeJournal, err := e.Engine(j)
 	if err != nil {
 		return err
 	}
+	defer closeJournal()
 	seeds, parallelism := &e.Seeds, &e.Parallelism
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false

@@ -15,7 +15,14 @@
 //	faultsweep [-s N] [-n N] [-c1 N] [-c2 N] [-d1 N] [-d2 N] [-seeds N]
 //	           [-intensities CSV] [-kinds CSV] [-faultseed N] [-maxsteps N]
 //	           [-models CSV] [-perkind] [-parallelism N] [-timeout D]
-//	           [-cache-dir DIR]
+//	           [-cache-dir DIR] [-journal FILE] [-resume] [-repair]
+//
+// Fault sweeps are the longest-running tool in the suite, so they are the
+// main customer of the crash-safe journal: with -journal every completed
+// run is fsynced to the journal file, a killed sweep rerun with -resume
+// re-executes only the missing cells, and the merged table is
+// byte-identical to an uninterrupted sweep. -repair truncates a damaged
+// journal tail and exits.
 //
 // With -perkind, each fault kind is additionally swept in isolation and a
 // per-kind margin table follows the main one, showing which fault class
@@ -48,6 +55,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("faultsweep", flag.ContinueOnError)
 	p := cmdflags.RegisterProblem(fs)
 	e := cmdflags.RegisterExec(fs)
+	j := cmdflags.RegisterJournal(fs)
 	intensities := fs.String("intensities", "", "comma-separated fault intensities in [0,1] (default 0,0.05,0.1,0.2,0.4,0.8)")
 	kinds := fs.String("kinds", "", "comma-separated fault kinds to inject (default all): crash, step-overrun, stale-read, message-drop, message-duplicate, late-delivery")
 	faultSeed := fs.Uint64("faultseed", 1, "base seed for fault plans")
@@ -55,6 +63,9 @@ func run(args []string, w io.Writer) error {
 	models := fs.String("models", "", "comma-separated subset of model rows (default all): synchronous, periodic, semi-synchronous, sporadic, asynchronous")
 	perKind := fs.Bool("perkind", false, "additionally sweep each fault kind alone and report per-kind robustness margins")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if done, err := j.Preflight(w); done || err != nil {
 		return err
 	}
 
@@ -69,10 +80,11 @@ func run(args []string, w io.Writer) error {
 
 	ctx, cancel := e.Context(context.Background())
 	defer cancel()
-	eng, err := e.Engine()
+	eng, closeJournal, err := e.Engine(j)
 	if err != nil {
 		return err
 	}
+	defer closeJournal()
 	cfg := harness.FaultSweepConfig{
 		S: p.S, N: p.N,
 		C1: sim.Duration(p.C1), C2: sim.Duration(p.C2),

@@ -11,7 +11,18 @@
 //	POST /v1/hierarchy  {"s":6,"n":8,...}            -> {"v":1,"kind":"hierarchy",...}
 //	POST /v1/sweep      {"kind":"sporadic-delay",..} -> {"v":1,"kind":"sweep",...}
 //	POST /v1/solve      {"model":"periodic",...}     -> {"v":1,"kind":"report",...}
+//	POST /v1/repair     {"journal":"nightly"}        -> {"v":1,"kind":"repair",...}
 //	GET  /v1/stats                                   -> cache + request accounting
+//
+// The daemon is hardened for long-lived unattended operation: every handler
+// runs under a recover() middleware (a panic is logged with its stack and
+// answered with a structured 500 instead of killing the daemon), request
+// headers and bodies are read under a deadline, and bodies are capped at
+// 1 MiB (413 on overflow). With -journal-dir, a request naming a journal
+// ({"journal":"nightly"}) has its long sweep/solve call journaled
+// crash-safely under that directory: a killed daemon replays the journal on
+// the next identical request and re-executes only the missing cells, and
+// POST /v1/repair truncates a damaged journal tail on demand.
 //
 // Every request field is optional and defaults to the library default, so
 // `curl -d '{}' localhost:8372/v1/table1` regenerates the paper's Table 1.
@@ -26,7 +37,8 @@
 //
 // Usage:
 //
-//	sessiond [-addr HOST:PORT] [-cache-dir DIR] [-parallelism N] [-timeout D]
+//	sessiond [-addr HOST:PORT] [-cache-dir DIR] [-journal-dir DIR]
+//	         [-parallelism N] [-timeout D]
 package main
 
 import (
@@ -37,10 +49,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"regexp"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -50,6 +66,7 @@ import (
 	"sessionproblem/internal/diskcache"
 	"sessionproblem/internal/engine"
 	"sessionproblem/internal/harness"
+	"sessionproblem/internal/journal"
 	"sessionproblem/wire"
 )
 
@@ -57,16 +74,25 @@ func main() {
 	fs := flag.NewFlagSet("sessiond", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8372", "listen address")
 	cacheDir := fs.String("cache-dir", "", "directory for the disk-persistent run cache (empty = in-memory only)")
+	journalDir := fs.String("journal-dir", "", "directory for per-request crash-safe run journals (empty = journaling disabled)")
 	parallelism := fs.Int("parallelism", 0, "worker-pool width per request (0 = GOMAXPROCS); results are identical at any setting")
 	timeout := fs.Duration("timeout", 0, "wall-clock bound per request (0 = none)")
 	fs.Parse(os.Args[1:])
 
-	srv, err := newServer(*cacheDir, *parallelism, *timeout)
+	srv, err := newServer(*cacheDir, *journalDir, *parallelism, *timeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sessiond:", err)
 		os.Exit(1)
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.handler(),
+		// A stalled or hostile client must not hold a connection open
+		// forever: bound reading the headers and the (already size-capped)
+		// body. No WriteTimeout — streaming sweeps legitimately run long.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+	}
 	go func() {
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -87,14 +113,19 @@ func main() {
 type server struct {
 	mem         *engine.RunCache  // memory tier, always present
 	tiered      *diskcache.Tiered // non-nil iff a cache directory is configured
+	journalDir  string            // non-empty iff per-request journaling is enabled
 	parallelism int
 	timeout     time.Duration
 	requests    atomic.Int64
+	journaled   atomic.Int64 // requests that named a journal
+	repairs     atomic.Int64 // successful /v1/repair calls
+	panics      atomic.Int64 // handler panics contained by the middleware
 }
 
-func newServer(cacheDir string, parallelism int, timeout time.Duration) (*server, error) {
+func newServer(cacheDir, journalDir string, parallelism int, timeout time.Duration) (*server, error) {
 	s := &server{
 		mem:         engine.NewRunCache(),
+		journalDir:  journalDir,
 		parallelism: parallelism,
 		timeout:     timeout,
 	}
@@ -104,6 +135,11 @@ func newServer(cacheDir string, parallelism int, timeout time.Duration) (*server
 			return nil, err
 		}
 		s.tiered = tc
+	}
+	if journalDir != "" {
+		if err := os.MkdirAll(journalDir, 0o755); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -118,21 +154,21 @@ func (s *server) cache() sessionproblem.RunCacher {
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/table1", s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
+	mux.HandleFunc("POST /v1/table1", s.recovered(s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
 		res, err := sessionproblem.Table1(ctx, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return wire.MarshalTable(res.Cells)
-	}))
-	mux.HandleFunc("POST /v1/hierarchy", s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
+	})))
+	mux.HandleFunc("POST /v1/hierarchy", s.recovered(s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
 		res, err := sessionproblem.Hierarchy(ctx, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return wire.MarshalHierarchy(res.Rows)
-	}))
-	mux.HandleFunc("POST /v1/sweep", s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
+	})))
+	mux.HandleFunc("POST /v1/sweep", s.recovered(s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
 		kind, ok := sweepKinds[rq.Kind]
 		if !ok {
 			return nil, badRequestf("unknown sweep kind %q (want sporadic-delay, periodic-vs-semisync, periodic-vs-sporadic, network-diameter or fault-intensity)", rq.Kind)
@@ -142,16 +178,36 @@ func (s *server) handler() http.Handler {
 			return nil, err
 		}
 		return wire.MarshalSweep(res.Points)
-	}))
-	mux.HandleFunc("POST /v1/solve", s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
+	})))
+	mux.HandleFunc("POST /v1/solve", s.recovered(s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
 		rep, err := sessionproblem.Solve(ctx, sessionproblem.Model(rq.Model), sessionproblem.Comm(rq.Comm), opts...)
 		if err != nil {
 			return nil, err
 		}
 		return wire.MarshalReport(rep)
-	}))
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	})))
+	mux.HandleFunc("POST /v1/repair", s.recovered(s.handleRepair))
+	mux.HandleFunc("GET /v1/stats", s.recovered(s.handleStats))
 	return mux
+}
+
+// recovered contains a handler panic to its request: the stack is logged,
+// the client receives a structured v1 error envelope with status 500, and
+// the daemon keeps serving. Without it a panic that escaped a handler would
+// kill the connection (and, outside net/http's per-connection recovery,
+// could take the whole process down) with nothing structured for the
+// client.
+func (s *server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				log.Printf("sessiond: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", v))
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // request is the JSON body every POST endpoint accepts. Omitted fields take
@@ -178,6 +234,12 @@ type request struct {
 	Comm     string `json:"comm,omitempty"`
 	Strategy string `json:"strategy,omitempty"`
 	Seed     uint64 `json:"seed,omitempty"`
+
+	// Journal names a per-request crash-safe run journal under the
+	// daemon's -journal-dir (analysis endpoints: journal the call's runs
+	// and resume from any surviving frames; /v1/repair: the journal to
+	// repair). Requires -journal-dir.
+	Journal string `json:"journal,omitempty"`
 }
 
 func defaultRequest() request {
@@ -234,6 +296,40 @@ func badRequestf(format string, args ...any) error {
 	return badRequest{fmt.Errorf(format, args...)}
 }
 
+// tooLarge marks a request body that overflowed the size cap (HTTP 413).
+type tooLarge struct{ error }
+
+// journalNameRE admits plain file-name-ish journal names: no separators, no
+// leading dot, so a request can never escape -journal-dir.
+var journalNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,100}$`)
+
+// journalPath resolves a request's journal name under -journal-dir.
+func (s *server) journalPath(name string) (string, error) {
+	if s.journalDir == "" {
+		return "", badRequestf("journaling is disabled: start sessiond with -journal-dir")
+	}
+	if !journalNameRE.MatchString(name) {
+		return "", badRequestf("bad journal name %q (want letters, digits, dot, dash, underscore; leading alphanumeric)", name)
+	}
+	return filepath.Join(s.journalDir, name+".journal"), nil
+}
+
+// journalOptions renders a request's journal field as facade options: the
+// facade replays the journal's surviving frames into the shared run cache
+// and appends every newly verified summary, so a killed daemon resumes the
+// sweep on the next identical request.
+func (s *server) journalOptions(rq request) ([]sessionproblem.Option, error) {
+	if rq.Journal == "" {
+		return nil, nil
+	}
+	path, err := s.journalPath(rq.Journal)
+	if err != nil {
+		return nil, err
+	}
+	s.journaled.Add(1)
+	return []sessionproblem.Option{sessionproblem.WithJournal(path)}, nil
+}
+
 // analysis adapts one facade call into a POST handler: decode the request
 // (defaults for everything omitted), run, reply with the wire envelope plus
 // one trailing newline — or, with ?stream=1, with NDJSON progress lines
@@ -241,12 +337,18 @@ func badRequestf(format string, args ...any) error {
 func (s *server) analysis(run func(context.Context, request, []sessionproblem.Option) ([]byte, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		rq, err := decodeRequest(r)
+		rq, err := decodeRequest(w, r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, errStatus(err), err)
 			return
 		}
 		opts := s.options(rq)
+		jopts, err := s.journalOptions(rq)
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		opts = append(opts, jopts...)
 
 		if r.URL.Query().Get("stream") == "" {
 			data, err := run(r.Context(), rq, opts)
@@ -328,10 +430,18 @@ func (sw *streamWriter) writeRaw(line []byte) {
 	}
 }
 
-func decodeRequest(r *http.Request) (request, error) {
+// maxRequestBody caps every request body: the analysis requests are a
+// handful of scalars, so anything larger is a mistake or abuse.
+const maxRequestBody = 1 << 20
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (request, error) {
 	rq := defaultRequest()
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return rq, tooLarge{fmt.Errorf("request body exceeds %d bytes", mbe.Limit)}
+		}
 		return rq, badRequestf("reading body: %v", err)
 	}
 	if len(body) == 0 {
@@ -350,6 +460,10 @@ func errStatus(err error) int {
 	if errors.As(err, &br) {
 		return http.StatusBadRequest
 	}
+	var tl tooLarge
+	if errors.As(err, &tl) {
+		return http.StatusRequestEntityTooLarge
+	}
 	// The facade reports unknown models, strategies and malformed sweeps as
 	// plain errors; they are client mistakes, not server faults.
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -364,18 +478,81 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(map[string]any{"v": wire.Version, "kind": "error", "error": err.Error()})
 }
 
+// handleRepair is POST /v1/repair: truncate the named journal's damaged
+// tail (torn or bit-flipped by a kill mid-append) and report what survived,
+// as a v1 "repair" envelope. A missing journal is 404; repairing an intact
+// journal is a reported no-op.
+func (s *server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	rq, err := decodeRequest(w, r)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	if rq.Journal == "" {
+		writeError(w, http.StatusBadRequest, badRequestf("repair needs a journal name"))
+		return
+	}
+	path, err := s.journalPath(rq.Journal)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	st, err := journal.Repair(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("journal %q not found", rq.Journal))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.repairs.Add(1)
+	data, err := wire.MarshalRepair(wire.Repair{
+		Journal: rq.Journal, Frames: st.Frames, BytesKept: st.Bytes,
+		Truncated: st.Damaged, DroppedBytes: st.DroppedBytes,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// journalStats is the /v1/stats journaling section.
+type journalStats struct {
+	// Enabled reports whether -journal-dir is configured.
+	Enabled bool `json:"enabled"`
+	// Requests counts analysis requests that named a journal; Repairs
+	// counts successful /v1/repair calls.
+	Requests int64 `json:"requests"`
+	Repairs  int64 `json:"repairs"`
+}
+
 // statsResponse is GET /v1/stats: cumulative request and cache accounting
 // since daemon start. Disk fields are zero when no -cache-dir is set.
 type statsResponse struct {
 	V         int             `json:"v"`
 	Kind      string          `json:"kind"` // always "stats"
 	Requests  int64           `json:"requests"`
+	Panics    int64           `json:"panics"`
 	DiskCache bool            `json:"diskCache"`
 	Cache     diskcache.Stats `json:"cache"`
+	Journal   journalStats    `json:"journal"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := statsResponse{V: wire.Version, Kind: "stats", Requests: s.requests.Load()}
+	resp := statsResponse{
+		V: wire.Version, Kind: "stats",
+		Requests: s.requests.Load(),
+		Panics:   s.panics.Load(),
+		Journal: journalStats{
+			Enabled:  s.journalDir != "",
+			Requests: s.journaled.Load(),
+			Repairs:  s.repairs.Load(),
+		},
+	}
 	if s.tiered != nil {
 		resp.DiskCache = true
 		resp.Cache = s.tiered.Stats()

@@ -21,13 +21,19 @@ const smallBody = `{"s":2,"n":2,"seeds":1}`
 
 func newTestServer(t *testing.T, cacheDir string) *httptest.Server {
 	t.Helper()
-	srv, err := newServer(cacheDir, 0, 0)
+	ts, _ := newTestServerJournal(t, cacheDir, "")
+	return ts
+}
+
+func newTestServerJournal(t *testing.T, cacheDir, journalDir string) (*httptest.Server, *server) {
+	t.Helper()
+	srv, err := newServer(cacheDir, journalDir, 0, 0)
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, srv
 }
 
 func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
@@ -265,7 +271,7 @@ func TestBadRequests(t *testing.T) {
 // the (expensive) default-sized analysis here.
 func TestDecodeRequestDefaults(t *testing.T) {
 	r := httptest.NewRequest(http.MethodPost, "/v1/table1", strings.NewReader(""))
-	rq, err := decodeRequest(r)
+	rq, err := decodeRequest(httptest.NewRecorder(), r)
 	if err != nil {
 		t.Fatalf("empty body: %v", err)
 	}
@@ -273,7 +279,7 @@ func TestDecodeRequestDefaults(t *testing.T) {
 		t.Fatalf("empty body should yield the defaults: %+v", rq)
 	}
 	r = httptest.NewRequest(http.MethodPost, "/v1/table1", strings.NewReader(`{"s":2}`))
-	rq, err = decodeRequest(r)
+	rq, err = decodeRequest(httptest.NewRecorder(), r)
 	if err != nil {
 		t.Fatalf("partial body: %v", err)
 	}
@@ -287,7 +293,167 @@ func TestUnusableCacheDirFailsStartup(t *testing.T) {
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newServer(file, 0, 0); err == nil {
+	if _, err := newServer(file, "", 0, 0); err == nil {
 		t.Fatal("newServer accepted a regular file as cache dir")
+	}
+}
+
+// A panicking handler must answer a structured 500 and leave the daemon
+// serving subsequent requests — the recover middleware's whole job.
+func TestPanickingHandlerLeavesDaemonServing(t *testing.T) {
+	srv, err := newServer("", "", 0, 0)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/panic", srv.recovered(func(http.ResponseWriter, *http.Request) {
+		panic("deliberate test panic")
+	}))
+	mux.HandleFunc("GET /v1/stats", srv.recovered(srv.handleStats))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/panic", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("POST /v1/panic: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500 (%s)", resp.StatusCode, data)
+	}
+	var e struct {
+		V     int    `json:"v"`
+		Kind  string `json:"kind"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.Kind != "error" || e.V != wire.Version ||
+		!strings.Contains(e.Error, "deliberate test panic") {
+		t.Fatalf("panic response is not a v1 error envelope: %s", data)
+	}
+
+	// The daemon must still answer.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats after panic: %v", err)
+	}
+	var st statsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats after panic: status %d err %v", resp.StatusCode, err)
+	}
+	if st.Panics != 1 {
+		t.Fatalf("panics counter = %d, want 1", st.Panics)
+	}
+}
+
+// Request bodies are capped; an oversized one must come back as 413 with an
+// error envelope, not be read to the end.
+func TestOversizedBodyIs413(t *testing.T) {
+	ts := newTestServer(t, "")
+	big := `{"s":2,"pad":"` + strings.Repeat("x", maxRequestBody) + `"}`
+	status, data := post(t, ts, "/v1/table1", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413 (%.80s)", status, data)
+	}
+	var e struct {
+		Kind  string `json:"kind"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.Kind != "error" || e.Error == "" {
+		t.Fatalf("413 body is not an error envelope: %s", data)
+	}
+}
+
+// A request naming a journal gets its runs journaled crash-safely, the
+// response stays byte-identical to the unjournaled path, and /v1/repair
+// fixes a damaged tail.
+func TestJournaledRequestAndRepair(t *testing.T) {
+	jdir := t.TempDir()
+	ts, _ := newTestServerJournal(t, "", jdir)
+
+	// Journaled request first: its runs are cache misses, so each completed
+	// run lands in the journal. (The journal records work performed; a
+	// request served entirely from the shared cache has nothing to journal.)
+	jbody := `{"s":2,"n":2,"seeds":1,"journal":"t1"}`
+	status, journaled := post(t, ts, "/v1/solve", jbody)
+	if status != http.StatusOK {
+		t.Fatalf("journaled solve: status %d: %s", status, journaled)
+	}
+	_, plain := post(t, ts, "/v1/solve", smallBody)
+	if !bytes.Equal(plain, journaled) {
+		t.Fatalf("journaled response differs from plain:\njournal: %s\nplain:   %s", journaled, plain)
+	}
+	jpath := filepath.Join(jdir, "t1.journal")
+	if fi, err := os.Stat(jpath); err != nil || fi.Size() == 0 {
+		t.Fatalf("journal file after journaled request: %v (size %v)", err, fi)
+	}
+
+	// Damage the tail; /v1/repair must truncate it and say so.
+	if err := appendBytes(jpath, []byte("torn tail")); err != nil {
+		t.Fatal(err)
+	}
+	status, data := post(t, ts, "/v1/repair", `{"journal":"t1"}`)
+	if status != http.StatusOK {
+		t.Fatalf("repair: status %d: %s", status, data)
+	}
+	rep, err := wire.UnmarshalRepair(data)
+	if err != nil {
+		t.Fatalf("repair envelope: %v (%s)", err, data)
+	}
+	if !rep.Truncated || rep.DroppedBytes != int64(len("torn tail")) || rep.Frames == 0 {
+		t.Fatalf("repair outcome: %+v", rep)
+	}
+
+	// The repaired journal resumes: same request, same bytes.
+	status, again := post(t, ts, "/v1/solve", jbody)
+	if status != http.StatusOK || !bytes.Equal(again, plain) {
+		t.Fatalf("resumed journaled solve: status %d\ngot:  %s\nwant: %s", status, again, plain)
+	}
+
+	st := getStats(t, ts)
+	if !st.Journal.Enabled || st.Journal.Requests != 2 || st.Journal.Repairs != 1 {
+		t.Fatalf("journal stats: %+v", st.Journal)
+	}
+}
+
+func appendBytes(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(b)
+	return err
+}
+
+func TestJournalRequestErrors(t *testing.T) {
+	// Journaling disabled: naming a journal is a client error.
+	ts := newTestServer(t, "")
+	if status, _ := post(t, ts, "/v1/solve", `{"journal":"x"}`); status != http.StatusBadRequest {
+		t.Fatalf("journal without -journal-dir: status %d, want 400", status)
+	}
+	if status, _ := post(t, ts, "/v1/repair", `{"journal":"x"}`); status != http.StatusBadRequest {
+		t.Fatalf("repair without -journal-dir: status %d, want 400", status)
+	}
+
+	tsj, _ := newTestServerJournal(t, "", t.TempDir())
+	cases := []struct {
+		body   string
+		status int
+	}{
+		{`{}`, http.StatusBadRequest},                      // repair needs a name
+		{`{"journal":"../escape"}`, http.StatusBadRequest}, // path traversal
+		{`{"journal":".hidden"}`, http.StatusBadRequest},   // leading dot
+		{`{"journal":"absent"}`, http.StatusNotFound},      // nothing to repair
+	}
+	for _, tc := range cases {
+		if status, data := post(t, tsj, "/v1/repair", tc.body); status != tc.status {
+			t.Errorf("repair %s: status %d, want %d (%s)", tc.body, status, tc.status, data)
+		}
+	}
+	if status, _ := post(t, tsj, "/v1/solve", `{"s":2,"n":2,"seeds":1,"journal":"bad/name"}`); status != http.StatusBadRequest {
+		t.Errorf("solve with bad journal name: status %d, want 400", status)
 	}
 }

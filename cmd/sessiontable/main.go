@@ -18,8 +18,17 @@
 //
 // Usage:
 //
+// -journal makes the regeneration crash-safe: every completed run is
+// appended to the journal file, and rerunning with -resume replays the
+// survivors and re-executes only the missing cells — the output is
+// byte-identical to an uninterrupted run. -repair truncates a damaged
+// journal tail and exits.
+//
+// Usage:
+//
 //	sessiontable [-s N] [-n N] [-b N] [-c1 N] [-c2 N] [-d1 N] [-d2 N] [-seeds N]
 //	             [-parallelism N] [-timeout D] [-cache-dir DIR] [-json]
+//	             [-journal FILE] [-resume] [-repair]
 package main
 
 import (
@@ -45,10 +54,14 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("sessiontable", flag.ContinueOnError)
 	p := cmdflags.RegisterProblem(fs)
 	e := cmdflags.RegisterExec(fs)
+	j := cmdflags.RegisterJournal(fs)
 	grid := fs.Bool("grid", false, "regenerate the table at several (s,n) scales")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of the aligned table")
 	asJSON := fs.Bool("json", false, "emit the versioned wire envelope (identical to sessiond's /v1/table1)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if done, err := j.Preflight(os.Stdout); done || err != nil {
 		return err
 	}
 
@@ -56,7 +69,8 @@ func run(args []string) error {
 		if *grid || *asCSV {
 			return fmt.Errorf("-json cannot combine with -grid or -csv")
 		}
-		res, err := sessionproblem.Table1(context.Background(), cmdflags.Options(p, e)...)
+		opts := append(cmdflags.Options(p, e), j.Options()...)
+		res, err := sessionproblem.Table1(context.Background(), opts...)
 		if err != nil {
 			return err
 		}
@@ -70,10 +84,11 @@ func run(args []string) error {
 
 	ctx, cancel := e.Context(context.Background())
 	defer cancel()
-	eng, err := e.Engine()
+	eng, closeJournal, err := e.Engine(j)
 	if err != nil {
 		return err
 	}
+	defer closeJournal()
 	cfg := p.HarnessConfig(e, eng)
 	if *grid {
 		points, err := harness.GridCtx(ctx, cfg, harness.DefaultGridScales())

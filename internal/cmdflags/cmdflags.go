@@ -12,6 +12,9 @@ package cmdflags
 import (
 	"context"
 	"flag"
+	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"sessionproblem"
@@ -19,6 +22,7 @@ import (
 	"sessionproblem/internal/diskcache"
 	"sessionproblem/internal/engine"
 	"sessionproblem/internal/harness"
+	"sessionproblem/internal/journal"
 	"sessionproblem/internal/sim"
 )
 
@@ -62,6 +66,93 @@ func RegisterExec(fs *flag.FlagSet) *Exec {
 	return e
 }
 
+// Journal holds the crash-recovery flags shared by the long-running sweep
+// tools (-journal -resume -repair).
+type Journal struct {
+	// Path is the journal file (-journal); empty disables journaling.
+	Path string
+	// Resume replays the journal's surviving frames into the run cache
+	// before executing, so only missing or failed cells re-run. Without
+	// it, -journal starts fresh and an existing journal file is removed.
+	Resume bool
+	// Repair truncates the journal's damaged tail, reports what survived,
+	// and exits without running anything.
+	Repair bool
+}
+
+// RegisterJournal installs the crash-recovery flags, identical across the
+// sweep tools (sessiontable, faultsweep, crossover).
+func RegisterJournal(fs *flag.FlagSet) *Journal {
+	j := &Journal{}
+	fs.StringVar(&j.Path, "journal", "", "append every completed run to this crash-safe journal file")
+	fs.BoolVar(&j.Resume, "resume", false, "replay the journal into the run cache and re-execute only missing cells")
+	fs.BoolVar(&j.Repair, "repair", false, "truncate the journal's damaged tail, report what survived, and exit")
+	return j
+}
+
+// Preflight validates the journal flags and performs the actions that
+// happen before any run: -repair repairs, reports to w and asks the caller
+// to exit (done=true); -journal without -resume removes a stale journal so
+// the run starts fresh. The output byte stream of the run itself is never
+// touched.
+func (j *Journal) Preflight(w io.Writer) (done bool, err error) {
+	if j == nil {
+		return false, nil
+	}
+	if j.Path == "" {
+		if j.Repair {
+			return false, fmt.Errorf("-repair requires -journal")
+		}
+		if j.Resume {
+			return false, fmt.Errorf("-resume requires -journal")
+		}
+		return false, nil
+	}
+	if j.Repair {
+		st, err := journal.Repair(j.Path)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "journal %s: %d frames (%d bytes) intact", j.Path, st.Frames, st.Bytes)
+		if st.Damaged {
+			fmt.Fprintf(w, ", %d damaged bytes truncated", st.DroppedBytes)
+		}
+		fmt.Fprintln(w)
+		return true, nil
+	}
+	if !j.Resume {
+		if err := os.Remove(j.Path); err != nil && !os.IsNotExist(err) {
+			return false, fmt.Errorf("removing stale journal: %w", err)
+		}
+	}
+	return false, nil
+}
+
+// wire opens the journal for appending (truncating any damaged tail),
+// replays its surviving frames into cache, and returns the journaling
+// cache decorator plus a closer for the writer.
+func (j *Journal) wire(cache engine.RunCacher) (engine.RunCacher, func(), error) {
+	w, _, err := journal.Open(j.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := journal.Load(j.Path, cache); err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	return journal.NewCache(cache, w), func() { w.Close() }, nil
+}
+
+// Options renders the journal flags as facade options, for the tools (and
+// output modes) that go through the public API; the facade performs the
+// same replay-then-append wiring internally.
+func (j *Journal) Options() []sessionproblem.Option {
+	if j == nil || j.Path == "" {
+		return nil
+	}
+	return []sessionproblem.Option{sessionproblem.WithJournal(j.Path)}
+}
+
 // Context applies the -timeout bound to parent.
 func (e *Exec) Context(parent context.Context) (context.Context, context.CancelFunc) {
 	if e.Timeout > 0 {
@@ -73,20 +164,39 @@ func (e *Exec) Context(parent context.Context) (context.Context, context.CancelF
 // Engine builds the execution engine the harness-path tools share: the
 // configured parallelism, per-worker run scratch, and — with -cache-dir —
 // a two-tier run cache persisting verified summaries across invocations.
-func (e *Exec) Engine() (*engine.Engine, error) {
+// With -journal the run cache (a fresh in-memory one if -cache-dir is
+// absent) is first seeded from the journal's surviving frames and then
+// wrapped so every newly verified summary is appended; call the returned
+// closer when the run completes. Callers must run Journal.Preflight first.
+func (e *Exec) Engine(j *Journal) (*engine.Engine, func(), error) {
 	opts := []engine.Option{
 		engine.WithParallelism(e.Parallelism),
 		engine.WithTimeout(e.Timeout),
 		engine.WithWorkerState(func() any { return new(core.RunScratch) }),
 	}
+	var cache engine.RunCacher
 	if e.CacheDir != "" {
 		tc, err := diskcache.NewSummaryCache(nil, e.CacheDir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		opts = append(opts, engine.WithRunCache(tc))
+		cache = tc
 	}
-	return engine.New(opts...), nil
+	closer := func() {}
+	if j != nil && j.Path != "" {
+		if cache == nil {
+			cache = engine.NewRunCache()
+		}
+		jc, cl, err := j.wire(cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		cache, closer = jc, cl
+	}
+	if cache != nil {
+		opts = append(opts, engine.WithRunCache(cache))
+	}
+	return engine.New(opts...), closer, nil
 }
 
 // HarnessConfig renders the flags as a harness configuration wired to eng.

@@ -1,11 +1,12 @@
 // Versioned serialization of run summaries. The disk-persistent cache tier
-// (internal/diskcache) stores RunSummary values across process lifetimes, so
-// the encoding must be explicit about its own version and independent of
-// incidental struct layout: every field is spelled out with a stable JSON
-// name, and a version bump is the only sanctioned way to change the shape.
-// Decoding a summary written by a different codec version fails, which a
-// cache treats as a miss and recomputes — stale formats degrade to work,
-// never to wrong answers.
+// (internal/diskcache) stores RunSummary values across process lifetimes,
+// and the crash-recovery journal (internal/journal) replays them into the
+// cache on resume, so the encoding must be explicit about its own version
+// and independent of incidental struct layout: every field is spelled out
+// with a stable JSON name, and a version bump is the only sanctioned way to
+// change the shape. Decoding a summary written by a different codec version
+// fails, which a cache treats as a miss and a journal load skips — stale
+// formats degrade to work, never to wrong answers.
 
 package core
 

@@ -22,11 +22,13 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 )
 
@@ -44,13 +46,28 @@ const (
 // safe for concurrent use by any number of goroutines and processes sharing
 // the directory: writers never modify files in place.
 type Store struct {
-	root string
+	root       string
+	removeFile func(string) error // os.Remove; swappable by tests
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	corrupt   atomic.Int64
 	writeErrs atomic.Int64
+
+	// undeletable remembers corrupt objects the store failed to delete
+	// (read-only directory, permission change under us). Without it, every
+	// Get of such an object would recount the same corruption and retry the
+	// doomed delete forever; with it, the damage is counted once and
+	// subsequent Gets are plain misses until a Put repairs the slot.
+	mu          sync.Mutex
+	undeletable map[string]struct{}
 }
+
+// maxUndeletable bounds the undeletable set. Past the cap, new undeletable
+// paths simply are not remembered (the old retry behavior) — the bound only
+// exists so a wholly read-only cache of unbounded size cannot grow the map
+// without limit.
+const maxUndeletable = 1024
 
 // Open prepares a store rooted at dir, creating the directory tree as
 // needed. Existing objects written by a previous process are served.
@@ -63,7 +80,11 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("diskcache: %w", err)
 		}
 	}
-	return &Store{root: dir}, nil
+	return &Store{
+		root:        dir,
+		removeFile:  os.Remove,
+		undeletable: make(map[string]struct{}),
+	}, nil
 }
 
 // Dir returns the store's root directory.
@@ -123,7 +144,9 @@ func decode(raw []byte, key string) ([]byte, bool) {
 // Get returns the payload stored under key. A missing object is a plain
 // miss; a damaged one (truncated, bit-flipped, wrong version, foreign key)
 // counts as corrupt, is deleted best-effort so the next Put repairs it, and
-// is reported as a miss — a damaged object is never served.
+// is reported as a miss — a damaged object is never served. An object that
+// cannot be deleted is counted and attempted once, then remembered: later
+// Gets of the same slot are plain misses, not fresh corruptions.
 func (s *Store) Get(key string) ([]byte, bool) {
 	path := s.objectPath(key)
 	raw, err := os.ReadFile(path)
@@ -133,13 +156,35 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	data, ok := decode(raw, key)
 	if !ok {
-		s.corrupt.Add(1)
 		s.misses.Add(1)
-		os.Remove(path) // best-effort: let the recompute rewrite it
+		s.noteCorrupt(path)
 		return nil, false
 	}
 	s.hits.Add(1)
 	return data, true
+}
+
+// noteCorrupt counts one corrupt object and tries to delete it so the next
+// Put repairs the slot. A slot already known to be undeletable is skipped
+// entirely — no recount, no retry — so a read-only cache directory costs one
+// counter tick and one failed unlink per damaged object, not one per Get.
+func (s *Store) noteCorrupt(path string) {
+	s.mu.Lock()
+	_, marked := s.undeletable[path]
+	s.mu.Unlock()
+	if marked {
+		return
+	}
+	s.corrupt.Add(1)
+	err := s.removeFile(path)
+	if err == nil || errors.Is(err, fs.ErrNotExist) {
+		return // repaired (or a concurrent Get beat us to it)
+	}
+	s.mu.Lock()
+	if len(s.undeletable) < maxUndeletable {
+		s.undeletable[path] = struct{}{}
+	}
+	s.mu.Unlock()
 }
 
 // Put stores the payload under key, overwriting any previous object. The
@@ -180,6 +225,11 @@ func (s *Store) Put(key string, data []byte) error {
 		s.writeErrs.Add(1)
 		return fmt.Errorf("diskcache: %w", err)
 	}
+	// The slot now holds a fresh object; if it was marked undeletable, the
+	// mark is stale and future corruption there deserves fresh accounting.
+	s.mu.Lock()
+	delete(s.undeletable, path)
+	s.mu.Unlock()
 	return nil
 }
 

@@ -13,9 +13,11 @@ const cacheShards = 64
 
 // RunCacher is the cache contract the engine threads through task contexts.
 // The in-memory RunCache below is the canonical single-tier implementation;
-// internal/diskcache composes it with a disk-persistent object store behind
-// the same interface, so the engine, harness, facade and daemon are all
-// indifferent to how many tiers sit behind a Get.
+// internal/diskcache composes it with a disk-persistent object store, and
+// internal/journal decorates any implementation so every Put is also an
+// fsync'd journal append — all behind the same interface, so the engine,
+// harness, facade and daemon are indifferent to how many tiers sit behind
+// a Get or who observes a Put.
 //
 // Implementations must be safe for concurrent use, must hand out only
 // immutable values (never anything aliasing reusable trace or scratch

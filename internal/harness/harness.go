@@ -214,7 +214,10 @@ func outcomeOfReport(rep *core.Report) runOutcome {
 
 // cachedRun wraps a verified run with the content-addressed cache the
 // engine exposes (if any): equal keys return the memoized summary without
-// simulating; misses run, summarize and populate. Errors are never cached.
+// simulating; misses run, summarize and populate. Errors are never cached —
+// which is also what makes journaled resume safe: only verified summaries
+// reach Put, so replaying a crashed sweep's journal (internal/journal) can
+// resurrect finished work but never a failure.
 func cachedRun(ctx context.Context, key string, run func() (*core.Report, error)) (*core.RunSummary, error) {
 	cache := engine.RunCacheFrom(ctx)
 	if cache != nil {

@@ -1,0 +1,95 @@
+// Replay and live-capture: how the journal meets the run cache. Load is the
+// resume half — it decodes every surviving frame and seeds any
+// engine.RunCacher with the summaries a killed run already verified. Cache
+// is the capture half — an engine.RunCacher decorator that appends each
+// newly stored summary to the journal as it is computed. The harness and
+// facade only ever talk to the RunCacher interface, so journaling threads
+// through Table1, the sweeps and FaultSweep without those layers changing:
+// every cachedRun Put lands in the journal, and only verified summaries
+// reach Put, so a replay can never resurrect a failed run.
+
+package journal
+
+import (
+	"sync/atomic"
+
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
+)
+
+// LoadStats extends the scan accounting with replay outcomes.
+type LoadStats struct {
+	Stats
+	// Loaded counts frames whose summaries were decoded and stored.
+	Loaded int
+	// Skipped counts intact frames whose payload failed to decode — a
+	// summary written by a different codec version. Skipped cells are
+	// recomputed on resume, never guessed at.
+	Skipped int
+}
+
+// Load replays the journal's surviving frames into cache: each payload is
+// decoded with core.DecodeSummary and stored under its recorded run key. A
+// missing journal loads nothing. Load the undecorated cache before wrapping
+// it in a Cache on the same journal, or every replayed frame is appended
+// again.
+func Load(path string, cache engine.RunCacher) (LoadStats, error) {
+	var ls LoadStats
+	st, err := Scan(path, func(key string, payload []byte) error {
+		sum, err := core.DecodeSummary(payload)
+		if err != nil {
+			ls.Skipped++
+			return nil
+		}
+		cache.Put(key, sum)
+		ls.Loaded++
+		return nil
+	})
+	ls.Stats = st
+	return ls, err
+}
+
+// Cache decorates an engine.RunCacher so every stored run summary is also
+// appended to a journal. Lookups and hit/miss accounting delegate to the
+// inner cache untouched; results are byte-identical with and without the
+// decorator. An append failure never loses the computed result — the inner
+// cache is written first and the failure is only counted.
+type Cache struct {
+	inner      engine.RunCacher
+	w          *Writer
+	appendErrs atomic.Int64
+}
+
+// NewCache wraps inner so Puts of *core.RunSummary values are journaled to w.
+func NewCache(inner engine.RunCacher, w *Writer) *Cache {
+	return &Cache{inner: inner, w: w}
+}
+
+// Get delegates to the inner cache.
+func (c *Cache) Get(key string) (any, bool) { return c.inner.Get(key) }
+
+// Put stores v in the inner cache and, when v is a run summary, appends it
+// to the journal. Non-summary values pass through unjournaled.
+func (c *Cache) Put(key string, v any) {
+	c.inner.Put(key, v)
+	sum, ok := v.(*core.RunSummary)
+	if !ok {
+		return
+	}
+	data, err := core.EncodeSummary(sum)
+	if err != nil {
+		c.appendErrs.Add(1)
+		return
+	}
+	if err := c.w.Append(key, data); err != nil {
+		c.appendErrs.Add(1)
+	}
+}
+
+// Hits and Misses delegate to the inner cache.
+func (c *Cache) Hits() int64   { return c.inner.Hits() }
+func (c *Cache) Misses() int64 { return c.inner.Misses() }
+
+// AppendErrors counts summaries that reached the inner cache but could not
+// be journaled.
+func (c *Cache) AppendErrors() int64 { return c.appendErrs.Load() }

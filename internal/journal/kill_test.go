@@ -1,0 +1,194 @@
+package journal_test
+
+// The crash-recovery acceptance test: a sweep killed with SIGKILL mid-run
+// must leave a journal whose surviving frames, replayed into a fresh cache,
+// let a resumed run re-execute only the missing cells and still render
+// byte-identical output. The kill is a real one — the sweep runs in a child
+// process (this test binary re-executed with only the helper selected),
+// parked at a deterministic journal length by the GateEnv hook, and killed
+// with no chance to flush or clean up.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/engine"
+	"sessionproblem/internal/harness"
+	"sessionproblem/internal/journal"
+	"sessionproblem/internal/timing"
+)
+
+const (
+	killHelperEnv = "SESSIONPROBLEM_JOURNAL_KILL_HELPER"
+	killPathEnv   = "SESSIONPROBLEM_JOURNAL_KILL_PATH"
+	gateFrames    = 3
+)
+
+// killSweepConfig is the sweep both the killed child and the resumed parent
+// run: small enough to finish in well under a second, large enough (20 runs,
+// every key distinct) that a 3-frame journal is a genuinely partial run.
+func killSweepConfig(eng *engine.Engine) harness.FaultSweepConfig {
+	return harness.FaultSweepConfig{
+		S: 2, N: 2,
+		Models:      []string{"synchronous", "periodic"},
+		Intensities: []float64{0, 0.2},
+		Seeds:       1,
+		MaxSteps:    20_000,
+		Engine:      eng,
+	}
+}
+
+// killSweepTotal is the run count of killSweepConfig's matrix.
+func killSweepTotal() int {
+	return 2 /* models */ * 2 /* intensities */ * len(timing.AllStrategies())
+}
+
+// newSweepEngine builds an engine over the given cache, mirroring the wiring
+// cmdflags.Exec.Engine gives the CLI tools.
+func newSweepEngine(cache engine.RunCacher) *engine.Engine {
+	return engine.New(
+		engine.WithRunCache(cache),
+		engine.WithParallelism(2),
+		engine.WithWorkerState(func() any { return new(core.RunScratch) }),
+	)
+}
+
+func renderSweep(t *testing.T, rows []harness.FaultSweepRow) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := harness.WriteFaultSweep(&buf, rows); err != nil {
+		t.Fatalf("WriteFaultSweep: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestJournalKillHelper is not a test: it is the body of the child process
+// TestKillMidSweepResumeIsByteIdentical re-executes and kills. With GateEnv
+// set, the journaled sweep parks forever after gateFrames appends; the
+// parent SIGKILLs it there.
+func TestJournalKillHelper(t *testing.T) {
+	if os.Getenv(killHelperEnv) != "1" { //lint:allow nodeterm subprocess re-exec guard, test-only
+		t.Skip("helper for the kill test; runs only as a re-executed child")
+	}
+	path := os.Getenv(killPathEnv) //lint:allow nodeterm subprocess re-exec plumbing, test-only
+	w, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	cache := journal.NewCache(engine.NewRunCache(), w)
+	if _, err := harness.FaultSweep(context.Background(), killSweepConfig(newSweepEngine(cache))); err != nil {
+		t.Fatalf("FaultSweep: %v", err)
+	}
+	// Unreachable under the gate: the sweep parks before finishing.
+}
+
+func TestKillMidSweepResumeIsByteIdentical(t *testing.T) {
+	// The reference output: the same sweep, uninterrupted and unjournaled.
+	rows, err := harness.FaultSweep(context.Background(),
+		killSweepConfig(newSweepEngine(engine.NewRunCache())))
+	if err != nil {
+		t.Fatalf("clean FaultSweep: %v", err)
+	}
+	clean := renderSweep(t, rows)
+
+	// Re-execute this test binary as the journaled sweep, gated to park
+	// after exactly gateFrames fsync'd appends.
+	jpath := filepath.Join(t.TempDir(), "sweep.journal")
+	cmd := exec.Command(os.Args[0], "-test.run=^TestJournalKillHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), //lint:allow nodeterm subprocess env plumbing, test-only
+		killHelperEnv+"=1",
+		killPathEnv+"="+jpath,
+		fmt.Sprintf("%s=%d", journal.GateEnv, gateFrames),
+	)
+	var childOut bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &childOut, &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting child sweep: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the gate: the journal holds gateFrames durable frames and the
+	// child is parked mid-sweep. Then kill it dead — SIGKILL, no cleanup.
+	deadline := 600 // × 50ms = 30s, far beyond the sweep's normal runtime
+	for i := 0; ; i++ {
+		st, err := journal.Scan(jpath, nil)
+		if err == nil && st.Frames >= gateFrames {
+			break
+		}
+		if i >= deadline {
+			t.Fatalf("child never reached %d journal frames; output:\n%s", gateFrames, childOut.Bytes())
+		}
+		time.Sleep(50 * time.Millisecond) //lint:allow nodeterm polling the child's journal, test-only
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing child: %v", err)
+	}
+	cmd.Wait() // reaps; the kill makes the error unconditional and uninteresting
+
+	st, err := journal.Scan(jpath, nil)
+	if err != nil {
+		t.Fatalf("Scan after kill: %v", err)
+	}
+	if st.Frames != gateFrames {
+		t.Fatalf("journal after kill holds %d frames, want exactly %d (gate)", st.Frames, gateFrames)
+	}
+
+	// Rough up the tail the way a mid-write kill would: the resume must
+	// tolerate and truncate it, not fail.
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("SPJL torn mid-frame")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume: replay the journal into a fresh cache, run the same sweep.
+	cache := engine.NewRunCache()
+	w, ost, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatalf("Open for resume: %v", err)
+	}
+	defer w.Close()
+	if !ost.Damaged || ost.Frames != gateFrames {
+		t.Fatalf("resume Open stats = %+v, want %d frames with a damaged tail", ost, gateFrames)
+	}
+	ls, err := journal.Load(jpath, cache)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if ls.Loaded != gateFrames || ls.Skipped != 0 {
+		t.Fatalf("Load replayed %d frames (skipped %d), want %d/0", ls.Loaded, ls.Skipped, gateFrames)
+	}
+	eng := newSweepEngine(journal.NewCache(cache, w))
+	rows, err = harness.FaultSweep(context.Background(), killSweepConfig(eng))
+	if err != nil {
+		t.Fatalf("resumed FaultSweep: %v", err)
+	}
+	resumed := renderSweep(t, rows)
+
+	if !bytes.Equal(clean, resumed) {
+		t.Errorf("resumed output differs from the uninterrupted run:\nclean:\n%s\nresumed:\n%s", clean, resumed)
+	}
+	total := killSweepTotal()
+	stats := eng.Stats()
+	if stats.CacheHits != int64(gateFrames) || stats.CacheMisses != int64(total-gateFrames) {
+		t.Errorf("resume executed %d runs and replayed %d, want %d executed / %d replayed",
+			stats.CacheMisses, stats.CacheHits, total-gateFrames, gateFrames)
+	}
+	final, err := journal.Scan(jpath, nil)
+	if err != nil {
+		t.Fatalf("final Scan: %v", err)
+	}
+	if final.Frames != total || final.Damaged {
+		t.Errorf("final journal = %+v, want %d intact frames", final, total)
+	}
+}

@@ -266,6 +266,10 @@ func TestNodetermCoversWirePackage(t *testing.T) {
 	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/wire", "sessionproblem/wire")
 }
 
+func TestNodetermCoversJournalPackage(t *testing.T) {
+	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/journal", "sessionproblem/internal/journal")
+}
+
 // Test variants inherit their base package's membership in the
 // deterministic set: the invariants hold in test helpers too.
 func TestDeterministicSetCoversTestVariants(t *testing.T) {
@@ -275,6 +279,8 @@ func TestDeterministicSetCoversTestVariants(t *testing.T) {
 		"sessionproblem/wire",
 		"sessionproblem/internal/diskcache",
 		"sessionproblem/internal/cmdflags",
+		"sessionproblem/internal/journal",
+		"sessionproblem/internal/journal_test",
 	} {
 		if !lint.IsDeterministicPkg(path) {
 			t.Errorf("%s should be in the deterministic set", path)

@@ -41,6 +41,11 @@ var deterministicPkgs = map[string]bool{
 	"sessionproblem/internal/diskcache": true,
 	"sessionproblem/internal/cmdflags":  true,
 	"sessionproblem/wire":               true,
+	// The run journal is replayed into the cache on resume, so its frames
+	// feed future results the same way disk-cache objects do; its only
+	// sanctioned environment read is the crash-test gate, waived at the
+	// read site.
+	"sessionproblem/internal/journal": true,
 }
 
 // deterministicPrefixes extends the set to whole subtrees (every session

@@ -1,0 +1,18 @@
+// Pins sessionproblem/internal/journal inside the nodeterm set: journal
+// frames are replayed into the run cache on resume, so what gets written
+// must not depend on when or where the run happened. The crash-test gate's
+// environment read is waived at its one call site, not here.
+package journalfixture
+
+import (
+	"os"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+func gate() string {
+	return os.Getenv("SOME_GATE") // want `os.Getenv in deterministic package`
+}

@@ -9,6 +9,7 @@ import (
 	"sessionproblem/internal/engine"
 	"sessionproblem/internal/fault"
 	"sessionproblem/internal/harness"
+	"sessionproblem/internal/journal"
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/timing"
 )
@@ -94,31 +95,60 @@ type settings struct {
 	robustness       bool
 	perKindMargins   bool
 
-	runCache engine.RunCacher
-	cacheDir string
+	runCache    engine.RunCacher
+	cacheDir    string
+	journalPath string
+	journal     *journal.Writer
 }
 
 // initCache resolves WithCacheDir into the cache the call runs with: a
 // two-tier (memory + disk) cache rooted at the directory. A WithRunCache
 // *RunCache becomes the memory tier, so its entries stay visible; any other
 // custom RunCacher takes precedence and the directory is ignored (the
-// caller opted into full control of caching). Called by each run-executing
-// API entry point because options cannot fail — an unusable directory
-// surfaces as the call's error.
+// caller opted into full control of caching). WithJournal then layers on
+// top of whatever cache resulted: surviving journal frames are replayed
+// into it (resuming a killed run), and the cache is wrapped so every newly
+// verified summary is appended. Called by each run-executing API entry
+// point because options cannot fail — an unusable directory or journal
+// surfaces as the call's error. Callers must release the journal writer
+// with close() when the call completes.
 func (s settings) initCache() (settings, error) {
-	if s.cacheDir == "" {
-		return s, nil
+	if s.cacheDir != "" {
+		mem, plain := s.runCache.(*engine.RunCache)
+		if s.runCache == nil || plain {
+			tc, err := diskcache.NewSummaryCache(mem, s.cacheDir)
+			if err != nil {
+				return s, err
+			}
+			s.runCache = tc
+		}
 	}
-	mem, plain := s.runCache.(*engine.RunCache)
-	if s.runCache != nil && !plain {
-		return s, nil
+	if s.journalPath != "" {
+		if s.runCache == nil {
+			s.runCache = engine.NewRunCache()
+		}
+		w, _, err := journal.Open(s.journalPath)
+		if err != nil {
+			return s, err
+		}
+		// Replay into the undecorated cache first: loading through the
+		// decorator would re-append every surviving frame.
+		if _, err := journal.Load(s.journalPath, s.runCache); err != nil {
+			w.Close()
+			return s, err
+		}
+		s.journal = w
+		s.runCache = journal.NewCache(s.runCache, w)
 	}
-	tc, err := diskcache.NewSummaryCache(mem, s.cacheDir)
-	if err != nil {
-		return s, err
-	}
-	s.runCache = tc
 	return s, nil
+}
+
+// close releases the call's per-invocation resources (the journal writer;
+// appended frames are already durable). Safe on a journal-less settings.
+func (s settings) close() {
+	if s.journal != nil {
+		s.journal.Close()
+	}
 }
 
 func newSettings(opts []Option) settings {
@@ -423,4 +453,18 @@ func WithRunCache(c RunCacher) Option {
 // path fails the call.
 func WithCacheDir(dir string) Option {
 	return func(cfg *settings) { cfg.cacheDir = dir }
+}
+
+// WithJournal makes the call crash-safe and resumable: every verified run
+// summary is appended to the CRC-framed journal at path — fsynced before
+// the run is counted done — and, on a later call with the same inputs, the
+// journal's surviving frames are replayed into the run cache first, so only
+// the missing or failed cells re-execute. The resumed result is
+// byte-identical to an uninterrupted run. A torn or bit-flipped tail (the
+// signature of a kill mid-append) is truncated away on open; a journal
+// written by a different summary codec version degrades to recomputation,
+// never to a wrong answer. Composes with WithRunCache and WithCacheDir; on
+// its own, the journal feeds a fresh in-memory cache.
+func WithJournal(path string) Option {
+	return func(cfg *settings) { cfg.journalPath = path }
 }

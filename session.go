@@ -83,6 +83,7 @@ func Table1(ctx context.Context, opts ...Option) (*TableResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cfg.close()
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	eng := cfg.engine()
@@ -133,6 +134,7 @@ func Hierarchy(ctx context.Context, opts ...Option) (*HierarchyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cfg.close()
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	eng := cfg.engine()
@@ -217,6 +219,7 @@ func Sweep(ctx context.Context, kind SweepKind, opts ...Option) (*SweepResult, e
 	if err != nil {
 		return nil, err
 	}
+	defer cfg.close()
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	eng := cfg.engine()
@@ -432,6 +435,7 @@ func Solve(ctx context.Context, m Model, comm Comm, opts ...Option) (*Report, er
 	if err != nil {
 		return nil, err
 	}
+	defer cfg.close()
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	st, err := cfg.parseStrategy()

@@ -34,6 +34,7 @@ const (
 	KindHierarchy = "hierarchy"
 	KindSweep     = "sweep"
 	KindReport    = "report"
+	KindRepair    = "repair"
 )
 
 // Table is the wire envelope of a regenerated Table 1.
@@ -62,6 +63,23 @@ type Report struct {
 	V      int                    `json:"v"`
 	Kind   string                 `json:"kind"`
 	Report *sessionproblem.Report `json:"report"`
+}
+
+// Repair is the wire envelope of a run-journal repair outcome (sessiond's
+// POST /v1/repair): how much of the journal survived and whether a damaged
+// tail was truncated away.
+type Repair struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+	// Journal is the journal's client-facing name.
+	Journal string `json:"journal"`
+	// Frames and BytesKept describe the surviving prefix.
+	Frames    int   `json:"frames"`
+	BytesKept int64 `json:"bytesKept"`
+	// Truncated reports whether a damaged tail of DroppedBytes bytes was
+	// removed; false means the journal was already intact.
+	Truncated    bool  `json:"truncated"`
+	DroppedBytes int64 `json:"droppedBytes"`
 }
 
 // MarshalTable encodes Table-1 cells as a v1 envelope.
@@ -124,6 +142,22 @@ func UnmarshalReport(data []byte) (*sessionproblem.Report, error) {
 		return nil, fmt.Errorf("wire: report envelope has no report")
 	}
 	return r.Report, nil
+}
+
+// MarshalRepair encodes a repair outcome as a v1 envelope (the version and
+// kind fields are stamped; callers fill only the payload fields).
+func MarshalRepair(rep Repair) ([]byte, error) {
+	rep.V, rep.Kind = Version, KindRepair
+	return json.Marshal(rep)
+}
+
+// UnmarshalRepair decodes a v1 repair envelope.
+func UnmarshalRepair(data []byte) (Repair, error) {
+	var rep Repair
+	if err := decode(data, &rep, &rep.V, &rep.Kind, KindRepair); err != nil {
+		return Repair{}, err
+	}
+	return rep, nil
 }
 
 // decode unmarshals an envelope and enforces the version/kind contract.

@@ -110,6 +110,31 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRepairRoundTrip(t *testing.T) {
+	want := Repair{
+		V: Version, Kind: KindRepair,
+		Journal: "sweep", Frames: 3, BytesKept: 1109,
+		Truncated: true, DroppedBytes: 19,
+	}
+	data, err := MarshalRepair(Repair{
+		Journal: "sweep", Frames: 3, BytesKept: 1109,
+		Truncated: true, DroppedBytes: 19,
+	})
+	if err != nil {
+		t.Fatalf("MarshalRepair: %v", err)
+	}
+	got, err := UnmarshalRepair(data)
+	if err != nil {
+		t.Fatalf("UnmarshalRepair: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := UnmarshalRepair([]byte(`{"v":1,"kind":"table1"}`)); err == nil {
+		t.Error("UnmarshalRepair accepted a table envelope")
+	}
+}
+
 // The envelope self-describes: version and kind are enforced, and a payload
 // of one kind never decodes as another.
 func TestEnvelopeContract(t *testing.T) {
