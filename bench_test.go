@@ -11,6 +11,7 @@ package sessionproblem_test
 
 import (
 	"context"
+	"flag"
 	"strconv"
 	"testing"
 
@@ -105,6 +106,109 @@ func BenchmarkTable1AsyncSM(b *testing.B) {
 
 func BenchmarkTable1AsyncMP(b *testing.B) {
 	benchMP(b, async.NewMP(), timing.NewAsynchronousMP(benchCfg.C2, benchCfg.D2), timing.Slow)
+}
+
+// --- Batched Table-1 cells ---------------------------------------------------
+
+// seqBaseline routes the BenchmarkBatchTable1* benches through the
+// sequential per-seed path instead of the lockstep batch runner, so the
+// before/after columns of BENCH_9.json come from the same workload:
+//
+//	go test -bench BenchmarkBatchTable1 -seqbaseline .   # before
+//	go test -bench BenchmarkBatchTable1 .                # after
+var seqBaseline = flag.Bool("seqbaseline", false,
+	"run the BatchTable1 benches seed-by-seed instead of batched (baseline capture)")
+
+// batchBenchSeeds is the seed-group size the batch benches amortize over —
+// a realistic sweep setting rather than the quick-look default of 3.
+const batchBenchSeeds = 8
+
+func benchBatchSM(b *testing.B, alg core.SMAlgorithm, m timing.Model, st timing.Strategy) {
+	b.Helper()
+	spec := core.Spec{S: benchCfg.S, N: benchCfg.N, B: benchCfg.B}
+	seeds := make([]uint64, batchBenchSeeds)
+	for i := range seeds {
+		seeds[i] = uint64(i) + 1
+	}
+	rs := new(core.RunScratch)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if *seqBaseline {
+			for _, seed := range seeds {
+				if _, err := core.RunSMScratch(ctx, alg, spec, m, st, seed, rs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			continue
+		}
+		if _, _, err := core.BatchRunSM(ctx, alg, spec, m, st, seeds, rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBatchMP(b *testing.B, alg core.MPAlgorithm, m timing.Model, st timing.Strategy) {
+	b.Helper()
+	spec := core.Spec{S: benchCfg.S, N: benchCfg.N}
+	seeds := make([]uint64, batchBenchSeeds)
+	for i := range seeds {
+		seeds[i] = uint64(i) + 1
+	}
+	rs := new(core.RunScratch)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if *seqBaseline {
+			for _, seed := range seeds {
+				if _, err := core.RunMPScratch(ctx, alg, spec, m, st, seed, rs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			continue
+		}
+		if _, _, err := core.BatchRunMP(ctx, alg, spec, m, st, seeds, rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The Slow-strategy cells exercise the whole-run share tier (a draw-free
+// strategy is proven seed-independent by the probe run); the Random cells
+// exercise the lockstep lane tier, where every seed really executes.
+
+func BenchmarkBatchTable1SyncSM(b *testing.B) {
+	benchBatchSM(b, synchronous.NewSM(), timing.NewSynchronous(benchCfg.C2, 0), timing.Slow)
+}
+
+func BenchmarkBatchTable1SyncMP(b *testing.B) {
+	benchBatchMP(b, synchronous.NewMP(), timing.NewSynchronous(benchCfg.C2, benchCfg.D2), timing.Slow)
+}
+
+func BenchmarkBatchTable1PeriodicSM(b *testing.B) {
+	benchBatchSM(b, periodic.NewSM(), timing.NewPeriodic(benchCfg.Cmin, benchCfg.Cmax, 0), timing.Slow)
+}
+
+func BenchmarkBatchTable1PeriodicMP(b *testing.B) {
+	benchBatchMP(b, periodic.NewMP(), timing.NewPeriodic(benchCfg.Cmin, benchCfg.Cmax, benchCfg.D2), timing.Slow)
+}
+
+func BenchmarkBatchTable1SemiSyncMP(b *testing.B) {
+	benchBatchMP(b, semisync.NewMP(semisync.Auto),
+		timing.NewSemiSynchronous(benchCfg.C1, benchCfg.C2, benchCfg.D2), timing.Slow)
+}
+
+func BenchmarkBatchTable1SporadicMPRandom(b *testing.B) {
+	benchBatchMP(b, sporadic.NewMP(),
+		timing.NewSporadic(benchCfg.C1, benchCfg.D1, benchCfg.D2, 0), timing.Random)
+}
+
+func BenchmarkBatchTable1AsyncSMRandom(b *testing.B) {
+	benchBatchSM(b, async.NewSM(), timing.NewAsynchronousSM(0), timing.Random)
+}
+
+func BenchmarkBatchTable1AsyncMPRandom(b *testing.B) {
+	benchBatchMP(b, async.NewMP(), timing.NewAsynchronousMP(benchCfg.C2, benchCfg.D2), timing.Random)
 }
 
 // --- Sweep experiments (F1-F3) ----------------------------------------------

@@ -120,6 +120,21 @@ type server struct {
 	journaled   atomic.Int64 // requests that named a journal
 	repairs     atomic.Int64 // successful /v1/repair calls
 	panics      atomic.Int64 // handler panics contained by the middleware
+
+	// Seed-batching accounting, accumulated from every analysis result:
+	// lockstep lanes executed, whole-run prefix forks, and groups that fell
+	// back to solo runs (cache partial hits, single-seed groups).
+	batchLanes     atomic.Int64
+	batchForks     atomic.Int64
+	batchFallbacks atomic.Int64
+}
+
+// recordBatch folds one analysis result's seed-batching counters into the
+// daemon's cumulative stats.
+func (s *server) recordBatch(st sessionproblem.Stats) {
+	s.batchLanes.Add(int64(st.BatchLanes))
+	s.batchForks.Add(int64(st.BatchForks))
+	s.batchFallbacks.Add(int64(st.BatchFallbacks))
 }
 
 func newServer(cacheDir, journalDir string, parallelism int, timeout time.Duration) (*server, error) {
@@ -159,6 +174,7 @@ func (s *server) handler() http.Handler {
 		if err != nil {
 			return nil, err
 		}
+		s.recordBatch(res.Stats)
 		return wire.MarshalTable(res.Cells)
 	})))
 	mux.HandleFunc("POST /v1/hierarchy", s.recovered(s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
@@ -166,6 +182,7 @@ func (s *server) handler() http.Handler {
 		if err != nil {
 			return nil, err
 		}
+		s.recordBatch(res.Stats)
 		return wire.MarshalHierarchy(res.Rows)
 	})))
 	mux.HandleFunc("POST /v1/sweep", s.recovered(s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
@@ -177,6 +194,7 @@ func (s *server) handler() http.Handler {
 		if err != nil {
 			return nil, err
 		}
+		s.recordBatch(res.Stats)
 		return wire.MarshalSweep(res.Points)
 	})))
 	mux.HandleFunc("POST /v1/solve", s.recovered(s.analysis(func(ctx context.Context, rq request, opts []sessionproblem.Option) ([]byte, error) {
@@ -530,6 +548,17 @@ type journalStats struct {
 	Repairs  int64 `json:"repairs"`
 }
 
+// batchStats is the /v1/stats seed-batching section: how much work the
+// lockstep executor saved across every analysis request. Lanes counts seeds
+// run through shared lockstep lanes, Forks counts seeds served by forking a
+// completed prefix (whole-run shares included), Fallbacks counts seeds that
+// ran solo because batching did not apply.
+type batchStats struct {
+	Lanes     int64 `json:"lanes"`
+	Forks     int64 `json:"forks"`
+	Fallbacks int64 `json:"fallbacks"`
+}
+
 // statsResponse is GET /v1/stats: cumulative request and cache accounting
 // since daemon start. Disk fields are zero when no -cache-dir is set.
 type statsResponse struct {
@@ -540,6 +569,7 @@ type statsResponse struct {
 	DiskCache bool            `json:"diskCache"`
 	Cache     diskcache.Stats `json:"cache"`
 	Journal   journalStats    `json:"journal"`
+	Batch     batchStats      `json:"batch"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -551,6 +581,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Enabled:  s.journalDir != "",
 			Requests: s.journaled.Load(),
 			Repairs:  s.repairs.Load(),
+		},
+		Batch: batchStats{
+			Lanes:     s.batchLanes.Load(),
+			Forks:     s.batchForks.Load(),
+			Fallbacks: s.batchFallbacks.Load(),
 		},
 	}
 	if s.tiered != nil {

@@ -457,3 +457,26 @@ func TestJournalRequestErrors(t *testing.T) {
 		t.Errorf("solve with bad journal name: status %d, want 400", status)
 	}
 }
+
+// Seed batching is on by default in the facade, so a multi-seed analysis
+// request must surface lane/fork accounting in /v1/stats — and a cache-warm
+// repeat of the same request must not inflate it (every seed is a cache hit,
+// no batch runs at all).
+func TestStatsReportSeedBatching(t *testing.T) {
+	ts := newTestServer(t, "")
+	body := `{"s":2,"n":2,"seeds":3}`
+	if status, data := post(t, ts, "/v1/table1", body); status != http.StatusOK {
+		t.Fatalf("table1: status %d: %s", status, data)
+	}
+	cold := getStats(t, ts)
+	if cold.Batch.Lanes+cold.Batch.Forks == 0 {
+		t.Fatalf("after a 3-seed table1, batch stats show no lanes or forks: %+v", cold.Batch)
+	}
+	if status, data := post(t, ts, "/v1/table1", body); status != http.StatusOK {
+		t.Fatalf("warm table1: status %d: %s", status, data)
+	}
+	warm := getStats(t, ts)
+	if warm.Batch != cold.Batch {
+		t.Fatalf("cache-warm repeat changed batch stats: cold %+v, warm %+v", cold.Batch, warm.Batch)
+	}
+}

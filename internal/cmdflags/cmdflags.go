@@ -34,10 +34,11 @@ type Problem struct {
 
 // Exec holds the shared execution flags.
 type Exec struct {
-	Seeds       int
-	Parallelism int
-	Timeout     time.Duration
-	CacheDir    string
+	Seeds        int
+	Parallelism  int
+	Timeout      time.Duration
+	CacheDir     string
+	SeedBatching bool
 }
 
 // RegisterProblem installs the problem-instance flags (-s -n -b -c1 -c2
@@ -63,6 +64,7 @@ func RegisterExec(fs *flag.FlagSet) *Exec {
 	fs.IntVar(&e.Parallelism, "parallelism", 0, "worker-pool width (0 = GOMAXPROCS); output is identical at any setting")
 	fs.DurationVar(&e.Timeout, "timeout", 0, "wall-clock bound for the whole invocation (0 = none)")
 	fs.StringVar(&e.CacheDir, "cache-dir", "", "directory for the disk-persistent run cache (empty = no disk cache)")
+	fs.BoolVar(&e.SeedBatching, "seed-batching", true, "run each cell's seeds through shared lockstep lanes; output is identical either way")
 	return e
 }
 
@@ -209,6 +211,7 @@ func (p *Problem) HarnessConfig(e *Exec, eng *engine.Engine) harness.Config {
 	cfg.Seeds = e.Seeds
 	cfg.Parallelism = e.Parallelism
 	cfg.Engine = eng
+	cfg.NoSeedBatch = !e.SeedBatching
 	return cfg
 }
 
@@ -227,5 +230,6 @@ func Options(p *Problem, e *Exec) []sessionproblem.Option {
 		sessionproblem.WithParallelism(e.Parallelism),
 		sessionproblem.WithTimeout(e.Timeout),
 		sessionproblem.WithCacheDir(e.CacheDir),
+		sessionproblem.WithSeedBatching(e.SeedBatching),
 	}
 }

@@ -120,6 +120,13 @@ func RunSMContext(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Mode
 }
 
 func runSM(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64, rs *RunScratch) (*Report, error) {
+	return runSMSched(ctx, alg, spec, m, m.NewScheduler(st, seed), st, seed, rs)
+}
+
+// runSMSched is runSM with a caller-supplied scheduler, letting the batch
+// layer keep a handle on it (for draw counting) while sharing the exact
+// validation, execution and verification sequence of the solo path.
+func runSMSched(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Model, sched *timing.Scheduler, st timing.Strategy, seed uint64, rs *RunScratch) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,10 +137,17 @@ func runSM(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Model, st t
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	res, err := sm.RunContext(ctx, sys, m.NewScheduler(st, seed), smOptions(spec, m, rs))
+	res, err := sm.RunContext(ctx, sys, sched, smOptions(spec, m, rs))
 	if err != nil {
 		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
 	}
+	return smReport(alg, spec, m, st, seed, res)
+}
+
+// smReport builds and verifies the report for one shared-memory executor
+// result — admissibility, then the session condition — with the exact error
+// wording of the solo path, so batched lanes report failures identically.
+func smReport(alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64, res *sm.Result) (*Report, error) {
 	rep := &Report{
 		Algorithm: alg.Name(),
 		Model:     m.Kind,
@@ -168,6 +182,11 @@ func RunMPContext(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Mode
 }
 
 func runMP(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64, rs *RunScratch) (*Report, error) {
+	return runMPSched(ctx, alg, spec, m, m.NewScheduler(st, seed), st, seed, rs)
+}
+
+// runMPSched is runMP with a caller-supplied scheduler; see runSMSched.
+func runMPSched(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, sched *timing.Scheduler, st timing.Strategy, seed uint64, rs *RunScratch) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -178,10 +197,16 @@ func runMP(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, st t
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
 	}
-	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), mpOptions(spec, m, rs))
+	res, err := mp.RunContext(ctx, sys, sched, mpOptions(spec, m, rs))
 	if err != nil {
 		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
 	}
+	return mpReport(alg, spec, m, st, seed, res)
+}
+
+// mpReport builds and verifies the report for one message-passing executor
+// result; see smReport.
+func mpReport(alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64, res *mp.Result) (*Report, error) {
 	rep := &Report{
 		Algorithm: alg.Name(),
 		Model:     m.Kind,

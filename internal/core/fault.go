@@ -96,6 +96,12 @@ func RunSMFaulted(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Mode
 // RunMPFaulted is RunSMFaulted for message-passing algorithms; recorded
 // message delays (including late and duplicated deliveries) feed the audit.
 func RunMPFaulted(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64, fr FaultRun) (*Report, error) {
+	return runMPFaultedSched(ctx, alg, spec, m, m.NewScheduler(st, seed), fr)
+}
+
+// runMPFaultedSched is RunMPFaulted with a caller-supplied scheduler, letting
+// the batch layer keep a handle on it for draw counting; see runMPSched.
+func runMPFaultedSched(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, sched *timing.Scheduler, fr FaultRun) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,7 +115,7 @@ func RunMPFaulted(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Mode
 	opts := mpOptions(spec, m, fr.Scratch)
 	opts.MaxSteps = fr.MaxSteps
 	opts.Injector = fr.Injector
-	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), opts)
+	res, err := mp.RunContext(ctx, sys, sched, opts)
 	noTerm := false
 	if err != nil {
 		if res == nil || !errors.Is(err, mp.ErrNoTermination) {

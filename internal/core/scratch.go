@@ -22,6 +22,10 @@ import (
 type RunScratch struct {
 	SM sm.Scratch
 	MP mp.Scratch
+	// SMBatch and MPBatch back the lockstep batch runners (BatchRunSM,
+	// BatchRunMP); the batch results obey the same ownership contract.
+	SMBatch sm.BatchScratch
+	MPBatch mp.BatchScratch
 }
 
 // Trace-size hints: the session algorithms take O(S·N) port-process steps in

@@ -42,6 +42,12 @@ type Counts struct {
 	Messages int
 	// Faults is the number of injected faults applied during the run.
 	Faults int
+	// BatchLanes, BatchForks and BatchFallbacks account the seed-batching
+	// layer: seeds run through shared lockstep lanes, runs served from a
+	// shared schedule prefix, and seeds that fell back to solo runs.
+	BatchLanes     int
+	BatchForks     int
+	BatchFallbacks int
 }
 
 // Accountable lets task return values feed simulator counts into the
@@ -335,6 +341,9 @@ func (e *Engine) record(r Result) {
 	e.stats.Counts.Sessions += r.Counts.Sessions
 	e.stats.Counts.Messages += r.Counts.Messages
 	e.stats.Counts.Faults += r.Counts.Faults
+	e.stats.Counts.BatchLanes += r.Counts.BatchLanes
+	e.stats.Counts.BatchForks += r.Counts.BatchForks
+	e.stats.Counts.BatchFallbacks += r.Counts.BatchFallbacks
 }
 
 // Map runs f over indices 0..n-1 on the engine and returns the typed,

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -62,6 +63,12 @@ type FaultSweepConfig struct {
 	// Engine optionally supplies a shared execution engine, overriding
 	// Parallelism.
 	Engine *engine.Engine
+
+	// NoSeedBatch disables seed batching; see Config.NoSeedBatch. The fault
+	// sweep batches only its fault-free (intensity zero) groups — faulted
+	// runs have per-index plans and audit semantics the lockstep lanes do
+	// not model — so this knob mainly exists for symmetry and debugging.
+	NoSeedBatch bool
 }
 
 func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
@@ -195,6 +202,28 @@ func faultOutcomeOfReport(rep *core.Report) faultOutcome {
 	}
 }
 
+// faultBatchOutcome is batchOutcome's fault-sweep counterpart: one group's
+// audit outcomes in seed order plus the batch layer's accounting.
+type faultBatchOutcome struct {
+	outs  []faultOutcome
+	stats core.BatchStats
+}
+
+// Account feeds the group's counts into engine.Stats, one run at a time.
+func (b faultBatchOutcome) Account() engine.Counts {
+	var c engine.Counts
+	for _, o := range b.outs {
+		c.Steps += o.steps
+		c.Sessions += o.sessions
+		c.Messages += o.messages
+		c.Faults += o.faults
+	}
+	c.BatchLanes = b.stats.Lanes
+	c.BatchForks = b.stats.Forks
+	c.BatchFallbacks = b.stats.Fallbacks
+	return c
+}
+
 // faultRowDef is one model row of the sweep (mirrors HierarchyCtx's defs).
 type faultRowDef struct {
 	name  string
@@ -278,36 +307,130 @@ func FaultSweep(ctx context.Context, cfg FaultSweepConfig) ([]FaultSweepRow, err
 		return d, intensity, sts[k/cfg.Seeds], uint64(k%cfg.Seeds) + 1, kinds
 	}
 
-	outs, err := engine.Map(ctx, cfg.engineOrNew(), grand,
-		func(i int) string {
-			d, intensity, st, seed, _ := decode(i)
-			if i >= total {
-				return fmt.Sprintf("fault %s/%v i=%.2f %v seed %d",
-					d.name, kindAxis[(i-total)/total], intensity, st, seed)
+	// runGroup executes one (row, intensity, strategy[, kind]) seed group as
+	// a single engine task. Fault-free (intensity zero) groups go through the
+	// share-only batch tier — their per-index plans never act, so a
+	// draw-free probe serves every seed; everything else runs seed by seed
+	// inside the task, counted as fallbacks. Cache keys, plan seeds and
+	// outcomes are byte-identical to the per-run path.
+	runGroup := func(ctx context.Context, g int) (faultBatchOutcome, error) {
+		base := g * cfg.Seeds
+		d, intensity, st, _, kinds := decode(base)
+		bo := faultBatchOutcome{outs: make([]faultOutcome, cfg.Seeds)}
+		cache := engine.RunCacheFrom(ctx)
+		rs := scratchFrom(ctx)
+		plans := make([]fault.Plan, cfg.Seeds)
+		keys := make([]string, cfg.Seeds)
+		miss := make([]int, 0, cfg.Seeds)
+		for k := 0; k < cfg.Seeds; k++ {
+			plans[k] = fault.NewPlan(planSeed(cfg.FaultSeed, base+k), intensity, kinds...).ScaledTo(d.model)
+			if cache != nil {
+				keys[k] = core.RunKey("MP", d.alg.Name(), spec, d.model, st, uint64(k)+1, cfg.MaxSteps, &plans[k])
+				if v, ok := cache.Get(keys[k]); ok {
+					bo.outs[k] = faultOutcomeOf(v.(*core.RunSummary))
+					continue
+				}
 			}
-			return fmt.Sprintf("fault %s i=%.2f %v seed %d", d.name, intensity, st, seed)
-		},
-		func(ctx context.Context, i int) (faultOutcome, error) {
-			d, intensity, st, seed, kinds := decode(i)
-			plan := fault.NewPlan(planSeed(cfg.FaultSeed, i), intensity, kinds...).ScaledTo(d.model)
-			run := func() (*core.Report, error) {
-				return core.RunMPFaulted(ctx, d.alg, spec, d.model, st, seed,
-					core.FaultRun{Injector: plan.Injector(), MaxSteps: cfg.MaxSteps, Scratch: scratchFrom(ctx)})
+			miss = append(miss, k)
+		}
+		if len(miss) == 0 {
+			return bo, nil
+		}
+		if intensity == 0 && len(miss) > 1 {
+			seeds := make([]uint64, len(miss))
+			frs := make([]core.FaultRun, len(miss))
+			for j, k := range miss {
+				seeds[j] = uint64(k) + 1
+				frs[j] = core.FaultRun{Injector: plans[k].Injector(), MaxSteps: cfg.MaxSteps, Scratch: rs}
 			}
-			if engine.RunCacheFrom(ctx) != nil {
-				key := core.RunKey("MP", d.alg.Name(), spec, d.model, st, seed, cfg.MaxSteps, &plan)
-				sum, err := cachedRun(ctx, key, run)
+			sums, stats, err := core.BatchRunMPFaulted(ctx, d.alg, spec, d.model, st, seeds, frs)
+			bo.stats.Add(stats)
+			if err != nil {
+				inner := err
+				var be *core.BatchError
+				if errors.As(err, &be) {
+					inner = be.Err
+				}
+				return bo, fmt.Errorf("fault sweep %s i=%.2f: %w", d.name, intensity, inner)
+			}
+			for j, k := range miss {
+				if cache != nil {
+					cache.Put(keys[k], sums[j])
+				}
+				bo.outs[k] = faultOutcomeOf(sums[j])
+			}
+			return bo, nil
+		}
+		for _, k := range miss {
+			rep, err := core.RunMPFaulted(ctx, d.alg, spec, d.model, st, uint64(k)+1,
+				core.FaultRun{Injector: plans[k].Injector(), MaxSteps: cfg.MaxSteps, Scratch: rs})
+			if err != nil {
+				return bo, fmt.Errorf("fault sweep %s i=%.2f: %w", d.name, intensity, err)
+			}
+			if cache != nil {
+				sum := core.Summarize(rep)
+				cache.Put(keys[k], sum)
+				bo.outs[k] = faultOutcomeOf(sum)
+			} else {
+				bo.outs[k] = faultOutcomeOfReport(rep)
+			}
+			bo.stats.Fallbacks++
+		}
+		return bo, nil
+	}
+
+	var outs []faultOutcome
+	if cfg.NoSeedBatch {
+		outs, err = engine.Map(ctx, cfg.engineOrNew(), grand,
+			func(i int) string {
+				d, intensity, st, seed, _ := decode(i)
+				if i >= total {
+					return fmt.Sprintf("fault %s/%v i=%.2f %v seed %d",
+						d.name, kindAxis[(i-total)/total], intensity, st, seed)
+				}
+				return fmt.Sprintf("fault %s i=%.2f %v seed %d", d.name, intensity, st, seed)
+			},
+			func(ctx context.Context, i int) (faultOutcome, error) {
+				d, intensity, st, seed, kinds := decode(i)
+				plan := fault.NewPlan(planSeed(cfg.FaultSeed, i), intensity, kinds...).ScaledTo(d.model)
+				run := func() (*core.Report, error) {
+					return core.RunMPFaulted(ctx, d.alg, spec, d.model, st, seed,
+						core.FaultRun{Injector: plan.Injector(), MaxSteps: cfg.MaxSteps, Scratch: scratchFrom(ctx)})
+				}
+				if engine.RunCacheFrom(ctx) != nil {
+					key := core.RunKey("MP", d.alg.Name(), spec, d.model, st, seed, cfg.MaxSteps, &plan)
+					sum, err := cachedRun(ctx, key, run)
+					if err != nil {
+						return faultOutcome{}, fmt.Errorf("fault sweep %s i=%.2f: %w", d.name, intensity, err)
+					}
+					return faultOutcomeOf(sum), nil
+				}
+				rep, err := run()
 				if err != nil {
 					return faultOutcome{}, fmt.Errorf("fault sweep %s i=%.2f: %w", d.name, intensity, err)
 				}
-				return faultOutcomeOf(sum), nil
+				return faultOutcomeOfReport(rep), nil
+			})
+	} else {
+		var bouts []faultBatchOutcome
+		bouts, err = engine.Map(ctx, cfg.engineOrNew(), grand/cfg.Seeds,
+			func(g int) string {
+				i := g * cfg.Seeds
+				d, intensity, st, _, _ := decode(i)
+				if i >= total {
+					return fmt.Sprintf("fault %s/%v i=%.2f %v seeds 1-%d",
+						d.name, kindAxis[(i-total)/total], intensity, st, cfg.Seeds)
+				}
+				return fmt.Sprintf("fault %s i=%.2f %v seeds 1-%d", d.name, intensity, st, cfg.Seeds)
+			},
+			runGroup)
+		if err == nil {
+			outs = make([]faultOutcome, grand)
+			for g, b := range bouts {
+				copy(outs[g*cfg.Seeds:(g+1)*cfg.Seeds], b.outs)
 			}
-			rep, err := run()
-			if err != nil {
-				return faultOutcome{}, fmt.Errorf("fault sweep %s i=%.2f: %w", d.name, intensity, err)
-			}
-			return faultOutcomeOfReport(rep), nil
-		})
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

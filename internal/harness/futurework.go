@@ -44,7 +44,7 @@ func SweepSporadicVsSemiSync(s, n int, c1, c2, d2 sim.Duration, steps, seeds int
 		runs = expandMP(runs, 2*i+1, fmt.Sprintf("F6 sporadic d1=%v", d1s[i]), sporadic.NewMP(), spec,
 			timing.NewSporadic(c1, d1s[i], d2, c2), seeds)
 	}
-	max, err := maxFinishByGroup(context.Background(), engine.New(), runs, 2*steps)
+	max, err := maxFinishByGroup(context.Background(), engine.New(), runs, 2*steps, false)
 	if err != nil {
 		return nil, fmt.Errorf("F6: %w", err)
 	}

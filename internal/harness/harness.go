@@ -18,6 +18,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -55,6 +56,12 @@ type Config struct {
 	// own parallelism, timeout and observer); when set it overrides
 	// Parallelism. Nil means a fresh engine per call.
 	Engine *engine.Engine
+
+	// NoSeedBatch disables lockstep seed batching: every (strategy, seed)
+	// run becomes its own engine task instead of one task per seed group.
+	// Results are byte-identical either way; this is an escape hatch for
+	// debugging and for isolating per-run timings.
+	NoSeedBatch bool
 }
 
 // Default returns the configuration used by cmd/sessiontable and the
@@ -236,6 +243,126 @@ func cachedRun(ctx context.Context, key string, run func() (*core.Report, error)
 	return sum, nil
 }
 
+// batchOutcome is what one batched engine task returns: one (algorithm,
+// model, strategy) seed group's outcomes in seed order, plus the batch
+// layer's accounting for the group.
+type batchOutcome struct {
+	outs  []runOutcome
+	stats core.BatchStats
+}
+
+// Account feeds the group's simulator counts and batch accounting into
+// engine.Stats: each seed's run counts once, exactly as it would have as its
+// own task.
+func (b batchOutcome) Account() engine.Counts {
+	var c engine.Counts
+	for _, o := range b.outs {
+		c.Steps += o.steps
+		c.Sessions += o.sessions
+		c.Messages += o.messages
+		c.Faults += o.faults
+	}
+	c.BatchLanes = b.stats.Lanes
+	c.BatchForks = b.stats.Forks
+	c.BatchFallbacks = b.stats.Fallbacks
+	return c
+}
+
+// seedAxis returns the harness's seed axis 1..n.
+func seedAxis(n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(i) + 1
+	}
+	return seeds
+}
+
+// batchSeedGroup runs one (algorithm, model, strategy) seed group through
+// core's two-tier batch layer while preserving the solo path's per-seed
+// cache protocol: every seed keeps its own content-addressed slot, hits skip
+// simulation entirely, and only the misses enter the batched run. A single
+// miss has nothing to batch against and falls back to the solo runner.
+// Outcomes and cache contents are byte-identical to the per-seed path.
+// Exactly one of smAlg/mpAlg is set; wrap renders a failure with the seed it
+// is attributed to.
+func batchSeedGroup(ctx context.Context, smAlg core.SMAlgorithm, mpAlg core.MPAlgorithm, comm string, spec core.Spec, m timing.Model, st timing.Strategy, seeds []uint64, wrap func(seed uint64, err error) error) (batchOutcome, error) {
+	bo := batchOutcome{outs: make([]runOutcome, len(seeds))}
+	name := ""
+	if smAlg != nil {
+		name = smAlg.Name()
+	} else {
+		name = mpAlg.Name()
+	}
+	cache := engine.RunCacheFrom(ctx)
+	key := func(seed uint64) string {
+		return core.RunKey(comm, name, spec, m, st, seed, 0, nil)
+	}
+	miss := make([]int, 0, len(seeds))
+	for i, seed := range seeds {
+		if cache != nil {
+			if v, ok := cache.Get(key(seed)); ok {
+				bo.outs[i] = outcomeOf(v.(*core.RunSummary))
+				continue
+			}
+		}
+		miss = append(miss, i)
+	}
+	if len(miss) == 0 {
+		return bo, nil
+	}
+	rs := scratchFrom(ctx)
+	if len(miss) == 1 {
+		i := miss[0]
+		var rep *core.Report
+		var err error
+		if smAlg != nil {
+			rep, err = core.RunSMScratch(ctx, smAlg, spec, m, st, seeds[i], rs)
+		} else {
+			rep, err = core.RunMPScratch(ctx, mpAlg, spec, m, st, seeds[i], rs)
+		}
+		if err != nil {
+			return bo, wrap(seeds[i], err)
+		}
+		if cache != nil {
+			sum := core.Summarize(rep)
+			cache.Put(key(seeds[i]), sum)
+			bo.outs[i] = outcomeOf(sum)
+		} else {
+			bo.outs[i] = outcomeOfReport(rep)
+		}
+		bo.stats.Fallbacks++
+		return bo, nil
+	}
+	missSeeds := make([]uint64, len(miss))
+	for j, i := range miss {
+		missSeeds[j] = seeds[i]
+	}
+	var sums []*core.RunSummary
+	var stats core.BatchStats
+	var err error
+	if smAlg != nil {
+		sums, stats, err = core.BatchRunSM(ctx, smAlg, spec, m, st, missSeeds, rs)
+	} else {
+		sums, stats, err = core.BatchRunMP(ctx, mpAlg, spec, m, st, missSeeds, rs)
+	}
+	bo.stats.Add(stats)
+	if err != nil {
+		seed, inner := missSeeds[0], err
+		var be *core.BatchError
+		if errors.As(err, &be) {
+			seed, inner = be.Seed, be.Err
+		}
+		return bo, wrap(seed, inner)
+	}
+	for j, i := range miss {
+		if cache != nil {
+			cache.Put(key(seeds[i]), sums[j])
+		}
+		bo.outs[i] = outcomeOf(sums[j])
+	}
+	return bo, nil
+}
+
 // cellDef declares one Table-1 cell's run matrix: which algorithm under
 // which model, measured in which unit, against which bounds. Exactly one of
 // smAlg/mpAlg is set.
@@ -283,6 +410,15 @@ func (d cellDef) runOnce(ctx context.Context, st timing.Strategy, seed uint64) (
 		return runOutcome{}, fmt.Errorf("%s/%s %v seed %d: %w", d.row, d.comm, st, seed, err)
 	}
 	return outcomeOfReport(rep), nil
+}
+
+// runSeeds executes the cell's whole seed group for one strategy as a single
+// batched task; see batchSeedGroup.
+func (d cellDef) runSeeds(ctx context.Context, st timing.Strategy, seeds []uint64) (batchOutcome, error) {
+	return batchSeedGroup(ctx, d.smAlg, d.mpAlg, d.comm, d.spec, d.model, st, seeds,
+		func(seed uint64, err error) error {
+			return fmt.Errorf("%s/%s %v seed %d: %w", d.row, d.comm, st, seed, err)
+		})
 }
 
 // aggregate folds the cell's index-ordered run outcomes into a Cell. The
@@ -385,17 +521,42 @@ func Table1Ctx(ctx context.Context, cfg Config) ([]Cell, error) {
 	sts := timing.AllStrategies()
 	per := len(sts) * cfg.Seeds
 
-	outs, err := engine.Map(ctx, cfg.engineOrNew(), len(defs)*per,
-		func(i int) string {
-			d := defs[i/per]
-			return fmt.Sprintf("%s/%s %v seed %d",
-				d.row, d.comm, sts[(i%per)/cfg.Seeds], i%cfg.Seeds+1)
-		},
-		func(ctx context.Context, i int) (runOutcome, error) {
-			d := defs[i/per]
-			j := i % per
-			return d.runOnce(ctx, sts[j/cfg.Seeds], uint64(j%cfg.Seeds)+1)
-		})
+	var outs []runOutcome
+	var err error
+	if cfg.NoSeedBatch {
+		outs, err = engine.Map(ctx, cfg.engineOrNew(), len(defs)*per,
+			func(i int) string {
+				d := defs[i/per]
+				return fmt.Sprintf("%s/%s %v seed %d",
+					d.row, d.comm, sts[(i%per)/cfg.Seeds], i%cfg.Seeds+1)
+			},
+			func(ctx context.Context, i int) (runOutcome, error) {
+				d := defs[i/per]
+				j := i % per
+				return d.runOnce(ctx, sts[j/cfg.Seeds], uint64(j%cfg.Seeds)+1)
+			})
+	} else {
+		// Batched: one task per (cell, strategy) seed group. Flattening the
+		// group outcomes back into the flat matrix layout keeps aggregation
+		// identical to the per-seed path at any parallelism.
+		seeds := seedAxis(cfg.Seeds)
+		var bouts []batchOutcome
+		bouts, err = engine.Map(ctx, cfg.engineOrNew(), len(defs)*len(sts),
+			func(g int) string {
+				d := defs[g/len(sts)]
+				return fmt.Sprintf("%s/%s %v seeds 1-%d",
+					d.row, d.comm, sts[g%len(sts)], cfg.Seeds)
+			},
+			func(ctx context.Context, g int) (batchOutcome, error) {
+				return defs[g/len(sts)].runSeeds(ctx, sts[g%len(sts)], seeds)
+			})
+		if err == nil {
+			outs = make([]runOutcome, len(defs)*per)
+			for g, b := range bouts {
+				copy(outs[g*cfg.Seeds:(g+1)*cfg.Seeds], b.outs)
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -57,8 +57,14 @@ func expandMP(runs []mpRun, group int, label string, alg core.MPAlgorithm, spec 
 
 // maxFinishByGroup fans runs across the engine and returns, per group, the
 // worst (maximum) finish time. Group aggregation visits results in run
-// order, so the output is independent of parallelism.
-func maxFinishByGroup(ctx context.Context, eng *engine.Engine, runs []mpRun, groups int) ([]float64, error) {
+// order, so the output is independent of parallelism. Unless noBatch is set,
+// consecutive runs differing only by seed (expandMP emits seeds innermost)
+// collapse into one batched task each; the flattened outcomes are
+// byte-identical to the per-run path.
+func maxFinishByGroup(ctx context.Context, eng *engine.Engine, runs []mpRun, groups int, noBatch bool) ([]float64, error) {
+	if !noBatch {
+		return maxFinishByGroupBatched(ctx, eng, runs, groups)
+	}
 	outs, err := engine.Map(ctx, eng, len(runs),
 		func(i int) string {
 			r := runs[i]
@@ -99,11 +105,67 @@ func maxFinishByGroup(ctx context.Context, eng *engine.Engine, runs []mpRun, gro
 	return max, nil
 }
 
+// seedSpan is a maximal consecutive slice runs[lo:hi] sharing a (group,
+// strategy) pair — within which expandMP varies only the seed.
+type seedSpan struct{ lo, hi int }
+
+// seedSpans chunks an expandMP run list into seed spans.
+func seedSpans(runs []mpRun) []seedSpan {
+	var spans []seedSpan
+	for lo := 0; lo < len(runs); {
+		hi := lo + 1
+		for hi < len(runs) && runs[hi].group == runs[lo].group && runs[hi].st == runs[lo].st {
+			hi++
+		}
+		spans = append(spans, seedSpan{lo, hi})
+		lo = hi
+	}
+	return spans
+}
+
+// maxFinishByGroupBatched is the seed-batched form of maxFinishByGroup: the
+// run list is chunked into seed spans and each span runs as one batched
+// task.
+func maxFinishByGroupBatched(ctx context.Context, eng *engine.Engine, runs []mpRun, groups int) ([]float64, error) {
+	spans := seedSpans(runs)
+	bouts, err := engine.Map(ctx, eng, len(spans),
+		func(i int) string {
+			sp := spans[i]
+			r := runs[sp.lo]
+			return fmt.Sprintf("%s %v seeds %d-%d", r.label, r.st, r.seed, runs[sp.hi-1].seed)
+		},
+		func(ctx context.Context, i int) (batchOutcome, error) {
+			sp := spans[i]
+			r := runs[sp.lo]
+			seeds := make([]uint64, 0, sp.hi-sp.lo)
+			for _, rr := range runs[sp.lo:sp.hi] {
+				seeds = append(seeds, rr.seed)
+			}
+			return batchSeedGroup(ctx, nil, r.alg, "MP", r.spec, r.model, r.st, seeds,
+				func(seed uint64, err error) error {
+					return fmt.Errorf("%s: %w", r.label, err)
+				})
+		})
+	if err != nil {
+		return nil, err
+	}
+	max := make([]float64, groups)
+	for i, sp := range spans {
+		for j, o := range bouts[i].outs {
+			g := runs[sp.lo+j].group
+			if o.finish > max[g] {
+				max[g] = o.finish
+			}
+		}
+	}
+	return max, nil
+}
+
 // maxFinishMP runs an MP algorithm across strategies/seeds and returns the
 // worst running time and worst per-session time.
 func maxFinishMP(ctx context.Context, eng *engine.Engine, alg core.MPAlgorithm, spec core.Spec, m timing.Model, seeds int) (finish, perSession float64, err error) {
 	runs := expandMP(nil, 0, alg.Name(), alg, spec, m, seeds)
-	max, err := maxFinishByGroup(ctx, eng, runs, 1)
+	max, err := maxFinishByGroup(ctx, eng, runs, 1, false)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -164,6 +226,9 @@ type SweepSpec struct {
 	// Engine optionally supplies a shared execution engine, overriding
 	// Parallelism.
 	Engine *engine.Engine
+
+	// NoSeedBatch disables lockstep seed batching; see Config.NoSeedBatch.
+	NoSeedBatch bool
 }
 
 func (sp SweepSpec) withDefaults() SweepSpec {
@@ -215,7 +280,7 @@ func sweepSporadicDelay(ctx context.Context, sp SweepSpec) ([]SweepPoint, error)
 		m := timing.NewSporadic(sp.C1, d1s[i], sp.D2, 2*sp.C1)
 		runs = expandMP(runs, i, fmt.Sprintf("F1 d1=%v", d1s[i]), sporadic.NewMP(), spec, m, sp.Seeds)
 	}
-	max, err := maxFinishByGroup(ctx, sp.engineOrNew(), runs, steps)
+	max, err := maxFinishByGroup(ctx, sp.engineOrNew(), runs, steps, sp.NoSeedBatch)
 	if err != nil {
 		return nil, fmt.Errorf("F1: %w", err)
 	}
@@ -256,7 +321,7 @@ func sweepPeriodicVsSemiSync(ctx context.Context, sp SweepSpec) ([]SweepPoint, e
 		runs = expandMP(runs, 2*i+1, fmt.Sprintf("F2 semisync s=%d", s),
 			semisync.NewMP(semisync.Auto), spec, timing.NewSemiSynchronous(sp.C1, sp.C2, sp.D2), sp.Seeds)
 	}
-	max, err := maxFinishByGroup(ctx, sp.engineOrNew(), runs, 2*numS)
+	max, err := maxFinishByGroup(ctx, sp.engineOrNew(), runs, 2*numS, sp.NoSeedBatch)
 	if err != nil {
 		return nil, fmt.Errorf("F2: %w", err)
 	}
@@ -291,7 +356,7 @@ func sweepPeriodicVsSporadic(ctx context.Context, sp SweepSpec) ([]SweepPoint, e
 		runs = expandMP(runs, i+1, fmt.Sprintf("F3 periodic cmax=%v", cmax),
 			periodic.NewMP(), spec, timing.NewPeriodic(sp.C1, cmax, sp.D2), sp.Seeds)
 	}
-	max, err := maxFinishByGroup(ctx, sp.engineOrNew(), runs, len(sp.Cmaxs)+1)
+	max, err := maxFinishByGroup(ctx, sp.engineOrNew(), runs, len(sp.Cmaxs)+1, sp.NoSeedBatch)
 	if err != nil {
 		return nil, fmt.Errorf("F3: %w", err)
 	}
@@ -321,6 +386,7 @@ func sweepFaultIntensity(ctx context.Context, sp SweepSpec) ([]SweepPoint, error
 		FaultSeed:   sp.FaultSeed,
 		Parallelism: sp.Parallelism,
 		Engine:      sp.Engine,
+		NoSeedBatch: sp.NoSeedBatch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fault sweep: %w", err)
@@ -382,7 +448,7 @@ func HierarchyCtx(ctx context.Context, cfg Config) ([]HierarchyRow, error) {
 	for i, d := range defs {
 		runs = expandMP(runs, i, "F4 "+d.name, d.alg, spec, d.model, cfg.Seeds)
 	}
-	max, err := maxFinishByGroup(ctx, cfg.engineOrNew(), runs, len(defs))
+	max, err := maxFinishByGroup(ctx, cfg.engineOrNew(), runs, len(defs), cfg.NoSeedBatch)
 	if err != nil {
 		return nil, fmt.Errorf("F4: %w", err)
 	}

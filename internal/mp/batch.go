@@ -1,0 +1,399 @@
+package mp
+
+import (
+	"context"
+	"fmt"
+
+	"sessionproblem/internal/arena"
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+)
+
+// This file implements the lockstep batch mode of the message-passing
+// executor, the message-passing counterpart of internal/sm/batch.go: all
+// seeds of one cell run through a single calendar-queue instance, each seed
+// in its own lane, with events ordered by (At, Lane, Kind, Proc, Seq) so
+// every lane observes exactly the delivery/step interleaving a solo run
+// would have produced. Immutable inputs (topology, the port table) are
+// shared; every mutable structure — trace, delay log, message buffers and
+// their freelist, idle marks — is per-lane, so a lane's Result obeys the
+// same ownership contract as a solo Scratch run.
+
+// DrawCounter mirrors sm.DrawCounter: schedulers that report RNG consumption
+// enable prefix forking of provably seed-independent event waves.
+type DrawCounter interface {
+	Draws() uint64
+}
+
+// BatchLane pairs one seed's system instance with its scheduler. All lanes
+// must be built from the same algorithm and spec.
+type BatchLane struct {
+	Sys   *System
+	Sched Scheduler
+}
+
+// BatchOptions tune a lockstep batch execution. Only the plain execution
+// profile is supported — no fault injection, no message dropping, no idle
+// stepping; callers needing those fall back to solo runs.
+type BatchOptions struct {
+	// MaxSteps caps process steps per lane. Zero means the solo default.
+	MaxSteps int
+	// ExpectedSteps and ExpectedDelays pre-size each lane, as in Options.
+	ExpectedSteps  int
+	ExpectedDelays int
+	// WindowHint sizes the shared queue's bucket window, as in Options.
+	WindowHint sim.Duration
+	// Scratch, when non-nil, backs the batch with reusable buffers.
+	Scratch *BatchScratch
+	// ForkInit enables prefix forking of the initial event wave; see
+	// sm.BatchOptions.ForkInit for the contract.
+	ForkInit bool
+}
+
+// laneState is the mutable half of one lane.
+type laneState struct {
+	steps     []model.Step
+	accesses  arena.Chunked[model.VarAccess]
+	delays    []timing.MessageDelay
+	buffers   [][]Message
+	free      arena.Freelist[Message]
+	idleAt    []sim.Time
+	idleMark  []bool
+	sent      int
+	stepCount int
+	idleCount int
+	done      bool
+}
+
+// BatchScratch holds every buffer RunBatch grows. Every Result of a batch
+// aliases its lane's memory and is valid only until the next RunBatch with
+// the same BatchScratch.
+type BatchScratch struct {
+	queue   sim.Queue
+	batch   []sim.Event
+	cp      []sim.Event
+	lanes   []laneState
+	portIdx []int
+	// lastSteps/lastDelays are per-lane record high-water marks of previous
+	// batches, carrying sizing knowledge across reuse.
+	lastSteps  int
+	lastDelays int
+}
+
+// prepare resets the scratch for a batch of k lanes over n processes each.
+func (sc *BatchScratch) prepare(sys *System, k int, opts *BatchOptions) {
+	n := len(sys.Procs)
+	sc.queue.Reset()
+	sc.queue.Reserve(n * k)
+	if opts.WindowHint > 0 {
+		sc.queue.SetWindow(opts.WindowHint)
+	}
+	expectedSteps, expectedDelays := opts.ExpectedSteps, opts.ExpectedDelays
+	if sc.lastSteps > 0 {
+		expectedSteps = sc.lastSteps + sc.lastSteps/8 + 8
+		expectedDelays = sc.lastDelays + sc.lastDelays/8 + 8
+	}
+
+	if cap(sc.lanes) < k {
+		lanes := make([]laneState, k)
+		copy(lanes, sc.lanes)
+		sc.lanes = lanes
+	}
+	sc.lanes = sc.lanes[:k]
+	for l := range sc.lanes {
+		ls := &sc.lanes[l]
+		if ls.steps == nil && expectedSteps > 0 {
+			ls.steps = make([]model.Step, 0, expectedSteps)
+		}
+		ls.steps = ls.steps[:0]
+		ls.accesses.Reset()
+		ls.accesses.Reserve(expectedSteps)
+		if ls.delays == nil && expectedDelays > 0 {
+			ls.delays = make([]timing.MessageDelay, 0, expectedDelays)
+		}
+		ls.delays = ls.delays[:0]
+		if cap(ls.buffers) >= n {
+			old := ls.buffers[:cap(ls.buffers)]
+			for i := range old {
+				if i >= n && old[i] != nil {
+					ls.free.Put(old[i])
+					old[i] = nil
+				}
+			}
+			ls.buffers = old[:n]
+			for i := range ls.buffers {
+				if ls.buffers[i] != nil {
+					buf := ls.buffers[i]
+					clear(buf)
+					ls.buffers[i] = buf[:0]
+				}
+			}
+		} else {
+			ls.buffers = make([][]Message, n)
+		}
+		ls.idleAt = arena.Resize(ls.idleAt, n)
+		ls.idleMark = arena.Resize(ls.idleMark, n)
+		for i := 0; i < n; i++ {
+			ls.idleAt[i] = -1
+			ls.idleMark[i] = false
+		}
+		ls.sent = 0
+		ls.stepCount = 0
+		ls.idleCount = 0
+		ls.done = false
+	}
+
+	sc.portIdx = arena.Resize(sc.portIdx, n)
+	for i := 0; i < n; i++ {
+		sc.portIdx[i] = -1
+	}
+	for i, pp := range sys.PortProcs {
+		sc.portIdx[pp] = i // last binding wins, like the solo executor
+	}
+}
+
+// forkFrom replicates src's lane state into ls: message buffers, idle
+// bookkeeping, the delay log, and the trace prefix recorded so far, with
+// every access record re-allocated in ls's own arena. Called at the fork
+// point, after which the lanes diverge freely.
+func (ls *laneState) forkFrom(src *laneState) {
+	for i := range ls.buffers {
+		if len(src.buffers[i]) == 0 {
+			continue
+		}
+		buf := ls.buffers[i]
+		if buf == nil {
+			buf = ls.free.Get()
+		}
+		ls.buffers[i] = append(buf, src.buffers[i]...)
+	}
+	copy(ls.idleAt, src.idleAt)
+	copy(ls.idleMark, src.idleMark)
+	ls.delays = append(ls.delays[:0], src.delays...)
+	ls.sent = src.sent
+	ls.stepCount = src.stepCount
+	ls.idleCount = src.idleCount
+	ls.steps = ls.steps[:0]
+	ls.accesses.ForkFrom(&src.accesses, src.accesses.Checkpoint(), func(i int, rec []model.VarAccess) {
+		st := src.steps[i]
+		st.Accesses = rec
+		ls.steps = append(ls.steps, st)
+	})
+}
+
+// RunBatch executes every lane to completion through one shared queue and
+// returns the per-lane results, in lane order, plus the number of lanes that
+// received a forked prefix. The i-th Result is byte-identical to what a solo
+// RunContext of lane i would produce. On failure the error wraps a
+// *sim.LaneError identifying the offending lane.
+func RunBatch(ctx context.Context, lanes []BatchLane, opts BatchOptions) ([]*Result, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	k := len(lanes)
+	if k == 0 {
+		return nil, 0, nil
+	}
+	sys0 := lanes[0].Sys
+	n := len(sys0.Procs)
+	if n == 0 {
+		return nil, 0, &sim.LaneError{Lane: 0, Err: fmt.Errorf("mp: no processes")}
+	}
+	for _, pp := range sys0.PortProcs {
+		if pp < 0 || pp >= n {
+			return nil, 0, &sim.LaneError{Lane: 0, Err: fmt.Errorf("mp: port process %d out of range", pp)}
+		}
+	}
+	for l := 1; l < k; l++ {
+		if len(lanes[l].Sys.Procs) != n || len(lanes[l].Sys.PortProcs) != len(sys0.PortProcs) {
+			return nil, 0, fmt.Errorf("mp: batch lanes disagree on topology (lane %d)", l)
+		}
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	sc := opts.Scratch
+	if sc == nil {
+		sc = new(BatchScratch)
+	}
+	sc.prepare(sys0, k, &opts)
+
+	q := &sc.queue
+	forks := 0
+
+	var d0 DrawCounter
+	if opts.ForkInit {
+		d0, _ = lanes[0].Sched.(DrawCounter)
+	}
+	base := uint64(0)
+	if d0 != nil {
+		base = d0.Draws()
+	}
+	for p := 0; p < n; p++ {
+		q.Push(sim.Event{At: sim.Time(0).Add(lanes[0].Sched.Gap(p)), Kind: sim.KindStep, Proc: p, Lane: 0})
+	}
+	if d0 != nil && d0.Draws() == base {
+		sc.cp = q.Checkpoint(sc.cp[:0])
+		for l := 1; l < k; l++ {
+			q.ForkFrom(sc.cp, int32(l))
+			sc.lanes[l].forkFrom(&sc.lanes[0])
+			forks++
+		}
+	} else {
+		for l := 1; l < k; l++ {
+			sched := lanes[l].Sched
+			for p := 0; p < n; p++ {
+				q.Push(sim.Event{At: sim.Time(0).Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p, Lane: int32(l)})
+			}
+		}
+	}
+
+	doneLanes := 0
+	totalSteps := 0
+	batch := sc.batch[:0]
+	defer func() {
+		clear(batch) // release message-body references
+		sc.batch = batch[:0]
+	}()
+	var now sim.Time
+dispatch:
+	for q.Len() > 0 {
+		now, batch = q.PopTickLanes(batch[:0])
+		for bi := 0; bi < len(batch); bi++ {
+			if ev0, ok := q.PeekAt(now); ok && sim.SameTickLess(ev0, batch[bi]) {
+				batch = sim.MergeSameTick(q, now, batch, bi)
+			}
+			ev := batch[bi]
+			l := int(ev.Lane)
+			ls := &sc.lanes[l]
+			if ls.done {
+				// The lane terminated earlier; a solo run would have broken
+				// out of its dispatch loop, dropping these events unprocessed.
+				continue
+			}
+			switch ev.Kind {
+			case sim.KindDelivery:
+				dst := ev.Proc
+				buf := ls.buffers[dst]
+				if buf == nil {
+					buf = ls.free.Get()
+				}
+				ls.buffers[dst] = append(buf, Message{From: ev.Src, Body: ev.Body})
+				ls.steps = append(ls.steps, model.Step{
+					Index:    len(ls.steps),
+					Proc:     model.NetworkProc,
+					Time:     ev.At,
+					Accesses: ls.accesses.One(model.VarAccess{Var: bufVar(dst)}),
+					Port:     model.NoPort,
+				})
+
+			case sim.KindStep:
+				if ls.stepCount >= maxSteps {
+					return nil, forks, &sim.LaneError{Lane: l, Err: fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)}
+				}
+				ls.stepCount++
+				totalSteps++
+				if totalSteps%ctxCheckInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, forks, err
+					}
+				}
+				p := ev.Proc
+				proc := lanes[l].Sys.Procs[p]
+				sched := lanes[l].Sched
+				wasIdle := ls.idleMark[p]
+				received := ls.buffers[p]
+				ls.buffers[p] = nil
+				body := proc.Step(received)
+				ls.free.Put(received)
+				if wasIdle {
+					if !proc.Idle() {
+						return nil, forks, &sim.LaneError{Lane: l, Err: fmt.Errorf(
+							"mp: process %d left idle state at %v", p, ev.At)}
+					}
+					if body != nil {
+						return nil, forks, &sim.LaneError{Lane: l, Err: fmt.Errorf(
+							"mp: idle process %d broadcast at %v", p, ev.At)}
+					}
+				}
+
+				port := model.NoPort
+				if !wasIdle {
+					port = sc.portIdx[p]
+				}
+				ls.steps = append(ls.steps, model.Step{
+					Index:    len(ls.steps),
+					Proc:     p,
+					Time:     ev.At,
+					Accesses: ls.accesses.One(model.VarAccess{Var: bufVar(p)}),
+					Port:     port,
+				})
+
+				if body != nil {
+					ls.sent++
+					for dst := 0; dst < n; dst++ {
+						delay := sched.Delay(p, dst)
+						at := ev.At.Add(delay)
+						q.Push(sim.Event{
+							At:   at,
+							Kind: sim.KindDelivery,
+							Lane: ev.Lane,
+							Proc: dst,
+							Src:  p,
+							Body: body,
+						})
+						ls.delays = append(ls.delays, timing.MessageDelay{
+							Src: p, Dst: dst, Sent: ev.At, Delivered: at,
+						})
+					}
+				}
+
+				if proc.Idle() {
+					if !wasIdle {
+						ls.idleAt[p] = ev.At
+						ls.idleMark[p] = true
+						ls.idleCount++
+						if ls.idleCount == n {
+							ls.done = true
+							doneLanes++
+							if doneLanes == k {
+								break dispatch
+							}
+						}
+					}
+					continue
+				}
+				q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p, Lane: ev.Lane})
+			}
+		}
+	}
+
+	results := make([]*Result, k)
+	resBuf := make([]Result, k)
+	for l := range sc.lanes {
+		ls := &sc.lanes[l]
+		if ls.idleCount != n {
+			return nil, forks, &sim.LaneError{Lane: l, Err: fmt.Errorf(
+				"mp: executor drained queue with %d/%d processes idle", ls.idleCount, n)}
+		}
+		res := &resBuf[l]
+		res.Trace = &model.Trace{NumProcs: n, NumPorts: len(lanes[l].Sys.PortProcs), Steps: ls.steps}
+		res.Delays = ls.delays
+		res.IdleAt = ls.idleAt
+		res.MessagesSent = ls.sent
+		for _, pp := range lanes[l].Sys.PortProcs {
+			res.Finish = sim.MaxTime(res.Finish, ls.idleAt[pp])
+		}
+		results[l] = res
+		if ls.stepCount > sc.lastSteps {
+			sc.lastSteps = ls.stepCount
+		}
+		if len(ls.delays) > sc.lastDelays {
+			sc.lastDelays = len(ls.delays)
+		}
+	}
+	return results, forks, nil
+}

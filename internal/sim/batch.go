@@ -1,14 +1,29 @@
 package sim
 
+import "fmt"
+
+// LaneError attributes a lockstep-batch failure to the lane whose run
+// failed, so callers that map lanes to seeds can re-attribute the error
+// exactly as a solo run of that seed would have reported it.
+type LaneError struct {
+	Lane int
+	Err  error
+}
+
+func (e *LaneError) Error() string { return fmt.Sprintf("lane %d: %v", e.Lane, e.Err) }
+
+func (e *LaneError) Unwrap() error { return e.Err }
+
 // MergeSameTick pops every event still pending at tick now — pushed there by
 // the executor while it drains a PopTick batch — and inserts each into the
-// unprocessed tail batch[bi:] at its (Kind, Proc, Seq) position, so the
-// combined drain order matches what a pop-one-at-a-time loop over a single
-// priority queue would have produced. Returns the (possibly grown) batch.
+// unprocessed tail batch[bi:] at its (Lane, Kind, Proc, Seq) position, so
+// the combined drain order matches what a pop-one-at-a-time loop over a
+// single priority queue would have produced. Returns the (possibly grown)
+// batch.
 //
 // Callers invoke it before processing each batch element, guarded by a
 // PeekAt check, so an event pushed back onto the current tick is interleaved
-// exactly where the full (At, Kind, Proc, Seq) order places it.
+// exactly where the full (At, Lane, Kind, Proc, Seq) order places it.
 func MergeSameTick(q *Queue, now Time, batch []Event, bi int) []Event {
 	for {
 		if _, ok := q.PeekAt(now); !ok {

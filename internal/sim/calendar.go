@@ -14,13 +14,13 @@ const (
 )
 
 // CalendarQueue is a monotone calendar (bucket) queue of events ordered by
-// (At, Kind, Proc, Seq), following Brown's calendar-queue design (CACM 1988)
-// specialized to the simulator's monotone virtual clock: executors only push
-// events at or after the tick currently being drained, and every increment
-// is bounded by the timing model's max(c2, d2, gap cap, period). Under that
-// contract Push and Pop are O(1) amortized — a push indexes a bucket by
-// At & mask, and the per-tick sort that restores (Kind, Proc, Seq) order is
-// paid once per tick over all its events.
+// (At, Lane, Kind, Proc, Seq), following Brown's calendar-queue design
+// (CACM 1988) specialized to the simulator's monotone virtual clock:
+// executors only push events at or after the tick currently being drained,
+// and every increment is bounded by the timing model's max(c2, d2, gap cap,
+// period). Under that contract Push and Pop are O(1) amortized — a push
+// indexes a bucket by At & mask, and the per-tick sort that restores
+// (Lane, Kind, Proc, Seq) order is paid once per tick over all its events.
 //
 // Events scheduled at or beyond cur+window (e.g. fault-injected restart
 // pauses that exceed the model's bounds) spill into a small overflow
@@ -40,14 +40,15 @@ type CalendarQueue struct {
 	mask    Time // len(buckets) - 1
 	cur     Time // lower bound on every pending event's At
 	pos     int  // consumed prefix of the bucket at cur
-	sorted  bool // buckets[cur&mask][pos:] is in (Kind, Proc, Seq) order
+	sorted  bool // buckets[cur&mask][pos:] is in (Lane, Kind, Proc, Seq) order
 	n       int  // total pending events
 	nb      int  // pending events held in buckets (rest are in overflow)
 	seq     uint64
-	over    []Event // min-heap on At: events at or beyond cur+window
-	spare   []Event // rebase/sort scratch, kept to avoid slow-path allocation
-	pool    []Event // bump arena handing initial capacity chunks to buckets
-	cnt     []int32 // counting-sort histogram over (Kind, Proc) keys
+	over    []Event   // min-heap on At: events at or beyond cur+window
+	spare   []Event   // rebase/sort scratch, kept to avoid slow-path allocation
+	blocks  [][]Event // pooled blocks carved into bucket capacity chunks
+	bi, bo  int       // carve cursor into blocks: block index, offset
+	cnt     []int32   // counting-sort histogram over (Lane, Kind, Proc) keys
 }
 
 // Bucket capacity chunking: an empty bucket's first append would otherwise
@@ -56,19 +57,28 @@ type CalendarQueue struct {
 // Instead, first-touched buckets get a fixed-size capacity chunk carved from
 // a pooled block, so a fresh run pays one allocation per blockChunks touched
 // buckets; buckets that outgrow their chunk fall back to append's regular
-// doubling, and Reset keeps all grown capacity warm.
+// doubling. Blocks are retained and the carve cursor rewinds on Reset, so a
+// warm queue re-carves the same memory instead of growing run over run —
+// this matters for overflow-window migration, whose bucketAppend targets
+// drift with the tick pattern and previously stranded chunks on buckets the
+// next run never touched.
 const (
 	bucketChunk = 16
 	blockChunks = 16
 )
 
 func (q *CalendarQueue) newChunk() []Event {
-	if len(q.pool)+bucketChunk > cap(q.pool) {
-		q.pool = make([]Event, 0, bucketChunk*blockChunks)
+	if q.bi == len(q.blocks) {
+		q.blocks = append(q.blocks, make([]Event, bucketChunk*blockChunks))
 	}
-	n := len(q.pool)
-	q.pool = q.pool[:n+bucketChunk]
-	return q.pool[n : n : n+bucketChunk]
+	blk := q.blocks[q.bi]
+	c := blk[q.bo : q.bo : q.bo+bucketChunk]
+	q.bo += bucketChunk
+	if q.bo == len(blk) {
+		q.bi++
+		q.bo = 0
+	}
+	return c
 }
 
 // bucketAppend appends ev to bucket idx, seeding empty buckets with a chunk.
@@ -205,10 +215,10 @@ func (q *CalendarQueue) PeekAt(t Time) (Event, bool) {
 }
 
 // PopTick removes every pending event at the earliest tick, appends them to
-// dst in (Kind, Proc, Seq) order, and returns the tick and the extended
-// slice. It panics on an empty queue. The clock stays on the returned tick,
-// so events pushed at the same tick afterwards land at the front and are
-// observable via PeekAt.
+// dst in (Lane, Kind, Proc, Seq) order, and returns the tick and the
+// extended slice. It panics on an empty queue. The clock stays on the
+// returned tick, so events pushed at the same tick afterwards land at the
+// front and are observable via PeekAt.
 func (q *CalendarQueue) PopTick(dst []Event) (Time, []Event) {
 	if q.n == 0 {
 		panic("sim: PopTick on empty CalendarQueue")
@@ -230,17 +240,76 @@ func (q *CalendarQueue) PopTick(dst []Event) (Time, []Event) {
 	return q.cur, dst
 }
 
+// PopTickLanes drains the earliest tick like PopTick, documenting the
+// lane-major contract the batched executors rely on: the returned batch is
+// grouped by Lane, and within each lane the events appear in exactly the
+// (Kind, Proc, Seq) order a solo run over a private queue would pop them.
+func (q *CalendarQueue) PopTickLanes(dst []Event) (Time, []Event) {
+	return q.PopTick(dst)
+}
+
+// Checkpoint appends every pending event to dst in push (Seq) order and
+// returns the extended slice, without disturbing the queue. Together with
+// ForkFrom it lets a batched executor replicate a shared schedule prefix
+// into additional lanes instead of recomputing it per seed.
+func (q *CalendarQueue) Checkpoint(dst []Event) []Event {
+	n0 := len(dst)
+	front := q.cur & q.mask
+	for i := range q.buckets {
+		b := q.buckets[i]
+		if q.n > 0 && Time(i) == front {
+			b = b[q.pos:] // skip the consumed (zeroed) prefix
+		}
+		dst = append(dst, b...)
+	}
+	dst = append(dst, q.over...)
+	slices.SortFunc(dst[n0:], func(a, b Event) int {
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		}
+		return 0
+	})
+	return dst
+}
+
+// ForkFrom pushes a copy of each checkpointed event retagged with lane. The
+// checkpoint is in push order, and Push assigns fresh ascending Seqs, so the
+// forked lane's relative event order matches the checkpointed lane's.
+func (q *CalendarQueue) ForkFrom(cp []Event, lane int32) {
+	for _, ev := range cp {
+		ev.Lane = lane
+		q.Push(ev)
+	}
+}
+
 // Len reports the number of pending events.
 func (q *CalendarQueue) Len() int { return q.n }
 
 // Reset empties the queue and restarts the tie-breaking sequence, keeping
 // the bucket window and every backing array so a reused queue pushes into
 // warm capacity. Pending events are cleared to release Body references.
+//
+// Chunk-backed buckets (cap exactly bucketChunk — grown buckets have at
+// least double that) are detached and their pooled blocks reclaimed by
+// rewinding the carve cursor, so the next run re-carves the same memory no
+// matter which buckets it touches. Without this, overflow migrations and
+// shifting tick patterns strand chunks on buckets a reused queue never
+// revisits, and warm batch reuse grows the pool run over run.
 func (q *CalendarQueue) Reset() {
 	for i := range q.buckets {
-		clear(q.buckets[i])
-		q.buckets[i] = q.buckets[i][:0]
+		b := q.buckets[i]
+		clear(b)
+		if cap(b) == bucketChunk {
+			q.buckets[i] = nil
+			continue
+		}
+		q.buckets[i] = b[:0]
 	}
+	q.bi = 0
+	q.bo = 0
 	clear(q.over)
 	q.over = q.over[:0]
 	q.cur = 0
@@ -405,10 +474,11 @@ func (q *CalendarQueue) overPop() Event {
 	return ev
 }
 
-// sortSameTick restores (Kind, Proc, Seq) order within one tick's events.
-// The common cases are already sorted — SM pushes steps in process order,
-// single-sender delivery waves arrive in destination order — so a linear
-// sortedness check runs first and usually wins.
+// sortSameTick restores (Lane, Kind, Proc, Seq) order within one tick's
+// events. The common cases are already sorted — SM pushes steps in process
+// order, single-sender delivery waves arrive in destination order, batched
+// executors process lanes in order — so a linear sortedness check runs first
+// and usually wins.
 func (q *CalendarQueue) sortSameTick(evs []Event) {
 	for i := 1; i < len(evs); i++ {
 		if SameTickLess(evs[i], evs[i-1]) {
@@ -418,40 +488,51 @@ func (q *CalendarQueue) sortSameTick(evs []Event) {
 	}
 }
 
-// maxCountProc bounds the (Kind, Proc) key space of the counting sort;
-// events outside it (huge or negative Proc values from ad-hoc users, or
-// unknown kinds) fall back to a comparison sort.
-const maxCountProc = 4096
+// maxCountProc and maxCountLane bound the (Lane, Kind, Proc) key space of
+// the counting sort; events outside it (huge or negative Proc or Lane values
+// from ad-hoc users, or unknown kinds) fall back to a comparison sort.
+const (
+	maxCountProc = 4096
+	maxCountLane = 64
+)
 
 // countingSort is the same-tick sort for the executor workloads:
 // multi-sender delivery waves interleave destination-ordered runs, which is
-// a worst case for a comparison sort (O(m log m) swaps of 48-byte events
+// a worst case for a comparison sort (O(m log m) swaps of 64-byte events
 // with write barriers for the Body pointer) but a single stable scatter
-// pass here. Scatter preserves slice order inside each (Kind, Proc) group;
-// that is Seq order for bucket appends, and the final fixup pass repairs
-// the rare groups that a rebase or an overflow migration left out of
-// order.
+// pass here. Scatter preserves slice order inside each (Lane, Kind, Proc)
+// group; that is Seq order for bucket appends, and the final fixup pass
+// repairs the rare groups that a rebase or an overflow migration left out
+// of order.
 func (q *CalendarQueue) countingSort(evs []Event) {
 	maxProc := 0
+	maxLane := int32(0)
 	for i := range evs {
 		e := &evs[i]
-		if e.Proc < 0 || e.Proc >= maxCountProc || e.Kind < KindDelivery || e.Kind > KindStep {
+		if e.Proc < 0 || e.Proc >= maxCountProc || e.Kind < KindDelivery || e.Kind > KindStep ||
+			e.Lane < 0 || e.Lane >= maxCountLane {
 			slices.SortFunc(evs, cmpSameTick)
 			return
 		}
 		if e.Proc > maxProc {
 			maxProc = e.Proc
 		}
+		if e.Lane > maxLane {
+			maxLane = e.Lane
+		}
 	}
 	span := maxProc + 1
-	nk := 2 * span // kinds are KindDelivery and KindStep
+	nk := int(maxLane+1) * 2 * span // kinds are KindDelivery and KindStep
 	if cap(q.cnt) < nk {
 		q.cnt = make([]int32, nk)
 	}
 	cnt := q.cnt[:nk]
 	clear(cnt)
+	key := func(e *Event) int {
+		return (int(e.Lane)*2+int(e.Kind)-1)*span + e.Proc
+	}
 	for i := range evs {
-		cnt[(int(evs[i].Kind)-1)*span+evs[i].Proc]++
+		cnt[key(&evs[i])]++
 	}
 	sum := int32(0)
 	for k := range cnt {
@@ -464,7 +545,7 @@ func (q *CalendarQueue) countingSort(evs []Event) {
 	}
 	tmp := q.spare[:len(evs)]
 	for i := range evs {
-		k := (int(evs[i].Kind)-1)*span + evs[i].Proc
+		k := key(&evs[i])
 		tmp[cnt[k]] = evs[i]
 		cnt[k]++
 	}
@@ -472,10 +553,12 @@ func (q *CalendarQueue) countingSort(evs []Event) {
 	clear(tmp) // release Body references held by the scratch
 	q.spare = q.spare[:0]
 	for i := 1; i < len(evs); i++ {
-		if evs[i].Kind == evs[i-1].Kind && evs[i].Proc == evs[i-1].Proc && evs[i].Seq < evs[i-1].Seq {
+		if evs[i].Lane == evs[i-1].Lane && evs[i].Kind == evs[i-1].Kind &&
+			evs[i].Proc == evs[i-1].Proc && evs[i].Seq < evs[i-1].Seq {
 			ev := evs[i]
 			j := i
-			for j > 0 && evs[j-1].Kind == ev.Kind && evs[j-1].Proc == ev.Proc && evs[j-1].Seq > ev.Seq {
+			for j > 0 && evs[j-1].Lane == ev.Lane && evs[j-1].Kind == ev.Kind &&
+				evs[j-1].Proc == ev.Proc && evs[j-1].Seq > ev.Seq {
 				evs[j] = evs[j-1]
 				j--
 			}
@@ -485,6 +568,12 @@ func (q *CalendarQueue) countingSort(evs []Event) {
 }
 
 func cmpSameTick(a, b Event) int {
+	if a.Lane != b.Lane {
+		if a.Lane < b.Lane {
+			return -1
+		}
+		return 1
+	}
 	if a.Kind != b.Kind {
 		if a.Kind < b.Kind {
 			return -1

@@ -1,5 +1,7 @@
 package sim
 
+import "slices"
+
 // EventKind orders events that fall on the same tick. Lower kinds run first:
 // network deliveries are processed before process steps at the same time, so
 // a message delivered "at" time t is visible to a step taken at time t. This
@@ -24,6 +26,12 @@ const (
 type Event struct {
 	At   Time
 	Kind EventKind
+	// Lane separates independent executions multiplexed through one queue
+	// (the batched lockstep executors give each seed a lane). Events of one
+	// tick drain lane-major, so within a lane the relative order is exactly
+	// what a solo run over a private queue would produce. Solo runs leave
+	// Lane at 0 and see the historical (At, Kind, Proc, Seq) order.
+	Lane int32
 	Proc int
 	Seq  uint64 // assigned by the queue; breaks remaining ties FIFO
 	Src  int
@@ -31,10 +39,13 @@ type Event struct {
 }
 
 // SameTickLess reports whether a orders before b among events scheduled at
-// the same tick: by Kind, then Proc, then Seq. It is the tail of the full
-// (At, Kind, Proc, Seq) event order; the executors use it to merge events
-// pushed back onto the tick currently being drained.
+// the same tick: by Lane, then Kind, then Proc, then Seq. It is the tail of
+// the full (At, Lane, Kind, Proc, Seq) event order; the executors use it to
+// merge events pushed back onto the tick currently being drained.
 func SameTickLess(a, b Event) bool {
+	if a.Lane != b.Lane {
+		return a.Lane < b.Lane
+	}
 	if a.Kind != b.Kind {
 		return a.Kind < b.Kind
 	}
@@ -45,7 +56,7 @@ func SameTickLess(a, b Event) bool {
 }
 
 // HeapQueue is a deterministic priority queue of events ordered by
-// (At, Kind, Proc, Seq), backed by a binary heap. The zero value is ready to
+// (At, Lane, Kind, Proc, Seq), backed by a binary heap. The zero value is ready to
 // use.
 //
 // It is the reference implementation: CalendarQueue (the default Queue) must
@@ -108,7 +119,7 @@ func (q *HeapQueue) PeekAt(t Time) (Event, bool) {
 }
 
 // PopTick removes every pending event at the earliest tick, appends them to
-// dst in (Kind, Proc, Seq) order, and returns the tick and the extended
+// dst in (Lane, Kind, Proc, Seq) order, and returns the tick and the extended
 // slice. It panics on an empty queue. Events pushed at the same tick after
 // PopTick returns are not part of the batch; callers merge them via PeekAt.
 func (q *HeapQueue) PopTick(dst []Event) (Time, []Event) {
@@ -117,6 +128,43 @@ func (q *HeapQueue) PopTick(dst []Event) (Time, []Event) {
 		dst = append(dst, q.Pop())
 	}
 	return t, dst
+}
+
+// PopTickLanes drains the earliest tick like PopTick, documenting the
+// lane-major contract the batched executors rely on: the returned batch is
+// grouped by Lane, and within each lane the events appear in exactly the
+// (Kind, Proc, Seq) order a solo run over a private queue would pop them.
+func (q *HeapQueue) PopTickLanes(dst []Event) (Time, []Event) {
+	return q.PopTick(dst)
+}
+
+// Checkpoint appends every pending event to dst in push (Seq) order and
+// returns the extended slice, without disturbing the queue. Together with
+// ForkFrom it lets a batched executor replicate a shared schedule prefix
+// into additional lanes instead of recomputing it per seed.
+func (q *HeapQueue) Checkpoint(dst []Event) []Event {
+	n0 := len(dst)
+	dst = append(dst, q.h...)
+	slices.SortFunc(dst[n0:], func(a, b Event) int {
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		}
+		return 0
+	})
+	return dst
+}
+
+// ForkFrom pushes a copy of each checkpointed event retagged with lane. The
+// checkpoint is in push order, and Push assigns fresh ascending Seqs, so the
+// forked lane's relative event order matches the checkpointed lane's.
+func (q *HeapQueue) ForkFrom(cp []Event, lane int32) {
+	for _, ev := range cp {
+		ev.Lane = lane
+		q.Push(ev)
+	}
 }
 
 // Len reports the number of pending events.
@@ -147,11 +195,14 @@ func (q *HeapQueue) Reserve(n int) {
 // against either via the sessionheap build tag.
 func (q *HeapQueue) SetWindow(span Duration) {}
 
-// less orders the heap by (At, Kind, Proc, Seq).
+// less orders the heap by (At, Lane, Kind, Proc, Seq).
 func (q *HeapQueue) less(i, j int) bool {
 	a, b := &q.h[i], &q.h[j]
 	if a.At != b.At {
 		return a.At < b.At
+	}
+	if a.Lane != b.Lane {
+		return a.Lane < b.Lane
 	}
 	if a.Kind != b.Kind {
 		return a.Kind < b.Kind

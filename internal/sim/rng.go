@@ -5,6 +5,7 @@ package sim
 // Go versions and so that independent streams can be forked cheaply.
 type RNG struct {
 	state uint64
+	draws uint64
 }
 
 // NewRNG returns a generator seeded with seed. Two RNGs with the same seed
@@ -15,12 +16,22 @@ func NewRNG(seed uint64) *RNG {
 
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
+	r.draws++
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// Draws reports how many raw 64-bit values have been drawn since the
+// generator was created. The batched executors use it to detect RNG-free
+// schedule prefixes: if a whole run (or its initial event wave) drew
+// nothing, the trajectory is seed-independent and can be shared or forked
+// across seeds instead of being recomputed. Zero-width draws — code paths
+// like DurationBetween with lo == hi that return without consuming the
+// stream — intentionally do not count.
+func (r *RNG) Draws() uint64 { return r.draws }
 
 // Int63n returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Int63n(n int64) int64 {

@@ -1,0 +1,415 @@
+package sm
+
+import (
+	"context"
+	"fmt"
+
+	"sessionproblem/internal/arena"
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+)
+
+// This file implements the lockstep batch mode of the shared-memory
+// executor: all seeds of one cell run through a single calendar-queue
+// instance, each seed in its own lane. Events order by (At, Lane, Kind,
+// Proc, Seq), so one tick drains lane-major and every lane observes exactly
+// the event order a solo run over a private queue would have produced —
+// batched traces are byte-identical to sequential ones. What the batch
+// amortizes is everything around the events: one queue (one bucket window,
+// one warm chunk pool, one same-tick sort per tick across all lanes), one
+// port table, and one pass over the cache-hot shared System topology.
+//
+// Lane memory layout: immutable inputs (spec-derived topology, port tables)
+// are shared across the batch; every mutable structure — trace steps, the
+// access-record arena, variable values, b-bound tracking, idle times — lives
+// in a per-lane laneState, so lanes never alias each other's memory and a
+// lane's Result obeys the same ownership contract as a solo Scratch run.
+
+// DrawCounter is the optional scheduler capability behind prefix forking: a
+// scheduler that can report how many random values it has consumed lets the
+// batch executor prove an event prefix was seed-independent and replicate it
+// into other lanes instead of recomputing it. timing.Scheduler implements
+// it.
+type DrawCounter interface {
+	Draws() uint64
+}
+
+// BatchLane pairs one seed's system instance with its scheduler. All lanes
+// of a batch must be built from the same algorithm and spec, so their
+// topology (process count, port bindings, b) is identical; the executor
+// validates the cheap invariants and shares one port table across lanes.
+type BatchLane struct {
+	Sys   *System
+	Sched Scheduler
+}
+
+// BatchOptions tune a lockstep batch execution. The batch mode deliberately
+// supports only the plain execution profile — no fault injection, no idle
+// probes, no idle stepping; callers needing those fall back to solo runs.
+type BatchOptions struct {
+	// MaxSteps caps the number of steps per lane (not per batch). Zero means
+	// the solo default of 1_000_000.
+	MaxSteps int
+	// ExpectedSteps pre-sizes each lane's trace, as in Options.
+	ExpectedSteps int
+	// WindowHint sizes the shared queue's bucket window, as in Options.
+	WindowHint sim.Duration
+	// Scratch, when non-nil, backs the batch with reusable buffers. Nil runs
+	// with fresh buffers.
+	Scratch *BatchScratch
+	// ForkInit enables prefix forking of the initial event wave: lane 0's
+	// initial pushes are checkpointed and, if computing them consumed no
+	// random values (see DrawCounter), replayed into every other lane
+	// instead of re-invoking each lane's scheduler. Draw-freeness is a
+	// property of the (model, strategy) code path, not the seed, so lane 0
+	// proving it proves it for all lanes. Callers must leave this off for
+	// schedulers whose per-call state makes skipped calls observable
+	// (timing models with StartSync).
+	ForkInit bool
+}
+
+// laneState is the mutable half of one lane. See the layout note above.
+type laneState struct {
+	steps     []model.Step
+	accesses  arena.Chunked[model.VarAccess]
+	idleAt    []sim.Time
+	vars      map[model.VarID]Value
+	access    map[model.VarID][]int32
+	stepCount int
+	idleCount int
+	done      bool
+}
+
+// BatchScratch holds every buffer RunBatch grows: the shared queue and port
+// tables plus one laneState per lane. Reusing it across batches recycles all
+// of that capacity. The ownership contract extends the solo Scratch one:
+// every Result of a batch aliases its lane's memory and is valid only until
+// the next RunBatch with the same BatchScratch.
+type BatchScratch struct {
+	queue    sim.Queue
+	batch    []sim.Event
+	cp       []sim.Event
+	lanes    []laneState
+	portIdx  []int
+	portVar  []model.VarID
+	portDup  []PortBinding
+	portDupI []int
+	// lastSteps is the per-lane step high-water mark of the previous batch,
+	// carrying sizing knowledge across reuse like Scratch.lastSteps.
+	lastSteps int
+}
+
+// prepare resets the scratch for a batch of k lanes over np processes each.
+func (sc *BatchScratch) prepare(sys *System, k int, opts *BatchOptions) {
+	np := len(sys.Procs)
+	sc.queue.Reset()
+	sc.queue.Reserve(np * k)
+	if opts.WindowHint > 0 {
+		sc.queue.SetWindow(opts.WindowHint)
+	}
+	expectedSteps := opts.ExpectedSteps
+	if sc.lastSteps > 0 {
+		expectedSteps = sc.lastSteps + sc.lastSteps/8 + 8
+	}
+
+	if cap(sc.lanes) < k {
+		lanes := make([]laneState, k)
+		copy(lanes, sc.lanes)
+		sc.lanes = lanes
+	}
+	sc.lanes = sc.lanes[:k]
+	for l := range sc.lanes {
+		ls := &sc.lanes[l]
+		if ls.steps == nil && expectedSteps > 0 {
+			ls.steps = make([]model.Step, 0, expectedSteps)
+		}
+		ls.steps = ls.steps[:0]
+		ls.accesses.Reset()
+		ls.accesses.Reserve(expectedSteps)
+		ls.idleAt = arena.Resize(ls.idleAt, np)
+		for i := range ls.idleAt {
+			ls.idleAt[i] = -1
+		}
+		if ls.vars == nil {
+			ls.vars = make(map[model.VarID]Value, len(sys.Initial))
+		} else {
+			clear(ls.vars)
+		}
+		if ls.access == nil {
+			ls.access = make(map[model.VarID][]int32)
+		} else {
+			clear(ls.access)
+		}
+		ls.stepCount = 0
+		ls.idleCount = 0
+		ls.done = false
+	}
+
+	// Shared port table, built once from lane 0's topology exactly like
+	// Scratch.prepare builds it per run.
+	sc.portIdx = arena.Resize(sc.portIdx, np)
+	sc.portVar = arena.Resize(sc.portVar, np)
+	for i := 0; i < np; i++ {
+		sc.portIdx[i] = -1
+		sc.portVar[i] = 0
+	}
+	sc.portDup = sc.portDup[:0]
+	sc.portDupI = sc.portDupI[:0]
+	for i, pb := range sys.Ports {
+		if pb.Proc < 0 || pb.Proc >= np {
+			continue
+		}
+		switch {
+		case sc.portIdx[pb.Proc] < 0 || sc.portVar[pb.Proc] == pb.Var:
+			sc.portIdx[pb.Proc] = i
+			sc.portVar[pb.Proc] = pb.Var
+		default:
+			sc.portDup = append(sc.portDup, pb)
+			sc.portDupI = append(sc.portDupI, i)
+		}
+	}
+}
+
+// portOf mirrors Scratch.portOf on the batch's shared port table.
+func (sc *BatchScratch) portOf(p int, target model.VarID) int {
+	if sc.portIdx[p] >= 0 && sc.portVar[p] == target {
+		return sc.portIdx[p]
+	}
+	for i := len(sc.portDup) - 1; i >= 0; i-- {
+		if sc.portDup[i].Proc == p && sc.portDup[i].Var == target {
+			return sc.portDupI[i]
+		}
+	}
+	return model.NoPort
+}
+
+// forkFrom replicates src's lane state into ls: variable values, b-bound
+// tracking, idle times, and the trace prefix recorded so far, with every
+// access record re-allocated in ls's own arena so the forked lane owns its
+// memory. Called at the fork point, after which the lanes diverge freely.
+func (ls *laneState) forkFrom(src *laneState) {
+	clear(ls.vars)
+	for k, v := range src.vars {
+		ls.vars[k] = v
+	}
+	clear(ls.access)
+	for k, v := range src.access {
+		ls.access[k] = append(ls.access[k][:0], v...)
+	}
+	copy(ls.idleAt, src.idleAt)
+	ls.stepCount = src.stepCount
+	ls.idleCount = src.idleCount
+	ls.steps = ls.steps[:0]
+	ls.accesses.ForkFrom(&src.accesses, src.accesses.Checkpoint(), func(i int, rec []model.VarAccess) {
+		st := src.steps[i]
+		st.Accesses = rec
+		ls.steps = append(ls.steps, st)
+	})
+}
+
+// RunBatch executes every lane to completion through one shared queue and
+// returns the per-lane results, in lane order, plus the number of lanes that
+// received a forked prefix. The i-th Result is byte-identical to what a solo
+// RunContext of lane i would produce. On failure the error wraps a
+// *sim.LaneError identifying the offending lane.
+func RunBatch(ctx context.Context, lanes []BatchLane, opts BatchOptions) ([]*Result, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	k := len(lanes)
+	if k == 0 {
+		return nil, 0, nil
+	}
+	sys0 := lanes[0].Sys
+	np := len(sys0.Procs)
+	if np == 0 {
+		return nil, 0, &sim.LaneError{Lane: 0, Err: fmt.Errorf("sm: no processes")}
+	}
+	if sys0.B < 2 {
+		return nil, 0, &sim.LaneError{Lane: 0, Err: fmt.Errorf("sm: b must be at least 2, got %d", sys0.B)}
+	}
+	for l := 1; l < k; l++ {
+		if len(lanes[l].Sys.Procs) != np || len(lanes[l].Sys.Ports) != len(sys0.Ports) || lanes[l].Sys.B != sys0.B {
+			return nil, 0, fmt.Errorf("sm: batch lanes disagree on topology (lane %d)", l)
+		}
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	sc := opts.Scratch
+	if sc == nil {
+		sc = new(BatchScratch)
+	}
+	sc.prepare(sys0, k, &opts)
+	for l := range sc.lanes {
+		ls := &sc.lanes[l]
+		for key, v := range lanes[l].Sys.Initial {
+			ls.vars[key] = v
+		}
+	}
+
+	q := &sc.queue
+	forks := 0
+
+	// Initial event wave, with prefix forking: lane 0 always computes its own
+	// wave; if that provably consumed no randomness, the wave is identical
+	// for every seed and is checkpointed and replayed into lanes 1..k-1.
+	var d0 DrawCounter
+	if opts.ForkInit {
+		d0, _ = lanes[0].Sched.(DrawCounter)
+	}
+	base := uint64(0)
+	if d0 != nil {
+		base = d0.Draws()
+	}
+	for p := 0; p < np; p++ {
+		q.Push(sim.Event{At: sim.Time(0).Add(lanes[0].Sched.Gap(p)), Kind: sim.KindStep, Proc: p, Lane: 0})
+	}
+	if d0 != nil && d0.Draws() == base {
+		sc.cp = q.Checkpoint(sc.cp[:0])
+		for l := 1; l < k; l++ {
+			q.ForkFrom(sc.cp, int32(l))
+			sc.lanes[l].forkFrom(&sc.lanes[0])
+			forks++
+		}
+	} else {
+		for l := 1; l < k; l++ {
+			sched := lanes[l].Sched
+			for p := 0; p < np; p++ {
+				q.Push(sim.Event{At: sim.Time(0).Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p, Lane: int32(l)})
+			}
+		}
+	}
+
+	doneLanes := 0
+	totalSteps := 0
+	batch := sc.batch[:0]
+	defer func() {
+		clear(batch)
+		sc.batch = batch[:0]
+	}()
+	var now sim.Time
+dispatch:
+	for q.Len() > 0 {
+		now, batch = q.PopTickLanes(batch[:0])
+		for bi := 0; bi < len(batch); bi++ {
+			if ev0, ok := q.PeekAt(now); ok && sim.SameTickLess(ev0, batch[bi]) {
+				batch = sim.MergeSameTick(q, now, batch, bi)
+			}
+			ev := batch[bi]
+			l := int(ev.Lane)
+			ls := &sc.lanes[l]
+			if ls.done {
+				// The lane terminated earlier this tick; a solo run would
+				// have broken out of its dispatch loop here, so its leftover
+				// events are dropped unprocessed.
+				continue
+			}
+			p := ev.Proc
+			proc := lanes[l].Sys.Procs[p]
+			sched := lanes[l].Sched
+
+			if ls.stepCount >= maxSteps {
+				return nil, forks, &sim.LaneError{Lane: l, Err: fmt.Errorf("%w (cap %d)", ErrNoTermination, maxSteps)}
+			}
+			ls.stepCount++
+			totalSteps++
+			if totalSteps%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, forks, err
+				}
+			}
+
+			wasIdle := proc.Idle()
+			target := proc.Target()
+			old := ls.vars[target]
+			newVal := proc.Step(old)
+			ls.vars[target] = newVal
+
+			acc := ls.access[target]
+			known := false
+			for _, ap := range acc {
+				if ap == int32(p) {
+					known = true
+					break
+				}
+			}
+			if !known {
+				acc = append(acc, int32(p))
+				ls.access[target] = acc
+				if len(acc) > sys0.B {
+					return nil, forks, &sim.LaneError{Lane: l, Err: fmt.Errorf(
+						"sm: variable %d accessed by %d > b=%d processes", target, len(acc), sys0.B)}
+				}
+			}
+
+			port := model.NoPort
+			if !wasIdle {
+				port = sc.portOf(p, target)
+			}
+			ls.steps = append(ls.steps, model.Step{
+				Index:    len(ls.steps),
+				Proc:     p,
+				Time:     ev.At,
+				Accesses: ls.accesses.One(model.VarAccess{Var: target, Old: old, New: newVal}),
+				Port:     port,
+			})
+
+			if wasIdle {
+				// Mirrors the solo idle-stability contract; with no probe or
+				// idle-stepping options an idle process is never rescheduled,
+				// so this only triggers for processes that start idle.
+				if !proc.Idle() {
+					return nil, forks, &sim.LaneError{Lane: l, Err: fmt.Errorf(
+						"sm: process %d left idle state at %v", p, ev.At)}
+				}
+				if !valuesEqual(old, newVal) {
+					return nil, forks, &sim.LaneError{Lane: l, Err: fmt.Errorf(
+						"sm: idle process %d modified variable %d at %v", p, target, ev.At)}
+				}
+				continue
+			}
+			if proc.Idle() {
+				ls.idleAt[p] = ev.At
+				ls.idleCount++
+				if ls.idleCount == np {
+					ls.done = true
+					doneLanes++
+					if doneLanes == k {
+						break dispatch
+					}
+				}
+				continue
+			}
+			q.Push(sim.Event{At: ev.At.Add(sched.Gap(p)), Kind: sim.KindStep, Proc: p, Lane: ev.Lane})
+		}
+	}
+
+	results := make([]*Result, k)
+	resBuf := make([]Result, k)
+	for l := range sc.lanes {
+		ls := &sc.lanes[l]
+		if ls.idleCount != np {
+			return nil, forks, &sim.LaneError{Lane: l, Err: fmt.Errorf(
+				"sm: executor drained queue with %d/%d processes idle", ls.idleCount, np)}
+		}
+		res := &resBuf[l]
+		res.Trace = &model.Trace{NumProcs: np, NumPorts: len(lanes[l].Sys.Ports), Steps: ls.steps}
+		res.IdleAt = ls.idleAt
+		for _, pb := range lanes[l].Sys.Ports {
+			if pb.Proc >= 0 && pb.Proc < np {
+				res.Finish = sim.MaxTime(res.Finish, ls.idleAt[pb.Proc])
+			}
+		}
+		for _, at := range ls.idleAt {
+			res.FinishAll = sim.MaxTime(res.FinishAll, at)
+		}
+		results[l] = res
+		if ls.stepCount > sc.lastSteps {
+			sc.lastSteps = ls.stepCount
+		}
+	}
+	return results, forks, nil
+}

@@ -77,6 +77,15 @@ func (m Model) NewScheduler(strategy Strategy, seed uint64) *Scheduler {
 // Model returns the timing model this scheduler draws from.
 func (s *Scheduler) Model() Model { return s.model }
 
+// Draws reports how many random values the scheduler has consumed so far.
+// Deterministic strategies (Slow, Fast, and — for gaps — Skewed and
+// Jittered) resolve without touching the stream, as does DurationBetween on
+// a degenerate range, so a zero Draws after a run proves the whole schedule
+// was seed-independent. The batched executors use that to share one run's
+// result across every seed of a cell, and a zero Draws after the initial
+// event wave to fork the shared prefix into per-seed lanes.
+func (s *Scheduler) Draws() uint64 { return s.rng.Draws() }
+
 // gapRange returns the scheduler's drawing range for step gaps (the
 // admissible range, with unbounded tops replaced by the model's GapCap).
 func (s *Scheduler) gapRange() (lo, hi sim.Duration) {

@@ -61,6 +61,13 @@ type Stats struct {
 	// (zero without WithRunCache).
 	CacheHits   int64
 	CacheMisses int64
+	// BatchLanes, BatchForks and BatchFallbacks account the seed-batching
+	// layer (see WithSeedBatching): seeds run through shared lockstep lanes,
+	// runs served from a shared schedule prefix, and seeds that fell back to
+	// solo runs.
+	BatchLanes     int
+	BatchForks     int
+	BatchFallbacks int
 }
 
 // settings is the resolved configuration an API call runs with.
@@ -99,6 +106,8 @@ type settings struct {
 	cacheDir    string
 	journalPath string
 	journal     *journal.Writer
+
+	noSeedBatch bool
 }
 
 // initCache resolves WithCacheDir into the cache the call runs with: a
@@ -176,8 +185,9 @@ func (s settings) harnessConfig(eng *engine.Engine) harness.Config {
 		S: s.s, N: s.n, B: s.b,
 		C1: s.c1, C2: s.c2, Cmin: s.cmin, Cmax: s.cmax,
 		D1: s.d1, D2: s.d2,
-		Seeds:  s.seeds,
-		Engine: eng,
+		Seeds:       s.seeds,
+		Engine:      eng,
+		NoSeedBatch: s.noSeedBatch,
 	}
 }
 
@@ -215,6 +225,9 @@ func statsOf(eng *engine.Engine) Stats {
 		Steps: es.Counts.Steps, Sessions: es.Counts.Sessions, Messages: es.Counts.Messages,
 		Faults:    es.Counts.Faults,
 		CacheHits: es.CacheHits, CacheMisses: es.CacheMisses,
+		BatchLanes:     es.Counts.BatchLanes,
+		BatchForks:     es.Counts.BatchForks,
+		BatchFallbacks: es.Counts.BatchFallbacks,
 	}
 }
 
@@ -275,6 +288,16 @@ func WithSeeds(n int) Option {
 // Values < 1 mean GOMAXPROCS. Results are identical at any setting.
 func WithParallelism(n int) Option {
 	return func(cfg *settings) { cfg.parallelism = n }
+}
+
+// WithSeedBatching toggles lockstep seed batching (default on): the seeds of
+// each (cell, strategy) group run through one shared calendar queue in
+// per-seed lanes, with provably seed-independent schedule prefixes computed
+// once and forked across lanes. Results are byte-identical either way — the
+// toggle trades the batched mode's throughput for per-run observer
+// granularity (batched calls report one Observation per seed group).
+func WithSeedBatching(on bool) Option {
+	return func(cfg *settings) { cfg.noSeedBatch = !on }
 }
 
 // WithTimeout bounds the whole call in wall-clock time; in-flight

@@ -245,8 +245,9 @@ func Sweep(ctx context.Context, kind SweepKind, opts ...Option) (*SweepResult, e
 		S: cfg.s, N: cfg.n,
 		C1: cfg.c1, C2: cfg.c2, D1: cfg.d1, D2: cfg.d2,
 		Steps: cfg.sweepSteps, MaxS: cfg.maxSessions, Cmaxs: cfg.periodMaxima,
-		Seeds:  cfg.seeds,
-		Engine: eng,
+		Seeds:       cfg.seeds,
+		Engine:      eng,
+		NoSeedBatch: cfg.noSeedBatch,
 	}
 	switch kind {
 	case SweepSporadicDelay:
