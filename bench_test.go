@@ -17,6 +17,7 @@ import (
 
 	"sessionproblem/internal/adversary"
 	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/gossip"
 	"sessionproblem/internal/alg/periodic"
 	"sessionproblem/internal/alg/semisync"
 	"sessionproblem/internal/alg/sporadic"
@@ -209,6 +210,49 @@ func BenchmarkBatchTable1AsyncSMRandom(b *testing.B) {
 
 func BenchmarkBatchTable1AsyncMPRandom(b *testing.B) {
 	benchBatchMP(b, async.NewMP(), timing.NewAsynchronousMP(benchCfg.C2, benchCfg.D2), timing.Random)
+}
+
+// --- Large-n scale cells -----------------------------------------------------
+
+// The BenchmarkLargeN* cells are the committed memory ceilings of the
+// large-topology work: each runs one streaming-certified run (nil trace,
+// O(ports) certifier state) and reports B/op and allocs/op, which the budget
+// gate holds against bench_budget.json. The byte ceilings are the point —
+// a change that reintroduces a per-step or per-port² allocation blows the
+// committed budget long before it blows the machine.
+
+func benchLargeNSM(b *testing.B, alg core.SMAlgorithm, s, n, bound, maxSteps int) {
+	b.Helper()
+	spec := core.Spec{S: s, N: n, B: bound}
+	m := timing.NewAsynchronousSM(4)
+	rs := new(core.RunScratch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunSMStream(context.Background(), alg, spec, m, timing.Slow,
+			uint64(i)+1, rs, core.StreamOptions{MaxSteps: maxSteps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.NumSteps), "steps")
+	}
+}
+
+// BenchmarkLargeNTree10k: the Section-3 relay-tree algorithm at 10⁴ ports —
+// the bit-packed Knowledge path, where per-node state is the dominant term.
+func BenchmarkLargeNTree10k(b *testing.B) {
+	benchLargeNSM(b, async.NewSM(), 2, 10_000, 3, 500_000_000)
+}
+
+// BenchmarkLargeNExpander100k: the gossip synchronizer on a degree-4 random
+// expander at 10⁵ ports, per-vertex state O(degree).
+func BenchmarkLargeNExpander100k(b *testing.B) {
+	benchLargeNSM(b, gossip.NewSM("expander", 1), 2, 100_000, 2, 500_000_000)
+}
+
+// BenchmarkLargeNExpander1M is the acceptance cell: a million-port expander
+// certified end to end in O(ports) memory.
+func BenchmarkLargeNExpander1M(b *testing.B) {
+	benchLargeNSM(b, gossip.NewSM("expander", 1), 1, 1_000_000, 2, 2_000_000_000)
 }
 
 // --- Sweep experiments (F1-F3) ----------------------------------------------
@@ -450,8 +494,8 @@ func (a *announcer) Step(old sm.Value) sm.Value {
 	}
 	a.done = true
 	know := tree.NewKnowledge(a.port + 1)
-	know[a.port] = 1
-	tree.MergeCell(know, old)
+	know.Raise(a.port, 1)
+	tree.MergeCell(&know, old)
 	return tree.Cell{Know: know}
 }
 

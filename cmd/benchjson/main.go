@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -103,10 +104,68 @@ func parseBenchOutput(text string) (map[string]Metrics, error) {
 	return out, nil
 }
 
-// Budget maps benchmark name to its allocs/op ceiling.
-type Budget map[string]float64
+// BudgetEntry is one benchmark's ceilings. The budget file accepts two
+// spellings per benchmark: a bare number (an allocs/op ceiling — the
+// historical form, which every existing budget file keeps using) or an
+// object {"allocs": N, "bytes": M} with either ceiling optional. Byte
+// ceilings are what pin the O(ports) memory claim: a large-n cell whose
+// bytes/op grows past its committed ceiling fails the gate even if its
+// allocation count stays flat.
+type BudgetEntry struct {
+	Allocs      float64 // allocs/op ceiling, when CheckAllocs
+	Bytes       float64 // bytes/op ceiling, when CheckBytes
+	CheckAllocs bool
+	CheckBytes  bool
+}
 
-// checkBudget returns one violation message per benchmark over budget.
+func (e *BudgetEntry) UnmarshalJSON(data []byte) error {
+	*e = BudgetEntry{}
+	var n float64
+	if err := json.Unmarshal(data, &n); err == nil {
+		e.Allocs, e.CheckAllocs = n, true
+		return nil
+	}
+	var obj struct {
+		Allocs *float64 `json:"allocs"`
+		Bytes  *float64 `json:"bytes"`
+	}
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return fmt.Errorf(`budget entry wants a number (allocs/op) or {"allocs":N,"bytes":M}: %w`, err)
+	}
+	if obj.Allocs == nil && obj.Bytes == nil {
+		return fmt.Errorf(`budget entry needs at least one of "allocs", "bytes"`)
+	}
+	if obj.Allocs != nil {
+		e.Allocs, e.CheckAllocs = *obj.Allocs, true
+	}
+	if obj.Bytes != nil {
+		e.Bytes, e.CheckBytes = *obj.Bytes, true
+	}
+	return nil
+}
+
+// Budget maps benchmark name to its ceilings.
+type Budget map[string]BudgetEntry
+
+// matching returns the subset of the budget whose names match the -bench
+// regex, so a subset run (the fast CI lane vs the large-n lane) enforces
+// exactly the ceilings it exercises while still treating every in-scope
+// benchmark as required.
+func (b Budget) matching(expr string) (Budget, error) {
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: bad -bench regex %q: %w", expr, err)
+	}
+	out := make(Budget)
+	for name, e := range b {
+		if re.MatchString(name) {
+			out[name] = e
+		}
+	}
+	return out, nil
+}
+
+// checkBudget returns one violation message per benchmark ceiling exceeded.
 // Budgeted benchmarks missing from the results are violations too — a
 // renamed benchmark must not silently drop its budget.
 func checkBudget(results map[string]Metrics, budget Budget) []string {
@@ -122,9 +181,14 @@ func checkBudget(results map[string]Metrics, budget Budget) []string {
 			violations = append(violations, fmt.Sprintf("%s: budgeted benchmark missing from results", name))
 			continue
 		}
-		if m.AllocsPerOp > budget[name] {
+		ent := budget[name]
+		if ent.CheckAllocs && m.AllocsPerOp > ent.Allocs {
 			violations = append(violations,
-				fmt.Sprintf("%s: %.0f allocs/op exceeds budget %.0f", name, m.AllocsPerOp, budget[name]))
+				fmt.Sprintf("%s: %.0f allocs/op exceeds budget %.0f", name, m.AllocsPerOp, ent.Allocs))
+		}
+		if ent.CheckBytes && m.BytesPerOp > ent.Bytes {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f B/op exceeds budget %.0f", name, m.BytesPerOp, ent.Bytes))
 		}
 	}
 	return violations
@@ -264,6 +328,14 @@ func run() error {
 		var budget Budget
 		if err := json.Unmarshal(data, &budget); err != nil {
 			return fmt.Errorf("benchjson: bad budget file %s: %w", *budgetFile, err)
+		}
+		if *parse == "" {
+			// A live run only exercises the -bench subset; entries outside
+			// it are another lane's job. A parsed capture is held against
+			// the whole budget.
+			if budget, err = budget.matching(*bench); err != nil {
+				return err
+			}
 		}
 		if violations := checkBudget(results, budget); len(violations) > 0 {
 			for _, v := range violations {

@@ -49,23 +49,139 @@ func TestParseBenchOutputRejectsEmpty(t *testing.T) {
 	}
 }
 
+func allocBudget(n float64) BudgetEntry { return BudgetEntry{Allocs: n, CheckAllocs: true} }
+
 func TestCheckBudget(t *testing.T) {
 	results := map[string]Metrics{
 		"BenchmarkA": {AllocsPerOp: 100},
 		"BenchmarkB": {AllocsPerOp: 50},
 	}
-	if v := checkBudget(results, Budget{"BenchmarkA": 100, "BenchmarkB": 60}); len(v) != 0 {
+	if v := checkBudget(results, Budget{"BenchmarkA": allocBudget(100), "BenchmarkB": allocBudget(60)}); len(v) != 0 {
 		t.Fatalf("within-budget run produced violations: %v", v)
 	}
-	v := checkBudget(results, Budget{"BenchmarkA": 99})
+	v := checkBudget(results, Budget{"BenchmarkA": allocBudget(99)})
 	if len(v) != 1 || !strings.Contains(v[0], "exceeds budget") {
 		t.Fatalf("over-budget run: violations = %v", v)
 	}
 	// A budgeted benchmark that vanished from the results must fail, not
 	// silently pass.
-	v = checkBudget(results, Budget{"BenchmarkGone": 10})
+	v = checkBudget(results, Budget{"BenchmarkGone": allocBudget(10)})
 	if len(v) != 1 || !strings.Contains(v[0], "missing") {
 		t.Fatalf("missing benchmark: violations = %v", v)
+	}
+}
+
+func TestCheckBudgetBytes(t *testing.T) {
+	results := map[string]Metrics{
+		"BenchmarkA": {AllocsPerOp: 100, BytesPerOp: 4096},
+	}
+	both := BudgetEntry{Allocs: 100, Bytes: 4096, CheckAllocs: true, CheckBytes: true}
+	if v := checkBudget(results, Budget{"BenchmarkA": both}); len(v) != 0 {
+		t.Fatalf("within-budget run produced violations: %v", v)
+	}
+	// A bytes/op overrun fails even with allocs/op in budget.
+	tight := BudgetEntry{Allocs: 100, Bytes: 4095, CheckAllocs: true, CheckBytes: true}
+	v := checkBudget(results, Budget{"BenchmarkA": tight})
+	if len(v) != 1 || !strings.Contains(v[0], "B/op") {
+		t.Fatalf("bytes overrun: violations = %v", v)
+	}
+	// Both ceilings blown → both reported.
+	v = checkBudget(results, Budget{"BenchmarkA": {Allocs: 99, Bytes: 4095, CheckAllocs: true, CheckBytes: true}})
+	if len(v) != 2 {
+		t.Fatalf("double overrun: violations = %v, want 2", v)
+	}
+	// A bytes-only entry ignores allocs entirely.
+	if v := checkBudget(results, Budget{"BenchmarkA": {Bytes: 8192, CheckBytes: true}}); len(v) != 0 {
+		t.Fatalf("bytes-only entry checked allocs: %v", v)
+	}
+}
+
+func TestBudgetUnmarshalDualForm(t *testing.T) {
+	var budget Budget
+	err := json.Unmarshal([]byte(`{
+		"BenchmarkPlain": 250,
+		"BenchmarkBoth": {"allocs": 40, "bytes": 1048576},
+		"BenchmarkBytesOnly": {"bytes": 65536}
+	}`), &budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := budget["BenchmarkPlain"]; !got.CheckAllocs || got.CheckBytes || got.Allocs != 250 {
+		t.Errorf("plain-number entry = %+v", got)
+	}
+	if got := budget["BenchmarkBoth"]; !got.CheckAllocs || !got.CheckBytes || got.Allocs != 40 || got.Bytes != 1048576 {
+		t.Errorf("object entry = %+v", got)
+	}
+	if got := budget["BenchmarkBytesOnly"]; got.CheckAllocs || !got.CheckBytes || got.Bytes != 65536 {
+		t.Errorf("bytes-only entry = %+v", got)
+	}
+	// An empty object pins nothing and must be rejected, not silently pass.
+	if err := json.Unmarshal([]byte(`{"BenchmarkEmpty": {}}`), &budget); err == nil {
+		t.Error("empty budget entry accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"BenchmarkBad": "fast"}`), &budget); err == nil {
+		t.Error("string budget entry accepted")
+	}
+}
+
+func TestBudgetMatching(t *testing.T) {
+	budget := Budget{
+		"BenchmarkTable1SyncSM":       allocBudget(60),
+		"BenchmarkLargeNExpander1M":   {Bytes: 1, CheckBytes: true},
+		"BenchmarkLargeNExpander100k": {Bytes: 1, CheckBytes: true},
+	}
+	got, err := budget.matching("BenchmarkTable1|BenchmarkSMExecutorThroughput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("fast-lane subset = %v, want only the Table1 entry", got)
+	}
+	if got, _ = budget.matching("BenchmarkLargeN"); len(got) != 2 {
+		t.Fatalf("large-n subset = %v, want both LargeN entries", got)
+	}
+	// In-scope benchmarks stay required: the subset must still flag a
+	// matching benchmark that is missing from the results.
+	sub, _ := budget.matching("BenchmarkLargeNExpander1M")
+	if v := checkBudget(map[string]Metrics{}, sub); len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("in-scope missing benchmark not flagged: %v", v)
+	}
+	if _, err := budget.matching("("); err == nil {
+		t.Error("bad regex accepted")
+	}
+}
+
+// TestCommittedBudgetRequiresLargeN pins the repo's checked-in budget file:
+// it must parse under the dual-form schema, and the large-n scale cells must
+// be present with bytes/op ceilings, so a future change cannot silently drop
+// the O(ports) memory gate by deleting a benchmark or its byte ceiling.
+func TestCommittedBudgetRequiresLargeN(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "bench_budget.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget Budget
+	if err := json.Unmarshal(data, &budget); err != nil {
+		t.Fatalf("committed bench_budget.json does not parse: %v", err)
+	}
+	var largeN int
+	for name, e := range budget {
+		if !strings.HasPrefix(name, "BenchmarkLargeN") {
+			continue
+		}
+		largeN++
+		if !e.CheckBytes {
+			t.Errorf("%s: committed entry has no bytes/op ceiling", name)
+		}
+	}
+	if largeN < 2 {
+		t.Fatalf("committed budget has %d BenchmarkLargeN entries, want >= 2", largeN)
+	}
+	// The gate treats every budgeted benchmark as required: a result set
+	// without the large-n cells must fail, not pass by omission.
+	v := checkBudget(map[string]Metrics{}, budget)
+	if len(v) != len(budget) {
+		t.Errorf("empty results produced %d violations, want %d (one per budgeted benchmark)", len(v), len(budget))
 	}
 }
 

@@ -131,7 +131,7 @@ func run(args []string) error {
 	}
 	if want("f5") {
 		ran = true
-		pts, err := harness.SweepDiameter(3, 8, 3, 10, *seeds)
+		pts, err := harness.SweepDiameter(3, 8, 3, 10, *seeds, e.Topologies()...)
 		if err != nil {
 			return err
 		}

@@ -56,6 +56,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,7 @@ import (
 	"sessionproblem/internal/engine"
 	"sessionproblem/internal/harness"
 	"sessionproblem/internal/journal"
+	"sessionproblem/internal/tree"
 	"sessionproblem/wire"
 )
 
@@ -242,10 +244,15 @@ type request struct {
 	Seeds int   `json:"seeds"`
 
 	// Sweep-only.
-	Kind        string  `json:"kind,omitempty"`
-	Steps       int     `json:"steps,omitempty"`
-	MaxSessions int     `json:"maxSessions,omitempty"`
-	Cmaxs       []int64 `json:"cmaxs,omitempty"`
+	Kind        string   `json:"kind,omitempty"`
+	Steps       int      `json:"steps,omitempty"`
+	MaxSessions int      `json:"maxSessions,omitempty"`
+	Cmaxs       []int64  `json:"cmaxs,omitempty"`
+	Topos       []string `json:"topos,omitempty"`
+
+	// StreamCertify verifies each run with the streaming certifier
+	// (O(ports) memory); results are byte-identical either way.
+	StreamCertify bool `json:"streamCertify,omitempty"`
 
 	// Solve-only.
 	Model    string `json:"model,omitempty"`
@@ -303,6 +310,12 @@ func (s *server) options(rq request) []sessionproblem.Option {
 	}
 	if len(rq.Cmaxs) > 0 {
 		opts = append(opts, sessionproblem.WithPeriodMaxima(rq.Cmaxs...))
+	}
+	if len(rq.Topos) > 0 {
+		opts = append(opts, sessionproblem.WithTopologies(rq.Topos...))
+	}
+	if rq.StreamCertify {
+		opts = append(opts, sessionproblem.WithStreamCertify())
 	}
 	return opts
 }
@@ -559,6 +572,21 @@ type batchStats struct {
 	Fallbacks int64 `json:"fallbacks"`
 }
 
+// memStats is the /v1/stats memory section, the observability side of the
+// O(ports) ceilings: heap occupancy from the runtime plus the knowledge
+// substrate's own packed-word count, so a long-lived daemon serving large-n
+// requests can be watched for state that should have been released.
+type memStats struct {
+	// HeapAllocBytes is live heap; HeapInuseBytes spans (live + not yet
+	// reclaimed), both from runtime.MemStats.
+	HeapAllocBytes uint64 `json:"heapAllocBytes"`
+	HeapInuseBytes uint64 `json:"heapInuseBytes"`
+	// KnowledgeWords counts packed uint64 knowledge words currently held
+	// by live tree.Knowledge values (freelist excluded); it is the
+	// dominant per-port state of the shared-memory algorithms.
+	KnowledgeWords int64 `json:"knowledgeWords"`
+}
+
 // statsResponse is GET /v1/stats: cumulative request and cache accounting
 // since daemon start. Disk fields are zero when no -cache-dir is set.
 type statsResponse struct {
@@ -570,6 +598,7 @@ type statsResponse struct {
 	Cache     diskcache.Stats `json:"cache"`
 	Journal   journalStats    `json:"journal"`
 	Batch     batchStats      `json:"batch"`
+	Mem       memStats        `json:"mem"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -587,6 +616,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Forks:     s.batchForks.Load(),
 			Fallbacks: s.batchFallbacks.Load(),
 		},
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	resp.Mem = memStats{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapInuseBytes: ms.HeapInuse,
+		KnowledgeWords: tree.KnowledgeWords(),
 	}
 	if s.tiered != nil {
 		resp.DiskCache = true

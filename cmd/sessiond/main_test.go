@@ -87,6 +87,51 @@ func TestTable1MatchesLibrary(t *testing.T) {
 	}
 }
 
+// A streaming-certified request must answer with the exact bytes of the
+// materialized path: the certifier changes the memory ceiling, never the
+// result.
+func TestStreamCertifiedTable1ByteIdentical(t *testing.T) {
+	ts := newTestServer(t, "")
+	status, want := post(t, ts, "/v1/table1", smallBody)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, want)
+	}
+	// A fresh server, so the answer is computed (not cache-served) under
+	// the streaming certifier.
+	ts2 := newTestServer(t, "")
+	var streamBody string
+	if strings.HasSuffix(smallBody, "}") {
+		streamBody = strings.TrimSuffix(smallBody, "}") + `,"streamCertify":true}`
+	} else {
+		t.Fatalf("smallBody %q is not a JSON object", smallBody)
+	}
+	status, got := post(t, ts2, "/v1/table1", streamBody)
+	if status != http.StatusOK {
+		t.Fatalf("streaming status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streaming certification changed response bytes:\nstream: %s\nplain:  %s", got, want)
+	}
+}
+
+func TestStatsMemBlock(t *testing.T) {
+	ts := newTestServer(t, "")
+	// Exercise a run first so the heap numbers describe a working daemon.
+	if status, body := post(t, ts, "/v1/table1", smallBody); status != http.StatusOK {
+		t.Fatalf("table1 status %d: %s", status, body)
+	}
+	st := getStats(t, ts)
+	if st.Mem.HeapAllocBytes == 0 {
+		t.Error("mem.heapAllocBytes = 0, want live heap")
+	}
+	if st.Mem.HeapInuseBytes < st.Mem.HeapAllocBytes {
+		t.Errorf("mem.heapInuseBytes %d < heapAllocBytes %d", st.Mem.HeapInuseBytes, st.Mem.HeapAllocBytes)
+	}
+	if st.Mem.KnowledgeWords < 0 {
+		t.Errorf("mem.knowledgeWords = %d, want >= 0", st.Mem.KnowledgeWords)
+	}
+}
+
 func TestSolveMatchesLibrary(t *testing.T) {
 	ts := newTestServer(t, "")
 	body := `{"s":3,"n":4,"model":"periodic","comm":"mp","strategy":"slow","seed":7}`

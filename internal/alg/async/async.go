@@ -55,9 +55,11 @@ func (SM) BuildSM(spec core.Spec, _ timing.Model) (*sm.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &sm.System{B: b}
+	sys := &sm.System{B: b, Recycle: nw.Pool.Recycle}
 	for i := 0; i < spec.N; i++ {
-		sys.Procs = append(sys.Procs, NewConfirmer(i, spec.N, spec.S, nw.PortVars[i]))
+		c := NewConfirmer(i, spec.N, spec.S, nw.PortVars[i])
+		c.SetPool(nw.Pool)
+		sys.Procs = append(sys.Procs, c)
 		sys.Ports = append(sys.Ports, sm.PortBinding{Var: nw.PortVars[i], Proc: i})
 	}
 	sys.Procs = append(sys.Procs, nw.Processes()...)
@@ -73,6 +75,7 @@ type Confirmer struct {
 	know       tree.Knowledge
 	progress   int
 	idle       bool
+	pool       *tree.Pool
 }
 
 var _ sm.Process = (*Confirmer)(nil)
@@ -82,15 +85,21 @@ func NewConfirmer(port, n, s int, v model.VarID) *Confirmer {
 	return &Confirmer{port: port, n: n, s: s, v: v, know: tree.NewKnowledge(n)}
 }
 
+// SetPool routes the confirmer's published snapshots through pool.
+func (c *Confirmer) SetPool(pool *tree.Pool) { c.pool = pool }
+
 // Target implements sm.Process.
 func (c *Confirmer) Target() model.VarID { return c.v }
 
-// Step implements sm.Process: merge, maybe advance, announce.
+// Step implements sm.Process: merge, maybe advance, announce. The
+// announcement is lazy: when the step neither learned nor advanced
+// anything, the variable's current cell (already merged) stays in place
+// and no snapshot is cloned.
 func (c *Confirmer) Step(old sm.Value) sm.Value {
 	if c.idle {
 		return old
 	}
-	tree.MergeCell(c.know, old)
+	changed := tree.MergeCell(&c.know, old)
 	switch {
 	case c.progress == 0:
 		// First port access: contributes to session 1.
@@ -106,10 +115,14 @@ func (c *Confirmer) Step(old sm.Value) sm.Value {
 		c.progress = c.s
 		c.idle = true
 	}
-	if c.progress > c.know[c.port] {
-		c.know[c.port] = c.progress
+	if c.progress > c.know.At(c.port) {
+		c.know.Raise(c.port, c.progress)
+		changed = true
 	}
-	return tree.Cell{Know: c.know.Clone()}
+	if !changed {
+		return old
+	}
+	return tree.Cell{Know: c.know.ClonePooled(c.pool)}
 }
 
 // Idle implements sm.Process.

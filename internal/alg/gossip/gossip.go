@@ -1,0 +1,232 @@
+// Package gossip implements a shared-memory session algorithm for
+// point-to-point topologies: an alpha-synchronizer whose per-vertex state
+// is O(degree), the algorithm that makes million-port runs feasible.
+//
+// The relay-tree algorithm (internal/alg/async) confirms each session by
+// propagating an n-lane progress vector to every port — Theta(n) state
+// per process, Theta(n^2) for the system, unaffordable past n ~ 10^4.
+// Here each vertex of a graph G instead keeps one phase counter and
+// gossips it to its neighbors through per-edge cells: a vertex advances
+// from phase p to p+1 only after publishing p on every incident edge and
+// reading phase >= p from every neighbor. That is the classic
+// alpha-synchronizer discipline, and it pins phases to distances —
+// |phase(u) - phase(v)| <= dist(u, v) at every causal point.
+//
+// Sessions follow from the skew bound. Let D >= diameter(G) and
+// P = D + 1. When the first vertex completes phase i*P, every vertex has
+// completed phase i*P - D = (i-1)*P + 1: the enabling reads trace back
+// through causally preceding writes along every path. Before the first
+// vertex completed phase (i-1)*P, no vertex had reached (i-1)*P + 1. So
+// between those two instants every vertex takes the port step completing
+// its phase (i-1)*P + 1 — a full session per P phases. Running to phase
+// s*P therefore certifies s disjoint sessions, in time proportional to
+// s * D * (step gap) with 2*deg + 1 + (polling) steps per vertex per
+// phase. D is taken as topo.DiameterBound (2*ecc(v0), one BFS), trading
+// a factor <= 2 in running time for O(V + E) construction at n = 10^6.
+//
+// Like the synchronous algorithm, termination is counting-based, not
+// confirmation-based: the algorithm is oblivious to the timing model and
+// needs no timing parameters — the graph itself is the clock.
+package gossip
+
+import (
+	"fmt"
+
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+	"sessionproblem/internal/topo"
+)
+
+// SM is the gossip algorithm over a named topology family
+// (topo.Families); the graph is a pure function of (family, n, seed).
+type SM struct {
+	family string
+	seed   uint64
+}
+
+var _ core.SMAlgorithm = SM{}
+
+// NewSM returns the gossip algorithm over the named topology family,
+// built deterministically from seed at the spec's port count.
+func NewSM(family string, seed uint64) SM { return SM{family: family, seed: seed} }
+
+// Name implements core.SMAlgorithm.
+func (a SM) Name() string { return "gossip-" + a.family }
+
+// BuildSM constructs one vertex process per port plus two directed phase
+// cells per graph edge. Variable IDs are dense — ports first, then edge
+// cells — and declared via NumVars so the executor uses slice-backed
+// storage; every variable has at most two accessors, honoring b = 2.
+func (a SM) BuildSM(spec core.Spec, _ timing.Model) (*sm.System, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := topo.Build(a.family, spec.N, a.seed)
+	if err != nil {
+		return nil, err
+	}
+	b := spec.B
+	if b == 0 {
+		b = 2
+	}
+	n := spec.N
+	target := spec.S * (g.DiameterBound() + 1)
+	// Directed edge cell u->v carries u's phase for v to read. outVars[u]
+	// is indexed like g.Neighbors(u); v finds the cell u->v by u's sorted
+	// adjacency position of v.
+	outVars := make([][]model.VarID, n)
+	next := model.VarID(n)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		outVars[v] = make([]model.VarID, deg)
+		for i := range outVars[v] {
+			outVars[v][i] = next
+			next++
+		}
+	}
+	sys := &sm.System{B: b, NumVars: int(next)}
+	sys.Procs = make([]sm.Process, 0, n)
+	sys.Ports = make([]sm.PortBinding, 0, n)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		in := make([]model.VarID, len(nbrs))
+		for i, u := range nbrs {
+			pos := adjPos(g.Neighbors(u), v)
+			if pos < 0 {
+				return nil, fmt.Errorf("gossip: asymmetric adjacency %d-%d in %s graph", v, u, a.family)
+			}
+			in[i] = outVars[u][pos]
+		}
+		sys.Procs = append(sys.Procs, newVertex(v, target, outVars[v], in))
+		sys.Ports = append(sys.Ports, sm.PortBinding{Var: model.VarID(v), Proc: v})
+	}
+	return sys, nil
+}
+
+// adjPos finds v in a sorted adjacency list by binary search.
+func adjPos(nbrs []int, v int) int {
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbrs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nbrs) && nbrs[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// Vertex modes: take the port step completing the next phase, publish the
+// new phase on each outgoing edge cell, then poll incoming cells until
+// every neighbor has caught up.
+const (
+	modePort = iota
+	modePublish
+	modePoll
+)
+
+// Vertex is one gossip process. Its state is O(degree): the phase
+// counter, the in/out cell IDs and one heard-phase slot per neighbor.
+// Phase values are stored as plain ints, so edge-cell writes of small
+// phases stay allocation-free.
+type Vertex struct {
+	id      int
+	portVar model.VarID
+	out     []model.VarID
+	in      []model.VarID
+	heard   []int
+
+	phase  int
+	target int
+	mode   int
+	cursor int
+	idle   bool
+}
+
+var _ sm.Process = (*Vertex)(nil)
+
+func newVertex(id, target int, out, in []model.VarID) *Vertex {
+	return &Vertex{
+		id:      id,
+		portVar: model.VarID(id),
+		out:     out,
+		in:      in,
+		heard:   make([]int, len(in)),
+		target:  target,
+		mode:    modePort,
+	}
+}
+
+// Target implements sm.Process: the variable the current mode accesses.
+func (v *Vertex) Target() model.VarID {
+	switch v.mode {
+	case modePublish:
+		return v.out[v.cursor]
+	case modePoll:
+		return v.in[v.cursor]
+	default:
+		return v.portVar
+	}
+}
+
+// Step implements sm.Process.
+func (v *Vertex) Step(old sm.Value) sm.Value {
+	switch {
+	case v.idle:
+		return old
+	case v.mode == modePort:
+		v.phase++
+		if v.phase >= v.target {
+			// The last phase anyone waits to hear is target-1, already
+			// published; idling here leaves the cells in their final state.
+			v.idle = true
+		} else if len(v.out) > 0 {
+			v.mode = modePublish
+			v.cursor = 0
+		}
+		return v.phase
+	case v.mode == modePublish:
+		v.cursor++
+		if v.cursor == len(v.out) {
+			v.seek(0)
+		}
+		return v.phase
+	default: // modePoll
+		if p, ok := old.(int); ok && p > v.heard[v.cursor] {
+			v.heard[v.cursor] = p
+		}
+		v.seek(v.cursor + 1)
+		return old
+	}
+}
+
+// seek points the vertex at the next neighbor still behind the current
+// phase, scanning circularly from position from; when none remains the
+// next step is the port step that completes the following phase.
+func (v *Vertex) seek(from int) {
+	d := len(v.in)
+	for i := 0; i < d; i++ {
+		j := from + i
+		if j >= d {
+			j -= d
+		}
+		if v.heard[j] < v.phase {
+			v.mode = modePoll
+			v.cursor = j
+			return
+		}
+	}
+	v.mode = modePort
+}
+
+// Idle implements sm.Process.
+func (v *Vertex) Idle() bool { return v.idle }
+
+// Phase exposes the phase counter (for tests).
+func (v *Vertex) Phase() int { return v.phase }

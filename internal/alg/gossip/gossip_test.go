@@ -1,0 +1,125 @@
+package gossip_test
+
+import (
+	"context"
+	"testing"
+
+	"sessionproblem/internal/alg/gossip"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/timing"
+	"sessionproblem/internal/topo"
+)
+
+// TestGossipAchievesSessions runs the synchronizer over every topology
+// family under the asynchronous shared-memory model: RunSM verifies the
+// session condition internally, so a pass means >= s disjoint sessions in
+// every sampled admissible computation.
+func TestGossipAchievesSessions(t *testing.T) {
+	m := timing.NewAsynchronousSM(4)
+	spec := core.Spec{S: 3, N: 16, B: 2}
+	for _, family := range topo.Families() {
+		alg := gossip.NewSM(family, 9)
+		for _, st := range []timing.Strategy{timing.Slow, timing.Fast, timing.Random, timing.Jittered} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				if _, err := core.RunSM(alg, spec, m, st, seed); err != nil {
+					t.Errorf("%s/%v/seed %d: %v", family, st, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestGossipModelOblivious checks the algorithm needs no timing
+// parameters: the same build passes verification under the synchronous
+// and semi-synchronous models too.
+func TestGossipModelOblivious(t *testing.T) {
+	spec := core.Spec{S: 2, N: 9, B: 2}
+	alg := gossip.NewSM("torus", 1)
+	for _, m := range []timing.Model{
+		timing.NewSynchronous(3, 0),
+		timing.NewSemiSynchronous(2, 7, 0),
+		timing.NewPeriodic(2, 7, 0),
+	} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			if _, err := core.RunSM(alg, spec, m, timing.Random, seed); err != nil {
+				t.Errorf("%v/seed %d: %v", m.Kind, seed, err)
+			}
+		}
+	}
+}
+
+// TestGossipStreamMatches pins the streaming certifier to the
+// materialized verifier over the generated families, the path large-n
+// runs take.
+func TestGossipStreamMatches(t *testing.T) {
+	m := timing.NewAsynchronousSM(4)
+	spec := core.Spec{S: 2, N: 12, B: 2}
+	for _, family := range []string{"grid", "expander", "ring"} {
+		alg := gossip.NewSM(family, 5)
+		want, err := core.RunSM(alg, spec, m, timing.Random, 2)
+		if err != nil {
+			t.Fatalf("%s materialized: %v", family, err)
+		}
+		got, err := core.RunSMStream(context.Background(), alg, spec, m, timing.Random, 2, nil, core.StreamOptions{})
+		if err != nil {
+			t.Fatalf("%s streaming: %v", family, err)
+		}
+		if got.Sessions != want.Sessions || got.Rounds != want.Rounds ||
+			got.Gamma != want.Gamma || got.Finish != want.Finish || got.Steps() != want.Steps() {
+			t.Errorf("%s: streaming report diverged: got %+v want %+v", family, got, want)
+		}
+	}
+}
+
+// TestGossipIdleStability probes condition (1): once a vertex idles it
+// stays idle and stops modifying shared state.
+func TestGossipIdleStability(t *testing.T) {
+	m := timing.NewAsynchronousSM(4)
+	if err := core.ProbeIdleStability(gossip.NewSM("expander", 3), core.Spec{S: 2, N: 10, B: 2}, m, timing.Random, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGossipPhaseTarget checks the skew-derived step budget: every vertex
+// stops exactly at phase s*(D+1).
+func TestGossipPhaseTarget(t *testing.T) {
+	g, err := topo.Build("grid", 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.Spec{S: 3, N: 9, B: 2}
+	alg := gossip.NewSM("grid", 0)
+	sys, err := alg.BuildSM(spec, timing.NewAsynchronousSM(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.S * (g.DiameterBound() + 1)
+	rep, err := core.RunSM(alg, spec, timing.NewAsynchronousSM(4), timing.Slow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions < spec.S {
+		t.Errorf("sessions = %d, want >= %d", rep.Sessions, spec.S)
+	}
+	// The build used by RunSM is fresh; inspect a fresh system's target
+	// via a vertex from our own build.
+	v, ok := sys.Procs[0].(*gossip.Vertex)
+	if !ok {
+		t.Fatalf("proc 0 is %T, want *gossip.Vertex", sys.Procs[0])
+	}
+	if v.Phase() != 0 {
+		t.Errorf("fresh vertex phase = %d, want 0", v.Phase())
+	}
+	_ = want
+	// Port steps per vertex equal the phase target: with 9 ports, the
+	// trace must contain exactly 9*target port steps.
+	ports := 0
+	for _, s := range rep.Trace.Steps {
+		if s.IsPortStep() {
+			ports++
+		}
+	}
+	if ports != 9*want {
+		t.Errorf("port steps = %d, want %d (9 vertices x phase target %d)", ports, 9*want, want)
+	}
+}

@@ -51,9 +51,11 @@ func (SM) BuildSM(spec core.Spec, _ timing.Model) (*sm.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &sm.System{B: b}
+	sys := &sm.System{B: b, Recycle: nw.Pool.Recycle}
 	for i := 0; i < spec.N; i++ {
-		sys.Procs = append(sys.Procs, newSMPort(i, spec.N, spec.S, nw.PortVars[i]))
+		p := newSMPort(i, spec.N, spec.S, nw.PortVars[i])
+		p.pool = nw.Pool
+		sys.Procs = append(sys.Procs, p)
 		sys.Ports = append(sys.Ports, sm.PortBinding{Var: nw.PortVars[i], Proc: i})
 	}
 	sys.Procs = append(sys.Procs, nw.Processes()...)
@@ -71,6 +73,7 @@ type smPort struct {
 	know       tree.Knowledge
 	steps      int
 	idle       bool
+	pool       *tree.Pool
 }
 
 var _ sm.Process = (*smPort)(nil)
@@ -85,18 +88,16 @@ func (p *smPort) Step(old sm.Value) sm.Value {
 	if p.idle {
 		return old
 	}
-	tree.MergeCell(p.know, old)
+	tree.MergeCell(&p.know, old)
 	p.steps++
-	if p.steps > p.know[p.port] {
-		p.know[p.port] = p.steps
-	}
+	p.know.Raise(p.port, p.steps)
 	// The current step counts as the "one more port step" when the merged
 	// knowledge (which predates this step for every other port) already
 	// certifies that everyone has taken s-1 steps.
 	if p.steps >= p.s && p.know.AllAtLeast(p.n, p.s-1) {
 		p.idle = true
 	}
-	return tree.Cell{Know: p.know.Clone()}
+	return tree.Cell{Know: p.know.ClonePooled(p.pool)}
 }
 
 func (p *smPort) Idle() bool { return p.idle }

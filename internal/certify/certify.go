@@ -1,0 +1,148 @@
+// Package certify counts disjoint sessions, rounds and timing statistics
+// online, one executor step at a time, so large-n runs never materialize
+// Trace.Steps. A Counter plugs into the executors' observer hooks
+// (sm.Options.Observer / mp.Options.Observer + DelayObserver) and replicates
+// exactly the greedy decompositions of model.Trace.CountSessions,
+// model.Trace.CountRounds, model.Trace.Gamma and trace.Sessions, plus the
+// streaming admissibility check of timing.Checker — all in O(processes)
+// memory. Golden tests in the core package prove byte-identity against the
+// materialized path at small n.
+package certify
+
+import (
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sim"
+	"sessionproblem/internal/timing"
+	"sessionproblem/internal/trace"
+)
+
+// Counter is a streaming session certifier. Feed it every executed step (in
+// execution order, network deliveries included) via ObserveStep and — for
+// message-passing runs — every transit interval via ObserveDelay; read the
+// totals once the run finishes. The zero value is not ready; use New.
+type Counter struct {
+	numProcs, numPorts int
+
+	// Greedy session decomposition (model.Trace.CountSessions semantics):
+	// close a fragment as soon as every port has been seen.
+	portSeen  []bool
+	portCount int
+	firstStep int // step index opening the current fragment
+	firstAt   sim.Time
+	spans     []trace.SessionSpan
+
+	// Greedy round decomposition (model.Trace.CountRounds semantics).
+	procSeen  []bool
+	procCount int
+	rounds    int
+
+	// Per-process last step time, for Gamma (gap from time 0 counts).
+	last  []sim.Time
+	gamma sim.Duration
+
+	steps   int
+	checker *timing.Checker
+}
+
+// New returns a counter for a system of numProcs regular processes and
+// numPorts ports.
+func New(numProcs, numPorts int) *Counter {
+	return &Counter{
+		numProcs: numProcs,
+		numPorts: numPorts,
+		portSeen: make([]bool, numPorts),
+		procSeen: make([]bool, numProcs),
+		last:     make([]sim.Time, numProcs),
+	}
+}
+
+// CheckAdmissibility additionally verifies every observed step gap and
+// message delay against m, streaming (timing.Checker). The first violation
+// is reported by Err.
+func (c *Counter) CheckAdmissibility(m timing.Model) *Counter {
+	c.checker = m.NewChecker(c.numProcs)
+	return c
+}
+
+var _ model.StepObserver = (*Counter)(nil)
+
+// ObserveStep consumes one executed step.
+func (c *Counter) ObserveStep(s model.Step) {
+	c.steps++
+	if c.checker != nil {
+		c.checker.ObserveStep(s)
+	}
+	if s.Proc >= 0 && s.Proc < c.numProcs {
+		if gap := s.Time.Sub(c.last[s.Proc]); gap > c.gamma {
+			c.gamma = gap
+		}
+		c.last[s.Proc] = s.Time
+		if !c.procSeen[s.Proc] {
+			c.procSeen[s.Proc] = true
+			c.procCount++
+			if c.procCount == c.numProcs {
+				c.rounds++
+				for i := range c.procSeen {
+					c.procSeen[i] = false
+				}
+				c.procCount = 0
+			}
+		}
+	}
+	if s.Port != model.NoPort && s.Port >= 0 && s.Port < c.numPorts && !c.portSeen[s.Port] {
+		if c.portCount == 0 {
+			c.firstStep = s.Index
+			c.firstAt = s.Time
+		}
+		c.portSeen[s.Port] = true
+		c.portCount++
+		if c.portCount == c.numPorts {
+			c.spans = append(c.spans, trace.SessionSpan{
+				Index:     len(c.spans) + 1,
+				FirstStep: c.firstStep,
+				LastStep:  s.Index,
+				Start:     c.firstAt,
+				End:       s.Time,
+			})
+			for i := range c.portSeen {
+				c.portSeen[i] = false
+			}
+			c.portCount = 0
+		}
+	}
+}
+
+// ObserveDelay consumes one message transit interval (message-passing runs;
+// satisfies mp.DelayObserver).
+func (c *Counter) ObserveDelay(d timing.MessageDelay) {
+	if c.checker != nil {
+		c.checker.ObserveDelay(d)
+	}
+}
+
+// Sessions returns the number of completed disjoint sessions observed.
+func (c *Counter) Sessions() int { return len(c.spans) }
+
+// Rounds returns the number of completed disjoint rounds observed.
+func (c *Counter) Rounds() int { return c.rounds }
+
+// Gamma returns the largest step gap of any regular process (including the
+// gap from time 0 to each process's first step).
+func (c *Counter) Gamma() sim.Duration { return c.gamma }
+
+// Steps returns the total number of observed steps (network deliveries
+// included).
+func (c *Counter) Steps() int { return c.steps }
+
+// Spans returns the greedy session decomposition (trace.Sessions semantics).
+// The slice is owned by the counter.
+func (c *Counter) Spans() []trace.SessionSpan { return c.spans }
+
+// Err returns the first admissibility violation observed, or nil (always nil
+// unless CheckAdmissibility was enabled).
+func (c *Counter) Err() error {
+	if c.checker == nil {
+		return nil
+	}
+	return c.checker.Err()
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"sessionproblem"
@@ -34,11 +35,30 @@ type Problem struct {
 
 // Exec holds the shared execution flags.
 type Exec struct {
-	Seeds        int
-	Parallelism  int
-	Timeout      time.Duration
-	CacheDir     string
-	SeedBatching bool
+	Seeds         int
+	Parallelism   int
+	Timeout       time.Duration
+	CacheDir      string
+	SeedBatching  bool
+	StreamCertify bool
+	// Topo is the comma-separated topology family list for the
+	// network-diameter sweep; empty keeps the paper's fixed four.
+	Topo string
+}
+
+// Topologies parses the -topo list into family names (nil when unset).
+func (e *Exec) Topologies() []string {
+	if e.Topo == "" {
+		return nil
+	}
+	parts := strings.Split(e.Topo, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // RegisterProblem installs the problem-instance flags (-s -n -b -c1 -c2
@@ -65,6 +85,8 @@ func RegisterExec(fs *flag.FlagSet) *Exec {
 	fs.DurationVar(&e.Timeout, "timeout", 0, "wall-clock bound for the whole invocation (0 = none)")
 	fs.StringVar(&e.CacheDir, "cache-dir", "", "directory for the disk-persistent run cache (empty = no disk cache)")
 	fs.BoolVar(&e.SeedBatching, "seed-batching", true, "run each cell's seeds through shared lockstep lanes; output is identical either way")
+	fs.BoolVar(&e.StreamCertify, "stream-certify", false, "verify runs with the streaming certifier (O(ports) memory); output is identical either way")
+	fs.StringVar(&e.Topo, "topo", "", "comma-separated topology families for the network-diameter sweep (default complete,star,ring,line; also grid,torus,expander,random-regular)")
 	return e
 }
 
@@ -212,6 +234,7 @@ func (p *Problem) HarnessConfig(e *Exec, eng *engine.Engine) harness.Config {
 	cfg.Parallelism = e.Parallelism
 	cfg.Engine = eng
 	cfg.NoSeedBatch = !e.SeedBatching
+	cfg.StreamCertify = e.StreamCertify
 	return cfg
 }
 
@@ -221,7 +244,7 @@ func dur(v int64) sim.Duration { return sim.Duration(v) }
 // modes) that go through the public API — the path whose results are
 // byte-identical to the sessiond daemon's.
 func Options(p *Problem, e *Exec) []sessionproblem.Option {
-	return []sessionproblem.Option{
+	opts := []sessionproblem.Option{
 		sessionproblem.WithSpec(p.S, p.N),
 		sessionproblem.WithAccessBound(p.B),
 		sessionproblem.WithStepBounds(p.C1, p.C2),
@@ -232,4 +255,11 @@ func Options(p *Problem, e *Exec) []sessionproblem.Option {
 		sessionproblem.WithCacheDir(e.CacheDir),
 		sessionproblem.WithSeedBatching(e.SeedBatching),
 	}
+	if e.StreamCertify {
+		opts = append(opts, sessionproblem.WithStreamCertify())
+	}
+	if topos := e.Topologies(); len(topos) > 0 {
+		opts = append(opts, sessionproblem.WithTopologies(topos...))
+	}
+	return opts
 }

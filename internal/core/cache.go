@@ -69,6 +69,10 @@ func Summarize(rep *Report) *RunSummary {
 	sum.Audit.Violations = append([]string(nil), rep.Audit.Violations...)
 	if rep.Trace != nil {
 		sum.Spans = trace.Sessions(rep.Trace)
+	} else {
+		// Streaming run: the certifier computed the decomposition online.
+		// Copied because the summary must not alias the counter's buffer.
+		sum.Spans = append([]trace.SessionSpan(nil), rep.Spans...)
 	}
 	return sum
 }

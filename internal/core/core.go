@@ -24,6 +24,7 @@ import (
 	"sessionproblem/internal/sim"
 	"sessionproblem/internal/sm"
 	"sessionproblem/internal/timing"
+	"sessionproblem/internal/trace"
 )
 
 // Spec is one instance of the (s, n)-session problem.
@@ -93,16 +94,29 @@ type Report struct {
 	// Faults lists the injected faults the executor applied, in execution
 	// order. Nil for fault-free runs.
 	Faults []fault.Event
+
+	// NumSteps and Spans carry the step count and the greedy session
+	// decomposition for streaming runs (RunSMStream, RunMPStream), which
+	// leave Trace nil: the certifier counts online and the computation is
+	// never materialized. Zero/nil on trace-materializing paths, where
+	// Steps() and trace.Sessions read the trace instead.
+	NumSteps int
+	Spans    []trace.SessionSpan
 }
 
 // ErrTooFewSessions is wrapped by verification failures where the
 // computation contained fewer than s disjoint sessions.
 var ErrTooFewSessions = errors.New("core: fewer than s disjoint sessions")
 
-// Steps is the number of process steps in the recorded computation.
+// Steps is the number of process steps in the computation: the recorded
+// trace length, or the streaming certifier's count when no trace was
+// materialized.
 func (r *Report) Steps() int {
-	if r == nil || r.Trace == nil {
+	if r == nil {
 		return 0
+	}
+	if r.Trace == nil {
+		return r.NumSteps
 	}
 	return len(r.Trace.Steps)
 }

@@ -1,0 +1,118 @@
+// Streaming verified runners: the same validation, execution and
+// verification sequence as the solo runners, but with the executor's trace
+// materialization switched off and an online certifier (internal/certify)
+// observing every step. Session counts, rounds, gamma, spans and the
+// admissibility verdict are byte-identical to the materialized path — the
+// golden tests in stream_test.go enforce it — while memory stays O(ports)
+// regardless of how many steps the run takes, which is what makes
+// million-port topologies feasible.
+
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"sessionproblem/internal/certify"
+	"sessionproblem/internal/mp"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+)
+
+// StreamOptions tune a streaming run.
+type StreamOptions struct {
+	// MaxSteps caps executor steps (0 = the executor default of 1e6).
+	// Large-n runs need a higher cap: step counts grow with n · s · depth.
+	MaxSteps int
+}
+
+// RunSMStream executes alg under model m, counting sessions online instead
+// of materializing the trace. The returned Report carries a nil Trace; its
+// Sessions, Rounds, Gamma, Steps() and Spans match what the materialized
+// path would have computed, and verification (admissibility + session
+// condition) reports errors with identical wording.
+func RunSMStream(ctx context.Context, alg SMAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64, rs *RunScratch, so StreamOptions) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := alg.BuildSM(spec, m)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
+	}
+	ctr := certify.New(len(sys.Procs), len(sys.Ports)).CheckAdmissibility(m)
+	opts := smOptions(spec, m, rs)
+	opts.DiscardSteps = true
+	opts.Observer = ctr
+	opts.MaxSteps = so.MaxSteps
+	res, err := sm.RunContext(ctx, sys, m.NewScheduler(st, seed), opts)
+	if err != nil {
+		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
+	}
+	rep := &Report{
+		Algorithm: alg.Name(),
+		Model:     m.Kind,
+		Spec:      spec,
+		Finish:    res.Finish,
+		Sessions:  ctr.Sessions(),
+		Rounds:    ctr.Rounds(),
+		Gamma:     ctr.Gamma(),
+		NumSteps:  ctr.Steps(),
+		Spans:     ctr.Spans(),
+	}
+	if err := ctr.Err(); err != nil {
+		return rep, fmt.Errorf("core: inadmissible computation: %w", err)
+	}
+	if rep.Sessions < spec.S {
+		return rep, fmt.Errorf("%w: got %d, need %d (alg %s, model %v, strategy %v, seed %d)",
+			ErrTooFewSessions, rep.Sessions, spec.S, alg.Name(), m.Kind, st, seed)
+	}
+	return rep, nil
+}
+
+// RunMPStream is RunSMStream for message-passing algorithms; the certifier
+// additionally observes every message delay for the admissibility check.
+func RunMPStream(ctx context.Context, alg MPAlgorithm, spec Spec, m timing.Model, st timing.Strategy, seed uint64, rs *RunScratch, so StreamOptions) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := alg.BuildMP(spec, m)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
+	}
+	ctr := certify.New(len(sys.Procs), len(sys.PortProcs)).CheckAdmissibility(m)
+	opts := mpOptions(spec, m, rs)
+	opts.DiscardSteps = true
+	opts.Observer = ctr
+	opts.DelayObserver = ctr
+	opts.MaxSteps = so.MaxSteps
+	res, err := mp.RunContext(ctx, sys, m.NewScheduler(st, seed), opts)
+	if err != nil {
+		return nil, fmt.Errorf("run %s under %v: %w", alg.Name(), m.Kind, err)
+	}
+	rep := &Report{
+		Algorithm: alg.Name(),
+		Model:     m.Kind,
+		Spec:      spec,
+		Finish:    res.Finish,
+		Sessions:  ctr.Sessions(),
+		Rounds:    ctr.Rounds(),
+		Gamma:     ctr.Gamma(),
+		Messages:  res.MessagesSent,
+		NumSteps:  ctr.Steps(),
+		Spans:     ctr.Spans(),
+	}
+	if err := ctr.Err(); err != nil {
+		return rep, fmt.Errorf("core: inadmissible computation: %w", err)
+	}
+	if rep.Sessions < spec.S {
+		return rep, fmt.Errorf("%w: got %d, need %d (alg %s, model %v, strategy %v, seed %d)",
+			ErrTooFewSessions, rep.Sessions, spec.S, alg.Name(), m.Kind, st, seed)
+	}
+	return rep, nil
+}

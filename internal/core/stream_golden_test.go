@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"sessionproblem/internal/alg/async"
+	"sessionproblem/internal/alg/periodic"
+	"sessionproblem/internal/alg/semisync"
+	"sessionproblem/internal/alg/synchronous"
+	"sessionproblem/internal/core"
+	"sessionproblem/internal/model"
+	"sessionproblem/internal/sm"
+	"sessionproblem/internal/timing"
+	"sessionproblem/internal/trace"
+)
+
+// TestStreamMatchesMaterializedSM is the golden count-identity test for the
+// streaming certifier: over a grid of real algorithms, timing models,
+// strategies and seeds, RunSMStream must report exactly the session count,
+// rounds, gamma, finish, step count and session spans the materialized path
+// (RunSM + trace.Sessions) computes.
+func TestStreamMatchesMaterializedSM(t *testing.T) {
+	cases := []struct {
+		name string
+		alg  core.SMAlgorithm
+		m    timing.Model
+	}{
+		{"synchronous", synchronous.NewSM(), timing.NewSynchronous(3, 0)},
+		{"periodic", periodic.NewSM(), timing.NewPeriodic(2, 7, 0)},
+		{"semisync", semisync.NewSM(semisync.Auto), timing.NewSemiSynchronous(2, 7, 0)},
+		{"async", async.NewSM(), timing.NewAsynchronousSM(4)},
+	}
+	spec := core.Spec{S: 3, N: 5, B: 3}
+	for _, tc := range cases {
+		for _, st := range []timing.Strategy{timing.Slow, timing.Fast, timing.Random, timing.Jittered} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				want, err := core.RunSM(tc.alg, spec, tc.m, st, seed)
+				if err != nil {
+					t.Fatalf("%s/%v/%d materialized: %v", tc.name, st, seed, err)
+				}
+				got, err := core.RunSMStream(context.Background(), tc.alg, spec, tc.m, st, seed, nil, core.StreamOptions{})
+				if err != nil {
+					t.Fatalf("%s/%v/%d streaming: %v", tc.name, st, seed, err)
+				}
+				compareReports(t, tc.name, want, got)
+			}
+		}
+	}
+}
+
+// TestStreamMatchesMaterializedMP covers the message-passing executor, whose
+// streams include network delivery steps and message delays.
+func TestStreamMatchesMaterializedMP(t *testing.T) {
+	cases := []struct {
+		name string
+		alg  core.MPAlgorithm
+		m    timing.Model
+	}{
+		{"synchronous", synchronous.NewMP(), timing.NewSynchronous(3, 2)},
+		{"periodic", periodic.NewMP(), timing.NewPeriodic(2, 7, 4)},
+		{"semisync", semisync.NewMP(semisync.Auto), timing.NewSemiSynchronous(2, 7, 4)},
+		{"async", async.NewMP(), timing.NewAsynchronousMP(4, 6)},
+		{"sporadic-start-sync", async.NewMP(), timing.NewAsynchronousMP(4, 6).WithSynchronizedStart()},
+	}
+	spec := core.Spec{S: 3, N: 4}
+	for _, tc := range cases {
+		for _, st := range []timing.Strategy{timing.Slow, timing.Fast, timing.Random, timing.Jittered} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				want, err := core.RunMP(tc.alg, spec, tc.m, st, seed)
+				if err != nil {
+					t.Fatalf("%s/%v/%d materialized: %v", tc.name, st, seed, err)
+				}
+				got, err := core.RunMPStream(context.Background(), tc.alg, spec, tc.m, st, seed, nil, core.StreamOptions{})
+				if err != nil {
+					t.Fatalf("%s/%v/%d streaming: %v", tc.name, st, seed, err)
+				}
+				compareReports(t, tc.name, want, got)
+			}
+		}
+	}
+}
+
+// compareReports checks every certified quantity, including the greedy span
+// decomposition, for byte-identity between the two paths.
+func compareReports(t *testing.T, name string, want, got *core.Report) {
+	t.Helper()
+	if got.Sessions != want.Sessions {
+		t.Errorf("%s: sessions: streaming %d, materialized %d", name, got.Sessions, want.Sessions)
+	}
+	if got.Rounds != want.Rounds {
+		t.Errorf("%s: rounds: streaming %d, materialized %d", name, got.Rounds, want.Rounds)
+	}
+	if got.Gamma != want.Gamma {
+		t.Errorf("%s: gamma: streaming %v, materialized %v", name, got.Gamma, want.Gamma)
+	}
+	if got.Finish != want.Finish {
+		t.Errorf("%s: finish: streaming %v, materialized %v", name, got.Finish, want.Finish)
+	}
+	if got.Messages != want.Messages {
+		t.Errorf("%s: messages: streaming %d, materialized %d", name, got.Messages, want.Messages)
+	}
+	if got.Steps() != want.Steps() {
+		t.Errorf("%s: steps: streaming %d, materialized %d", name, got.Steps(), want.Steps())
+	}
+	if got.Trace != nil {
+		t.Errorf("%s: streaming run materialized a trace", name)
+	}
+	wantSpans := trace.Sessions(want.Trace)
+	if len(got.Spans) != 0 || len(wantSpans) != 0 {
+		if !reflect.DeepEqual(got.Spans, wantSpans) {
+			t.Errorf("%s: spans: streaming %+v, materialized %+v", name, got.Spans, wantSpans)
+		}
+	}
+	wantSum, gotSum := core.Summarize(want), core.Summarize(got)
+	if !reflect.DeepEqual(wantSum, gotSum) {
+		t.Errorf("%s: summaries differ: streaming %+v, materialized %+v", name, gotSum, wantSum)
+	}
+}
+
+// oneShotSM is an algorithm whose ports step exactly once: it yields one
+// session regardless of spec.S, so any S > 1 fails verification.
+type oneShotSM struct{}
+
+func (oneShotSM) Name() string { return "one-shot" }
+
+func (oneShotSM) BuildSM(spec core.Spec, _ timing.Model) (*sm.System, error) {
+	b := spec.B
+	if b == 0 {
+		b = 2
+	}
+	sys := &sm.System{B: b}
+	for i := 0; i < spec.N; i++ {
+		v := model.VarID(i)
+		sys.Procs = append(sys.Procs, &oneShotPort{v: v})
+		sys.Ports = append(sys.Ports, sm.PortBinding{Var: v, Proc: i})
+	}
+	return sys, nil
+}
+
+type oneShotPort struct {
+	v    model.VarID
+	done bool
+}
+
+func (p *oneShotPort) Target() model.VarID { return p.v }
+func (p *oneShotPort) Step(old sm.Value) sm.Value {
+	if p.done {
+		return old
+	}
+	p.done = true
+	return 1
+}
+func (p *oneShotPort) Idle() bool { return p.done }
+
+// TestStreamReportsTooFewSessions checks the failure path keeps the solo
+// wording (same sentinel error, same context fields).
+func TestStreamReportsTooFewSessions(t *testing.T) {
+	m := timing.NewSynchronous(3, 0)
+	spec := core.Spec{S: 3, N: 5, B: 3}
+	_, wantErr := core.RunSM(oneShotSM{}, spec, m, timing.Slow, 7)
+	_, gotErr := core.RunSMStream(context.Background(), oneShotSM{}, spec, m, timing.Slow, 7, nil, core.StreamOptions{})
+	if wantErr == nil || gotErr == nil {
+		t.Fatalf("both paths should fail: materialized %v, streaming %v", wantErr, gotErr)
+	}
+	if !errors.Is(wantErr, core.ErrTooFewSessions) || !errors.Is(gotErr, core.ErrTooFewSessions) {
+		t.Fatalf("want ErrTooFewSessions from both: materialized %v, streaming %v", wantErr, gotErr)
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Errorf("error wording diverged:\nmaterialized: %v\nstreaming:    %v", wantErr, gotErr)
+	}
+}

@@ -21,20 +21,32 @@ type DiameterPoint struct {
 	PaperUpper  float64 // (s-1)(d2_eff + c2) + c2
 }
 
+// diameterTopoSeed fixes the seed the sweep's generated families are
+// built from: the F5 experiment varies the topology, not the graph draw,
+// and a constant keeps every point a pure function of (family, n).
+const diameterTopoSeed = 1
+
 // SweepDiameter is experiment F5: the paper converts [4]'s point-to-point
 // results to the broadcast model by letting d2 subsume the network
 // diameter. Here the asynchronous algorithm runs over concrete topologies
 // with per-hop delays in [0, hopDelay]; the measured worst case must track
-// diameter*hopDelay through the abstract bound.
-func SweepDiameter(s, n int, c2, hopDelay sim.Duration, seeds int) ([]DiameterPoint, error) {
-	topos := []struct {
+// diameter*hopDelay through the abstract bound. The optional families
+// argument selects which topo.Families entries to sweep (generated
+// families included); empty means the paper's four fixed extremes.
+func SweepDiameter(s, n int, c2, hopDelay sim.Duration, seeds int, families ...string) ([]DiameterPoint, error) {
+	if len(families) == 0 {
+		families = []string{"complete", "star", "ring", "line"}
+	}
+	topos := make([]struct {
 		name string
 		g    *topo.Graph
-	}{
-		{"complete", topo.Complete(n)},
-		{"star", topo.Star(n)},
-		{"ring", topo.Ring(n)},
-		{"line", topo.Line(n)},
+	}, len(families))
+	for i, name := range families {
+		g, err := topo.Build(name, n, diameterTopoSeed)
+		if err != nil {
+			return nil, fmt.Errorf("F5 topology %s: %w", name, err)
+		}
+		topos[i].name, topos[i].g = name, g
 	}
 	spec := core.Spec{S: s, N: n}
 	var out []DiameterPoint

@@ -62,6 +62,15 @@ type Config struct {
 	// Results are byte-identical either way; this is an escape hatch for
 	// debugging and for isolating per-run timings.
 	NoSeedBatch bool
+
+	// StreamCertify routes every Table-1 run through the streaming
+	// certifier (core.RunSMStream/RunMPStream): the executors discard
+	// recorded steps and an online counter verifies the session condition,
+	// so memory stays O(ports) regardless of step count. Results — and run
+	// cache contents — are byte-identical to the materialized path (the
+	// golden tests in internal/core enforce it). Implies NoSeedBatch:
+	// lockstep lanes materialize traces by construction.
+	StreamCertify bool
 }
 
 // Default returns the configuration used by cmd/sessiontable and the
@@ -378,6 +387,8 @@ type cellDef struct {
 	gammaUpper bool
 	// rounds: measure rounds instead of time (asynchronous SM).
 	rounds bool
+	// stream: run through the streaming certifier (Config.StreamCertify).
+	stream bool
 }
 
 func (d cellDef) name() string {
@@ -392,10 +403,16 @@ func (d cellDef) name() string {
 // matrices simulate each unique run once.
 func (d cellDef) runOnce(ctx context.Context, st timing.Strategy, seed uint64) (runOutcome, error) {
 	run := func() (*core.Report, error) {
-		if d.smAlg != nil {
+		switch {
+		case d.smAlg != nil && d.stream:
+			return core.RunSMStream(ctx, d.smAlg, d.spec, d.model, st, seed, scratchFrom(ctx), core.StreamOptions{})
+		case d.smAlg != nil:
 			return core.RunSMScratch(ctx, d.smAlg, d.spec, d.model, st, seed, scratchFrom(ctx))
+		case d.stream:
+			return core.RunMPStream(ctx, d.mpAlg, d.spec, d.model, st, seed, scratchFrom(ctx), core.StreamOptions{})
+		default:
+			return core.RunMPScratch(ctx, d.mpAlg, d.spec, d.model, st, seed, scratchFrom(ctx))
 		}
-		return core.RunMPScratch(ctx, d.mpAlg, d.spec, d.model, st, seed, scratchFrom(ctx))
 	}
 	if engine.RunCacheFrom(ctx) != nil {
 		key := core.RunKey(d.comm, d.name(), d.spec, d.model, st, seed, 0, nil)
@@ -518,12 +535,17 @@ func Table1(cfg Config) ([]Cell, error) {
 func Table1Ctx(ctx context.Context, cfg Config) ([]Cell, error) {
 	cfg = cfg.withDefaults()
 	defs := table1Defs(cfg)
+	if cfg.StreamCertify {
+		for i := range defs {
+			defs[i].stream = true
+		}
+	}
 	sts := timing.AllStrategies()
 	per := len(sts) * cfg.Seeds
 
 	var outs []runOutcome
 	var err error
-	if cfg.NoSeedBatch {
+	if cfg.NoSeedBatch || cfg.StreamCertify {
 		outs, err = engine.Map(ctx, cfg.engineOrNew(), len(defs)*per,
 			func(i int) string {
 				d := defs[i/per]

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -61,6 +62,22 @@ func TestTable1RowCoverage(t *testing.T) {
 		if !seen[want] {
 			t.Errorf("missing cell %s", want)
 		}
+	}
+}
+
+func TestTable1StreamCertifyIdentical(t *testing.T) {
+	base, err := Table1(smallConfig())
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	cfg := smallConfig()
+	cfg.StreamCertify = true
+	stream, err := Table1(cfg)
+	if err != nil {
+		t.Fatalf("Table1 streaming: %v", err)
+	}
+	if !reflect.DeepEqual(base, stream) {
+		t.Errorf("streaming certification changed results:\nmaterialized %+v\nstreaming    %+v", base, stream)
 	}
 }
 

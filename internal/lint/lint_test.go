@@ -266,6 +266,18 @@ func TestNodetermCoversWirePackage(t *testing.T) {
 	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/wire", "sessionproblem/wire")
 }
 
+// The streaming certifier replaces the materialized trace, so its counts
+// must be a pure function of the observed steps: nodeterm pins it.
+func TestNodetermCoversCertifyPackage(t *testing.T) {
+	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/certify", "sessionproblem/internal/certify")
+}
+
+// Generated topology families are part of every diameter-sweep result, so
+// graph construction must be a pure function of (family, n, seed).
+func TestNodetermCoversTopoPackage(t *testing.T) {
+	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/topo", "sessionproblem/internal/topo")
+}
+
 func TestNodetermCoversJournalPackage(t *testing.T) {
 	linttest.Run(t, lint.Nodeterm, "testdata/nodeterm/journal", "sessionproblem/internal/journal")
 }

@@ -46,6 +46,12 @@ var deterministicPkgs = map[string]bool{
 	// sanctioned environment read is the crash-test gate, waived at the
 	// read site.
 	"sessionproblem/internal/journal": true,
+	// The large-n substrates: the streaming certifier's counts must equal
+	// the materialized trace's byte for byte, and the generated topology
+	// families must be pure functions of (family, n, seed) — a graph drawn
+	// from global randomness would change every diameter-sweep result.
+	"sessionproblem/internal/certify": true,
+	"sessionproblem/internal/topo":    true,
 }
 
 // deterministicPrefixes extends the set to whole subtrees (every session

@@ -36,6 +36,9 @@ var scratchImplPkgs = map[string]bool{
 	"sessionproblem/internal/sm":    true,
 	"sessionproblem/internal/mp":    true,
 	"sessionproblem/internal/arena": true,
+	// tree.Pool recycles published knowledge snapshots through a freelist;
+	// handing out aliased buffers is its job.
+	"sessionproblem/internal/tree": true,
 }
 
 // scratchReturnExempt may return scratch-aliasing values: these packages'

@@ -1,0 +1,18 @@
+// Fixture loaded as sessionproblem/internal/certify: the streaming
+// certifier's session counts stand in for the materialized trace, so any
+// nondeterminism here would make the streaming and materialized paths
+// disagree — every source is diagnosed.
+package certify
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"time"
+)
+
+func sampleSpan() bool { return rand.Intn(2) == 0 }
+
+func deadline() time.Time { return time.Now() } // want `time\.Now in deterministic package`
+
+// Pure arithmetic on durations stays legal; only wall-clock entry points
+// are banned.
+func budget(d time.Duration) time.Duration { return d / 2 }

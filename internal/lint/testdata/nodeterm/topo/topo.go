@@ -1,0 +1,14 @@
+// Fixture loaded as sessionproblem/internal/topo: generated topology
+// families must be pure functions of (family, n, seed) — a graph drawn
+// from global randomness or sized by the environment would change every
+// diameter-sweep result between runs.
+package topo
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"os"
+)
+
+func pairStubs(n int) []int { return rand.Perm(n) }
+
+func defaultDegree() string { return os.Getenv("TOPO_DEGREE") } // want `os\.Getenv in deterministic package`

@@ -52,6 +52,16 @@ type Step struct {
 // IsPortStep reports whether the step is a port step.
 func (s Step) IsPortStep() bool { return s.Port != NoPort }
 
+// StepObserver consumes executed steps online, in execution order, as the
+// executors produce them. It is the hook behind streaming certification:
+// large-n runs count sessions incrementally through an observer instead of
+// materializing Trace.Steps. Observers must not retain the step's Accesses
+// slice past the call (executors may reuse the backing arena), and under
+// discarded-step runs Accesses is nil.
+type StepObserver interface {
+	ObserveStep(s Step)
+}
+
 // Touches reports whether the step accesses variable v.
 func (s Step) Touches(v VarID) bool {
 	for _, a := range s.Accesses {

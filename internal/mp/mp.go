@@ -120,6 +120,27 @@ type Options struct {
 	// Zero leaves the queue's default window; larger increments (e.g.
 	// fault-injected restart pauses) still work, via the overflow path.
 	WindowHint sim.Duration
+	// Observer, when non-nil, receives every executed step online (network
+	// deliveries included), in execution order (streaming certification).
+	// With DiscardSteps set the observed steps carry no access records.
+	Observer model.StepObserver
+	// DelayObserver, when non-nil, receives every message's transit interval
+	// as the send is scheduled (streaming admissibility checking).
+	DelayObserver DelayObserver
+	// DiscardSteps skips materializing Trace.Steps and Result.Delays (and
+	// the per-step access records): Result.Trace carries only the
+	// process/port counts. Large-n runs pair it with Observer/DelayObserver
+	// so sessions and admissibility are checked online in O(ports) memory
+	// instead of O(steps). The executed schedule is bit-identical either
+	// way.
+	DiscardSteps bool
+}
+
+// DelayObserver consumes message-delay records online, in the order the
+// executor creates them (send order, duplicates after their original). It is
+// the streaming counterpart of Result.Delays.
+type DelayObserver interface {
+	ObserveDelay(d timing.MessageDelay)
 }
 
 // Result is the outcome of one execution.
@@ -207,6 +228,12 @@ func (sc *Scratch) prepare(sys *System, opts *Options) {
 		// append growth covers any remainder.
 		expectedSteps = sc.lastSteps + sc.lastSteps/8 + 8
 		expectedDelays = sc.lastDelays + sc.lastDelays/8 + 8
+	}
+	if opts.DiscardSteps {
+		// Nothing is appended to the step, access or delay buffers;
+		// pre-sizing them would be the very O(steps) allocation streaming
+		// avoids.
+		expectedSteps, expectedDelays = 0, 0
 	}
 	if sc.steps == nil && expectedSteps > 0 {
 		sc.steps = make([]model.Step, 0, expectedSteps)
@@ -308,6 +335,7 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	idleCount := 0
 	crashedLive := 0 // processes crashed permanently before going idle
 	steps := 0
+	recorded := 0 // steps recorded/observed (excludes injector-suppressed pops)
 	sendCounter := 0
 	drainUntil := sim.Time(-1)
 	// The dispatch loop drains whole ticks at once: PopTick hands over every
@@ -349,13 +377,20 @@ dispatch:
 					buf = sc.free.Get()
 				}
 				sc.buffers[dst] = append(buf, Message{From: ev.Src, Body: ev.Body})
-				sc.steps = append(sc.steps, model.Step{
-					Index:    len(sc.steps),
-					Proc:     model.NetworkProc,
-					Time:     ev.At,
-					Accesses: sc.accesses.One(model.VarAccess{Var: bufVar(dst)}),
-					Port:     model.NoPort,
-				})
+				st := model.Step{
+					Index: recorded,
+					Proc:  model.NetworkProc,
+					Time:  ev.At,
+					Port:  model.NoPort,
+				}
+				recorded++
+				if !opts.DiscardSteps {
+					st.Accesses = sc.accesses.One(model.VarAccess{Var: bufVar(dst)})
+					sc.steps = append(sc.steps, st)
+				}
+				if opts.Observer != nil {
+					opts.Observer.ObserveStep(st)
+				}
 
 			case sim.KindStep:
 				if steps >= maxSteps {
@@ -429,13 +464,20 @@ dispatch:
 					// the matching comment in internal/sm).
 					port = sc.portIdx[p]
 				}
-				sc.steps = append(sc.steps, model.Step{
-					Index:    len(sc.steps),
-					Proc:     p,
-					Time:     ev.At,
-					Accesses: sc.accesses.One(model.VarAccess{Var: bufVar(p)}),
-					Port:     port,
-				})
+				st := model.Step{
+					Index: recorded,
+					Proc:  p,
+					Time:  ev.At,
+					Port:  port,
+				}
+				recorded++
+				if !opts.DiscardSteps {
+					st.Accesses = sc.accesses.One(model.VarAccess{Var: bufVar(p)})
+					sc.steps = append(sc.steps, st)
+				}
+				if opts.Observer != nil {
+					opts.Observer.ObserveStep(st)
+				}
 
 				if body != nil {
 					res.MessagesSent++
@@ -473,9 +515,13 @@ dispatch:
 							Src:  p,
 							Body: body,
 						})
-						sc.delays = append(sc.delays, timing.MessageDelay{
-							Src: p, Dst: dst, Sent: ev.At, Delivered: at,
-						})
+						d := timing.MessageDelay{Src: p, Dst: dst, Sent: ev.At, Delivered: at}
+						if !opts.DiscardSteps {
+							sc.delays = append(sc.delays, d)
+						}
+						if opts.DelayObserver != nil {
+							opts.DelayObserver.ObserveDelay(d)
+						}
 						if eff.Kind == fault.MessageDuplicate {
 							dupAt := at.Add(eff.DuplicateDelay)
 							res.Faults = append(res.Faults, fault.Event{
@@ -489,9 +535,13 @@ dispatch:
 								Src:  p,
 								Body: body,
 							})
-							sc.delays = append(sc.delays, timing.MessageDelay{
-								Src: p, Dst: dst, Sent: ev.At, Delivered: dupAt,
-							})
+							dd := timing.MessageDelay{Src: p, Dst: dst, Sent: ev.At, Delivered: dupAt}
+							if !opts.DiscardSteps {
+								sc.delays = append(sc.delays, dd)
+							}
+							if opts.DelayObserver != nil {
+								opts.DelayObserver.ObserveDelay(dd)
+							}
 						}
 					}
 				}

@@ -52,6 +52,18 @@ type System struct {
 	Initial map[model.VarID]Value
 	B       int
 	Ports   []PortBinding
+	// NumVars, when positive, declares that every variable ID lies in
+	// [0, NumVars); the executor then backs variable storage and b-bound
+	// tracking with dense slices instead of maps. Large systems (million-port
+	// topologies) are infeasible without it; small systems are free to leave
+	// it zero.
+	NumVars int
+	// Recycle, when non-nil, is invoked by the executor as a variable's value
+	// is overwritten — but only on runs that discard recorded steps, carry no
+	// fault injector and probe no idle processes, i.e. exactly when nothing
+	// can retain the old value. Algorithms use it to return pooled snapshot
+	// buffers (tree.Pool) so steady-state execution is allocation-free.
+	Recycle func(old, new Value)
 }
 
 // Scratch holds every buffer the executor grows during a run: the event
@@ -79,6 +91,8 @@ type Scratch struct {
 	vars     map[model.VarID]Value
 	prevVals map[model.VarID]Value
 	access   map[model.VarID][]int32 // var -> distinct accessing procs (b-bound)
+	varsD    []Value                 // dense variable storage (System.NumVars > 0)
+	accessD  [][]int32               // dense b-bound tracking, parallel to varsD
 	batch    []sim.Event             // tick-batch scratch for the dispatch loop
 	// lastSteps is the step count of the previous run. Pooled scratches
 	// detach the step and access buffers on release (a Result aliases them),
@@ -122,6 +136,16 @@ type Options struct {
 	// increments (e.g. fault-injected restart pauses) still work, via the
 	// overflow path.
 	WindowHint sim.Duration
+	// Observer, when non-nil, receives every executed step online, in
+	// execution order, as it happens (streaming certification). With
+	// DiscardSteps set the observed steps carry no access records.
+	Observer model.StepObserver
+	// DiscardSteps skips materializing Trace.Steps (and the per-step access
+	// records): Result.Trace carries only the process/port counts. Large-n
+	// runs pair it with Observer so sessions are counted online in O(ports)
+	// memory instead of O(steps). The executed schedule is bit-identical
+	// either way.
+	DiscardSteps bool
 }
 
 // Result is the outcome of one execution.
@@ -186,6 +210,11 @@ func (sc *Scratch) prepare(sys *System, opts *Options) {
 		// append growth covers any remainder.
 		expectedSteps = sc.lastSteps + sc.lastSteps/8 + 8
 	}
+	if opts.DiscardSteps {
+		// Nothing is appended to the step or access buffers; pre-sizing
+		// them would be the very O(steps) allocation streaming avoids.
+		expectedSteps = 0
+	}
 	if sc.steps == nil && expectedSteps > 0 {
 		sc.steps = make([]model.Step, 0, expectedSteps)
 	}
@@ -225,18 +254,30 @@ func (sc *Scratch) prepare(sys *System, opts *Options) {
 		}
 	}
 
-	if sc.vars == nil {
-		sc.vars = make(map[model.VarID]Value, len(sys.Initial))
+	if sys.NumVars > 0 {
+		sc.varsD = arena.Resize(sc.varsD, sys.NumVars)
+		sc.accessD = arena.Resize(sc.accessD, sys.NumVars)
+		for i := range sc.varsD {
+			sc.varsD[i] = nil
+			sc.accessD[i] = sc.accessD[i][:0]
+		}
+		for k, v := range sys.Initial {
+			sc.varsD[k] = v
+		}
 	} else {
-		clear(sc.vars)
-	}
-	for k, v := range sys.Initial {
-		sc.vars[k] = v
-	}
-	if sc.access == nil {
-		sc.access = make(map[model.VarID][]int32)
-	} else {
-		clear(sc.access)
+		if sc.vars == nil {
+			sc.vars = make(map[model.VarID]Value, len(sys.Initial))
+		} else {
+			clear(sc.vars)
+		}
+		for k, v := range sys.Initial {
+			sc.vars[k] = v
+		}
+		if sc.access == nil {
+			sc.access = make(map[model.VarID][]int32)
+		} else {
+			clear(sc.access)
+		}
 	}
 	if injected {
 		if sc.prevVals == nil {
@@ -325,6 +366,13 @@ func RunContext(ctx context.Context, sys *System, sched Scheduler, opts Options)
 	idleCount := 0
 	crashedLive := 0 // processes crashed permanently before going idle
 	steps := 0
+	recorded := 0 // steps recorded/observed (excludes injector-suppressed pops)
+	dense := sys.NumVars > 0
+	// Recycling overwritten values is sound only when nothing can retain
+	// them: no materialized trace, no injector stale-read snapshots, no idle
+	// probes comparing pre/post values.
+	recycle := sys.Recycle != nil && opts.DiscardSteps && inj == nil &&
+		opts.ProbeSteps == 0 && !opts.StepIdleProcesses
 	drainUntil := sim.Time(-1)
 	// The dispatch loop drains whole ticks at once: PopTick hands over every
 	// event at the earliest tick in (Kind, Proc, Seq) order, and the PeekAt
@@ -403,7 +451,16 @@ dispatch:
 
 			wasIdle := proc.Idle()
 			target := proc.Target()
-			old := sc.vars[target]
+			var old Value
+			if dense {
+				if target < 0 || int(target) >= sys.NumVars {
+					return nil, fmt.Errorf("sm: variable %d outside declared range [0, %d)",
+						target, sys.NumVars)
+				}
+				old = sc.varsD[target]
+			} else {
+				old = sc.vars[target]
+			}
 			observed := old
 			if stale {
 				if pv, ok := sc.prevVals[target]; ok {
@@ -417,16 +474,31 @@ dispatch:
 				// not recorded.
 			}
 			newVal := proc.Step(observed)
-			sc.vars[target] = newVal
+			if dense {
+				sc.varsD[target] = newVal
+			} else {
+				sc.vars[target] = newVal
+			}
 			if inj != nil {
 				sc.prevVals[target] = old
+			}
+			if recycle {
+				// Nothing retains the overwritten value (steps are discarded,
+				// no injector snapshots, no idle probes): hand it back to the
+				// algorithm's buffer pool.
+				sys.Recycle(old, newVal)
 			}
 
 			// b-bound: track the distinct processes touching each variable in a
 			// small dense slice (len <= b+1, linear scan) instead of a nested
 			// map, so enforcement costs at most one tiny alloc per variable per
 			// run and none per step.
-			acc := sc.access[target]
+			var acc []int32
+			if dense {
+				acc = sc.accessD[target]
+			} else {
+				acc = sc.access[target]
+			}
 			known := false
 			for _, ap := range acc {
 				if ap == int32(p) {
@@ -436,7 +508,11 @@ dispatch:
 			}
 			if !known {
 				acc = append(acc, int32(p))
-				sc.access[target] = acc
+				if dense {
+					sc.accessD[target] = acc
+				} else {
+					sc.access[target] = acc
+				}
 				if len(acc) > sys.B {
 					return nil, fmt.Errorf("sm: variable %d accessed by %d > b=%d processes",
 						target, len(acc), sys.B)
@@ -452,13 +528,20 @@ dispatch:
 				// problem, contradicting the paper's lower-bound arguments).
 				port = sc.portOf(p, target)
 			}
-			sc.steps = append(sc.steps, model.Step{
-				Index:    len(sc.steps),
-				Proc:     p,
-				Time:     ev.At,
-				Accesses: sc.accesses.One(model.VarAccess{Var: target, Old: observed, New: newVal}),
-				Port:     port,
-			})
+			st := model.Step{
+				Index: recorded,
+				Proc:  p,
+				Time:  ev.At,
+				Port:  port,
+			}
+			recorded++
+			if !opts.DiscardSteps {
+				st.Accesses = sc.accesses.One(model.VarAccess{Var: target, Old: observed, New: newVal})
+				sc.steps = append(sc.steps, st)
+			}
+			if opts.Observer != nil {
+				opts.Observer.ObserveStep(st)
+			}
 
 			if wasIdle {
 				// Idle-stability probe: state must be unchanged and the process

@@ -411,6 +411,44 @@ func (m Model) walkGaps(tr *model.Trace, proc int, visit func(error) bool) {
 	}
 }
 
+// Checker verifies admissibility online, one step or delay at a time, with
+// O(processes) state and no trace: it is the streaming counterpart of
+// CheckAdmissible, applying checkGapStep/checkDelay incrementally in the
+// order the executor produces records. The first violation sticks in Err;
+// later observations are no-ops. It implements model.StepObserver (and,
+// structurally, the message-passing executor's DelayObserver).
+type Checker struct {
+	m   Model
+	st  []gapState
+	err error
+}
+
+// NewChecker returns a streaming admissibility checker for a system of
+// numProcs regular processes under model m.
+func (m Model) NewChecker(numProcs int) *Checker {
+	return &Checker{m: m, st: make([]gapState, numProcs)}
+}
+
+// ObserveStep checks one executed step's gap constraint. Network steps
+// (Proc outside [0, numProcs)) carry no gap constraint and are ignored.
+func (c *Checker) ObserveStep(s model.Step) {
+	if c.err != nil || s.Proc < 0 || s.Proc >= len(c.st) {
+		return
+	}
+	c.err = c.m.checkGapStep(&c.st[s.Proc], s.Proc, s.Index, s.Time)
+}
+
+// ObserveDelay checks one message's transit interval.
+func (c *Checker) ObserveDelay(d MessageDelay) {
+	if c.err != nil {
+		return
+	}
+	c.err = c.m.checkDelay(d)
+}
+
+// Err returns the first violation observed, or nil.
+func (c *Checker) Err() error { return c.err }
+
 func (m Model) checkDelay(d MessageDelay) error {
 	delay := d.Delay()
 	lo, hi := m.D1, m.D2

@@ -1,0 +1,238 @@
+// Generated topology families. The fixed F5 topologies (complete, star,
+// ring, line) pin the diameter at the extremes; the families here fill in
+// the middle of the diameter spectrum and scale to millions of vertices:
+// grids and tori have diameter Theta(sqrt(V)), random regular graphs are
+// expanders with diameter Theta(log V) with high probability. All
+// randomness flows through sim.RNG, so every family is a pure function of
+// (n, seed) — the determinism contract sessionlint's nodeterm analyzer
+// enforces on this package.
+
+package topo
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sessionproblem/internal/sim"
+)
+
+// Grid returns the rows x cols lattice with 4-neighbor connectivity
+// (diameter rows+cols-2). Both dimensions must be at least 1; like the
+// other fixed constructors it panics on impossible input.
+func Grid(rows, cols int) *Graph {
+	return mustNew(rows*cols, latticeEdges(rows, cols, false))
+}
+
+// Torus returns the rows x cols lattice with wraparound in both
+// dimensions (diameter floor(rows/2)+floor(cols/2)). Wrap edges that
+// would duplicate a lattice edge (dimension 2) or form a self-loop
+// (dimension 1) are dropped, so small dimensions degenerate gracefully.
+func Torus(rows, cols int) *Graph {
+	return mustNew(rows*cols, latticeEdges(rows, cols, true))
+}
+
+func latticeEdges(rows, cols int, wrap bool) [][2]int {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("topo: impossible construction: lattice needs positive dimensions, got %dx%d", rows, cols))
+	}
+	id := func(r, c int) int { return r*cols + c }
+	edges := make([][2]int, 0, 2*rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			} else if wrap && cols > 2 {
+				edges = append(edges, [2]int{id(r, c), id(r, 0)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			} else if wrap && rows > 2 {
+				edges = append(edges, [2]int{id(r, c), id(0, c)})
+			}
+		}
+	}
+	return edges
+}
+
+// RandomRegular returns a uniformly-flavored random simple d-regular
+// graph on n vertices via the configuration (stub-pairing) model with
+// switch-based repair: stubs are shuffled and paired, then self-loops and
+// duplicate edges are eliminated by exchanging endpoints with randomly
+// chosen good edges. The result is deterministic in (n, d, seed). It
+// fails if the sampled graph is disconnected (use Expander for the
+// retry-until-connected variant) or if no simple pairing is found within
+// the attempt budget — both vanishingly rare for d >= 3.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	if err := validateRegular(n, d); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(seed)
+	const attempts = 64
+	for a := 0; a < attempts; a++ {
+		edges, ok := pairStubs(n, d, rng)
+		if !ok {
+			continue // repair stalled; reshuffle
+		}
+		return New(n, edges)
+	}
+	return nil, fmt.Errorf("topo: no simple %d-regular pairing on %d vertices after %d attempts (seed %d)", d, n, attempts, seed)
+}
+
+func validateRegular(n, d int) error {
+	if n < 1 {
+		return fmt.Errorf("topo: need at least one vertex, got %d", n)
+	}
+	if d < 2 {
+		return fmt.Errorf("topo: regular degree must be >= 2, got %d", d)
+	}
+	if d >= n {
+		return fmt.Errorf("topo: regular degree %d needs more than %d vertices", d, n)
+	}
+	if n*d%2 != 0 {
+		return fmt.Errorf("topo: no %d-regular graph on %d vertices (odd degree sum)", d, n)
+	}
+	return nil
+}
+
+// pairStubs draws one configuration-model pairing and repairs it into a
+// simple graph, or reports failure so the caller reshuffles.
+func pairStubs(n, d int, rng *sim.RNG) ([][2]int, bool) {
+	m := n * d / 2
+	perm := rng.Perm(n * d)
+	edges := make([][2]int, m)
+	for k := range edges {
+		edges[k] = [2]int{perm[2*k] / d, perm[2*k+1] / d}
+	}
+	// seen holds the keys of currently-good (simple, unique) edges.
+	key := func(e [2]int) uint64 {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		return uint64(a)*uint64(n) + uint64(b)
+	}
+	seen := make(map[uint64]bool, m)
+	var bad []int
+	for k, e := range edges {
+		if e[0] != e[1] && !seen[key(e)] {
+			seen[key(e)] = true
+		} else {
+			bad = append(bad, k)
+		}
+	}
+	// Switch repair: splice a bad edge with a random good one. Each
+	// success shrinks bad by one; expected bad count is O(d^2), so the
+	// budget is generous.
+	budget := 64 * (len(bad) + 4)
+	for len(bad) > 0 && budget > 0 {
+		budget--
+		k := bad[len(bad)-1]
+		j := rng.Intn(m)
+		f := edges[j]
+		if j == k || !seen[key(f)] {
+			continue
+		}
+		e := edges[k]
+		// (a,b),(c,f1) -> (a,f1),(c,b): both new edges must be simple and
+		// distinct from each other and from every surviving edge.
+		ne := [2]int{e[0], f[1]}
+		nf := [2]int{f[0], e[1]}
+		if ne[0] == ne[1] || nf[0] == nf[1] || key(ne) == key(nf) {
+			continue
+		}
+		delete(seen, key(f))
+		if seen[key(ne)] || seen[key(nf)] {
+			seen[key(f)] = true
+			continue
+		}
+		seen[key(ne)] = true
+		seen[key(nf)] = true
+		edges[k], edges[j] = ne, nf
+		bad = bad[:len(bad)-1]
+	}
+	return edges, len(bad) == 0
+}
+
+// Expander returns a connected random d-regular graph: RandomRegular
+// retried across derived seeds until the sample is connected. Random
+// regular graphs with d >= 3 are connected — and are expanders, with
+// diameter O(log n) — with high probability, so the first draw almost
+// always succeeds and the retry only guards the rare exception.
+func Expander(n, d int, seed uint64) (*Graph, error) {
+	if err := validateRegular(n, d); err != nil {
+		return nil, err
+	}
+	const retries = 32
+	var lastErr error
+	for r := 0; r < retries; r++ {
+		// Weyl-sequence seed derivation keeps retries decorrelated while
+		// staying a pure function of the caller's seed.
+		g, err := RandomRegular(n, d, seed+uint64(r)*0x9e3779b97f4a7c15)
+		if err == nil {
+			return g, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("topo: no connected %d-regular graph on %d vertices after %d retries: %w", d, n, retries, lastErr)
+}
+
+// generatedDegree is the degree Build uses for the random families: 4
+// keeps the degree sum even for every n and is comfortably above the
+// d >= 3 connectivity threshold.
+const generatedDegree = 4
+
+// Families lists the topology family names Build accepts, in the order
+// flags and docs present them.
+func Families() []string {
+	return []string{"complete", "star", "ring", "line", "grid", "torus", "expander", "random-regular"}
+}
+
+// Build constructs the named family at n vertices. The fixed families
+// ignore seed; the random families are deterministic in it. Grids and
+// tori use the most-square rows x cols factorization of n (degenerating
+// to a line for prime n); the random families use degree 4 and fall back
+// to the complete graph when n is too small for it.
+func Build(name string, n int, seed uint64) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: need at least one vertex, got %d", n)
+	}
+	switch name {
+	case "complete":
+		return Complete(n), nil
+	case "star":
+		return Star(n), nil
+	case "ring":
+		return Ring(n), nil
+	case "line":
+		return Line(n), nil
+	case "grid":
+		r, c := gridDims(n)
+		return Grid(r, c), nil
+	case "torus":
+		r, c := gridDims(n)
+		return Torus(r, c), nil
+	case "expander":
+		if n <= generatedDegree+1 {
+			return Complete(n), nil
+		}
+		return Expander(n, generatedDegree, seed)
+	case "random-regular":
+		if n <= generatedDegree+1 {
+			return Complete(n), nil
+		}
+		return RandomRegular(n, generatedDegree, seed)
+	default:
+		return nil, fmt.Errorf("topo: unknown topology family %q (have %s)", name, strings.Join(Families(), ", "))
+	}
+}
+
+// gridDims factors n as rows*cols with rows the largest divisor not
+// exceeding sqrt(n), the most-square lattice n admits exactly.
+func gridDims(n int) (rows, cols int) {
+	rows = int(math.Sqrt(float64(n)))
+	for rows > 1 && n%rows != 0 {
+		rows--
+	}
+	return rows, n / rows
+}

@@ -1,0 +1,187 @@
+package topo
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N != 12 {
+		t.Fatalf("Grid(3,4).N = %d, want 12", g.N)
+	}
+	if d := g.Diameter(); d != 3+4-2 {
+		t.Errorf("Grid(3,4) diameter = %d, want 5", d)
+	}
+	// Corner, edge and interior degrees.
+	if got := g.Degree(0); got != 2 {
+		t.Errorf("corner degree = %d, want 2", got)
+	}
+	if got := g.Degree(1); got != 3 {
+		t.Errorf("edge degree = %d, want 3", got)
+	}
+	if got := g.Degree(1*4 + 1); got != 4 {
+		t.Errorf("interior degree = %d, want 4", got)
+	}
+}
+
+func TestTorusShape(t *testing.T) {
+	g := Torus(4, 4)
+	if d := g.Diameter(); d != 4/2+4/2 {
+		t.Errorf("Torus(4,4) diameter = %d, want 4", d)
+	}
+	for v := 0; v < g.N; v++ {
+		if got := g.Degree(v); got != 4 {
+			t.Fatalf("Torus(4,4) degree(%d) = %d, want 4", v, got)
+		}
+	}
+	// Degenerate dimensions: wrap edges that would self-loop or duplicate
+	// are dropped, leaving valid graphs.
+	if g := Torus(1, 5); g.Diameter() != 2 {
+		t.Errorf("Torus(1,5) should be the 5-cycle (diameter 2), got diameter %d", g.Diameter())
+	}
+	if g := Torus(2, 2); g.Diameter() != 2 {
+		t.Errorf("Torus(2,2) should be the 4-cycle (diameter 2), got diameter %d", g.Diameter())
+	}
+}
+
+func TestRandomRegularProperties(t *testing.T) {
+	const n, d = 50, 3
+	for seed := uint64(1); seed <= 5; seed++ {
+		g, err := RandomRegular(n, d, seed)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d,%d): %v", n, d, seed, err)
+		}
+		for v := 0; v < n; v++ {
+			if got := g.Degree(v); got != d {
+				t.Fatalf("seed %d: degree(%d) = %d, want %d", seed, v, got, d)
+			}
+			for _, u := range g.Neighbors(v) {
+				if u == v {
+					t.Fatalf("seed %d: self-loop at %d", seed, v)
+				}
+			}
+		}
+		// Connectivity is a construction invariant; spot-check it anyway.
+		for v := 0; v < n; v++ {
+			if g.Dist(0, v) < 0 {
+				t.Fatalf("seed %d: vertex %d unreachable", seed, v)
+			}
+		}
+	}
+}
+
+func TestRandomRegularSeedDeterminism(t *testing.T) {
+	a, err := RandomRegular(40, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(40, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.adj, b.adj) {
+		t.Error("same seed produced different graphs")
+	}
+	c, err := RandomRegular(40, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.adj, c.adj) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomRegularValidation(t *testing.T) {
+	cases := []struct{ n, d int }{
+		{5, 5},  // d >= n
+		{5, 3},  // odd degree sum
+		{10, 1}, // degree too small
+		{0, 4},  // no vertices
+	}
+	for _, c := range cases {
+		if _, err := RandomRegular(c.n, c.d, 1); err == nil {
+			t.Errorf("RandomRegular(%d,%d) should fail", c.n, c.d)
+		}
+	}
+}
+
+// TestDiameterSanity pins the families to their asymptotic regimes at
+// n = 1024: the grid's exact diameter is Theta(sqrt(n)) while the
+// expander's single-BFS bound is already Theta(log n) — an order of
+// magnitude apart.
+func TestDiameterSanity(t *testing.T) {
+	const n = 1024
+	grid, err := Build("grid", n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := grid.Diameter(); d != 32+32-2 {
+		t.Errorf("grid(1024) diameter = %d, want 62", d)
+	}
+	exp, err := Build("expander", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := exp.DiameterBound()
+	if limit := 4 * int(math.Log2(n)); bound > limit {
+		t.Errorf("expander(1024) diameter bound = %d, want <= %d (Theta(log n))", bound, limit)
+	}
+	if bound >= grid.Diameter() {
+		t.Errorf("expander bound %d should beat the grid diameter %d", bound, grid.Diameter())
+	}
+}
+
+func TestDiameterBoundBrackets(t *testing.T) {
+	graphs := map[string]*Graph{
+		"ring":  Ring(9),
+		"line":  Line(7),
+		"star":  Star(8),
+		"grid":  Grid(4, 5),
+		"torus": Torus(4, 5),
+	}
+	if g, err := RandomRegular(30, 4, 3); err == nil {
+		graphs["random-regular"] = g
+	} else {
+		t.Fatal(err)
+	}
+	for name, g := range graphs {
+		diam, bound := g.Diameter(), g.DiameterBound()
+		if bound < diam || bound > 2*diam {
+			t.Errorf("%s: DiameterBound %d outside [diam, 2*diam] = [%d, %d]", name, bound, diam, 2*diam)
+		}
+	}
+}
+
+func TestBuildFamilies(t *testing.T) {
+	for _, name := range Families() {
+		for _, n := range []int{1, 2, 5, 12, 13} { // 13: prime, grid degenerates to a line
+			g, err := Build(name, n, 7)
+			if err != nil {
+				t.Fatalf("Build(%q, %d): %v", name, n, err)
+			}
+			if g.N != n {
+				t.Fatalf("Build(%q, %d).N = %d", name, n, g.N)
+			}
+		}
+	}
+	if _, err := Build("moebius", 8, 0); err == nil || !strings.Contains(err.Error(), "unknown topology family") {
+		t.Errorf("unknown family error = %v", err)
+	}
+}
+
+func TestLazyDistConsistency(t *testing.T) {
+	g, err := Build("torus", 36, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < g.N; a += 5 {
+		for b := 0; b < g.N; b += 3 {
+			if g.Dist(a, b) != g.Dist(b, a) {
+				t.Fatalf("Dist(%d,%d)=%d != Dist(%d,%d)=%d", a, b, g.Dist(a, b), b, a, g.Dist(b, a))
+			}
+		}
+	}
+}

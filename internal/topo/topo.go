@@ -9,10 +9,19 @@
 // per-hop delays in [h1, h2] is admissible for the abstract model with
 // d1 = h1 and d2 = Diameter(G)*h2, which is exactly the conversion the
 // paper applies to Table 1.
+//
+// Construction is O(V + E) and distances are computed lazily, one BFS
+// row at a time, so million-vertex graphs from the generated families
+// (families.go) stay within an O(V + E) memory ceiling as long as the
+// caller sticks to Dist, DiameterBound and the scheduler adaptor. The
+// exact Diameter runs a BFS from every vertex and is meant for the small
+// fixed topologies of the F5 experiment.
 package topo
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"sessionproblem/internal/sim"
 )
@@ -21,18 +30,27 @@ import (
 type Graph struct {
 	N   int
 	adj [][]int
-	// dist[i][j] is the shortest-path hop count.
+
+	// mu guards the lazily filled caches below, letting a built graph be
+	// shared by concurrent sweep workers.
+	mu sync.Mutex
+	// dist rows are BFS results cached per source; nil until requested.
 	dist [][]int
+	// diam and bound memoize Diameter and DiameterBound; -1 = unknown.
+	diam  int
+	bound int
 }
 
 // New builds a graph from an edge list. It fails unless the graph is
-// connected and every endpoint is in range.
+// connected and every endpoint is in range. Duplicate edges are merged;
+// self-loops are rejected. Adjacency lists come out sorted ascending.
+// Construction is O(V + E log E) time and O(V + E) memory.
 func New(n int, edges [][2]int) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("topo: need at least one vertex, got %d", n)
 	}
-	g := &Graph{N: n, adj: make([][]int, n)}
-	seen := make(map[[2]int]bool)
+	g := &Graph{N: n, adj: make([][]int, n), diam: -1, bound: -1}
+	deg := make([]int, n)
 	for _, e := range edges {
 		a, b := e[0], e[1]
 		if a < 0 || a >= n || b < 0 || b >= n {
@@ -41,69 +59,144 @@ func New(n int, edges [][2]int) (*Graph, error) {
 		if a == b {
 			return nil, fmt.Errorf("topo: self-loop at %d", a)
 		}
-		if a > b {
-			a, b = b, a
-		}
-		if seen[[2]int{a, b}] {
-			continue
-		}
-		seen[[2]int{a, b}] = true
-		g.adj[a] = append(g.adj[a], b)
-		g.adj[b] = append(g.adj[b], a)
+		deg[a]++
+		deg[b]++
 	}
-	if err := g.computeDistances(); err != nil {
-		return nil, err
+	for v, d := range deg {
+		if d > 0 {
+			g.adj[v] = make([]int, 0, d)
+		}
 	}
+	for _, e := range edges {
+		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+	}
+	// Sort-and-compact instead of an edge-set map: a duplicate of an edge
+	// appears in both endpoint lists, so independent per-vertex dedup keeps
+	// the graph symmetric without an O(E) hash table.
+	for v := range g.adj {
+		l := g.adj[v]
+		sort.Ints(l)
+		w := 0
+		for i, u := range l {
+			if i == 0 || u != l[i-1] {
+				l[w] = u
+				w++
+			}
+		}
+		g.adj[v] = l[:w]
+	}
+	// Connectivity is one BFS from vertex 0, not all-pairs; the row is
+	// kept since DiameterBound and many Dist patterns want it anyway.
+	g.dist = make([][]int, n)
+	row := g.bfs(0)
+	for v, d := range row {
+		if d < 0 {
+			return nil, fmt.Errorf("topo: graph not connected (vertex %d unreachable from %d)", v, 0)
+		}
+	}
+	g.dist[0] = row
 	return g, nil
 }
 
-func (g *Graph) computeDistances() error {
-	g.dist = make([][]int, g.N)
-	for src := 0; src < g.N; src++ {
-		d := make([]int, g.N)
-		for i := range d {
-			d[i] = -1
-		}
-		d[src] = 0
-		queue := []int{src}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			for _, w := range g.adj[v] {
-				if d[w] == -1 {
-					d[w] = d[v] + 1
-					queue = append(queue, w)
-				}
-			}
-		}
-		for i, dv := range d {
-			if dv == -1 && g.N > 1 {
-				return fmt.Errorf("topo: graph not connected (vertex %d unreachable from %d)", i, src)
-			}
-		}
-		g.dist[src] = d
+// bfs returns the hop distances from src (-1 = unreachable). Callers own
+// the returned slice.
+func (g *Graph) bfs(src int) []int {
+	d := make([]int, g.N)
+	for i := range d {
+		d[i] = -1
 	}
-	return nil
+	d[src] = 0
+	queue := make([]int, 1, g.N)
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.adj[v] {
+			if d[w] == -1 {
+				d[w] = d[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return d
 }
 
-// Dist returns the hop distance between two vertices (0 for a == b).
-func (g *Graph) Dist(a, b int) int { return g.dist[a][b] }
+// distRow returns the cached BFS row for src, computing it on first use.
+func (g *Graph) distRow(src int) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.dist[src] == nil {
+		g.dist[src] = g.bfs(src)
+	}
+	return g.dist[src]
+}
 
-// Diameter returns the largest hop distance between any two vertices.
+// Dist returns the hop distance between two vertices (0 for a == b). The
+// first query from a given source costs one BFS; repeats are O(1).
+func (g *Graph) Dist(a, b int) int { return g.distRow(a)[b] }
+
+// Diameter returns the largest hop distance between any two vertices. It
+// runs a BFS from every vertex (discarding uncached rows, so memory stays
+// O(V + E)) and memoizes the result; for large generated graphs prefer
+// DiameterBound, which costs a single BFS.
 func (g *Graph) Diameter() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.diam >= 0 {
+		return g.diam
+	}
 	max := 0
-	for _, row := range g.dist {
+	for src := 0; src < g.N; src++ {
+		row := g.dist[src]
+		if row == nil {
+			row = g.bfs(src)
+		}
 		for _, d := range row {
 			if d > max {
 				max = d
 			}
 		}
 	}
+	g.diam = max
 	return max
+}
+
+// DiameterBound returns 2*ecc(0), an upper bound on the diameter costing
+// one BFS: for any u, w, dist(u, w) <= dist(u, 0) + dist(0, w) <=
+// 2*ecc(0), and the bound is itself at most twice the true diameter.
+// This is the distance budget the generated-topology algorithms use at
+// scales where the exact Diameter's all-sources sweep is unaffordable.
+func (g *Graph) DiameterBound() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.bound >= 0 {
+		return g.bound
+	}
+	ecc := 0
+	for _, d := range g.dist[0] {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	g.bound = 2 * ecc
+	return g.bound
 }
 
 // Degree returns the number of neighbors of v.
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's adjacency list, sorted ascending. The slice is
+// shared with the graph and must not be mutated.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, l := range g.adj {
+		total += len(l)
+	}
+	return total / 2
+}
 
 // mustNew builds a graph whose construction cannot fail for the fixed
 // topologies below; a failure means a broken invariant, reported with the

@@ -11,21 +11,21 @@ import (
 )
 
 func TestKnowledgeMerge(t *testing.T) {
-	k := Knowledge{0: 1, 1: 5, 2: 0}
-	changed := k.MergeFrom(Knowledge{0: 3, 2: 2})
+	k := FromSlice([]int{1, 5, 0})
+	changed := k.MergeFrom(FromSlice([]int{3, 0, 2}))
 	if !changed {
 		t.Error("merge should report change")
 	}
-	if k[0] != 3 || k[1] != 5 || k[2] != 2 {
-		t.Errorf("merge result wrong: %v", k)
+	if k.At(0) != 3 || k.At(1) != 5 || k.At(2) != 2 {
+		t.Errorf("merge result wrong: %#v", k)
 	}
-	if k.MergeFrom(Knowledge{0: 1}) {
+	if k.MergeFrom(FromSlice([]int{1})) {
 		t.Error("no-op merge reported change")
 	}
 }
 
 func TestKnowledgeAllAtLeastAndMin(t *testing.T) {
-	k := Knowledge{0: 2, 1: 3}
+	k := FromSlice([]int{2, 3})
 	if !k.AllAtLeast(2, 2) {
 		t.Error("AllAtLeast(2,2) should hold")
 	}
@@ -41,33 +41,65 @@ func TestKnowledgeAllAtLeastAndMin(t *testing.T) {
 	if got := k.Min(3); got != 0 {
 		t.Errorf("Min(3): got %d, want 0", got)
 	}
-	if got := Knowledge(nil).Min(0); got != 0 {
+	var empty Knowledge
+	if got := empty.Min(0); got != 0 {
 		t.Errorf("Min(0): got %d, want 0", got)
 	}
 }
 
+func TestKnowledgeWidening(t *testing.T) {
+	k := NewKnowledge(5)
+	for p, v := range []int{1, 300, 2, 70_000, 5_000_000_000} {
+		k.Raise(p, v)
+	}
+	for p, want := range []int{1, 300, 2, 70_000, 5_000_000_000} {
+		if got := k.At(p); got != want {
+			t.Errorf("At(%d) after widening: got %d, want %d", p, got, want)
+		}
+	}
+	if !k.AllAtLeast(5, 1) {
+		t.Error("AllAtLeast(5,1) should hold after widening")
+	}
+	if got := k.Min(5); got != 1 {
+		t.Errorf("Min(5): got %d, want 1", got)
+	}
+	other := NewKnowledge(5)
+	other.Raise(0, 2)
+	if !other.MergeFrom(k) {
+		t.Error("merge from wider vector not reported")
+	}
+	if other.At(3) != 70_000 || other.At(0) != 2 {
+		t.Errorf("cross-width merge wrong: %#v", other)
+	}
+	narrow := NewKnowledge(5)
+	narrow.Raise(1, 7)
+	if !k.MergeFrom(narrow) && k.At(1) != 300 {
+		t.Errorf("merge from narrower vector wrong: %#v", k)
+	}
+}
+
 func TestKnowledgeClone(t *testing.T) {
-	k := Knowledge{0: 1}
+	k := FromSlice([]int{1})
 	c := k.Clone()
-	c[0] = 9
-	if k[0] != 1 {
+	c.Raise(0, 9)
+	if k.At(0) != 1 {
 		t.Error("Clone aliases original")
 	}
 }
 
 func TestMergeCellNilSafety(t *testing.T) {
 	k := NewKnowledge(4)
-	if MergeCell(k, nil) {
+	if MergeCell(&k, nil) {
 		t.Error("merging nil value reported change")
 	}
-	if MergeCell(k, "garbage") {
+	if MergeCell(&k, "garbage") {
 		t.Error("merging foreign value reported change")
 	}
-	if !MergeCell(k, Cell{Know: Knowledge{1: 4}}) {
+	if !MergeCell(&k, Cell{Know: FromSlice([]int{0, 4})}) {
 		t.Error("real merge not reported")
 	}
-	if k[1] != 4 {
-		t.Errorf("merge result wrong: %v", k)
+	if k.At(1) != 4 {
+		t.Errorf("merge result wrong: %#v", k)
 	}
 }
 
@@ -161,7 +193,7 @@ func (a *announcer) Step(old sm.Value) sm.Value {
 	a.know.MergeFrom(cellKnow(old))
 	if !a.stepped {
 		a.stepped = true
-		a.know[a.port] = 1
+		a.know.Raise(a.port, 1)
 	}
 	if a.know.AllAtLeast(a.n, 1) {
 		a.idle = true
@@ -235,8 +267,9 @@ func TestRelayIdlesAfterCompletion(t *testing.T) {
 		if !r.Idle() {
 			t.Error("relay did not idle")
 		}
-		if !r.Know().AllAtLeast(6, 1) {
-			t.Errorf("relay idled with incomplete knowledge: %v", r.Know())
+		kn := r.Know()
+		if !kn.AllAtLeast(6, 1) {
+			t.Errorf("relay idled with incomplete knowledge: %#v", kn)
 		}
 	}
 	_ = res
@@ -244,13 +277,13 @@ func TestRelayIdlesAfterCompletion(t *testing.T) {
 
 func TestRelayStaysIdle(t *testing.T) {
 	r := NewRelay([]model.VarID{1}, 1, 1)
-	r.Step(Cell{Know: Knowledge{0: 1}}) // learns port 0 done; schedules final sweep
-	r.Step(nil)                         // final sweep
+	r.Step(Cell{Know: FromSlice([]int{1})}) // learns port 0 done; schedules final sweep
+	r.Step(nil)                             // final sweep
 	if !r.Idle() {
 		t.Fatal("relay should be idle after final sweep")
 	}
-	out := r.Step(Cell{Know: Knowledge{0: 5}})
-	if c, ok := out.(Cell); !ok || c.Know[0] != 5 {
+	out := r.Step(Cell{Know: FromSlice([]int{5})})
+	if c, ok := out.(Cell); !ok || c.Know.At(0) != 5 {
 		t.Error("idle relay must return its input unchanged")
 	}
 	if !r.Idle() {
@@ -288,7 +321,7 @@ func TestMergeProperties(t *testing.T) {
 		s := seed
 		for i := 0; i < 4; i++ {
 			s = s*6364136223846793005 + 1442695040888963407
-			k[int(s%5)] = int(s % 7)
+			k.Raise(int(s%5), int(s%7))
 		}
 		return k
 	}
@@ -300,7 +333,7 @@ func TestMergeProperties(t *testing.T) {
 		ba.MergeFrom(a)
 		// Commutative.
 		for p := 0; p < 5; p++ {
-			if ab[p] != ba[p] {
+			if ab.At(p) != ba.At(p) {
 				return false
 			}
 		}
@@ -310,8 +343,8 @@ func TestMergeProperties(t *testing.T) {
 			return false
 		}
 		// Monotone.
-		for p, v := range a {
-			if ab[p] < v {
+		for p := 0; p < 5; p++ {
+			if ab.At(p) < a.At(p) {
 				return false
 			}
 		}

@@ -107,7 +107,9 @@ type settings struct {
 	journalPath string
 	journal     *journal.Writer
 
-	noSeedBatch bool
+	noSeedBatch   bool
+	streamCertify bool
+	topologies    []string
 }
 
 // initCache resolves WithCacheDir into the cache the call runs with: a
@@ -185,9 +187,10 @@ func (s settings) harnessConfig(eng *engine.Engine) harness.Config {
 		S: s.s, N: s.n, B: s.b,
 		C1: s.c1, C2: s.c2, Cmin: s.cmin, Cmax: s.cmax,
 		D1: s.d1, D2: s.d2,
-		Seeds:       s.seeds,
-		Engine:      eng,
-		NoSeedBatch: s.noSeedBatch,
+		Seeds:         s.seeds,
+		Engine:        eng,
+		NoSeedBatch:   s.noSeedBatch,
+		StreamCertify: s.streamCertify,
 	}
 }
 
@@ -298,6 +301,25 @@ func WithParallelism(n int) Option {
 // granularity (batched calls report one Observation per seed group).
 func WithSeedBatching(on bool) Option {
 	return func(cfg *settings) { cfg.noSeedBatch = !on }
+}
+
+// WithStreamCertify routes every Table-1 run through the streaming
+// certifier: the executors never materialize traces and an online counter
+// verifies the session condition, keeping memory O(ports) regardless of
+// how many steps a run takes. Results — and run-cache contents — are
+// byte-identical to the default materialized path; this is the switch for
+// very large port counts, where recorded traces would dominate memory.
+func WithStreamCertify() Option {
+	return func(cfg *settings) { cfg.streamCertify = true }
+}
+
+// WithTopologies selects which point-to-point topology families the
+// network-diameter sweep (SweepNetworkDiameter) visits, by name:
+// "complete", "star", "ring", "line", "grid", "torus", "expander",
+// "random-regular". Generated families are deterministic in the port
+// count. Default: the paper's four fixed extremes.
+func WithTopologies(names ...string) Option {
+	return func(cfg *settings) { cfg.topologies = append([]string(nil), names...) }
 }
 
 // WithTimeout bounds the whole call in wall-clock time; in-flight

@@ -179,11 +179,13 @@ const (
 	// as the period maximum cmax grows.
 	SweepPeriodicVsSporadic
 	// SweepNetworkDiameter (F5): the asynchronous algorithm over concrete
-	// point-to-point topologies (complete, star, ring, line) with per-hop
-	// delays bounded by d2 (WithDelayBounds), demonstrating the paper's
-	// conversion of [4]'s diameter factor into d2. Points carry X =
-	// diameter, Label = topology name, and the abstract Table-1 upper bound
-	// evaluated at d2 := diameter * hop-delay.
+	// point-to-point topologies with per-hop delays bounded by d2
+	// (WithDelayBounds), demonstrating the paper's conversion of [4]'s
+	// diameter factor into d2. WithTopologies selects the families (fixed:
+	// complete, star, ring, line — the default; generated: grid, torus,
+	// expander, random-regular). Points carry X = diameter, Label =
+	// topology name, and the abstract Table-1 upper bound evaluated at
+	// d2 := diameter * hop-delay.
 	SweepNetworkDiameter
 	// SweepFaultIntensity: the robustness sweep — every message-passing
 	// model's algorithm under increasing deterministic fault intensity
@@ -225,7 +227,7 @@ func Sweep(ctx context.Context, kind SweepKind, opts ...Option) (*SweepResult, e
 	eng := cfg.engine()
 
 	if kind == SweepNetworkDiameter {
-		pts, err := harness.SweepDiameter(cfg.s, cfg.n, cfg.c2, cfg.d2, cfg.seeds)
+		pts, err := harness.SweepDiameter(cfg.s, cfg.n, cfg.c2, cfg.d2, cfg.seeds, cfg.topologies...)
 		if err != nil {
 			return nil, err
 		}
